@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the hood runtime (experiment B1): fork-join
+//! throughput across process counts and the two ablation axes (deque
+//! backend, yields). On an oversubscribed machine the ABP-vs-locking and
+//! yield-vs-no-yield gaps are the paper's headline practical results.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hood::{join, Backend, PoolConfig, ThreadPool};
+use std::hint::black_box;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n < 10 {
+        let mut a = 0u64;
+        let mut b = 1u64;
+        for _ in 0..n {
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        return a;
+    }
+    let (x, y) = join(|| fib(n - 1), || fib(n - 2));
+    x + y
+}
+
+fn tree_sum(depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (a, b) = join(|| tree_sum(depth - 1), || tree_sum(depth - 1));
+    a + b + 1
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fib24");
+    g.sample_size(15);
+    for p in [1usize, 2, 4] {
+        let pool = ThreadPool::new(p);
+        g.bench_function(format!("P{p}"), |b| {
+            b.iter(|| pool.install(|| black_box(fib(24))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_sum_d14");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements((1u64 << 15) - 1));
+    for p in [1usize, 2, 4] {
+        let pool = ThreadPool::new(p);
+        g.bench_function(format!("P{p}"), |b| {
+            b.iter(|| pool.install(|| black_box(tree_sum(14))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_backend_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_fib22_P4");
+    g.sample_size(10);
+    for (name, backend) in [
+        ("abp", Backend::Abp { capacity: 1 << 15 }),
+        ("locking", Backend::Locking),
+    ] {
+        let pool = ThreadPool::with_config(PoolConfig {
+            num_procs: 4,
+            backend,
+            ..PoolConfig::default()
+        });
+        g.bench_function(name, |b| {
+            b.iter(|| pool.install(|| black_box(fib(22))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_yield_ablation(c: &mut Criterion) {
+    // Oversubscribe: P well beyond the machine's processors, so yields
+    // matter (the multiprogrammed setting).
+    let over = 4 * std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group(format!("yield_fib22_P{over}_oversubscribed"));
+    g.sample_size(10);
+    for (name, yields) in [("yield", true), ("no-yield", false)] {
+        let pool = ThreadPool::with_config(PoolConfig {
+            num_procs: over,
+            yield_between_steals: yields,
+            // Pure spinning, as in the original Hood: the yield is the
+            // only thing keeping thieves from wasting whole quanta.
+            park_after: None,
+            ..PoolConfig::default()
+        });
+        g.bench_function(name, |b| {
+            b.iter(|| pool.install(|| black_box(fib(22))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fib,
+    bench_tree_sum,
+    bench_backend_ablation,
+    bench_yield_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benchmarks over the simulator itself: per-table timing of
+//! the work-stealer under each adversary (so regressions in the
+//! simulator's hot loop are caught), plus the offline schedulers.
+
+use abp_dag::gen;
+use abp_kernel::{
+    AdaptiveWorkerStarver, BenignKernel, CountSource, DedicatedKernel, KernelTable,
+    ObliviousKernel, YieldPolicy,
+};
+use abp_sim::{brent, greedy, run_ws, WsConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_ws_adversaries(c: &mut Criterion) {
+    let dag = gen::fib(16, 3);
+    let p = 8;
+    let mut g = c.benchmark_group("ws_sim_fib16");
+    g.throughput(Throughput::Elements(dag.work()));
+    g.sample_size(20);
+    g.bench_function("dedicated", |b| {
+        b.iter(|| {
+            let mut k = DedicatedKernel::new(p);
+            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
+        });
+    });
+    g.bench_function("benign", |b| {
+        b.iter(|| {
+            let mut k = BenignKernel::new(p, CountSource::UniformBetween(1, 8), 5);
+            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
+        });
+    });
+    g.bench_function("oblivious_rotating", |b| {
+        b.iter(|| {
+            let mut k = ObliviousKernel::rotating(p, 3, 10, 100_000);
+            let cfg = WsConfig {
+                yield_policy: YieldPolicy::ToRandom,
+                ..WsConfig::default()
+            };
+            black_box(run_ws(&dag, p, &mut k, cfg))
+        });
+    });
+    g.bench_function("adaptive_starver", |b| {
+        b.iter(|| {
+            let mut k = AdaptiveWorkerStarver::new(p, CountSource::Constant(4), 5);
+            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_ws_invariant_overhead(c: &mut Criterion) {
+    let dag = gen::fork_join_tree(8, 2);
+    let p = 6;
+    let mut g = c.benchmark_group("ws_sim_checking_overhead");
+    g.sample_size(15);
+    for (name, check) in [("unchecked", false), ("checked", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut k = DedicatedKernel::new(p);
+                let cfg = WsConfig {
+                    check_structural: check,
+                    check_potential: check,
+                    ..WsConfig::default()
+                };
+                black_box(run_ws(&dag, p, &mut k, cfg))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let dag = gen::fib(17, 3);
+    let table = KernelTable::dedicated(8);
+    let mut g = c.benchmark_group("offline_fib17_P8");
+    g.throughput(Throughput::Elements(dag.work()));
+    g.sample_size(20);
+    g.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy(&dag, &table, 100_000_000).length()));
+    });
+    g.bench_function("brent", |b| {
+        b.iter(|| black_box(brent(&dag, &table, 100_000_000).length()));
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_generators");
+    g.sample_size(20);
+    g.bench_function("fork_join_tree(12,2)", |b| {
+        b.iter(|| black_box(gen::fork_join_tree(12, 2).work()));
+    });
+    g.bench_function("fib(20,4)", |b| {
+        b.iter(|| black_box(gen::fib(20, 4).work()));
+    });
+    g.bench_function("series_parallel(50k)", |b| {
+        b.iter(|| black_box(gen::random_series_parallel(7, 50_000).work()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ws_adversaries,
+    bench_ws_invariant_overhead,
+    bench_offline,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,1078 @@
+//! The experiment suite: one entry per table/figure of the paper (see
+//! DESIGN.md §3 for the index). Each experiment returns a rendered report
+//! plus a pass/fail verdict that the integration tests assert on.
+#![allow(clippy::type_complexity, clippy::too_many_arguments)]
+
+use crate::table::{f2, f3, TextTable};
+use abp_dag::{gen, Dag};
+use abp_kernel::{
+    AdaptiveThiefStarver, AdaptiveWorkerStarver, BenignKernel, CountSource, DedicatedKernel,
+    Kernel, KernelTable, ObliviousKernel, Theorem1Kernel, YieldPolicy,
+};
+use abp_sim::{brent, figure2_execution, greedy, run_ws, DequeBackend, RunReport, WsConfig};
+use std::fmt::Write as _;
+
+/// Outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub body: String,
+    pub pass: bool,
+}
+
+impl ExpResult {
+    fn new(id: &'static str, title: &'static str, body: String, pass: bool) -> Self {
+        ExpResult {
+            id,
+            title,
+            body,
+            pass,
+        }
+    }
+}
+
+impl std::fmt::Display for ExpResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== {} — {} [{}] ==",
+            self.id,
+            self.title,
+            if self.pass { "PASS" } else { "FAIL" }
+        )?;
+        write!(f, "{}", self.body)
+    }
+}
+
+/// The standard workload suite used across experiments.
+pub fn workloads() -> Vec<(&'static str, Dag)> {
+    vec![
+        ("fork-join(10,2)", gen::fork_join_tree(10, 2)),
+        ("fib(18,4)", gen::fib(18, 4)),
+        ("wide(256,50)", gen::wide_shallow(256, 50)),
+        ("series-par(97)", gen::random_series_parallel(97, 30_000)),
+        ("pipeline(8,200)", gen::sync_pipeline(8, 200)),
+        ("wavefront(20,40)", gen::wavefront(20, 40)),
+        ("comb(300,4,2)", gen::comb(300, 4, 2)),
+        ("chain(4000)", gen::chain(4000)),
+    ]
+}
+
+fn small_workloads() -> Vec<(&'static str, Dag)> {
+    vec![
+        ("fork-join(6,2)", gen::fork_join_tree(6, 2)),
+        ("fib(12,3)", gen::fib(12, 3)),
+        ("wide(32,20)", gen::wide_shallow(32, 20)),
+        ("pipeline(4,40)", gen::sync_pipeline(4, 40)),
+    ]
+}
+
+// ---------------------------------------------------------------- figures
+
+/// F1 — Figure 1: the example computation dag.
+pub fn fig1() -> ExpResult {
+    let (dag, f) = abp_dag::examples::figure1();
+    let mut body = String::new();
+    writeln!(
+        body,
+        "Reconstruction of the Figure-1 dag (see module docs for the mapping):"
+    )
+    .unwrap();
+    writeln!(body, "  root thread : {:?}", f.root_nodes).unwrap();
+    writeln!(body, "  child thread: {:?}", f.child_nodes).unwrap();
+    for e in dag.edges() {
+        if e.kind != abp_dag::EdgeKind::Continue {
+            writeln!(body, "  edge {} -> {} [{:?}]", e.from, e.to, e.kind).unwrap();
+        }
+    }
+    writeln!(
+        body,
+        "  T1 = {}, Tinf = {}, parallelism = {}",
+        dag.work(),
+        dag.critical_path(),
+        f3(dag.parallelism())
+    )
+    .unwrap();
+    let pass = dag.work() == 11 && dag.critical_path() == 9 && dag.num_threads() == 2;
+    ExpResult::new("F1", "Figure 1: example computation dag", body, pass)
+}
+
+/// F2 — Figure 2: kernel schedule and greedy execution schedule.
+pub fn fig2() -> ExpResult {
+    let (sched, dag, table) = figure2_execution();
+    let mut body = String::new();
+    writeln!(body, "(a) kernel schedule, 3 processes, 10 steps:").unwrap();
+    body.push_str(&table.render(10));
+    writeln!(
+        body,
+        "processor average over 10 steps: P_A = {}",
+        f2(table.processor_average(10))
+    )
+    .unwrap();
+    writeln!(body, "\n(b) greedy execution schedule of the Figure-1 dag:").unwrap();
+    body.push_str(&sched.render(3));
+    writeln!(
+        body,
+        "length {} steps, {} idle slots ({} nodes executed)",
+        sched.length(),
+        sched.idle_tokens(),
+        dag.work()
+    )
+    .unwrap();
+    let pass = sched.validate(&dag, &table).is_ok()
+        && sched.length() == 10
+        && (table.processor_average(10) - 2.0).abs() < 1e-12;
+    ExpResult::new("F2", "Figure 2: kernel + execution schedule", body, pass)
+}
+
+// --------------------------------------------------------- Section 2 theory
+
+/// T1 — Theorem 1: lower bounds on every execution schedule.
+pub fn thm1() -> ExpResult {
+    let mut t = TextTable::new([
+        "workload", "P", "k", "sched", "T", "P_A", "T1/P_A", "Tinf*P/P_A", "T/lower",
+    ]);
+    let mut pass = true;
+    for (name, dag) in small_workloads() {
+        for &p in &[4usize, 8] {
+            for &k in &[0u64, 2, 8] {
+                let table = Theorem1Kernel::new(p, dag.critical_path(), k).to_table();
+                for (sname, sched) in [
+                    ("greedy", greedy(&dag, &table, 50_000_000)),
+                    ("brent", brent(&dag, &table, 50_000_000)),
+                ] {
+                    let tlen = sched.length() as f64;
+                    let pa = sched.processor_average();
+                    let lb_work = dag.work() as f64 / pa;
+                    let lb_path = dag.critical_path() as f64 * p as f64 / pa;
+                    let lower = lb_work.max(lb_path);
+                    let ok = tlen >= lower - 1e-9 && sched.validate(&dag, &table).is_ok();
+                    pass &= ok;
+                    t.row([
+                        name.to_string(),
+                        p.to_string(),
+                        k.to_string(),
+                        sname.to_string(),
+                        format!("{tlen:.0}"),
+                        f2(pa),
+                        f2(lb_work),
+                        f2(lb_path),
+                        f3(tlen / lower),
+                    ]);
+                }
+            }
+        }
+    }
+    let body = format!(
+        "Every execution schedule satisfies T ≥ max(T1/P_A, Tinf·P/P_A) under the\n\
+         Theorem-1 kernel construction (P procs for Tinf steps, 0 for k·Tinf, then 1):\n\n{}",
+        t.render()
+    );
+    ExpResult::new("T1", "Theorem 1: lower bounds", body, pass)
+}
+
+/// T2 — Theorem 2: greedy (and Brent) schedules meet the upper bound.
+pub fn thm2() -> ExpResult {
+    let mut t = TextTable::new(["workload", "kernel", "P", "sched", "T", "P_A", "bound", "T/bound"]);
+    let mut pass = true;
+    for (name, dag) in small_workloads() {
+        let kernels: Vec<(&str, usize, KernelTable)> = vec![
+            ("dedicated", 8, KernelTable::dedicated(8)),
+            (
+                "sawtooth",
+                8,
+                KernelTable::from_counts(
+                    8,
+                    &[8, 6, 4, 2, 1, 2, 4, 6],
+                    abp_kernel::Tail::Cycle,
+                ),
+            ),
+            (
+                "on/off",
+                6,
+                KernelTable::from_counts(6, &[6, 6, 6, 0, 0, 1], abp_kernel::Tail::Cycle),
+            ),
+        ];
+        for (kname, p, table) in kernels {
+            for (sname, sched) in [
+                ("greedy", greedy(&dag, &table, 50_000_000)),
+                ("brent", brent(&dag, &table, 50_000_000)),
+            ] {
+                let tlen = sched.length() as f64;
+                let pa = sched.processor_average();
+                let bound =
+                    (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
+                let ok = tlen <= bound + 1e-9 && sched.validate(&dag, &table).is_ok();
+                pass &= ok;
+                t.row([
+                    name.to_string(),
+                    kname.to_string(),
+                    p.to_string(),
+                    sname.to_string(),
+                    format!("{tlen:.0}"),
+                    f2(pa),
+                    f2(bound),
+                    f3(tlen / bound),
+                ]);
+            }
+        }
+    }
+    let body = format!(
+        "Greedy and level-by-level schedules satisfy T ≤ (T1 + Tinf·(P−1))/P_A:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("T2", "Theorem 2: greedy schedules", body, pass)
+}
+
+// ------------------------------------------------------- Section 4 theorems
+
+fn ws_defaults(seed: u64) -> WsConfig {
+    WsConfig {
+        seed,
+        max_rounds: 20_000_000,
+        ..WsConfig::default()
+    }
+}
+
+/// T9 — dedicated environments: time O(T1/P + T∞) and linear speedup.
+pub fn thm9() -> ExpResult {
+    let mut t = TextTable::new([
+        "workload",
+        "T1",
+        "Tinf",
+        "para",
+        "P",
+        "rounds",
+        "speedup",
+        "util",
+        "ratio",
+    ]);
+    let mut pass = true;
+    for (name, dag) in workloads() {
+        let mut t1_rounds = None;
+        for &p in &[1usize, 2, 4, 8, 16, 32] {
+            let mut k = DedicatedKernel::new(p);
+            let r = run_ws(&dag, p, &mut k, ws_defaults(7));
+            pass &= r.completed;
+            let base = *t1_rounds.get_or_insert(r.rounds);
+            let speedup = base as f64 / r.rounds as f64;
+            // In the linear-speedup regime (P ≪ parallelism), expect at
+            // least half-linear speedup.
+            if (p as f64) <= dag.parallelism() / 10.0 {
+                pass &= speedup >= 0.5 * p as f64;
+            }
+            t.row([
+                name.to_string(),
+                dag.work().to_string(),
+                dag.critical_path().to_string(),
+                f2(dag.parallelism()),
+                p.to_string(),
+                r.rounds.to_string(),
+                f2(speedup),
+                f3(r.utilization()),
+                f3(r.bound_ratio()),
+            ]);
+        }
+    }
+    let body = format!(
+        "Work stealing on a dedicated machine (P_A = P). speedup = T(1)/T(P);\n\
+         util = T1/(P·T); ratio = T/(T1/P_A + Tinf·P/P_A) — bounded by a constant:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("T9", "Theorem 9: dedicated environments", body, pass)
+}
+
+/// T9b — high-probability tail: throws vs O(P·(T∞ + lg 1/ε)).
+pub fn thm9_tail() -> ExpResult {
+    let dag = gen::fork_join_tree(9, 2);
+    let p = 8usize;
+    let trials = 200;
+    let mut throws: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut k = DedicatedKernel::new(p);
+            let r = run_ws(&dag, p, &mut k, ws_defaults(seed));
+            assert!(r.completed);
+            r.throws
+        })
+        .collect();
+    throws.sort_unstable();
+    let q = |x: f64| throws[((throws.len() - 1) as f64 * x) as usize];
+    let mean = throws.iter().sum::<u64>() as f64 / trials as f64;
+    let pt = p as f64 * dag.critical_path() as f64;
+    let mut t = TextTable::new(["quantile", "throws", "throws/(P*Tinf)"]);
+    for (label, x) in [("50%", 0.5), ("90%", 0.9), ("99%", 0.99), ("max", 1.0)] {
+        t.row([label.to_string(), q(x).to_string(), f3(q(x) as f64 / pt)]);
+    }
+    // The whole distribution should sit within a modest constant of
+    // P·Tinf, and the tail must grow slowly (max within 2x of median).
+    let pass = (q(1.0) as f64) < 16.0 * pt && (q(1.0) as f64) < 2.5 * q(0.5) as f64;
+    let body = format!(
+        "fork-join(9,2): T1={}, Tinf={}, P={p}, {trials} seeds; mean throws {:.0}\n\
+         (Theorem 9: E[throws] = O(P·Tinf) = O({:.0}); tail adds O(P·lg(1/ε))):\n\n{}",
+        dag.work(),
+        dag.critical_path(),
+        mean,
+        pt,
+        t.render()
+    );
+    ExpResult::new("T9b", "Theorem 9: high-probability tail", body, pass)
+}
+
+fn multiprog_row(
+    t: &mut TextTable,
+    pass: &mut bool,
+    name: &str,
+    kname: &str,
+    dag: &Dag,
+    p: usize,
+    kernel: &mut dyn Kernel,
+    cfg: WsConfig,
+) -> RunReport {
+    let r = run_ws(dag, p, kernel, cfg);
+    *pass &= r.completed;
+    t.row([
+        name.to_string(),
+        kname.to_string(),
+        p.to_string(),
+        r.rounds.to_string(),
+        f2(r.pa),
+        r.throws.to_string(),
+        f3(r.bound_ratio()),
+    ]);
+    r
+}
+
+const MULTIPROG_HEADER: [&str; 7] = ["workload", "kernel", "P", "rounds", "P_A", "throws", "ratio"];
+
+/// T10 — benign adversary (random membership), no yields needed.
+pub fn thm10() -> ExpResult {
+    let mut t = TextTable::new(MULTIPROG_HEADER);
+    let mut pass = true;
+    let mut ratios = Vec::new();
+    for (name, dag) in workloads() {
+        let p = 8;
+        for (kname, counts) in [
+            ("uniform(1,8)", CountSource::UniformBetween(1, 8)),
+            ("constant(3)", CountSource::Constant(3)),
+            (
+                "bursty",
+                CountSource::OnOff {
+                    on_rounds: 50,
+                    off_rounds: 50,
+                    on_count: 8,
+                    off_count: 1,
+                },
+            ),
+        ] {
+            let mut k = BenignKernel::new(p, counts, 1234);
+            let cfg = WsConfig {
+                yield_policy: YieldPolicy::None,
+                ..ws_defaults(3)
+            };
+            let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
+            ratios.push(r.bound_ratio());
+        }
+    }
+    let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
+    pass &= max_ratio < 3.0;
+    let body = format!(
+        "Benign adversary chooses p_i; members are uniform random; *no yields*.\n\
+         ratio = rounds/(T1/P_A + Tinf·P/P_A) stays bounded (max {:.3}):\n\n{}",
+        max_ratio,
+        t.render()
+    );
+    ExpResult::new("T10", "Theorem 10: benign adversary", body, pass)
+}
+
+/// T11 — oblivious adversary with yieldToRandom.
+pub fn thm11() -> ExpResult {
+    let mut t = TextTable::new(MULTIPROG_HEADER);
+    let mut pass = true;
+    let mut ratios = Vec::new();
+    for (name, dag) in workloads() {
+        let p = 8;
+        let kernels: Vec<(&str, ObliviousKernel)> = vec![
+            ("rotating(2)", ObliviousKernel::rotating(p, 2, 40, 4000)),
+            ("rotating(5)", ObliviousKernel::rotating(p, 5, 10, 4000)),
+            (
+                "precommitted",
+                ObliviousKernel::precommitted_random(
+                    p,
+                    CountSource::UniformBetween(1, 8),
+                    100_000,
+                    77,
+                ),
+            ),
+        ];
+        for (kname, mut k) in kernels {
+            let cfg = WsConfig {
+                yield_policy: YieldPolicy::ToRandom,
+                ..ws_defaults(5)
+            };
+            let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
+            ratios.push(r.bound_ratio());
+        }
+    }
+    let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
+    pass &= max_ratio < 3.0;
+    let body = format!(
+        "Oblivious adversary (schedule precommitted before execution), thieves\n\
+         use yieldToRandom. max ratio {:.3}:\n\n{}",
+        max_ratio,
+        t.render()
+    );
+    ExpResult::new("T11", "Theorem 11: oblivious adversary + yieldToRandom", body, pass)
+}
+
+/// T12 — adaptive adversary with yieldToAll.
+pub fn thm12() -> ExpResult {
+    let mut t = TextTable::new(MULTIPROG_HEADER);
+    let mut pass = true;
+    let mut ratios = Vec::new();
+    for (name, dag) in workloads() {
+        let p = 8;
+        for (kname, counts) in [
+            ("starve-workers(4)", CountSource::Constant(4)),
+            ("starve-workers(1..8)", CountSource::UniformBetween(1, 8)),
+        ] {
+            let mut k = AdaptiveWorkerStarver::new(p, counts, 555);
+            let cfg = WsConfig {
+                yield_policy: YieldPolicy::ToAll,
+                ..ws_defaults(9)
+            };
+            let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
+            ratios.push(r.bound_ratio());
+        }
+        let mut k = AdaptiveThiefStarver::new(p, CountSource::Constant(4), 556);
+        let cfg = WsConfig {
+            yield_policy: YieldPolicy::ToAll,
+            ..ws_defaults(9)
+        };
+        let r = multiprog_row(&mut t, &mut pass, name, "starve-thieves(4)", &dag, p, &mut k, cfg);
+        ratios.push(r.bound_ratio());
+    }
+    let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
+    pass &= max_ratio < 6.0;
+    let body = format!(
+        "Adaptive adversaries observe scheduler state online; thieves use\n\
+         yieldToAll. max ratio {:.3}:\n\n{}",
+        max_ratio,
+        t.render()
+    );
+    ExpResult::new("T12", "Theorem 12: adaptive adversary + yieldToAll", body, pass)
+}
+
+/// H1 — the Hood empirical claim: the hidden constant is small and stable
+/// across environments.
+pub fn hood_constant() -> ExpResult {
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    let p = 8;
+    for (name, dag) in workloads() {
+        let cases: Vec<(&str, Box<dyn Kernel>, YieldPolicy)> = vec![
+            (
+                "dedicated",
+                Box::new(DedicatedKernel::new(p)),
+                YieldPolicy::None,
+            ),
+            (
+                "benign",
+                Box::new(BenignKernel::new(p, CountSource::UniformBetween(1, 8), 42)),
+                YieldPolicy::None,
+            ),
+            (
+                "oblivious",
+                Box::new(ObliviousKernel::rotating(p, 3, 25, 4000)),
+                YieldPolicy::ToRandom,
+            ),
+            (
+                "adaptive",
+                Box::new(AdaptiveWorkerStarver::new(p, CountSource::Constant(4), 7)),
+                YieldPolicy::ToAll,
+            ),
+        ];
+        for (kname, mut k, yp) in cases {
+            let cfg = WsConfig {
+                yield_policy: yp,
+                ..ws_defaults(21)
+            };
+            let r = run_ws(&dag, p, k.as_mut(), cfg);
+            if r.completed {
+                ratios.push((format!("{name}/{kname}"), r.bound_ratio()));
+            } else {
+                ratios.push((format!("{name}/{kname} INCOMPLETE"), f64::INFINITY));
+            }
+        }
+    }
+    let max = ratios.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+    let mean = ratios.iter().map(|(_, r)| *r).sum::<f64>() / ratios.len() as f64;
+    let mut t = TextTable::new(["environment", "ratio"]);
+    for (n, r) in &ratios {
+        t.row([n.clone(), f3(*r)]);
+    }
+    let pass = max.is_finite() && max < 6.0;
+    let body = format!(
+        "rounds / (T1/P_A + Tinf·P/P_A) across every workload × environment.\n\
+         One simulator round grants ≤ 3C = 48 instructions per process, and a\n\
+         node execution costs ~3-5 instructions amortized, so a ratio ≈ 0.1–0.3\n\
+         in round units corresponds to the paper's 'constant ≈ 1' in node\n\
+         units. mean {:.3}, max {:.3}, spread {:.2}x:\n\n{}",
+        mean,
+        max,
+        max / ratios.iter().map(|(_, r)| *r).fold(f64::INFINITY, f64::min),
+        t.render()
+    );
+    ExpResult::new("H1", "Hood claim: small, stable hidden constant", body, pass)
+}
+
+// ----------------------------------------------------------------- ablations
+
+/// A1 — non-blocking deques are essential under multiprogramming.
+///
+/// The failure mode: a process preempted *inside* a deque operation keeps
+/// the lock, and every thief that targets that deque spins through entire
+/// quanta until the holder runs again. A dedicated kernel rarely exposes
+/// this; a kernel that runs a rotating subset of processes (each lock
+/// holder sits unscheduled for many rounds) exposes it brutally.
+pub fn ablate_lock() -> ExpResult {
+    let mut t = TextTable::new(["workload", "kernel", "P", "backend", "rounds", "slowdown"]);
+    let mut pass = true;
+    let mut worst_multiprog_slowdown = 0.0f64;
+    for (name, dag) in [
+        ("fib(16,2)", gen::fib(16, 2)),
+        ("fork-join(9,1)", gen::fork_join_tree(9, 1)),
+    ] {
+        let p = 8;
+        let kernels: [(&str, bool, fn() -> Box<dyn Kernel>); 3] = [
+            ("dedicated", false, || Box::new(DedicatedKernel::new(8))),
+            ("rotating(4,q=5)", true, || {
+                Box::new(ObliviousKernel::rotating(8, 4, 5, 2_000_000))
+            }),
+            ("rotating(2,q=5)", true, || {
+                Box::new(ObliviousKernel::rotating(8, 2, 5, 2_000_000))
+            }),
+        ];
+        for (kname, multiprog, make) in kernels {
+            let mut rounds_abp = 0;
+            for backend in [DequeBackend::Abp, DequeBackend::Locking] {
+                let mut k = make();
+                let cfg = WsConfig {
+                    backend,
+                    yield_policy: YieldPolicy::None,
+                    max_rounds: 30_000_000,
+                    ..ws_defaults(13)
+                };
+                let r = run_ws(&dag, p, k.as_mut(), cfg);
+                pass &= r.completed;
+                let slowdown = if backend == DequeBackend::Abp {
+                    rounds_abp = r.rounds;
+                    1.0
+                } else {
+                    let s = r.rounds as f64 / rounds_abp as f64;
+                    if multiprog {
+                        worst_multiprog_slowdown = worst_multiprog_slowdown.max(s);
+                    }
+                    s
+                };
+                t.row([
+                    name.to_string(),
+                    kname.to_string(),
+                    p.to_string(),
+                    format!("{backend:?}"),
+                    r.rounds.to_string(),
+                    f2(slowdown),
+                ]);
+            }
+        }
+    }
+    // The decisive case: an adaptive kernel that deschedules lock holders
+    // (the paper's §1 scenario — "if the kernel preempts a process, it
+    // does not hinder other processes, for example by holding locks").
+    // The ABP scheduler shrugs it off; the locking scheduler livelocks.
+    let cap = 200_000u64;
+    let mut lock_starved = false;
+    let mut abp_completed = false;
+    for backend in [DequeBackend::Abp, DequeBackend::Locking] {
+        let mut k = abp_kernel::AdaptiveCriticalStarver::new(8, CountSource::Constant(4), 99);
+        let cfg = WsConfig {
+            backend,
+            yield_policy: YieldPolicy::None,
+            max_rounds: cap,
+            ..ws_defaults(13)
+        };
+        let dag = gen::fib(14, 3);
+        let r = run_ws(&dag, 8, &mut k, cfg);
+        match backend {
+            DequeBackend::Abp => abp_completed = r.completed,
+            _ => lock_starved = !r.completed,
+        }
+        t.row([
+            "fib(14,3)".to_string(),
+            "lock-targeting".to_string(),
+            "8".to_string(),
+            format!("{backend:?}"),
+            if r.completed {
+                r.rounds.to_string()
+            } else {
+                format!(">{cap} (livelock)")
+            },
+            if r.completed { "1.00".into() } else { "∞".into() },
+        ]);
+    }
+    // The paper: "performance degrades dramatically" — a visible penalty
+    // under the oblivious rotation, and unbounded degradation once the
+    // adversary targets lock holders.
+    pass &= worst_multiprog_slowdown > 1.1 && abp_completed && lock_starved;
+    let body = format!(
+        "ABP vs lock-based deque (same per-op instruction budget, yields off so\n\
+         the deque is the only variable). Dedicated machines barely notice; a\n\
+         rotating kernel already penalizes locks ({:.2}x, thieves spin on\n\
+         preempted holders); and an adaptive kernel that simply *never\n\
+         schedules a lock holder* livelocks the blocking scheduler while the\n\
+         non-blocking one finishes — the paper's 'performance degrades\n\
+         dramatically':\n\n{}",
+        worst_multiprog_slowdown,
+        t.render()
+    );
+    ExpResult::new("A1", "Ablation: non-blocking deque vs locks", body, pass)
+}
+
+/// A2 — yields are essential against adaptive adversaries.
+pub fn ablate_yield() -> ExpResult {
+    let dag = gen::fork_join_tree(7, 2);
+    let p = 8;
+    let cap = 300_000;
+    let mut t = TextTable::new(["adversary", "yield", "completed", "rounds"]);
+    let mut pass = true;
+    let adversaries: [(&str, fn() -> Box<dyn Kernel>); 2] = [
+        ("starve-workers", || {
+            Box::new(AdaptiveWorkerStarver::new(8, CountSource::Constant(4), 3))
+        }),
+        ("starve-thieves", || {
+            Box::new(AdaptiveThiefStarver::new(8, CountSource::Constant(4), 3))
+        }),
+    ];
+    for (kname, make) in adversaries {
+        for yp in [YieldPolicy::None, YieldPolicy::ToRandom, YieldPolicy::ToAll] {
+            let mut k = make();
+            let cfg = WsConfig {
+                yield_policy: yp,
+                max_rounds: cap,
+                ..ws_defaults(31)
+            };
+            let r = run_ws(&dag, p, k.as_mut(), cfg);
+            t.row([
+                kname.to_string(),
+                format!("{yp:?}"),
+                r.completed.to_string(),
+                if r.completed {
+                    r.rounds.to_string()
+                } else {
+                    format!(">{cap} (starved)")
+                },
+            ]);
+            // The claim: ToAll always completes; None must starve against
+            // the worker-starver.
+            match (kname, yp) {
+                (_, YieldPolicy::ToAll) => pass &= r.completed,
+                ("starve-workers", YieldPolicy::None) => pass &= !r.completed,
+                _ => {}
+            }
+        }
+    }
+    let body = format!(
+        "Adaptive adversaries vs yield policy (fork-join(7,2), P=8, cap {cap}\n\
+         rounds). Without yields the worker-starving adversary runs only\n\
+         thieves and the computation never finishes; yieldToAll forces every\n\
+         process to run and restores the bound:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("A2", "Ablation: yields vs adaptive adversaries", body, pass)
+}
+
+/// L3/P1 — live invariant verification across environments.
+pub fn invariants() -> ExpResult {
+    let mut t = TextTable::new([
+        "workload",
+        "kernel",
+        "structural",
+        "potential",
+        "milestones",
+        "phases",
+        "phase-succ",
+    ]);
+    let mut pass = true;
+    for (name, dag) in small_workloads() {
+        let cases: Vec<(&str, Box<dyn Kernel>)> = vec![
+            ("dedicated", Box::new(DedicatedKernel::new(6))),
+            (
+                "benign",
+                Box::new(BenignKernel::new(6, CountSource::UniformBetween(1, 6), 5)),
+            ),
+            (
+                "adaptive",
+                Box::new(AdaptiveWorkerStarver::new(6, CountSource::Constant(3), 5)),
+            ),
+        ];
+        for (kname, mut k) in cases {
+            let cfg = WsConfig {
+                check_structural: true,
+                check_potential: true,
+                track_phases: true,
+                ..ws_defaults(17)
+            };
+            let r = run_ws(&dag, 6, k.as_mut(), cfg);
+            let ph = r.phases.clone().unwrap_or_default();
+            pass &= r.completed
+                && r.structural_violations == 0
+                && r.potential_violations == 0
+                && r.milestone_violations == 0
+                && (ph.phases == 0 || ph.success_rate() > 0.25);
+            t.row([
+                name.to_string(),
+                kname.to_string(),
+                r.structural_violations.to_string(),
+                r.potential_violations.to_string(),
+                r.milestone_violations.to_string(),
+                ph.phases.to_string(),
+                f3(ph.success_rate()),
+            ]);
+        }
+    }
+    let body = format!(
+        "Structural lemma (Lemma 3/Cor. 4), potential monotonicity (§4.2), the\n\
+         two-milestones-per-round guarantee (§4.1), and Lemma-8 phase success\n\
+         (> 1/4 required) checked live at every linearization point:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("L3", "Lemma 3 + potential function, live-checked", body, pass)
+}
+
+/// D1 — model-check the deque's relaxed semantics; exhibit the §3.3 ABA.
+pub fn deque_check() -> ExpResult {
+    use abp_deque::model::{explore, ProgOp, Scenario};
+    use ProgOp::*;
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        (
+            "push,pop | steal",
+            Scenario::new(vec![vec![Push(1), PopBottom], vec![PopTop]]),
+        ),
+        (
+            "push,push,pop | steal",
+            Scenario::new(vec![vec![Push(1), Push(2), PopBottom], vec![PopTop]]),
+        ),
+        (
+            "push,pop,push | steal (ABA shape)",
+            Scenario::new(vec![vec![Push(1), PopBottom, Push(2)], vec![PopTop]]),
+        ),
+        (
+            "push,push,pop | steal | steal",
+            Scenario::new(vec![
+                vec![Push(1), Push(2), PopBottom],
+                vec![PopTop],
+                vec![PopTop],
+            ]),
+        ),
+    ];
+    let mut t = TextTable::new(["scenario", "tag", "histories", "violations"]);
+    let mut pass = true;
+    let mut untagged_caught = false;
+    for (name, sc) in &scenarios {
+        for tagged in [true, false] {
+            let rep = explore(sc, tagged);
+            if tagged {
+                pass &= rep.ok();
+            } else if !rep.ok() {
+                untagged_caught = true;
+            }
+            t.row([
+                name.to_string(),
+                if tagged { "on" } else { "off" }.to_string(),
+                rep.histories.to_string(),
+                rep.violating.to_string(),
+            ]);
+        }
+    }
+    pass &= untagged_caught;
+    let body = format!(
+        "Exhaustive interleaving check of the §3.2 relaxed semantics. The tagged\n\
+         deque is clean in every history; removing the tag lets the §3.3 ABA\n\
+         interleaving consume a value twice:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("D1", "Deque model check (relaxed semantics + ABA)", body, pass)
+}
+
+/// C1 — work stealing vs centralized work sharing.
+///
+/// Not a table in the paper, but the comparison its introduction leans
+/// on: prior schedulers "dynamically map threads onto the processors"
+/// through shared structures, which both serialize under scale and fall
+/// over when the kernel preempts the wrong process. Run the same loop
+/// shape with one shared locked queue instead of per-process deques.
+pub fn ws_vs_sharing() -> ExpResult {
+    use abp_sim::{run_central, CentralConfig};
+    let mut t = TextTable::new(["workload", "kernel", "P", "stealing", "sharing", "sharing/stealing"]);
+    let mut pass = true;
+    let mut worst = 0.0f64;
+    for (name, dag) in [
+        ("fork-join(9,1)", gen::fork_join_tree(9, 1)),
+        ("fib(16,3)", gen::fib(16, 3)),
+        ("wide(128,30)", gen::wide_shallow(128, 30)),
+    ] {
+        for &p in &[2usize, 8, 16] {
+            let mut k1 = DedicatedKernel::new(p);
+            let ws = run_ws(&dag, p, &mut k1, ws_defaults(3));
+            let mut k2 = DedicatedKernel::new(p);
+            let cs = run_central(&dag, p, &mut k2, CentralConfig::default());
+            pass &= ws.completed && cs.completed;
+            let slowdown = cs.rounds as f64 / ws.rounds as f64;
+            if p >= 8 {
+                worst = worst.max(slowdown);
+            }
+            t.row([
+                name.to_string(),
+                "dedicated".to_string(),
+                p.to_string(),
+                ws.rounds.to_string(),
+                cs.rounds.to_string(),
+                f2(slowdown),
+            ]);
+        }
+    }
+    // The shared queue must become the bottleneck at scale.
+    pass &= worst > 1.3;
+    let body = format!(
+        "Per-process deques vs one lock-protected shared queue, identical round\n\
+         model. The shared queue serializes: its disadvantage grows with P\n\
+         (worst at P ≥ 8: {:.2}x):\n\n{}",
+        worst,
+        t.render()
+    );
+    ExpResult::new("C1", "Work stealing vs centralized work sharing", body, pass)
+}
+
+/// C2 — the spawn/continue assignment choice (§3.1: "The bounds proven
+/// in this paper hold for either choice").
+pub fn assign_policy() -> ExpResult {
+    use abp_sim::AssignPolicy;
+    let mut t = TextTable::new(["workload", "P", "policy", "rounds", "throws", "ratio"]);
+    let mut pass = true;
+    for (name, dag) in [
+        ("fork-join(10,2)", gen::fork_join_tree(10, 2)),
+        ("fib(18,4)", gen::fib(18, 4)),
+        ("comb(200,3,2)", gen::comb(200, 3, 2)),
+        ("wavefront(24,48)", gen::wavefront(24, 48)),
+    ] {
+        let p = 8;
+        let mut per_policy = Vec::new();
+        for policy in [AssignPolicy::SpawnFirst, AssignPolicy::ContinueFirst] {
+            let mut k = DedicatedKernel::new(p);
+            let cfg = WsConfig {
+                assign: policy,
+                check_structural: true,
+                ..ws_defaults(19)
+            };
+            let r = run_ws(&dag, p, &mut k, cfg);
+            pass &= r.completed && r.structural_violations == 0;
+            per_policy.push(r.rounds);
+            t.row([
+                name.to_string(),
+                p.to_string(),
+                format!("{policy:?}"),
+                r.rounds.to_string(),
+                r.throws.to_string(),
+                f3(r.bound_ratio()),
+            ]);
+        }
+        // Both policies satisfy the same bound: within 2x of each other.
+        let (a, b) = (per_policy[0] as f64, per_policy[1] as f64);
+        pass &= a.max(b) / a.min(b) < 2.0;
+    }
+    let body = format!(
+        "Assigning the spawned child vs the continuation when a node enables\n\
+         two children. The paper proves the same bound for either choice; the\n\
+         measured difference never exceeds 2x and both keep the structural\n\
+         lemma intact:\n\n{}",
+        t.render()
+    );
+    ExpResult::new("C2", "Ablation: spawn-first vs continue-first", body, pass)
+}
+
+/// H2 — the threaded runtime under oversubscription (wall clock).
+///
+/// The real-machine analog of A2/B1: with `P` worker threads well above
+/// the processor count (the multiprogrammed setting), the yield between
+/// steal scans is what keeps spinning thieves from eating the workers'
+/// timeslices. Wall-clock numbers are machine-dependent, so the pass
+/// criterion is correctness plus "yield never loses badly"; the timing
+/// columns are the interesting output.
+pub fn hood_wallclock() -> ExpResult {
+    use hood::{join, Backend, PoolConfig, ThreadPool};
+    use std::time::Instant;
+
+    fn fib_serial(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_serial(n - 1) + fib_serial(n - 2)
+        }
+    }
+    fn fib(n: u64) -> u64 {
+        if n < 16 {
+            return fib_serial(n);
+        }
+        let (x, y) = join(|| fib(n - 1), || fib(n - 2));
+        x + y
+    }
+    const N: u64 = 30;
+    const EXPECT: u64 = 832_040;
+
+    /// Latency-bound dependency chain: each round, `a` cannot finish until
+    /// another worker steals and runs `b`. With spinning (no-yield)
+    /// thieves on an oversubscribed machine, every round burns OS
+    /// timeslices; with yields it resolves in microseconds.
+    fn ping_pong(rounds: u32) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for _ in 0..rounds {
+            let flag = AtomicBool::new(false);
+            join(
+                || {
+                    while !flag.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                },
+                || flag.store(true, Ordering::Release),
+            );
+        }
+    }
+    const PING_ROUNDS: u32 = 20;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let over = 4 * cores;
+    let mut t = TextTable::new(["config", "P", "fib ms", "ping-pong ms", "steals", "yields"]);
+    let mut pass = true;
+    let mut yield_ms = 0.0f64;
+    let mut noyield_ms = 0.0f64;
+    let mut yield_pp = 0.0f64;
+    let mut noyield_pp = 0.0f64;
+    let cases: Vec<(&str, PoolConfig)> = vec![
+        (
+            "abp, P=cores",
+            PoolConfig {
+                num_procs: cores,
+                ..PoolConfig::default()
+            },
+        ),
+        (
+            "abp+yield, oversubscribed",
+            PoolConfig {
+                num_procs: over,
+                park_after: None,
+                ..PoolConfig::default()
+            },
+        ),
+        (
+            "abp no-yield, oversubscribed",
+            PoolConfig {
+                num_procs: over,
+                yield_between_steals: false,
+                park_after: None,
+                ..PoolConfig::default()
+            },
+        ),
+        (
+            "locking+yield, oversubscribed",
+            PoolConfig {
+                num_procs: over,
+                backend: Backend::Locking,
+                park_after: None,
+                ..PoolConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in cases {
+        let p = cfg.num_procs;
+        let pool = ThreadPool::with_config(cfg);
+        // Warm up, then take the median of three timed runs.
+        pass &= pool.install(|| fib(21)) == 10_946;
+        let mut times = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let got = pool.install(|| fib(N));
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            pass &= got == EXPECT;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ms = times[1];
+        // Ping-pong: median of three. Needs a second worker to steal the
+        // enabling job, so it is skipped for P = 1.
+        let pp = if p >= 2 {
+            let mut pp_times = Vec::new();
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                pool.install(|| ping_pong(PING_ROUNDS));
+                pp_times.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            pp_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            pp_times[1]
+        } else {
+            f64::NAN
+        };
+        if name.starts_with("abp+yield") {
+            yield_ms = ms;
+            yield_pp = pp;
+        }
+        if name.starts_with("abp no-yield") {
+            noyield_ms = ms;
+            noyield_pp = pp;
+        }
+        let st = pool.stats();
+        t.row([
+            name.to_string(),
+            p.to_string(),
+            f2(ms),
+            if pp.is_nan() { "n/a".to_string() } else { f2(pp) },
+            st.steals.to_string(),
+            st.yields.to_string(),
+        ]);
+    }
+    // Yield must not lose badly on throughput, and must win clearly on
+    // the latency-bound dependency chain when the machine is shared.
+    pass &= yield_ms < noyield_ms * 1.5;
+    let cores_scarce = over > cores;
+    if cores_scarce {
+        pass &= noyield_pp > 2.0 * yield_pp;
+    }
+    let body = format!(
+        "fib({N}) on the threaded runtime, {cores} core(s), oversubscribed P = {over}\n\
+         (pure spinning, parking disabled — the original Hood discipline):\n\n{}",
+        t.render()
+    );
+    ExpResult::new("H2", "Threaded runtime under oversubscription", body, pass)
+}
+
+/// Runs every experiment, in index order.
+pub fn all() -> Vec<ExpResult> {
+    vec![
+        fig1(),
+        fig2(),
+        thm1(),
+        thm2(),
+        thm9(),
+        thm9_tail(),
+        thm10(),
+        thm11(),
+        thm12(),
+        hood_constant(),
+        ablate_lock(),
+        ablate_yield(),
+        invariants(),
+        deque_check(),
+        ws_vs_sharing(),
+        assign_policy(),
+        hood_wallclock(),
+    ]
+}

@@ -1,0 +1,6 @@
+//! Experiment harness and benchmarks regenerating every table and figure
+//! of ABP SPAA 1998. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results.
+
+pub mod exp;
+pub mod table;

@@ -1,0 +1,189 @@
+//! Enabling trees and node weights (Section 3.4 of the paper).
+//!
+//! During an execution, if executing node `u` makes node `v` ready (i.e.
+//! `u` is the *last* of `v`'s parents to execute), then `(u, v)` is an
+//! *enabling edge* and `u` is the *designated parent* of `v`. Every node
+//! except the root has exactly one designated parent, so the enabling edges
+//! form a rooted tree — the *enabling tree*. Different executions of the
+//! same dag may produce different enabling trees.
+//!
+//! The *weight* of a node is `w(u) = T∞ − d(u)` where `d(u)` is its depth
+//! in the enabling tree. The potential function of Section 4.2 and the
+//! structural lemma (Lemma 3) are stated in terms of these weights, so the
+//! simulator maintains an [`EnablingTree`] incrementally as it executes
+//! nodes.
+
+use crate::dag::Dag;
+use crate::ids::NodeId;
+
+/// An enabling tree under construction, tracking designated parents,
+/// depths, and weights for the subset of nodes enabled so far.
+///
+/// ```
+/// use abp_dag::{examples::figure1, EnablingTree};
+///
+/// let (dag, names) = figure1();
+/// let mut tree = EnablingTree::new(&dag);
+/// let [v1, v2, ..] = names.root_nodes;
+/// tree.record(v1, v2); // executing v1 enabled v2
+/// assert_eq!(tree.designated_parent(v2), Some(v1));
+/// assert_eq!(tree.weight(v1), dag.critical_path());
+/// assert_eq!(tree.weight(v2), dag.critical_path() - 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnablingTree {
+    critical_path: u64,
+    parent: Vec<Option<NodeId>>,
+    depth: Vec<u32>,
+    enabled: Vec<bool>,
+}
+
+impl EnablingTree {
+    /// Creates the tree for an execution of `dag`, with only the root
+    /// enabled (depth 0).
+    pub fn new(dag: &Dag) -> Self {
+        let n = dag.num_nodes();
+        let mut t = EnablingTree {
+            critical_path: dag.critical_path(),
+            parent: vec![None; n],
+            depth: vec![0; n],
+            enabled: vec![false; n],
+        };
+        t.enabled[dag.root().index()] = true;
+        t
+    }
+
+    /// Records that executing `parent` enabled `child`. Panics (debug) if
+    /// `child` was already enabled — a node has exactly one designated
+    /// parent — or if `parent` itself was never enabled.
+    pub fn record(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(
+            self.enabled[parent.index()],
+            "designated parent {parent} was never enabled"
+        );
+        debug_assert!(
+            !self.enabled[child.index()],
+            "node {child} enabled twice"
+        );
+        self.enabled[child.index()] = true;
+        self.parent[child.index()] = Some(parent);
+        self.depth[child.index()] = self.depth[parent.index()] + 1;
+    }
+
+    /// Whether `u` has been enabled yet.
+    #[inline]
+    pub fn is_enabled(&self, u: NodeId) -> bool {
+        self.enabled[u.index()]
+    }
+
+    /// Designated parent of `u` (`None` for the root or un-enabled nodes).
+    #[inline]
+    pub fn designated_parent(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u.index()]
+    }
+
+    /// Depth of `u` in the enabling tree. Meaningful only once enabled.
+    #[inline]
+    pub fn depth(&self, u: NodeId) -> u32 {
+        self.depth[u.index()]
+    }
+
+    /// Weight `w(u) = T∞ − d(u)`. The root has weight `T∞`; weights are
+    /// always ≥ 1 for enabled nodes because an enabling path is a dag path
+    /// and thus shorter than `T∞`.
+    #[inline]
+    pub fn weight(&self, u: NodeId) -> u64 {
+        self.critical_path - self.depth[u.index()] as u64
+    }
+
+    /// True iff `anc` is an ancestor of `u` in the enabling tree (a node is
+    /// an ancestor of itself).
+    pub fn is_ancestor(&self, anc: NodeId, u: NodeId) -> bool {
+        let mut cur = u;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.parent[cur.index()] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// True iff `anc` is a *proper* ancestor of `u`.
+    pub fn is_proper_ancestor(&self, anc: NodeId, u: NodeId) -> bool {
+        anc != u && self.is_ancestor(anc, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1;
+
+    /// Replay a particular serial execution of Figure 1 and check the
+    /// enabling tree it induces.
+    #[test]
+    fn figure1_serial_execution_enabling_tree() {
+        let (d, f) = figure1();
+        let [v1, v2, v3, v4, v10, v11] = f.root_nodes;
+        let [v5, v6, v7, v8, v9] = f.child_nodes;
+        let mut remaining: Vec<usize> = (0..d.num_nodes())
+            .map(|i| d.in_degree(NodeId(i as u32)))
+            .collect();
+        let mut tree = EnablingTree::new(&d);
+        // Depth-first, child-first order: v1 v2 v5 v6 v3 v4 v7 v8 v9 v10 v11.
+        // (v4 becomes ready only after v6, its designated parent being
+        // whichever of {v3, v6} executes last.)
+        let order = [v1, v2, v5, v6, v3, v4, v7, v8, v9, v10, v11];
+        for &u in &order {
+            assert!(tree.is_enabled(u), "{u} executed before being enabled");
+            for &(v, _) in d.succs(u) {
+                remaining[v.index()] -= 1;
+                if remaining[v.index()] == 0 {
+                    tree.record(u, v);
+                }
+            }
+        }
+        // In this order v3 executes after v6, so v3 is v4's designated
+        // parent.
+        assert_eq!(tree.designated_parent(v4), Some(v3));
+        // v10 is enabled by the join from v9 (v4 executed before v9).
+        assert_eq!(tree.designated_parent(v10), Some(v9));
+        // Weights strictly decrease along the chain v1 v2 v5 v6.
+        assert!(tree.weight(v1) > tree.weight(v2));
+        assert!(tree.weight(v2) > tree.weight(v5));
+        assert!(tree.weight(v5) > tree.weight(v6));
+        // Root weight is T∞.
+        assert_eq!(tree.weight(v1), d.critical_path());
+        // Ancestor queries.
+        assert!(tree.is_ancestor(v1, v11));
+        assert!(tree.is_proper_ancestor(v2, v9));
+        assert!(!tree.is_proper_ancestor(v9, v2));
+        assert!(tree.is_ancestor(v7, v7));
+        assert!(!tree.is_proper_ancestor(v7, v7));
+    }
+
+    #[test]
+    fn alternate_order_changes_designated_parent() {
+        let (d, f) = figure1();
+        let [v1, v2, v3, v4, _v10, _v11] = f.root_nodes;
+        let [v5, v6, _v7, _v8, _v9] = f.child_nodes;
+        let mut remaining: Vec<usize> = (0..d.num_nodes())
+            .map(|i| d.in_degree(NodeId(i as u32)))
+            .collect();
+        let mut tree = EnablingTree::new(&d);
+        // Execute v3 *before* v6: now v6 is v4's designated parent.
+        for &u in &[v1, v2, v3, v5, v6] {
+            for &(v, _) in d.succs(u) {
+                remaining[v.index()] -= 1;
+                if remaining[v.index()] == 0 {
+                    tree.record(u, v);
+                }
+            }
+        }
+        assert_eq!(tree.designated_parent(v4), Some(v6));
+        assert_eq!(tree.depth(v4), tree.depth(v6) + 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's running example (Figure 1).
+//!
+//! Figure 1 shows a small dag with two threads — a root thread and one
+//! child — containing all three edge kinds: the spawn edge out of `v2`, a
+//! semaphore-style synchronization into the root thread (the V operation in
+//! the child enabling the P operation in the root), and the join of the two
+//! threads near the end.
+//!
+//! The scanned text of the figure is partially garbled, so the exact node
+//! count cannot be read off; this reconstruction keeps every structural
+//! feature the prose relies on:
+//!
+//! * root thread `v1 v2 v3 v4 v10 v11`, child thread `v5 v6 v7 v8 v9`;
+//! * spawn edge `(v2, v5)` — "the edge ⟨v2 → v5⟩ is such an edge";
+//! * semaphore edge `(v6, v4)` — executing `v3` and then attempting `v4`
+//!   before `v6` has executed blocks the root thread (`v6` is the V, `v4`
+//!   the P);
+//! * join edge `(v9, v10)` — when a process executes `v9` in the child, the
+//!   child enables the root and dies simultaneously.
+//!
+//! Measured on this reconstruction: `T₁ = 11`, `T∞ = 9` (the path
+//! `v1 v2 v5 v6 v7 v8 v9 v10 v11`), parallelism `≈ 1.22`.
+
+use crate::builder::DagBuilder;
+use crate::dag::Dag;
+use crate::ids::NodeId;
+
+/// Handles to the named nodes of the Figure-1 dag, for tests and demos.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1 {
+    /// Root thread: `v1 → v2 → v3 → v4 → v10 → v11`.
+    pub root_nodes: [NodeId; 6],
+    /// Child thread: `v5 → v6 → v7 → v8 → v9`.
+    pub child_nodes: [NodeId; 5],
+}
+
+/// Builds the Figure-1 example dag. See the module docs for the exact
+/// reconstruction.
+pub fn figure1() -> (Dag, Figure1) {
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    let v1 = b.node(root);
+    let v2 = b.node(root);
+    let v3 = b.node(root);
+    let v4 = b.node(root);
+    // Child thread spawned by v2.
+    let (child, v5) = b.spawn_thread(v2);
+    let v6 = b.node(child);
+    let v7 = b.node(child);
+    let v8 = b.node(child);
+    let v9 = b.node(child);
+    // Root thread continues after the P operation.
+    let v10 = b.node(root);
+    let v11 = b.node(root);
+    // Semaphore: v6 is the V (signal), v4 the P (wait).
+    b.sync(v6, v4);
+    // Join: the child's death at v9 enables the root at v10.
+    b.sync(v9, v10);
+    let dag = b.finish().expect("figure-1 dag is valid");
+    (
+        dag,
+        Figure1 {
+            root_nodes: [v1, v2, v3, v4, v10, v11],
+            child_nodes: [v5, v6, v7, v8, v9],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeKind;
+
+    #[test]
+    fn figure1_metrics() {
+        let (d, _) = figure1();
+        assert_eq!(d.work(), 11);
+        assert_eq!(d.critical_path(), 9);
+        assert!((d.parallelism() - 11.0 / 9.0).abs() < 1e-12);
+        assert_eq!(d.num_threads(), 2);
+    }
+
+    #[test]
+    fn figure1_named_edges() {
+        let (d, f) = figure1();
+        let [v1, v2, v3, v4, v10, v11] = f.root_nodes;
+        let [v5, v6, _v7, _v8, v9] = f.child_nodes;
+        // Spawn edge (v2, v5).
+        assert!(d.succs(v2).contains(&(v5, EdgeKind::Spawn)));
+        // Semaphore edge (v6, v4).
+        assert!(d.succs(v6).contains(&(v4, EdgeKind::Enable)));
+        // Join edge (v9, v10).
+        assert!(d.succs(v9).contains(&(v10, EdgeKind::Enable)));
+        // Root/final.
+        assert_eq!(d.root(), v1);
+        assert_eq!(d.final_node(), v11);
+        // v4 (the P) has two predecessors: v3 in-chain and the V.
+        assert_eq!(d.preds(v4).len(), 2);
+        assert!(d.preds(v4).contains(&v3));
+        let _ = v10;
+    }
+
+    #[test]
+    fn figure1_critical_path_is_through_child() {
+        let (d, f) = figure1();
+        // Depth of v11 must be 8 (9 nodes on the path).
+        assert_eq!(d.depth(f.root_nodes[5]), 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Export and summary utilities for computation dags: Graphviz DOT
+//! output (threads as clusters, edge kinds styled) and structural
+//! statistics.
+
+use crate::dag::{Dag, EdgeKind};
+use crate::ids::{NodeId, ThreadId};
+use std::fmt::Write as _;
+
+/// Renders the dag as a Graphviz `digraph`: one cluster per thread,
+/// continue edges solid, spawn edges bold, enable edges dashed — the
+/// visual language of the paper's Figure 1.
+pub fn to_dot(dag: &Dag, title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{title}\" {{").unwrap();
+    writeln!(out, "  rankdir=TB; node [shape=circle, fontsize=10];").unwrap();
+    for t in 0..dag.num_threads() {
+        let tid = ThreadId(t as u32);
+        writeln!(out, "  subgraph cluster_t{t} {{").unwrap();
+        writeln!(
+            out,
+            "    label=\"{}thread {t}\"; style=filled; color=lightgrey;",
+            if t == 0 { "root " } else { "" }
+        )
+        .unwrap();
+        for &u in dag.thread_nodes(tid) {
+            writeln!(out, "    \"{u}\";").unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+    }
+    for e in dag.edges() {
+        let style = match e.kind {
+            EdgeKind::Continue => "",
+            EdgeKind::Spawn => " [style=bold, color=blue]",
+            EdgeKind::Enable => " [style=dashed, color=red]",
+        };
+        writeln!(out, "  \"{}\" -> \"{}\"{style};", e.from, e.to).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Structural statistics of a dag, for workload tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub threads: usize,
+    pub work: u64,
+    pub critical_path: u64,
+    pub parallelism: f64,
+    pub spawn_edges: usize,
+    pub enable_edges: usize,
+    /// Longest thread (nodes).
+    pub max_thread_len: usize,
+    /// Mean thread length.
+    pub mean_thread_len: f64,
+    /// Maximum in-degree (join fan-in).
+    pub max_in_degree: usize,
+}
+
+/// Computes [`DagStats`].
+pub fn stats(dag: &Dag) -> DagStats {
+    let mut spawn_edges = 0;
+    let mut enable_edges = 0;
+    for e in dag.edges() {
+        match e.kind {
+            EdgeKind::Spawn => spawn_edges += 1,
+            EdgeKind::Enable => enable_edges += 1,
+            EdgeKind::Continue => {}
+        }
+    }
+    let thread_lens: Vec<usize> = (0..dag.num_threads())
+        .map(|t| dag.thread_nodes(ThreadId(t as u32)).len())
+        .collect();
+    let max_in_degree = (0..dag.num_nodes())
+        .map(|i| dag.in_degree(NodeId(i as u32)))
+        .max()
+        .unwrap_or(0);
+    DagStats {
+        nodes: dag.num_nodes(),
+        edges: dag.num_edges(),
+        threads: dag.num_threads(),
+        work: dag.work(),
+        critical_path: dag.critical_path(),
+        parallelism: dag.parallelism(),
+        spawn_edges,
+        enable_edges,
+        max_thread_len: thread_lens.iter().copied().max().unwrap_or(0),
+        mean_thread_len: thread_lens.iter().sum::<usize>() as f64
+            / thread_lens.len().max(1) as f64,
+        max_in_degree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1;
+    use crate::gen;
+
+    #[test]
+    fn dot_output_structure() {
+        let (dag, _) = figure1();
+        let dot = to_dot(&dag, "figure1");
+        assert!(dot.starts_with("digraph \"figure1\""));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("subgraph cluster_t").count(), 2);
+        // 11 node declarations inside clusters.
+        assert!(dot.matches(";\n").count() >= 11);
+        // Styled edges present.
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("style=dashed"));
+        // All edges rendered.
+        assert_eq!(dot.matches(" -> ").count(), dag.num_edges());
+    }
+
+    #[test]
+    fn stats_of_figure1() {
+        let (dag, _) = figure1();
+        let s = stats(&dag);
+        assert_eq!(s.nodes, 11);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.spawn_edges, 1);
+        assert_eq!(s.enable_edges, 2);
+        assert_eq!(s.max_thread_len, 6);
+        assert_eq!(s.critical_path, 9);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn stats_spawn_count_matches_threads() {
+        for d in [gen::fork_join_tree(4, 2), gen::fib(9, 2), gen::wavefront(5, 4)] {
+            let s = stats(&d);
+            // Every non-root thread is created by exactly one spawn edge.
+            assert_eq!(s.spawn_edges, s.threads - 1);
+            assert!(s.mean_thread_len > 0.0);
+            assert!(s.max_thread_len >= s.mean_thread_len as usize);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Synthetic multithreaded-computation generators.
+//!
+//! These produce the workload families used throughout the experiment
+//! suite: serial chains (no parallelism), balanced fork-join spawn trees
+//! (high parallelism, the shape of divide-and-conquer programs the paper's
+//! introduction motivates), Fibonacci-shaped unbalanced recursion (the
+//! canonical Cilk/Hood benchmark), random series-parallel dags, and
+//! semaphore-style pipelines whose cross edges exercise the *block/enable*
+//! paths of the scheduler rather than just spawn/join.
+//!
+//! Every generator is deterministic given its parameters (and seed, where
+//! applicable), so experiment tables are reproducible.
+
+use crate::builder::DagBuilder;
+use crate::dag::Dag;
+use crate::ids::{NodeId, ThreadId};
+use crate::rng::DetRng;
+
+/// A purely serial computation: one thread of `n` nodes. `T₁ = T∞ = n`.
+pub fn chain(n: usize) -> Dag {
+    assert!(n > 0);
+    let mut b = DagBuilder::new();
+    let t = b.thread();
+    b.nodes(t, n);
+    b.finish().expect("chain dag is valid by construction")
+}
+
+/// A balanced binary fork-join tree of the given `depth`.
+///
+/// Each internal task runs `seq` nodes of straight-line work, spawns two
+/// children (each a recursive subtree), executes a join node that waits for
+/// both, and runs `seq` trailing nodes. Leaves run `2 * seq + 1` nodes so
+/// leaf and internal tasks cost the same.
+///
+/// With `depth = 0` this is a single leaf thread. Parallelism grows as
+/// `Θ(2^depth / depth)`.
+///
+/// ```
+/// let dag = abp_dag::gen::fork_join_tree(6, 2);
+/// assert_eq!(dag.num_threads(), 127); // 2^7 - 1 tasks
+/// assert!(dag.parallelism() > 8.0);
+/// ```
+pub fn fork_join_tree(depth: u32, seq: usize) -> Dag {
+    assert!(seq > 0);
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    fork_join_rec(&mut b, root, depth, seq);
+    b.finish().expect("fork-join dag is valid by construction")
+}
+
+/// Builds one task on thread `t`; returns that thread's last node.
+fn fork_join_rec(b: &mut DagBuilder, t: ThreadId, depth: u32, seq: usize) -> NodeId {
+    if depth == 0 {
+        return b.nodes(t, 2 * seq + 1);
+    }
+    b.nodes(t, seq);
+    // Two spawn instructions, each with its own node (out-degree ≤ 2:
+    // one continue edge + one spawn edge per spawning node).
+    let s1 = b.node(t);
+    let (left, _) = b.spawn_thread(s1);
+    let s2 = b.node(t);
+    let (right, _) = b.spawn_thread(s2);
+    let l_last = fork_join_rec(b, left, depth - 1, seq);
+    let r_last = fork_join_rec(b, right, depth - 1, seq);
+    let join = b.node(t);
+    b.sync(l_last, join);
+    b.sync(r_last, join);
+    b.nodes(t, seq)
+}
+
+/// The Fibonacci recursion shape: `fib(n)` spawns `fib(n-1)` and
+/// `fib(n-2)` down to `cutoff`, then joins and "adds". This is the
+/// unbalanced tree that Cilk and Hood used as their standard stress test;
+/// the imbalance makes steal placement matter.
+pub fn fib(n: u32, cutoff: u32) -> Dag {
+    assert!(cutoff >= 1, "cutoff must be at least 1");
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    fib_rec(&mut b, root, n, cutoff);
+    b.finish().expect("fib dag is valid by construction")
+}
+
+fn fib_rec(b: &mut DagBuilder, t: ThreadId, n: u32, cutoff: u32) -> NodeId {
+    if n <= cutoff {
+        // Serial base case: cost proportional to fib-ish work, capped.
+        let base = (n.max(1) as usize).min(8);
+        return b.nodes(t, base);
+    }
+    let s1 = b.node(t);
+    let (a, _) = b.spawn_thread(s1);
+    let s2 = b.node(t);
+    let (c, _) = b.spawn_thread(s2);
+    let a_last = fib_rec(b, a, n - 1, cutoff);
+    let c_last = fib_rec(b, c, n - 2, cutoff);
+    let join = b.node(t);
+    b.sync(a_last, join);
+    b.sync(c_last, join);
+    b.node(t) // the "add"
+}
+
+/// A wide, shallow computation: a spawn tree that fans out to `width`
+/// leaves as fast as out-degree 2 allows, each leaf a chain of `chain_len`
+/// nodes, then a join tree. Approximates the "embarrassingly parallel"
+/// regime where `T∞ ≈ 2·lg(width) + chain_len` and `T₁ ≈ width · chain_len`.
+pub fn wide_shallow(width: usize, chain_len: usize) -> Dag {
+    assert!(width >= 1 && chain_len >= 1);
+    let depth = usize::BITS - (width - 1).leading_zeros().min(usize::BITS - 1);
+    let depth = if width == 1 { 0 } else { depth };
+    // A balanced fork-join tree of that depth with 1-node bodies, except
+    // leaves carry the chains. Reuse the recursive builder with a custom
+    // leaf size by inlining.
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    wide_rec(&mut b, root, depth, width, chain_len);
+    b.finish().expect("wide dag is valid by construction")
+}
+
+fn wide_rec(
+    b: &mut DagBuilder,
+    t: ThreadId,
+    depth: u32,
+    leaves: usize,
+    chain_len: usize,
+) -> NodeId {
+    if depth == 0 || leaves <= 1 {
+        return b.nodes(t, chain_len);
+    }
+    let left_leaves = leaves.div_ceil(2);
+    let right_leaves = leaves / 2;
+    let s1 = b.node(t);
+    let (left, _) = b.spawn_thread(s1);
+    let l_last = wide_rec(b, left, depth - 1, left_leaves, chain_len);
+    let r_last = if right_leaves >= 1 {
+        let s2 = b.node(t);
+        let (right, _) = b.spawn_thread(s2);
+        Some(wide_rec(b, right, depth - 1, right_leaves, chain_len))
+    } else {
+        None
+    };
+    let join = b.node(t);
+    b.sync(l_last, join);
+    if let Some(r) = r_last {
+        b.sync(r, join);
+    }
+    join
+}
+
+/// A random series-parallel computation of roughly `target_work` nodes.
+///
+/// Recursively composes serial chains and fork-join splits with
+/// seed-determined choices; models irregular task-parallel programs whose
+/// structure is not known statically.
+pub fn random_series_parallel(seed: u64, target_work: usize) -> Dag {
+    assert!(target_work >= 1);
+    let mut rng = DetRng::new(seed);
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    sp_rec(&mut b, root, target_work, &mut rng, 0);
+    b.finish()
+        .expect("series-parallel dag is valid by construction")
+}
+
+fn sp_rec(
+    b: &mut DagBuilder,
+    t: ThreadId,
+    budget: usize,
+    rng: &mut DetRng,
+    depth: u32,
+) -> NodeId {
+    // Small budgets and deep recursion become serial chains.
+    if budget <= 6 || depth > 24 || rng.chance(0.25) {
+        return b.nodes(t, budget.max(1));
+    }
+    // Split the budget between a prologue, two parallel branches, and an
+    // epilogue; 5 nodes of overhead (2 spawn, 1 join, ≥1 prologue, ≥1
+    // epilogue).
+    let body = budget - 5;
+    let pro = 1 + rng.below_usize((body / 4).max(1));
+    let epi = 1 + rng.below_usize((body / 4).max(1));
+    let rest = body.saturating_sub(pro + epi).max(2);
+    let lhs = 1 + rng.below_usize(rest - 1);
+    let rhs = rest - lhs;
+    b.nodes(t, pro);
+    let s1 = b.node(t);
+    let (left, _) = b.spawn_thread(s1);
+    let s2 = b.node(t);
+    let (right, _) = b.spawn_thread(s2);
+    let l_last = sp_rec(b, left, lhs, rng, depth + 1);
+    let r_last = sp_rec(b, right, rhs.max(1), rng, depth + 1);
+    let join = b.node(t);
+    b.sync(l_last, join);
+    b.sync(r_last, join);
+    b.nodes(t, epi)
+}
+
+/// A semaphore-style pipeline: `stages` threads, each a chain of
+/// `stage_len` nodes, where node `k` of stage `i+1` waits (P) on node `k`
+/// of stage `i` (V). Exercises the scheduler's *block* and *enable* paths
+/// — threads repeatedly block mid-execution and are re-enabled by other
+/// threads, exactly the Figure-1 `(v6, v4)`-style edges.
+pub fn sync_pipeline(stages: usize, stage_len: usize) -> Dag {
+    assert!(stages >= 1 && stage_len >= 1);
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    let mut prev_stage: Vec<NodeId> = (0..stage_len).map(|_| b.node(root)).collect();
+    let mut child_lasts: Vec<NodeId> = Vec::new();
+    for _ in 1..stages {
+        // The root thread spawns each stage.
+        let s = b.node(root);
+        let (t, first) = b.spawn_thread(s);
+        let mut stage_nodes = vec![first];
+        for _ in 1..stage_len {
+            stage_nodes.push(b.node(t));
+        }
+        for k in 0..stage_len {
+            // V in the previous stage enables P in this one.
+            b.sync(prev_stage[k], stage_nodes[k]);
+        }
+        child_lasts.push(*stage_nodes.last().unwrap());
+        prev_stage = stage_nodes;
+    }
+    // Join the spawned stages back at the root thread. Out-degree limits
+    // force a join ladder: each rung waits for one stage. The root thread's
+    // own first stage is ordered by its chain, so it needs no rung.
+    for last in child_lasts {
+        let rung = b.node(root);
+        b.sync(last, rung);
+    }
+    b.finish().expect("pipeline dag is valid by construction")
+}
+
+/// A wavefront (2-D stencil) computation: an `rows × cols` grid where
+/// cell `(i, j)` depends on `(i-1, j)` and `(i, j-1)`. Each row is one
+/// thread; the column dependencies are `Enable` edges, so threads
+/// repeatedly block mid-chain and are re-enabled by their upper
+/// neighbour — the heaviest block/enable traffic of any generator.
+/// `T∞ = Θ(rows + cols)`, `T₁ = Θ(rows · cols)`.
+pub fn wavefront(rows: usize, cols: usize) -> Dag {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = DagBuilder::new();
+    let root = b.thread();
+    // Row 0 lives on the root thread.
+    let mut prev_row: Vec<NodeId> = (0..cols).map(|_| b.node(root)).collect();
+    let mut row_lasts: Vec<NodeId> = Vec::new();
+    for _ in 1..rows {
+        let s = b.node(root);
+        let (t, first) = b.spawn_thread(s);
+        let mut row = vec![first];
+        for _ in 1..cols {
+            row.push(b.node(t));
+        }
+        for j in 0..cols {
+            b.sync(prev_row[j], row[j]);
+        }
+        row_lasts.push(*row.last().unwrap());
+        prev_row = row;
+    }
+    // Join ladder on the root thread.
+    for last in row_lasts {
+        let rung = b.node(root);
+        b.sync(last, rung);
+    }
+    b.finish().expect("wavefront dag is valid by construction")
+}
+
+/// A "comb": a long spine thread that spawns a tiny tooth thread every
+/// `spacing` nodes. The teeth are the only stealable work and each is
+/// nearly free, so the steal-to-work ratio is maximal — a stress test
+/// for steal overheads and for the Theorem-9 throw bound's constant.
+pub fn comb(teeth: usize, spacing: usize, tooth_len: usize) -> Dag {
+    assert!(teeth >= 1 && spacing >= 1 && tooth_len >= 1);
+    let mut b = DagBuilder::new();
+    let spine = b.thread();
+    let mut tooth_lasts = Vec::with_capacity(teeth);
+    for _ in 0..teeth {
+        b.nodes(spine, spacing);
+        let s = b.node(spine);
+        let (t, _first) = b.spawn_thread(s);
+        tooth_lasts.push(b.nodes(t, tooth_len));
+    }
+    for last in tooth_lasts {
+        let rung = b.node(spine);
+        b.sync(last, rung);
+    }
+    b.finish().expect("comb dag is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_metrics() {
+        let d = chain(17);
+        assert_eq!(d.work(), 17);
+        assert_eq!(d.critical_path(), 17);
+        assert_eq!(d.num_threads(), 1);
+    }
+
+    #[test]
+    fn fork_join_tree_structure() {
+        for depth in 0..6 {
+            let seq = 2;
+            let d = fork_join_tree(depth, seq);
+            // Thread count: 2^(depth+1) - 1 tasks.
+            assert_eq!(d.num_threads(), (1usize << (depth + 1)) - 1, "depth {depth}");
+            // Work: internal tasks have 2*seq + 3 nodes (seq + 2 spawns +
+            // join + seq), leaves have 2*seq + 1, and every spawned (non-
+            // root) thread carries one thread-entry node where the spawn
+            // edge lands.
+            let internals = (1u64 << depth) - 1;
+            let leaves = 1u64 << depth;
+            let spawned_threads = internals + leaves - 1;
+            let expect = internals * (2 * seq as u64 + 3)
+                + leaves * (2 * seq as u64 + 1)
+                + spawned_threads;
+            assert_eq!(d.work(), expect, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn fork_join_critical_path_grows_linearly_in_depth() {
+        let d1 = fork_join_tree(3, 2);
+        let d2 = fork_join_tree(6, 2);
+        // T∞ grows ~linearly with depth while T1 grows exponentially, so
+        // parallelism must increase.
+        assert!(d2.parallelism() > 2.0 * d1.parallelism());
+    }
+
+    #[test]
+    fn fib_is_unbalanced_but_valid() {
+        let d = fib(10, 2);
+        assert!(d.num_threads() > 20);
+        assert!(d.parallelism() > 2.0);
+    }
+
+    #[test]
+    fn fib_cutoff_equals_n_is_serial() {
+        let d = fib(5, 5);
+        assert_eq!(d.num_threads(), 1);
+        assert_eq!(d.work(), d.critical_path());
+    }
+
+    #[test]
+    fn wide_shallow_has_high_parallelism() {
+        let d = wide_shallow(64, 100);
+        assert!(d.work() >= 64 * 100);
+        // T∞ ≈ 2 lg 64 + 100 + overhead; parallelism should be large.
+        assert!(
+            d.parallelism() > 20.0,
+            "parallelism {} too low (T1={} Tinf={})",
+            d.parallelism(),
+            d.work(),
+            d.critical_path()
+        );
+    }
+
+    #[test]
+    fn wide_shallow_degenerate_width_one() {
+        let d = wide_shallow(1, 10);
+        assert_eq!(d.num_threads(), 1);
+        assert_eq!(d.work(), 10);
+    }
+
+    #[test]
+    fn random_series_parallel_deterministic_and_near_budget() {
+        let a = random_series_parallel(42, 5000);
+        let b = random_series_parallel(42, 5000);
+        assert_eq!(a.work(), b.work());
+        assert_eq!(a.critical_path(), b.critical_path());
+        // Budget is approximate but should be within 2x.
+        assert!(a.work() >= 2500 && a.work() <= 10_000, "work {}", a.work());
+        let c = random_series_parallel(43, 5000);
+        // Overwhelmingly likely to differ structurally.
+        assert!(a.work() != c.work() || a.critical_path() != c.critical_path());
+    }
+
+    #[test]
+    fn sync_pipeline_valid_and_has_cross_edges() {
+        let d = sync_pipeline(4, 8);
+        assert_eq!(d.num_threads(), 4);
+        let enables = d
+            .edges()
+            .filter(|e| e.kind == crate::dag::EdgeKind::Enable)
+            .count();
+        // 3 stage boundaries × 8 per-slot edges + join ladder edges.
+        assert!(enables >= 3 * 8, "only {enables} enable edges");
+        // The pipeline cannot finish faster than one stage plus the skew.
+        assert!(d.critical_path() >= 8);
+    }
+
+    #[test]
+    fn sync_pipeline_single_stage() {
+        let d = sync_pipeline(1, 5);
+        assert_eq!(d.num_threads(), 1);
+    }
+
+    #[test]
+    fn wavefront_metrics() {
+        let d = wavefront(6, 10);
+        assert_eq!(d.num_threads(), 6);
+        // Work: 6 rows × 10 cells + 5 spawners + 5 rungs.
+        assert_eq!(d.work(), 60 + 5 + 5);
+        // The diagonal frontier: T∞ grows like rows + cols, not rows·cols.
+        assert!(d.critical_path() < 40, "Tinf = {}", d.critical_path());
+        assert!(d.parallelism() > 1.8);
+        let enables = d
+            .edges()
+            .filter(|e| e.kind == crate::dag::EdgeKind::Enable)
+            .count();
+        assert!(enables >= 5 * 10, "only {enables} enable edges");
+    }
+
+    #[test]
+    fn wavefront_degenerate_shapes() {
+        assert_eq!(wavefront(1, 7).work(), 7);
+        assert_eq!(wavefront(1, 7).critical_path(), 7);
+        let col = wavefront(5, 1);
+        assert_eq!(col.num_threads(), 5);
+        // A single column is fully serial through the syncs.
+        assert!(col.critical_path() >= 5);
+    }
+
+    #[test]
+    fn comb_metrics() {
+        let d = comb(10, 5, 2);
+        assert_eq!(d.num_threads(), 11);
+        // Spine: 10×(5+1) + 10 rungs; teeth: 10×(1 entry + 2).
+        assert_eq!(d.work(), 60 + 10 + 30);
+        // Teeth are tiny: parallelism barely above 1.
+        assert!(d.parallelism() < 2.0);
+    }
+
+    #[test]
+    fn generators_all_validate() {
+        // Every generator output passed `finish()`, but double-check a few
+        // global invariants directly.
+        for d in [
+            chain(3),
+            fork_join_tree(4, 1),
+            fib(9, 2),
+            wide_shallow(10, 5),
+            random_series_parallel(7, 800),
+            sync_pipeline(3, 5),
+            wavefront(4, 6),
+            comb(5, 3, 2),
+        ] {
+            assert_eq!(d.in_degree(d.root()), 0);
+            assert_eq!(d.out_degree(d.final_node()), 0);
+            for i in 0..d.num_nodes() {
+                assert!(d.out_degree(crate::ids::NodeId(i as u32)) <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers for nodes, threads, and processes.
+//!
+//! The paper is careful to distinguish *threads* (user-level, scheduled by
+//! the work stealer) from *processes* (kernel-level, scheduled by the
+//! adversarial kernel). We mirror that distinction in the type system so the
+//! two can never be confused in scheduler code.
+
+use std::fmt;
+
+/// Identifier of a dag node (one instruction of the computation).
+///
+/// Nodes are numbered densely from 0 in creation order; the paper's `v1..vk`
+/// naming maps to `NodeId(0)..NodeId(k-1)` and the `Display` impl prints the
+/// paper's 1-based `v`-names for readability in tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a user-level thread (a chain of nodes in the dag).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a kernel-level process. The work stealer maps threads onto
+/// a *fixed* collection of these; the kernel maps them onto processors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ThreadId {
+    /// The dense index of this thread.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProcId {
+    /// The dense index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0 + 1)
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_naming() {
+        assert_eq!(NodeId(0).to_string(), "v1");
+        assert_eq!(NodeId(10).to_string(), "v11");
+        assert_eq!(ThreadId(0).to_string(), "t0");
+        assert_eq!(ProcId(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(3) < NodeId(4));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(ThreadId(5).index(), 5);
+        assert_eq!(ProcId(1).index(), 1);
+    }
+}

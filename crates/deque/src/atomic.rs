@@ -1,0 +1,490 @@
+//! The non-blocking ABP deque (Figures 4 and 5 of the paper), on real
+//! atomics.
+//!
+//! The deque is an array `deq` of word-sized entries plus two shared
+//! variables: `bot`, the index below the bottom entry, and `age`, a single
+//! word holding two fields — `top`, the index of the top entry, and `tag`,
+//! a "uniquifier". The owner pushes and pops at the bottom; thieves pop at
+//! the top with a `cas` on `age`.
+//!
+//! The `tag` exists to defeat the ABA scenario of Section 3.3: a thief that
+//! reads the top entry and is then preempted could otherwise succeed with
+//! its `cas` after the owner has emptied and refilled the deque to the same
+//! `top` index, stealing a node that is no longer there. Every time the
+//! owner resets `top` to zero it increments the tag, so the sleeping
+//! thief's `cas` — which compares the whole `age` word — fails. The paper
+//! notes the counter tag can wrap and points at bounded-tags constructions;
+//! here `tag` is 32 bits wide and only ever incremented on a bottom-reset,
+//! so wrap requires 2³² owner resets to occur while a thief sleeps inside
+//! one `popTop` — unreachable in practice (and the instruction-stepped
+//! model checker in [`crate::model`] verifies the protocol logic
+//! exhaustively at small scope).
+//!
+//! This implementation meets the paper's *relaxed semantics* (§3.2): owner
+//! operations and successful steals are linearizable; a [`Steal::Abort`]
+//! result corresponds to a `popTop` that lost a race and may be retried.
+//!
+//! # Ownership model
+//!
+//! [`new`] returns a ([`Worker`], [`Stealer`]) pair. `Worker` is the unique
+//! owner handle — it is `Send` but deliberately not `Clone`/`Sync`, which
+//! enforces at the type level the paper's "good set of invocations" (no two
+//! `pushBottom`/`popBottom` invocations are ever concurrent). `Stealer` is
+//! `Clone + Send + Sync` and may be used from any number of processes.
+
+use crate::word::Word;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Packed `age` word: tag in the high 32 bits, top in the low 32 bits —
+/// the structure of Figure 4, fitting in one atomically-updatable word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct AgeWord {
+    tag: u32,
+    top: u32,
+}
+
+impl AgeWord {
+    #[inline]
+    fn pack(self) -> u64 {
+        ((self.tag as u64) << 32) | self.top as u64
+    }
+
+    #[inline]
+    fn unpack(w: u64) -> Self {
+        AgeWord {
+            tag: (w >> 32) as u32,
+            top: w as u32,
+        }
+    }
+}
+
+struct Inner<T: Word> {
+    age: AtomicU64,
+    bot: AtomicU64,
+    deq: Box<[AtomicU64]>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: all shared state is accessed through atomics; T is a plain
+// machine word (Word is Copy and round-trips through u64).
+unsafe impl<T: Word> Send for Inner<T> {}
+unsafe impl<T: Word> Sync for Inner<T> {}
+
+/// Result of a steal attempt ([`Stealer::pop_top`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The top entry was taken.
+    Taken(T),
+    /// The deque was observed empty (`bot ≤ top`). Under the relaxed
+    /// semantics this is a *successful* NIL: the deque really was empty at
+    /// some instant during the invocation.
+    Empty,
+    /// The `cas` failed: another process removed the top entry first. The
+    /// deque may well be non-empty; the caller may retry.
+    Abort,
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn taken(self) -> Option<T> {
+        match self {
+            Steal::Taken(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True for [`Steal::Abort`].
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Steal::Abort)
+    }
+}
+
+/// The owner handle: `pushBottom` and `popBottom`.
+pub struct Worker<T: Word> {
+    inner: Arc<Inner<T>>,
+    // !Sync: a Worker must not be shared across processes.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+// A Worker may migrate between OS threads (processes are multiplexed), but
+// never be used by two at once.
+unsafe impl<T: Word> Send for Worker<T> {}
+
+/// A thief handle: `popTop`. Freely cloneable and shareable.
+pub struct Stealer<T: Word> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Word> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates an ABP deque with space for `capacity` entries, returning the
+/// unique owner handle and a cloneable stealer handle.
+///
+/// ```
+/// use abp_deque::{new, Steal};
+///
+/// let (worker, stealer) = new::<u64>(64);
+/// worker.push_bottom(1).unwrap();
+/// worker.push_bottom(2).unwrap();
+/// // Owner pops LIFO at the bottom; thieves pop FIFO at the top.
+/// assert_eq!(worker.pop_bottom(), Some(2));
+/// assert_eq!(stealer.pop_top(), Steal::Taken(1));
+/// assert_eq!(stealer.pop_top(), Steal::Empty);
+/// ```
+///
+/// `capacity` bounds the *bottom index*, not the instantaneous size: `bot`
+/// only resets to zero when the owner observes the deque empty, so a
+/// workload where thieves keep the deque non-empty forever can push the
+/// index past `capacity`, in which case [`Worker::push_bottom`] reports
+/// [`PushError`] instead of overwriting live entries. Size generously.
+pub fn new<T: Word>(capacity: usize) -> (Worker<T>, Stealer<T>) {
+    assert!(capacity >= 1 && capacity <= u32::MAX as usize);
+    let deq = (0..capacity).map(|_| AtomicU64::new(0)).collect();
+    let inner = Arc::new(Inner {
+        age: AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack()),
+        bot: AtomicU64::new(0),
+        deq,
+        _marker: PhantomData,
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+/// The deque's bottom index reached the end of the backing array; the push
+/// did not happen and the value is handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T: Word> Worker<T> {
+    /// `pushBottom` (Figure 5): store the node at `deq[bot]` and advance
+    /// `bot`. Owner-only; never blocks, never fails except on array
+    /// exhaustion.
+    pub fn push_bottom(&self, node: T) -> Result<(), PushError<T>> {
+        let inner = &*self.inner;
+        // 1: load localBot <- bot  (owner is the only writer of bot).
+        let local_bot = inner.bot.load(Ordering::Relaxed);
+        if local_bot as usize >= inner.deq.len() {
+            return Err(PushError(node));
+        }
+        // 2: store node -> deq[localBot].
+        inner.deq[local_bot as usize].store(node.to_word(), Ordering::Relaxed);
+        // 3-4: store localBot + 1 -> bot. Release so a thief that observes
+        // the new bot also observes the slot contents.
+        inner.bot.store(local_bot + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// `popBottom` (Figure 5): claim the bottom entry, then reconcile with
+    /// thieves through `age` if the deque looked empty or nearly so.
+    pub fn pop_bottom(&self) -> Option<T> {
+        let inner = &*self.inner;
+        // 1: load localBot <- bot.
+        let local_bot = inner.bot.load(Ordering::Relaxed);
+        // 2-3: empty deque.
+        if local_bot == 0 {
+            return None;
+        }
+        // 4-5: localBot -= 1; store localBot -> bot. SeqCst: the store must
+        // be globally ordered before the subsequent age load (store-load
+        // fence), otherwise a thief and the owner can both take the last
+        // entry.
+        let local_bot = local_bot - 1;
+        inner.bot.store(local_bot, Ordering::SeqCst);
+        // 6: load node <- deq[localBot].
+        let node = T::from_word(inner.deq[local_bot as usize].load(Ordering::Relaxed));
+        // 7: load oldAge <- age.
+        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        // 8-9: plenty of entries left: the claimed one is ours.
+        if local_bot > old_age.top as u64 {
+            return Some(node);
+        }
+        // 10: the deque is now empty or we are racing thieves for the last
+        // entry. Reset bot.
+        inner.bot.store(0, Ordering::SeqCst);
+        // 11-12: fresh age: top = 0, bumped tag.
+        let new_age = AgeWord {
+            tag: old_age.tag.wrapping_add(1),
+            top: 0,
+        };
+        // 13-16: race for the last entry.
+        if local_bot == old_age.top as u64
+            && inner
+                .age
+                .compare_exchange(
+                    old_age.pack(),
+                    new_age.pack(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return Some(node);
+            }
+        // 17-18: a thief won (or the deque was already empty): publish the
+        // reset age and give up. Only the owner ever *stores* age directly,
+        // so this cannot clobber a concurrent thief update beyond what the
+        // algorithm intends.
+        inner.age.store(new_age.pack(), Ordering::SeqCst);
+        None
+    }
+
+    /// Observed size (`bot - top`), for diagnostics/heuristics only — it is
+    /// immediately stale under concurrency.
+    pub fn len_hint(&self) -> usize {
+        len_hint(&self.inner)
+    }
+
+    /// Creates another stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Word> Stealer<T> {
+    /// `popTop` (Figure 5): read `age` and `bot`, and if the deque is
+    /// non-empty try to advance `top` with a `cas` on the whole age word.
+    pub fn pop_top(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        // 1: load oldAge <- age.
+        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        // 2: load localBot <- bot.
+        let local_bot = inner.bot.load(Ordering::SeqCst);
+        // 3-4: empty.
+        if local_bot <= old_age.top as u64 {
+            return Steal::Empty;
+        }
+        // 5: read the top entry *before* the cas; a successful cas
+        // validates that this read saw the live value (the tag makes a
+        // stale read impossible to validate).
+        let node = T::from_word(inner.deq[old_age.top as usize].load(Ordering::Relaxed));
+        // 6-7: newAge = oldAge with top + 1.
+        let new_age = AgeWord {
+            tag: old_age.tag,
+            top: old_age.top + 1,
+        };
+        // 8-10: the cas; success means we own the entry.
+        if inner
+            .age
+            .compare_exchange(
+                old_age.pack(),
+                new_age.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            return Steal::Taken(node);
+        }
+        // 11: contention: someone else took it.
+        Steal::Abort
+    }
+
+    /// Observed size; immediately stale under concurrency.
+    pub fn len_hint(&self) -> usize {
+        len_hint(&self.inner)
+    }
+}
+
+fn len_hint<T: Word>(inner: &Inner<T>) -> usize {
+    let age = AgeWord::unpack(inner.age.load(Ordering::Relaxed));
+    let bot = inner.bot.load(Ordering::Relaxed);
+    bot.saturating_sub(age.top as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_word_packs_losslessly() {
+        for &(tag, top) in &[(0, 0), (1, 0), (0, 1), (u32::MAX, u32::MAX), (7, 42)] {
+            let a = AgeWord { tag, top };
+            assert_eq!(AgeWord::unpack(a.pack()), a);
+        }
+    }
+
+    #[test]
+    fn lifo_for_owner() {
+        let (w, _s) = new::<u64>(64);
+        for i in 0..10 {
+            w.push_bottom(i).unwrap();
+        }
+        for i in (0..10).rev() {
+            assert_eq!(w.pop_bottom(), Some(i));
+        }
+        assert_eq!(w.pop_bottom(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let (w, s) = new::<u64>(64);
+        for i in 0..10 {
+            w.push_bottom(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(s.pop_top(), Steal::Taken(i));
+        }
+        assert_eq!(s.pop_top(), Steal::Empty);
+    }
+
+    #[test]
+    fn mixed_sequential_matches_spec() {
+        // Sequentially interleaved owner/thief ops must agree with a
+        // VecDeque specification exactly.
+        use std::collections::VecDeque;
+        // bot only resets when the owner drains the deque, so capacity
+        // must cover the total number of pushes in the worst case.
+        let (w, s) = new::<u64>(10_001);
+        let mut spec: VecDeque<u64> = VecDeque::new();
+        let mut x = 0u64;
+        let mut rng = 0x12345678u64;
+        for _ in 0..10_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match rng >> 62 {
+                0 | 1 => {
+                    w.push_bottom(x).unwrap();
+                    spec.push_back(x);
+                    x += 1;
+                }
+                2 => {
+                    let got = w.pop_bottom();
+                    assert_eq!(got, spec.pop_back());
+                }
+                _ => {
+                    let got = s.pop_top().taken();
+                    assert_eq!(got, spec.pop_front());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_reset_reuses_space() {
+        // Popping to empty resets bot, so capacity is not consumed by
+        // balanced push/pop traffic.
+        let (w, _s) = new::<u64>(4);
+        for round in 0..100 {
+            w.push_bottom(round).unwrap();
+            w.push_bottom(round + 1).unwrap();
+            assert_eq!(w.pop_bottom(), Some(round + 1));
+            assert_eq!(w.pop_bottom(), Some(round));
+            assert_eq!(w.pop_bottom(), None);
+        }
+    }
+
+    #[test]
+    fn push_overflow_reports() {
+        let (w, s) = new::<u64>(4);
+        for i in 0..4 {
+            w.push_bottom(i).unwrap();
+        }
+        assert_eq!(w.push_bottom(99), Err(PushError(99)));
+        // Stealing does NOT free space at the bottom...
+        assert_eq!(s.pop_top(), Steal::Taken(0));
+        assert_eq!(w.push_bottom(99), Err(PushError(99)));
+        // ...but draining to empty resets the indices.
+        while w.pop_bottom().is_some() {}
+        assert_eq!(w.push_bottom(1), Ok(()));
+    }
+
+    #[test]
+    fn steal_empty_vs_taken_transitions() {
+        let (w, s) = new::<u64>(8);
+        assert_eq!(s.pop_top(), Steal::Empty);
+        w.push_bottom(5).unwrap();
+        assert_eq!(s.pop_top(), Steal::Taken(5));
+        assert_eq!(s.pop_top(), Steal::Empty);
+        assert_eq!(w.pop_bottom(), None);
+        // After the owner saw empty, the structure is reset and reusable.
+        w.push_bottom(6).unwrap();
+        assert_eq!(s.pop_top(), Steal::Taken(6));
+    }
+
+    #[test]
+    fn len_hint_tracks_sequential_size() {
+        let (w, s) = new::<u64>(32);
+        assert_eq!(w.len_hint(), 0);
+        for i in 0..5 {
+            w.push_bottom(i).unwrap();
+        }
+        assert_eq!(w.len_hint(), 5);
+        s.pop_top();
+        assert_eq!(s.len_hint(), 4);
+        w.pop_bottom();
+        assert_eq!(w.len_hint(), 3);
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_conserve_items() {
+        // Every pushed value is consumed exactly once across the owner and
+        // 3 thieves. Runs even on a single core: preemption provides the
+        // interleaving.
+        use std::sync::atomic::{AtomicBool, AtomicU8};
+        const N: usize = 20_000;
+        let (w, s) = new::<u64>(N + 1);
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = s.clone();
+            let counts = Arc::clone(&counts);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                loop {
+                    match s.pop_top() {
+                        Steal::Taken(v) => {
+                            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        Steal::Abort => {}
+                    }
+                }
+            }));
+        }
+
+        // Owner: push everything, popping now and then.
+        let mut pushed = 0u64;
+        let mut rng = 0xdeadbeefu64;
+        while (pushed as usize) < N {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if rng % 4 < 3 {
+                w.push_bottom(pushed).unwrap();
+                pushed += 1;
+            } else if let Some(v) = w.pop_bottom() {
+                counts[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Drain what remains.
+        while let Some(v) = w.pop_bottom() {
+            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "value {i} consumed wrong number of times");
+        }
+    }
+}

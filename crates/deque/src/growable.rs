@@ -1,0 +1,401 @@
+//! A growable variant of the ABP deque (extension beyond the paper).
+//!
+//! The Figure-5 deque uses a fixed array; Hood simply sized it "big
+//! enough". Practical descendants grow the array on demand, which
+//! requires replacing the buffer while thieves may still hold references
+//! to the old one. This module adds that, keeping the ABP `age`/`bot`
+//! protocol intact:
+//!
+//! * the owner, on running out of room, allocates a buffer of twice the
+//!   capacity, copies the live region, and publishes it; the old buffer
+//!   is reclaimed through epoch-based GC (`crossbeam_epoch`), so a
+//!   preempted thief can safely finish reading it;
+//! * stale-buffer reads are harmless by the same argument that protects
+//!   stale slot reads in the original algorithm: the owner only rewrites
+//!   low indices after a bottom reset, every reset bumps the `tag`, and
+//!   the thief's `cas` on the whole age word rejects anything read before
+//!   a tag change. Growth itself never changes indices, and buffers are
+//!   immutable once superseded, so a thief holding the old buffer reads
+//!   exactly the bytes the new buffer holds at the same index.
+//!
+//! The owner-side operations remain lock-free (an allocation is not
+//! wait-free, but never blocks on other processes); thieves are
+//! non-blocking exactly as before.
+//!
+//! Like the fixed-capacity deque's `tag`, the 32-bit `top` field bounds
+//! extreme behaviour: `top` wraps only after 2³² steals occur without the
+//! owner ever draining the deque (every drain resets the indices). A
+//! fork-join runtime drains constantly, so this is unreachable in
+//! practice, but a pathological producer/consumer pipeline that never
+//! empties the deque should use bounded batches.
+
+use crate::atomic::Steal;
+use crate::word::Word;
+use crossbeam::epoch::{self, Atomic, Owned};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct AgeWord {
+    tag: u32,
+    top: u32,
+}
+
+impl AgeWord {
+    #[inline]
+    fn pack(self) -> u64 {
+        ((self.tag as u64) << 32) | self.top as u64
+    }
+
+    #[inline]
+    fn unpack(w: u64) -> Self {
+        AgeWord {
+            tag: (w >> 32) as u32,
+            top: w as u32,
+        }
+    }
+}
+
+struct Buffer {
+    slots: Box<[AtomicU64]>,
+}
+
+impl Buffer {
+    fn new(cap: usize) -> Self {
+        Buffer {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+struct Inner<T: Word> {
+    age: AtomicU64,
+    bot: AtomicU64,
+    buffer: Atomic<Buffer>,
+    _marker: PhantomData<T>,
+}
+
+unsafe impl<T: Word> Send for Inner<T> {}
+unsafe impl<T: Word> Sync for Inner<T> {}
+
+impl<T: Word> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: reclaim the current buffer directly.
+        let buf = std::mem::replace(&mut self.buffer, Atomic::null());
+        unsafe {
+            drop(buf.into_owned());
+        }
+    }
+}
+
+/// Owner handle of a growable ABP deque.
+pub struct GrowableWorker<T: Word> {
+    inner: Arc<Inner<T>>,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Word> Send for GrowableWorker<T> {}
+
+/// Thief handle of a growable ABP deque.
+pub struct GrowableStealer<T: Word> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Word> Clone for GrowableStealer<T> {
+    fn clone(&self) -> Self {
+        GrowableStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a growable ABP deque with the given initial capacity.
+pub fn new_growable<T: Word>(initial_capacity: usize) -> (GrowableWorker<T>, GrowableStealer<T>) {
+    let cap = initial_capacity.next_power_of_two().max(4);
+    let inner = Arc::new(Inner {
+        age: AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack()),
+        bot: AtomicU64::new(0),
+        buffer: Atomic::new(Buffer::new(cap)),
+        _marker: PhantomData,
+    });
+    (
+        GrowableWorker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        GrowableStealer { inner },
+    )
+}
+
+impl<T: Word> GrowableWorker<T> {
+    /// `pushBottom`, growing the backing array when the bottom index
+    /// reaches its end. Never fails.
+    pub fn push_bottom(&self, node: T) {
+        let inner = &*self.inner;
+        let guard = epoch::pin();
+        let local_bot = inner.bot.load(Ordering::Relaxed);
+        let mut buf_ptr = inner.buffer.load(Ordering::Acquire, &guard);
+        // SAFETY: the buffer is live; only this owner replaces it.
+        let mut buf = unsafe { buf_ptr.deref() };
+        if local_bot as usize >= buf.slots.len() {
+            // Grow: copy everything (indices are absolute and small — bot
+            // resets to 0 whenever the owner drains the deque).
+            let new = Buffer::new(buf.slots.len() * 2);
+            for (i, s) in buf.slots.iter().enumerate() {
+                new.slots[i].store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            let new_ptr = Owned::new(new).into_shared(&guard);
+            let old = inner.buffer.swap(new_ptr, Ordering::Release, &guard);
+            // SAFETY: `old` is unlinked; readers drain with the epoch.
+            unsafe {
+                guard.defer_destroy(old);
+            }
+            buf_ptr = new_ptr;
+            buf = unsafe { buf_ptr.deref() };
+        }
+        buf.slots[local_bot as usize].store(node.to_word(), Ordering::Relaxed);
+        inner.bot.store(local_bot + 1, Ordering::Release);
+    }
+
+    /// `popBottom`, identical to the fixed-capacity protocol.
+    pub fn pop_bottom(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let guard = epoch::pin();
+        let local_bot = inner.bot.load(Ordering::Relaxed);
+        if local_bot == 0 {
+            return None;
+        }
+        let local_bot = local_bot - 1;
+        inner.bot.store(local_bot, Ordering::SeqCst);
+        let buf = unsafe { inner.buffer.load(Ordering::Acquire, &guard).deref() };
+        let node = T::from_word(buf.slots[local_bot as usize].load(Ordering::Relaxed));
+        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        if local_bot > old_age.top as u64 {
+            return Some(node);
+        }
+        inner.bot.store(0, Ordering::SeqCst);
+        let new_age = AgeWord {
+            tag: old_age.tag.wrapping_add(1),
+            top: 0,
+        };
+        if local_bot == old_age.top as u64
+            && inner
+                .age
+                .compare_exchange(
+                    old_age.pack(),
+                    new_age.pack(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+        {
+            return Some(node);
+        }
+        inner.age.store(new_age.pack(), Ordering::SeqCst);
+        None
+    }
+
+    /// Observed size; immediately stale under concurrency.
+    pub fn len_hint(&self) -> usize {
+        let age = AgeWord::unpack(self.inner.age.load(Ordering::Relaxed));
+        self.inner
+            .bot
+            .load(Ordering::Relaxed)
+            .saturating_sub(age.top as u64) as usize
+    }
+
+    /// Current backing-array capacity (for tests/diagnostics).
+    pub fn capacity(&self) -> usize {
+        let guard = epoch::pin();
+        unsafe {
+            self.inner
+                .buffer
+                .load(Ordering::Acquire, &guard)
+                .deref()
+                .slots
+                .len()
+        }
+    }
+
+    /// Another thief handle.
+    pub fn stealer(&self) -> GrowableStealer<T> {
+        GrowableStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Word> GrowableStealer<T> {
+    /// `popTop`. The only growable-specific step is re-loading the buffer
+    /// if the one observed is too small for the top index — it must then
+    /// be stale, because the owner grows before publishing such a `bot`.
+    pub fn pop_top(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let guard = epoch::pin();
+        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        let local_bot = inner.bot.load(Ordering::SeqCst);
+        if local_bot <= old_age.top as u64 {
+            return Steal::Empty;
+        }
+        let mut spins = 0;
+        let node = loop {
+            let buf = unsafe { inner.buffer.load(Ordering::SeqCst, &guard).deref() };
+            if (old_age.top as usize) < buf.slots.len() {
+                break T::from_word(buf.slots[old_age.top as usize].load(Ordering::Relaxed));
+            }
+            // Stale buffer: the owner has already published a bigger one.
+            spins += 1;
+            if spins > 64 {
+                // Pathological staleness: give up this attempt rather than
+                // spin (non-blocking discipline).
+                return Steal::Abort;
+            }
+            std::hint::spin_loop();
+        };
+        let new_age = AgeWord {
+            tag: old_age.tag,
+            top: old_age.top + 1,
+        };
+        if inner
+            .age
+            .compare_exchange(
+                old_age.pack(),
+                new_age.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            Steal::Taken(node)
+        } else {
+            Steal::Abort
+        }
+    }
+
+    /// Observed size; immediately stale under concurrency.
+    pub fn len_hint(&self) -> usize {
+        let age = AgeWord::unpack(self.inner.age.load(Ordering::Relaxed));
+        self.inner
+            .bot
+            .load(Ordering::Relaxed)
+            .saturating_sub(age.top as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_transparently() {
+        let (w, s) = new_growable::<u64>(4);
+        assert_eq!(w.capacity(), 4);
+        for i in 0..1000 {
+            w.push_bottom(i);
+        }
+        assert!(w.capacity() >= 1000);
+        for i in 0..500 {
+            assert_eq!(s.pop_top(), Steal::Taken(i));
+        }
+        for i in (500..1000).rev() {
+            assert_eq!(w.pop_bottom(), Some(i));
+        }
+        assert_eq!(w.pop_bottom(), None);
+        assert_eq!(s.pop_top(), Steal::Empty);
+    }
+
+    #[test]
+    fn sequential_spec_with_growth() {
+        use std::collections::VecDeque;
+        let (w, s) = new_growable::<u64>(4);
+        let mut spec: VecDeque<u64> = VecDeque::new();
+        let mut x = 0u64;
+        let mut rng = 0xACE1u64;
+        for _ in 0..20_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match rng >> 62 {
+                0 | 1 => {
+                    w.push_bottom(x);
+                    spec.push_back(x);
+                    x += 1;
+                }
+                2 => assert_eq!(w.pop_bottom(), spec.pop_back()),
+                _ => assert_eq!(s.pop_top().taken(), spec.pop_front()),
+            }
+            assert_eq!(w.len_hint(), spec.len());
+        }
+    }
+
+    #[test]
+    fn reset_reclaims_index_space() {
+        let (w, _s) = new_growable::<u64>(4);
+        // Push/drain cycles never grow the array because bot resets.
+        for round in 0..200 {
+            w.push_bottom(round);
+            w.push_bottom(round + 1);
+            assert_eq!(w.pop_bottom(), Some(round + 1));
+            assert_eq!(w.pop_bottom(), Some(round));
+            assert_eq!(w.pop_bottom(), None);
+        }
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn concurrent_conservation_with_growth() {
+        use std::sync::atomic::{AtomicBool, AtomicU8};
+        const N: usize = 30_000;
+        let (w, s) = new_growable::<u64>(8); // tiny: forces many growths
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = s.clone();
+            let counts = Arc::clone(&counts);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || loop {
+                match s.pop_top() {
+                    Steal::Taken(v) => {
+                        counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    Steal::Abort => {}
+                }
+            }));
+        }
+        let mut rng = 0x8badf00du64;
+        let mut pushed = 0u64;
+        while (pushed as usize) < N {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if rng % 4 < 3 {
+                w.push_bottom(pushed);
+                pushed += 1;
+            } else if let Some(v) = w.pop_bottom() {
+                counts[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        while let Some(v) = w.pop_bottom() {
+            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "value {i}");
+        }
+    }
+
+    #[test]
+    fn initial_capacity_rounds_up() {
+        let (w, _s) = new_growable::<u64>(0);
+        assert_eq!(w.capacity(), 4);
+        let (w, _s) = new_growable::<u64>(100);
+        assert_eq!(w.capacity(), 128);
+    }
+}

@@ -1,0 +1,29 @@
+//! The Arora–Blumofe–Plaxton non-blocking work-stealing deque (SPAA 1998).
+//!
+//! Three realizations of the same Figure-5 protocol:
+//!
+//! * [`atomic`] — the production lock-free deque on real atomics, with a
+//!   single-word `age = {tag, top}` and `cas`, split into a unique
+//!   [`Worker`] owner handle and cloneable [`Stealer`] handles;
+//! * [`sim_deque`] — the identical pseudocode executed one instruction at
+//!   a time, so the simulator's adversarial kernel can preempt processes
+//!   mid-operation (and so the tag's purpose can be demonstrated);
+//! * [`locking`] — a mutex-based baseline for the paper's "non-blocking
+//!   data structures are essential" ablation.
+//!
+//! [`model`] exhaustively checks the relaxed semantics of §3.2 over all
+//! interleavings of small owner/thief programs, standing in for the
+//! paper's companion correctness proof.
+
+pub mod atomic;
+pub mod growable;
+pub mod locking;
+pub mod model;
+pub mod sim_deque;
+pub mod word;
+
+pub use atomic::{new, PushError, Steal, Stealer, Worker};
+pub use growable::{new_growable, GrowableStealer, GrowableWorker};
+pub use locking::LockingDeque;
+pub use sim_deque::{DequeOp, SimAge, SimDeque, SimSteal, StepOutcome, MAX_OP_STEPS};
+pub use word::Word;

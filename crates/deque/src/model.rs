@@ -1,0 +1,562 @@
+//! Bounded exhaustive checking of the deque's relaxed semantics (§3.2).
+//!
+//! The paper's correctness argument for the Figure-5 deque lives in a
+//! separate technical report \[11\]; in its place this module *exhaustively
+//! enumerates every interleaving* of small owner/thief programs over the
+//! instruction-stepped deque of [`crate::sim_deque`] and checks each
+//! complete history against the relaxed semantics:
+//!
+//! 1. **Linearizability of the good ops** — there must exist a
+//!    linearization point inside every invocation's interval such that the
+//!    results agree with a serial deque execution (Wing–Gong style search
+//!    against a `VecDeque` specification). `popTop` invocations that
+//!    return NIL by losing a `cas` ([`SimSteal::Abort`]) are exempt: the
+//!    relaxed semantics does not require them to linearize.
+//! 2. **The Abort excuse** — every `Abort` must overlap (in real time) a
+//!    successful removal by another process or an interval where the deque
+//!    is empty; this is the §3.2 condition "at some point during the
+//!    invocation … the topmost item is removed from the deque by another
+//!    process".
+//! 3. **Conservation** — every pushed value is consumed at most once, and
+//!    values never materialize out of thin air. (This is the check that
+//!    the untagged ABA variant fails.)
+//!
+//! The state space of a scenario with a handful of operations is small
+//! (thousands to a few million interleavings), so the exploration is a
+//! plain depth-first search with no state hashing.
+
+use crate::sim_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
+use std::collections::VecDeque;
+
+/// One instruction-level operation in a process's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgOp {
+    /// Owner-only: `pushBottom(v)`.
+    Push(u64),
+    /// Owner-only: `popBottom()`.
+    PopBottom,
+    /// `popTop()`.
+    PopTop,
+}
+
+/// A scenario: `programs[0]` is the owner (may push/pop bottom), the rest
+/// are thieves (must only `PopTop`) — the "good invocation sets" of §3.2.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub programs: Vec<Vec<ProgOp>>,
+}
+
+impl Scenario {
+    /// Builds and sanity-checks a scenario.
+    pub fn new(programs: Vec<Vec<ProgOp>>) -> Self {
+        assert!(!programs.is_empty());
+        for prog in &programs[1..] {
+            assert!(
+                prog.iter().all(|op| matches!(op, ProgOp::PopTop)),
+                "thief programs may only contain PopTop (good invocation sets)"
+            );
+        }
+        Scenario { programs }
+    }
+}
+
+/// A completed invocation within one history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    pub proc: usize,
+    /// Global instruction index at which the op issued its first step.
+    pub start: u64,
+    /// Global instruction index of its last step.
+    pub end: u64,
+    pub kind: ProgOp,
+    pub result: OpResult,
+}
+
+/// The result attached to a completed invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    Pushed,
+    Popped(Option<u64>),
+    Stolen(SimSteal),
+}
+
+/// A relaxed-semantics violation with the offending history.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub reason: String,
+    pub history: Vec<Invocation>,
+}
+
+/// Outcome of exploring every interleaving of a scenario.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of complete histories enumerated.
+    pub histories: u64,
+    /// Number of histories that violated the relaxed semantics.
+    pub violating: u64,
+    /// One concrete counterexample, if any.
+    pub example: Option<Violation>,
+}
+
+impl Report {
+    /// True if no history violated the semantics.
+    pub fn ok(&self) -> bool {
+        self.violating == 0
+    }
+}
+
+#[derive(Clone)]
+struct ProcState {
+    program: Vec<ProgOp>,
+    next_op: usize,
+    current: Option<(DequeOp, ProgOp, u64)>, // op, kind, start step
+}
+
+impl ProcState {
+    fn done(&self) -> bool {
+        self.current.is_none() && self.next_op >= self.program.len()
+    }
+}
+
+/// Explores every interleaving of `scenario` on a deque with the tag
+/// mechanism enabled (`tagged = true`) or disabled.
+///
+/// ```
+/// use abp_deque::model::{explore, ProgOp, Scenario};
+///
+/// let sc = Scenario::new(vec![
+///     vec![ProgOp::Push(1), ProgOp::PopBottom], // owner
+///     vec![ProgOp::PopTop],                     // one thief
+/// ]);
+/// assert!(explore(&sc, true).ok());   // the real algorithm is clean
+/// assert!(!explore(&Scenario::new(vec![
+///     vec![ProgOp::Push(1), ProgOp::PopBottom, ProgOp::Push(2)],
+///     vec![ProgOp::PopTop],
+/// ]), false).ok());                   // the untagged variant is not
+/// ```
+pub fn explore(scenario: &Scenario, tagged: bool) -> Report {
+    let procs: Vec<ProcState> = scenario
+        .programs
+        .iter()
+        .map(|p| ProcState {
+            program: p.clone(),
+            next_op: 0,
+            current: None,
+        })
+        .collect();
+    let mut report = Report {
+        histories: 0,
+        violating: 0,
+        example: None,
+    };
+    let mut history = Vec::new();
+    dfs(
+        &mut SimDeque::with_tagging(tagged),
+        procs,
+        0,
+        &mut history,
+        &mut report,
+    );
+    report
+}
+
+fn dfs(
+    deque: &mut SimDeque,
+    procs: Vec<ProcState>,
+    step: u64,
+    history: &mut Vec<Invocation>,
+    report: &mut Report,
+) {
+    if procs.iter().all(|p| p.done()) {
+        report.histories += 1;
+        if let Err(reason) = check_history(history) {
+            report.violating += 1;
+            if report.example.is_none() {
+                report.example = Some(Violation {
+                    reason,
+                    history: history.clone(),
+                });
+            }
+        }
+        return;
+    }
+    for i in 0..procs.len() {
+        if procs[i].done() {
+            continue;
+        }
+        // Step process i by one instruction on a cloned world.
+        let mut d2 = deque.clone();
+        let mut p2 = procs.clone();
+        let pushed_hist = step_proc(&mut d2, &mut p2[i], i, step, history);
+        dfs(&mut d2, p2, step + 1, history, report);
+        if pushed_hist {
+            history.pop();
+        }
+    }
+}
+
+/// Advances one instruction of process `i`; returns true if an invocation
+/// completed (and was appended to `history`).
+fn step_proc(
+    deque: &mut SimDeque,
+    p: &mut ProcState,
+    proc_idx: usize,
+    step: u64,
+    history: &mut Vec<Invocation>,
+) -> bool {
+    if p.current.is_none() {
+        let kind = p.program[p.next_op];
+        p.next_op += 1;
+        let op = match kind {
+            ProgOp::Push(v) => DequeOp::push_bottom(v),
+            ProgOp::PopBottom => DequeOp::pop_bottom(),
+            ProgOp::PopTop => DequeOp::pop_top(),
+        };
+        p.current = Some((op, kind, step));
+    }
+    let (op, kind, start) = p.current.as_mut().unwrap();
+    let outcome = op.step(deque);
+    let (kind, start) = (*kind, *start);
+    match outcome {
+        StepOutcome::Continue => false,
+        done => {
+            let result = match done {
+                StepOutcome::PushDone => OpResult::Pushed,
+                StepOutcome::PopBottomDone(r) => OpResult::Popped(r),
+                StepOutcome::PopTopDone(r) => OpResult::Stolen(r),
+                StepOutcome::Continue => unreachable!(),
+            };
+            history.push(Invocation {
+                proc: proc_idx,
+                start,
+                end: step,
+                kind,
+                result,
+            });
+            p.current = None;
+            true
+        }
+    }
+}
+
+/// Checks one complete history against the relaxed semantics.
+fn check_history(history: &[Invocation]) -> Result<(), String> {
+    conservation(history)?;
+    aborts_excused(history)?;
+    linearizable(history)?;
+    Ok(())
+}
+
+/// Every pushed value consumed at most once; every consumed value was
+/// pushed. (Values in scenarios are unique by convention.)
+fn conservation(history: &[Invocation]) -> Result<(), String> {
+    let mut pushed = Vec::new();
+    let mut consumed = Vec::new();
+    for inv in history {
+        match inv.result {
+            OpResult::Pushed => {
+                if let ProgOp::Push(v) = inv.kind {
+                    pushed.push(v);
+                }
+            }
+            OpResult::Popped(Some(v)) => consumed.push(v),
+            OpResult::Stolen(SimSteal::Taken(v)) => consumed.push(v),
+            _ => {}
+        }
+    }
+    for &v in &consumed {
+        if !pushed.contains(&v) {
+            return Err(format!("value {v} consumed but never pushed"));
+        }
+    }
+    let mut sorted = consumed.clone();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(format!("value {} consumed twice", w[0]));
+        }
+    }
+    Ok(())
+}
+
+/// Every Abort must overlap a removal by another process (or trivially, an
+/// overlapping owner reset — any overlapping successful pop counts).
+fn aborts_excused(history: &[Invocation]) -> Result<(), String> {
+    for inv in history {
+        if inv.result != OpResult::Stolen(SimSteal::Abort) {
+            continue;
+        }
+        let excused = history.iter().any(|other| {
+            other.proc != inv.proc
+                && other.start <= inv.end
+                && other.end >= inv.start
+                && matches!(
+                    other.result,
+                    OpResult::Popped(Some(_)) | OpResult::Stolen(SimSteal::Taken(_))
+                        | OpResult::Popped(None)
+                )
+        });
+        if !excused {
+            return Err("popTop aborted with no overlapping removal".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Wing–Gong linearizability of the non-Abort invocations against a serial
+/// deque specification.
+fn linearizable(history: &[Invocation]) -> Result<(), String> {
+    let ops: Vec<&Invocation> = history
+        .iter()
+        .filter(|inv| inv.result != OpResult::Stolen(SimSteal::Abort))
+        .collect();
+    let mut linearized = vec![false; ops.len()];
+    let mut spec = VecDeque::new();
+    if lin_search(&ops, &mut linearized, &mut spec) {
+        Ok(())
+    } else {
+        Err("no linearization consistent with a serial deque".to_string())
+    }
+}
+
+fn lin_search(
+    ops: &[&Invocation],
+    linearized: &mut [bool],
+    spec: &mut VecDeque<u64>,
+) -> bool {
+    if linearized.iter().all(|&b| b) {
+        return true;
+    }
+    for i in 0..ops.len() {
+        if linearized[i] {
+            continue;
+        }
+        // `i` is a candidate only if no unlinearized op finished strictly
+        // before it started.
+        let minimal = (0..ops.len())
+            .all(|j| linearized[j] || j == i || ops[j].end >= ops[i].start);
+        if !minimal {
+            continue;
+        }
+        // Try linearizing op i here: replay on the spec.
+        let ok = match (ops[i].kind, ops[i].result) {
+            (ProgOp::Push(v), OpResult::Pushed) => {
+                spec.push_back(v);
+                true
+            }
+            (ProgOp::PopBottom, OpResult::Popped(r)) => {
+                if spec.back().copied() == r {
+                    if r.is_some() {
+                        spec.pop_back();
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v))) => {
+                if spec.front() == Some(&v) {
+                    spec.pop_front();
+                    true
+                } else {
+                    false
+                }
+            }
+            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Empty)) => spec.is_empty(),
+            other => panic!("malformed invocation {other:?}"),
+        };
+        if ok {
+            linearized[i] = true;
+            if lin_search(ops, linearized, spec) {
+                return true;
+            }
+            linearized[i] = false;
+        }
+        // Undo the spec mutation.
+        match (ops[i].kind, ops[i].result) {
+            (ProgOp::Push(_), OpResult::Pushed)
+                if ok => {
+                    spec.pop_back();
+                }
+            (ProgOp::PopBottom, OpResult::Popped(Some(v)))
+                if ok => {
+                    spec.push_back(v);
+                }
+            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v)))
+                if ok => {
+                    spec.push_front(v);
+                }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(ops: &[ProgOp]) -> Vec<ProgOp> {
+        ops.to_vec()
+    }
+
+    #[test]
+    fn single_thief_scenarios_pass_when_tagged() {
+        use ProgOp::*;
+        let scenarios = [
+            Scenario::new(vec![owner(&[Push(1), PopBottom]), vec![PopTop]]),
+            Scenario::new(vec![owner(&[Push(1), Push(2), PopBottom]), vec![PopTop]]),
+            Scenario::new(vec![
+                owner(&[Push(1), PopBottom, Push(2)]),
+                vec![PopTop],
+            ]),
+            Scenario::new(vec![
+                owner(&[Push(1), Push(2), PopBottom, PopBottom]),
+                vec![PopTop, PopTop],
+            ]),
+        ];
+        for (i, sc) in scenarios.iter().enumerate() {
+            let rep = explore(sc, true);
+            assert!(rep.histories > 0);
+            assert!(
+                rep.ok(),
+                "scenario {i} violated: {:?}",
+                rep.example.as_ref().map(|v| &v.reason)
+            );
+        }
+    }
+
+    #[test]
+    fn two_thieves_pass_when_tagged() {
+        use ProgOp::*;
+        let sc = Scenario::new(vec![
+            owner(&[Push(1), Push(2), PopBottom]),
+            vec![PopTop],
+            vec![PopTop],
+        ]);
+        let rep = explore(&sc, true);
+        assert!(rep.histories > 1000, "histories: {}", rep.histories);
+        assert!(
+            rep.ok(),
+            "violated: {:?}",
+            rep.example.as_ref().map(|v| &v.reason)
+        );
+    }
+
+    #[test]
+    fn untagged_aba_is_found() {
+        use ProgOp::*;
+        // The §3.3 scenario: the checker must find a violating
+        // interleaving for the untagged deque...
+        let sc = Scenario::new(vec![
+            owner(&[Push(1), PopBottom, Push(2)]),
+            vec![PopTop],
+        ]);
+        let rep = explore(&sc, false);
+        assert!(
+            !rep.ok(),
+            "untagged deque should violate the semantics somewhere in {} histories",
+            rep.histories
+        );
+        let ex = rep.example.unwrap();
+        assert!(
+            ex.reason.contains("consumed twice") || ex.reason.contains("no linearization"),
+            "unexpected reason: {}",
+            ex.reason
+        );
+        // ...and the same scenario must be clean with tags.
+        let rep_tagged = explore(&sc, true);
+        assert!(
+            rep_tagged.ok(),
+            "tagged: {:?}",
+            rep_tagged.example.as_ref().map(|v| &v.reason)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "good invocation sets")]
+    fn thief_cannot_push() {
+        Scenario::new(vec![vec![ProgOp::Push(1)], vec![ProgOp::Push(2)]]);
+    }
+
+    #[test]
+    fn conservation_detects_duplicate() {
+        let h = [
+            Invocation {
+                proc: 0,
+                start: 0,
+                end: 1,
+                kind: ProgOp::Push(7),
+                result: OpResult::Pushed,
+            },
+            Invocation {
+                proc: 0,
+                start: 2,
+                end: 3,
+                kind: ProgOp::PopBottom,
+                result: OpResult::Popped(Some(7)),
+            },
+            Invocation {
+                proc: 1,
+                start: 2,
+                end: 4,
+                kind: ProgOp::PopTop,
+                result: OpResult::Stolen(SimSteal::Taken(7)),
+            },
+        ];
+        assert!(conservation(&h).is_err());
+    }
+
+    #[test]
+    fn linearizability_rejects_wrong_order() {
+        // Two sequential (non-overlapping) pushes then a popTop of the
+        // *second* value: impossible serially.
+        let h = [
+            Invocation {
+                proc: 0,
+                start: 0,
+                end: 1,
+                kind: ProgOp::Push(1),
+                result: OpResult::Pushed,
+            },
+            Invocation {
+                proc: 0,
+                start: 2,
+                end: 3,
+                kind: ProgOp::Push(2),
+                result: OpResult::Pushed,
+            },
+            Invocation {
+                proc: 1,
+                start: 4,
+                end: 5,
+                kind: ProgOp::PopTop,
+                result: OpResult::Stolen(SimSteal::Taken(2)),
+            },
+        ];
+        assert!(linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn empty_steal_requires_observably_empty_spec() {
+        // popTop -> Empty while a pushed value sits in the deque the whole
+        // time and nothing overlaps: not linearizable.
+        let h = [
+            Invocation {
+                proc: 0,
+                start: 0,
+                end: 1,
+                kind: ProgOp::Push(1),
+                result: OpResult::Pushed,
+            },
+            Invocation {
+                proc: 1,
+                start: 2,
+                end: 3,
+                kind: ProgOp::PopTop,
+                result: OpResult::Stolen(SimSteal::Empty),
+            },
+        ];
+        assert!(linearizable(&h).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Machine-word element types for the lock-free deque.
+//!
+//! The ABP deque's array entries are read by thieves *concurrently* with
+//! possible overwrites by the owner; the algorithm discards stale reads via
+//! the `age` CAS, but at the memory-model level the slot accesses must be
+//! atomic. We therefore store elements in `AtomicU64` slots and restrict
+//! element types to those that round-trip through a `u64` — exactly the
+//! paper's model, where the deque holds pointers to thread objects.
+
+/// A value that fits losslessly in a single 64-bit machine word.
+///
+/// # Safety
+///
+/// Implementations must guarantee `from_word(to_word(x)) == x` for every
+/// value `x`, and `from_word` must be safe for any word previously produced
+/// by `to_word`. All provided implementations are plain integer casts.
+pub unsafe trait Word: Copy {
+    /// Encodes the value into a word.
+    fn to_word(self) -> u64;
+    /// Decodes a word previously produced by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+unsafe impl Word for u64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+unsafe impl Word for usize {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+unsafe impl Word for u32 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+unsafe impl Word for i64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        assert_eq!(usize::from_word(12345usize.to_word()), 12345);
+        assert_eq!(u32::from_word(u32::MAX.to_word()), u32::MAX);
+        assert_eq!(i64::from_word((-7i64).to_word()), -7);
+    }
+}

@@ -1,0 +1,231 @@
+//! Fork-join primitive: `join(a, b)` runs the two closures potentially in
+//! parallel and returns both results.
+//!
+//! On a worker thread this is the textbook work-stealing spawn: `b` is
+//! pushed onto the bottom of the worker's deque (the paper's *spawn*
+//! action, depth-first "latter choice"), `a` runs immediately, and the
+//! worker then reconciles with whatever happened to `b`:
+//!
+//! * still in our deque → pop it back and run it inline (the common,
+//!   allocation-free fast path);
+//! * stolen and finished → take the thief's result through the latch;
+//! * stolen and in progress → *wait by working*: execute other pending
+//!   jobs or steal from other workers until the latch sets (a process is
+//!   never idle while ready work exists — the scheduling loop's
+//!   discipline).
+//!
+//! Panics in either closure propagate to the caller; if `a` panics while
+//! `b` is stolen, we still wait for `b` to finish before unwinding, so no
+//! thief can touch a dead stack frame.
+
+use crate::job::{JobResult, StackJob};
+use crate::pool::{current_worker, WorkerCtx};
+use std::panic::AssertUnwindSafe;
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Outside a pool this degenerates to sequential calls.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some(w) => join_on_worker(w, oper_a, oper_b),
+        None => (oper_a(), oper_b()),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerCtx, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: job_b is kept alive (and this frame pinned) until either we
+    // pop it back or its latch is set — see the reconcile loop below.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    if !worker.push(job_ref) {
+        // Deque at capacity: run sequentially.
+        let ra = oper_a();
+        let rb = unsafe { job_b.run_inline() };
+        return (ra, rb);
+    }
+
+    let status_a = std::panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    // Reconcile job_b. This loop must complete before we can return *or*
+    // unwind, because job_b lives in this frame. `None` means we popped
+    // our own job back un-executed.
+    let result_b: Option<JobResult<RB>> = loop {
+        if job_b.latch.probe() {
+            break Some(unsafe { job_b.take_result() });
+        }
+        match worker.pop() {
+            Some(j) if j == job_ref => {
+                // Popped our own job back: nobody else will ever run it.
+                break None;
+            }
+            Some(j) => {
+                // A pending job from an enclosing join/scope: running it
+                // here is equivalent to it having been stolen.
+                unsafe { j.execute() };
+            }
+            None => {
+                // Deque empty and b still out with a thief: contribute by
+                // stealing elsewhere (includes the configured yield).
+                if let Some(j) = worker.find_distant_work() {
+                    unsafe { j.execute() };
+                }
+            }
+        }
+    };
+
+    match status_a {
+        Ok(ra) => {
+            let rb = match result_b {
+                Some(r) => r.into_return_value(),
+                // Fast path: b never left our deque; run it inline.
+                None => unsafe { job_b.run_inline() },
+            };
+            (ra, rb)
+        }
+        Err(p) => {
+            // Surface a's panic. b either completed on a thief (its
+            // result, panic payload included, is dropped) or was reclaimed
+            // un-run.
+            drop(result_b);
+            std::panic::resume_unwind(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolConfig, ThreadPool};
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_outside_pool_is_sequential() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn parallel_fib_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let r = pool.install(|| fib(18));
+        assert_eq!(r, 2584);
+    }
+
+    #[test]
+    fn join_with_borrows() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = pool.install(|| {
+            let (l, r) = join(|| data[..500].iter().sum::<u64>(), || data[500..].iter().sum::<u64>());
+            l + r
+        });
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let pool = ThreadPool::new(3);
+        fn depth_sum(d: u32) -> u64 {
+            if d == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| depth_sum(d - 1), || depth_sum(d - 1));
+            a + b
+        }
+        assert_eq!(pool.install(|| depth_sum(12)), 1 << 12);
+    }
+
+    #[test]
+    fn panic_in_a_propagates() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _ = join(|| panic!("a-side"), || 1 + 1);
+            })
+        }));
+        assert!(r.is_err());
+        // The pool must still be usable.
+        assert_eq!(pool.install(|| fib(10)), 55);
+    }
+
+    #[test]
+    fn panic_in_b_propagates() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _ = join(|| 1 + 1, || panic!("b-side"));
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| fib(10)), 55);
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.install(|| fib(15)), 610);
+    }
+
+    #[test]
+    fn growable_backend_never_overflows() {
+        let pool = ThreadPool::with_config(PoolConfig {
+            num_procs: 3,
+            // Pathologically tiny initial capacity: growth must kick in.
+            backend: crate::pool::Backend::AbpGrowable { initial_capacity: 2 },
+            ..PoolConfig::default()
+        });
+        assert_eq!(pool.install(|| fib(18)), 2584);
+    }
+
+    #[test]
+    fn locking_backend_works_too() {
+        let pool = ThreadPool::with_config(PoolConfig {
+            num_procs: 3,
+            backend: crate::pool::Backend::Locking,
+            ..PoolConfig::default()
+        });
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn steal_is_forced_when_a_waits_on_b() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // `a` cannot finish until `b` runs, and the worker executing `a`
+        // cannot run `b` itself (it is busy in `a`), so some other worker
+        // *must* steal `b` — a deterministic steal even on one core.
+        let pool = ThreadPool::new(4);
+        let flag = AtomicBool::new(false);
+        pool.install(|| {
+            join(
+                || {
+                    while !flag.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                },
+                || flag.store(true, Ordering::Release),
+            )
+        });
+        let stats = pool.stats();
+        assert!(stats.jobs > 0);
+        assert!(stats.steals >= 1, "no steal recorded: {stats:?}");
+    }
+}

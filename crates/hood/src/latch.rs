@@ -1,0 +1,137 @@
+//! Completion latches.
+//!
+//! A latch starts unset and is set exactly once, when the work it guards
+//! completes. Workers *wait* on latches by continuing to find and execute
+//! other work (never by blocking on a lock — the runtime is non-blocking
+//! in the same sense as the paper's scheduler); external threads wait on a
+//! [`LockLatch`], which may sleep.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A one-shot spin latch, probed by workers between work-finding attempts.
+#[derive(Debug, Default)]
+pub struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once set.
+    #[inline]
+    pub fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Sets the latch. Idempotent.
+    #[inline]
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A counting latch: starts at `n`, becomes ready when it reaches zero.
+/// Used by scopes to wait for all spawned jobs.
+#[derive(Debug)]
+pub struct CountLatch {
+    count: AtomicUsize,
+}
+
+impl CountLatch {
+    /// A latch expecting `n` completions.
+    pub fn new(n: usize) -> Self {
+        CountLatch {
+            count: AtomicUsize::new(n),
+        }
+    }
+
+    /// Registers one more expected completion.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completion.
+    pub fn decrement(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CountLatch underflow");
+    }
+
+    /// True when everything completed.
+    #[inline]
+    pub fn probe(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+}
+
+/// A blocking latch for threads *outside* the pool (the caller of
+/// `install`). Sleeping here is fine: the waiting thread is not one of the
+/// scheduler's processes.
+#[derive(Debug, Default)]
+pub struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the latch and wakes waiters.
+    pub fn set(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until set.
+    pub fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+        l.set(); // idempotent
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch() {
+        let l = CountLatch::new(2);
+        assert!(!l.probe());
+        l.decrement();
+        assert!(!l.probe());
+        l.increment();
+        l.decrement();
+        l.decrement();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_cross_thread() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        h.join().unwrap();
+    }
+}

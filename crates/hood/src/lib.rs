@@ -1,0 +1,41 @@
+//! **hood** — a user-level work-stealing runtime in the spirit of the
+//! authors' Hood C++ threads library, built on the non-blocking ABP deque.
+//!
+//! Worker threads are the paper's *processes*: a fixed collection onto
+//! which user-level work is scheduled, while the OS kernel (the paper's
+//! adversary) schedules the threads onto processors. Each worker owns an
+//! ABP deque of word-sized job pointers; idle workers yield and steal
+//! from uniformly random victims, exactly the Figure-3 loop.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hood::{ThreadPool, join};
+//!
+//! fn fib(n: u64) -> u64 {
+//!     if n < 2 { return n; }
+//!     let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+//!     a + b
+//! }
+//!
+//! let pool = ThreadPool::new(4);
+//! assert_eq!(pool.install(|| fib(16)), 987);
+//! ```
+//!
+//! Configuration ([`PoolConfig`]) exposes the paper's ablation axes: the
+//! deque backend (non-blocking ABP vs. a locking baseline) and whether
+//! thieves yield between steal attempts.
+
+pub mod job;
+pub mod join;
+pub mod latch;
+pub mod parallel;
+pub mod pool;
+pub mod scope;
+pub mod stats;
+
+pub use join::join;
+pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
+pub use pool::{Backend, PoolConfig, ThreadPool, WorkerCtx};
+pub use scope::{scope, Scope};
+pub use stats::{PoolStats, WorkerStats};

@@ -1,0 +1,256 @@
+//! Slice-level parallel helpers built on [`crate::join()`](crate::join::join): the small,
+//! practical API layer a downstream user reaches for before writing
+//! explicit joins (a deliberately minimal analog of data-parallel
+//! libraries' cores).
+//!
+//! All helpers are plain recursive divide-and-conquer over `join`, so
+//! they inherit the scheduler's properties: depth-first execution on one
+//! process, breadth-first stealing from many, and graceful degradation
+//! when the kernel takes processors away. Outside a pool they run
+//! sequentially. The `grain` parameter bounds leaf size; pick it so a
+//! leaf is ≥ a few microseconds of work.
+
+use crate::join::join;
+
+/// Applies `f` to every element, potentially in parallel.
+pub fn for_each_mut<T, F>(slice: &mut [T], grain: usize, f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let grain = grain.max(1);
+    if slice.len() <= grain {
+        for x in slice {
+            f(x);
+        }
+        return;
+    }
+    let mid = slice.len() / 2;
+    let (lo, hi) = slice.split_at_mut(mid);
+    join(|| for_each_mut(lo, grain, f), || for_each_mut(hi, grain, f));
+}
+
+/// Maps every element and folds the results with an associative
+/// `reduce`, returning `identity` for empty input. The reduction tree
+/// follows the recursion, so `reduce` must be associative and `identity`
+/// a two-sided identity for it; neither needs to be commutative.
+///
+/// ```
+/// use hood::{map_reduce, ThreadPool};
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.install(|| {
+///     let v: Vec<u64> = (1..=100).collect();
+///     map_reduce(&v, 8, 0u64, &|&x| x * x, &|a, b| a + b)
+/// });
+/// assert_eq!(squares, 100 * 101 * 201 / 6);
+/// ```
+pub fn map_reduce<T, R, M, Rd>(slice: &[T], grain: usize, identity: R, map: &M, reduce: &Rd) -> R
+where
+    T: Sync,
+    R: Send + Clone,
+    M: Fn(&T) -> R + Sync,
+    Rd: Fn(R, R) -> R + Sync,
+{
+    let grain = grain.max(1);
+    if slice.len() <= grain {
+        return slice.iter().map(map).fold(identity, reduce);
+    }
+    let mid = slice.len() / 2;
+    let (lo, hi) = slice.split_at(mid);
+    let id_hi = identity.clone();
+    let (a, b) = join(
+        || map_reduce(lo, grain, identity, map, reduce),
+        || map_reduce(hi, grain, id_hi, map, reduce),
+    );
+    reduce(a, b)
+}
+
+/// Parallel unstable sort (three-way quicksort with insertion-sorted
+/// leaves). Deterministic pivot choice keeps runs reproducible.
+pub fn sort_unstable<T: Ord + Send>(slice: &mut [T]) {
+    const GRAIN: usize = 512;
+    fn rec<T: Ord + Send>(v: &mut [T]) {
+        if v.len() <= GRAIN {
+            v.sort_unstable();
+            return;
+        }
+        // Median-of-three pivot.
+        let (a, b, c) = (0, v.len() / 2, v.len() - 1);
+        let med = if v[a] < v[b] {
+            if v[b] < v[c] { b } else if v[a] < v[c] { c } else { a }
+        } else if v[a] < v[c] {
+            a
+        } else if v[b] < v[c] {
+            c
+        } else {
+            b
+        };
+        v.swap(med, b);
+        // Three-way partition around v[b]'s value via index juggling.
+        let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
+        let mut pivot_at = b;
+        while i < gt {
+            use std::cmp::Ordering::*;
+            match v[i].cmp(&v[pivot_at]) {
+                Less => {
+                    if pivot_at == lt {
+                        pivot_at = i;
+                    }
+                    v.swap(lt, i);
+                    lt += 1;
+                    i += 1;
+                }
+                Greater => {
+                    gt -= 1;
+                    if pivot_at == gt {
+                        pivot_at = i;
+                    }
+                    v.swap(i, gt);
+                }
+                Equal => i += 1,
+            }
+        }
+        let (lo, rest) = v.split_at_mut(lt);
+        let hi = &mut rest[gt - lt..];
+        join(|| rec(lo), || rec(hi));
+    }
+    rec(slice);
+}
+
+/// Parallel map into a fresh `Vec`, preserving element order.
+pub fn map_collect<T, R, M>(slice: &[T], grain: usize, map: &M) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    M: Fn(&T) -> R + Sync,
+{
+    let mut out = vec![R::default(); slice.len()];
+    fill_map(slice, &mut out, grain.max(1), map);
+    out
+}
+
+fn fill_map<T, R, M>(input: &[T], output: &mut [R], grain: usize, map: &M)
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync,
+{
+    debug_assert_eq!(input.len(), output.len());
+    if input.len() <= grain {
+        for (o, i) in output.iter_mut().zip(input) {
+            *o = map(i);
+        }
+        return;
+    }
+    let mid = input.len() / 2;
+    let (in_lo, in_hi) = input.split_at(mid);
+    let (out_lo, out_hi) = output.split_at_mut(mid);
+    join(
+        || fill_map(in_lo, out_lo, grain, map),
+        || fill_map(in_hi, out_hi, grain, map),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn for_each_mut_touches_everything() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u64> = (0..10_000).collect();
+        pool.install(|| for_each_mut(&mut v, 64, &|x| *x *= 2));
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn for_each_empty_and_tiny() {
+        let pool = ThreadPool::new(2);
+        let mut empty: Vec<u32> = vec![];
+        pool.install(|| for_each_mut(&mut empty, 8, &|x| *x += 1));
+        let mut one = vec![5u32];
+        pool.install(|| for_each_mut(&mut one, 8, &|x| *x += 1));
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let pool = ThreadPool::new(4);
+        let v: Vec<u64> = (1..=10_000).collect();
+        let s = pool.install(|| map_reduce(&v, 128, 0u64, &|&x| x, &|a, b| a + b));
+        assert_eq!(s, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn map_reduce_non_commutative_associative() {
+        // String concatenation is associative but not commutative; order
+        // must be preserved.
+        let pool = ThreadPool::new(4);
+        let v: Vec<u32> = (0..200).collect();
+        let s = pool.install(|| {
+            map_reduce(
+                &v,
+                16,
+                String::new(),
+                &|x| format!("{x},"),
+                &|a, b| a + &b,
+            )
+        });
+        let expect: String = (0..200).map(|x| format!("{x},")).collect();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_identity() {
+        let v: Vec<u32> = vec![];
+        let r = map_reduce(&v, 8, 42u64, &|&x| x as u64, &|a, b| a + b);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn parallel_sort_sorts() {
+        use abp_dag::DetRng;
+        let pool = ThreadPool::new(4);
+        let mut rng = DetRng::new(99);
+        let mut v: Vec<u64> = (0..100_000).map(|_| rng.below(1_000)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.install(|| sort_unstable(&mut v));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn parallel_sort_edge_cases() {
+        let pool = ThreadPool::new(2);
+        let mut empty: Vec<u8> = vec![];
+        pool.install(|| sort_unstable(&mut empty));
+        let mut rev: Vec<u32> = (0..5_000).rev().collect();
+        pool.install(|| sort_unstable(&mut rev));
+        assert!(rev.windows(2).all(|w| w[0] <= w[1]));
+        let mut same = vec![7u8; 10_000];
+        pool.install(|| sort_unstable(&mut same));
+        assert!(same.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPool::new(3);
+        let v: Vec<u32> = (0..5_000).collect();
+        let out = pool.install(|| map_collect(&v, 100, &|&x| x as u64 * 3));
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn helpers_work_outside_pool_sequentially() {
+        let mut v = vec![3u32, 1, 2];
+        sort_unstable(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(map_reduce(&v, 1, 0u32, &|&x| x, &|a, b| a + b), 6);
+    }
+}

@@ -1,0 +1,419 @@
+//! The thread pool: `P` worker threads ("processes" in the paper's
+//! vocabulary), one ABP deque each, randomized stealing, and yields
+//! between steal attempts.
+//!
+//! The scheduling loop follows Figure 3: a worker executes its assigned
+//! job; completed jobs are replaced by popping the bottom of its own
+//! deque; an empty deque turns the worker into a thief that yields, picks
+//! a uniformly random victim, and tries `popTop` on the victim's deque.
+//! All inter-worker synchronization is non-blocking (the deque) except
+//! the optional parking of *completely idle* workers, which exists so an
+//! idle pool does not burn CPU — it is on a timeout and never holds locks
+//! around work, so it cannot reintroduce the preemption pathology the
+//! paper's non-blocking design eliminates.
+
+use crate::job::JobRef;
+use crate::latch::LockLatch;
+use crate::stats::{PoolStats, WorkerStats};
+use abp_dag::DetRng;
+use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which deque implementation backs each worker — the ablation axis for
+/// the paper's "non-blocking data structures are essential" claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The non-blocking ABP deque with the given (fixed) array capacity.
+    /// On overflow, jobs run inline — correct, just less parallel.
+    Abp { capacity: usize },
+    /// The growable ABP deque (epoch-reclaimed buffers): never overflows.
+    AbpGrowable { initial_capacity: usize },
+    /// A mutex-protected deque.
+    Locking,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Abp { capacity: 1 << 15 }
+    }
+}
+
+/// Pool construction parameters.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads (the paper's fixed process count `P`).
+    pub num_procs: usize,
+    pub backend: Backend,
+    /// Call `std::thread::yield_now` between failed steal scans — the
+    /// paper's `yield` (§4.4). Turning this off degrades sharply when
+    /// `P` exceeds the processors available.
+    pub yield_between_steals: bool,
+    /// Park an idle worker (100 µs timeout) after this many consecutive
+    /// failed scans; `None` = pure spinning, as in the original Hood.
+    pub park_after: Option<u32>,
+    /// Seed for victim selection.
+    pub seed: u64,
+    /// Worker thread stack size in bytes. Work stealing executes stolen
+    /// jobs on the thief's stack ("leapfrogging"), so deep recursive
+    /// workloads need headroom beyond the platform default.
+    pub stack_size: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            num_procs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            backend: Backend::default(),
+            yield_between_steals: true,
+            park_after: Some(64),
+            seed: 0xAB9,
+            stack_size: 8 * 1024 * 1024,
+        }
+    }
+}
+
+enum OwnerDeque {
+    Abp(Worker<usize>),
+    Growable(GrowableWorker<usize>),
+    Lock(LockingDeque<usize>),
+}
+
+enum StealerSide {
+    Abp(Stealer<usize>),
+    Growable(GrowableStealer<usize>),
+    Lock(LockingDeque<usize>),
+}
+
+impl StealerSide {
+    fn steal(&self) -> Steal<usize> {
+        match self {
+            StealerSide::Abp(s) => s.pop_top(),
+            StealerSide::Growable(s) => s.pop_top(),
+            StealerSide::Lock(d) => d.pop_top(),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    stealers: Vec<StealerSide>,
+    injector: Mutex<VecDeque<JobRef>>,
+    injected: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    pub(crate) stats: Vec<WorkerStats>,
+    yield_between_steals: bool,
+    park_after: Option<u32>,
+}
+
+impl Shared {
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().push_back(job);
+        self.injected.fetch_add(1, Ordering::Release);
+        self.sleep_cv.notify_all();
+    }
+
+    fn take_injected(&self) -> Option<JobRef> {
+        if self.injected.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock();
+        let job = q.pop_front();
+        if job.is_some() {
+            self.injected.fetch_sub(1, Ordering::Release);
+        }
+        job
+    }
+}
+
+/// Worker-thread-local context. A raw pointer to it lives in TLS while the
+/// worker runs.
+pub struct WorkerCtx {
+    index: usize,
+    deque: OwnerDeque,
+    shared: Arc<Shared>,
+    rng: RefCell<DetRng>,
+    fail_streak: Cell<u32>,
+}
+
+thread_local! {
+    static CURRENT: Cell<*const WorkerCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+/// The current worker context, if this thread is a pool worker.
+pub(crate) fn current_worker<'a>() -> Option<&'a WorkerCtx> {
+    let p = CURRENT.with(|c| c.get());
+    if p.is_null() {
+        None
+    } else {
+        // SAFETY: the pointer is set for exactly the lifetime of
+        // worker_main's stack frame on this thread.
+        Some(unsafe { &*p })
+    }
+}
+
+impl WorkerCtx {
+    /// Worker index within the pool.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    fn stats(&self) -> &WorkerStats {
+        &self.shared.stats[self.index]
+    }
+
+    /// `pushBottom`. Returns false if the (fixed-capacity) deque is full —
+    /// the caller then runs the job inline instead.
+    pub(crate) fn push(&self, job: JobRef) -> bool {
+        match &self.deque {
+            OwnerDeque::Abp(w) => w.push_bottom(job.to_word()).is_ok(),
+            OwnerDeque::Growable(w) => {
+                w.push_bottom(job.to_word());
+                true
+            }
+            OwnerDeque::Lock(d) => {
+                d.push_bottom(job.to_word());
+                true
+            }
+        }
+    }
+
+    /// `popBottom`.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let w = match &self.deque {
+            OwnerDeque::Abp(w) => w.pop_bottom(),
+            OwnerDeque::Growable(w) => w.pop_bottom(),
+            OwnerDeque::Lock(d) => d.pop_bottom(),
+        };
+        w.map(JobRef::from_word)
+    }
+
+    /// One full steal scan: yield (per config), then try every other
+    /// worker once in random order, then the injector.
+    pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
+        let shared = &*self.shared;
+        if shared.yield_between_steals {
+            self.stats().yields.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        }
+        let n = shared.stealers.len();
+        if n > 1 {
+            let start = self.rng.borrow_mut().below_usize(n - 1);
+            for k in 0..n - 1 {
+                let mut v = (start + k) % (n - 1);
+                if v >= self.index {
+                    v += 1;
+                }
+                self.stats().steal_attempts.fetch_add(1, Ordering::Relaxed);
+                match shared.stealers[v].steal() {
+                    Steal::Taken(w) => {
+                        self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(JobRef::from_word(w));
+                    }
+                    Steal::Abort => {
+                        self.stats().aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {}
+                }
+            }
+        }
+        shared.take_injected()
+    }
+
+    /// Executes other work (or yields) while waiting for `probe` to become
+    /// true; used by `join` when its second operand was stolen, and by
+    /// scopes. Never parks: a waiting worker keeps contributing.
+    pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
+        while !probe() {
+            if let Some(job) = self.pop().or_else(|| self.find_distant_work()) {
+                unsafe { job.execute() };
+                self.stats().jobs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn worker_main(ctx: WorkerCtx) {
+    CURRENT.with(|c| c.set(&ctx as *const WorkerCtx));
+    let shared = Arc::clone(&ctx.shared);
+    loop {
+        let job = ctx
+            .pop()
+            .or_else(|| ctx.find_distant_work());
+        match job {
+            Some(job) => {
+                ctx.fail_streak.set(0);
+                unsafe { job.execute() };
+                ctx.stats().jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let fails = ctx.fail_streak.get() + 1;
+                ctx.fail_streak.set(fails);
+                if let Some(limit) = shared.park_after {
+                    if fails >= limit {
+                        ctx.stats().parks.fetch_add(1, Ordering::Relaxed);
+                        let mut guard = shared.sleep_mutex.lock();
+                        // Re-check for work signals under the lock.
+                        if shared.injected.load(Ordering::Acquire) == 0
+                            && !shared.shutdown.load(Ordering::Acquire)
+                        {
+                            shared
+                                .sleep_cv
+                                .wait_for(&mut guard, Duration::from_micros(100));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CURRENT.with(|c| c.set(std::ptr::null()));
+}
+
+/// A work-stealing thread pool in the spirit of the authors' Hood library.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with `num_procs` workers and default configuration.
+    pub fn new(num_procs: usize) -> Self {
+        Self::with_config(PoolConfig {
+            num_procs,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// A pool with explicit configuration.
+    pub fn with_config(config: PoolConfig) -> Self {
+        assert!(config.num_procs >= 1);
+        let p = config.num_procs;
+        let mut owners = Vec::with_capacity(p);
+        let mut stealers = Vec::with_capacity(p);
+        for _ in 0..p {
+            match config.backend {
+                Backend::Abp { capacity } => {
+                    let (w, s) = abp_deque::new::<usize>(capacity);
+                    owners.push(OwnerDeque::Abp(w));
+                    stealers.push(StealerSide::Abp(s));
+                }
+                Backend::AbpGrowable { initial_capacity } => {
+                    let (w, s) = abp_deque::new_growable::<usize>(initial_capacity);
+                    owners.push(OwnerDeque::Growable(w));
+                    stealers.push(StealerSide::Growable(s));
+                }
+                Backend::Locking => {
+                    let d = LockingDeque::new();
+                    stealers.push(StealerSide::Lock(d.clone()));
+                    owners.push(OwnerDeque::Lock(d));
+                }
+            }
+        }
+        let shared = Arc::new(Shared {
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            injected: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            stats: (0..p).map(|_| WorkerStats::default()).collect(),
+            yield_between_steals: config.yield_between_steals,
+            park_after: config.park_after,
+        });
+        let mut seed_rng = DetRng::new(config.seed);
+        let handles = owners
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let ctx = WorkerCtx {
+                    index,
+                    deque,
+                    shared: Arc::clone(&shared),
+                    rng: RefCell::new(seed_rng.fork(index as u64)),
+                    fail_streak: Cell::new(0),
+                };
+                std::thread::Builder::new()
+                    .name(format!("hood-worker-{index}"))
+                    .stack_size(config.stack_size)
+                    .spawn(move || worker_main(ctx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// The process count `P`.
+    pub fn num_procs(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` inside the pool (so that [`crate::join()`](crate::join::join) and
+    /// [`crate::scope()`](crate::scope::scope) parallelize) and returns its result. Blocks the
+    /// calling thread until done. If already on a worker thread of this
+    /// pool, runs `f` directly.
+    ///
+    /// Calling this from a worker thread of a *different* pool blocks
+    /// that worker (it sleeps rather than work-steals) — mutual
+    /// cross-pool installs can therefore deadlock, exactly as in other
+    /// work-stealing runtimes. Prefer one pool, or acyclic pool
+    /// dependencies.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(w) = current_worker() {
+            if Arc::ptr_eq(&w.shared, &self.shared) {
+                return f();
+            }
+        }
+        let result: Mutex<Option<std::thread::Result<R>>> = Mutex::new(None);
+        let latch = LockLatch::new();
+        {
+            // SAFETY: we block on `latch` before leaving this scope, so
+            // every borrow the job captures outlives its execution, and
+            // the injector hands the job to exactly one worker.
+            let job = unsafe {
+                crate::job::HeapJob::into_job_ref(|| {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    *result.lock() = Some(r);
+                    latch.set();
+                })
+            };
+            self.shared.inject(job);
+            latch.wait();
+        }
+        match result
+            .into_inner()
+            .expect("install job did not produce a result")
+        {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Aggregate scheduler statistics since pool creation.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats::aggregate(&self.shared.stats)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sleep_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

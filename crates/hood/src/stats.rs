@@ -1,0 +1,82 @@
+//! Per-worker and aggregate scheduler statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by one worker. Padded to a cache line so workers
+/// never false-share their hot counters.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct WorkerStats {
+    /// Jobs executed (assigned-node executions, in the paper's terms).
+    pub jobs: AtomicU64,
+    /// `popTop` invocations completed against victims.
+    pub steal_attempts: AtomicU64,
+    /// Steal attempts that returned a job.
+    pub steals: AtomicU64,
+    /// Steal attempts that lost a `cas` race.
+    pub aborts: AtomicU64,
+    /// yield system calls between steal scans.
+    pub yields: AtomicU64,
+    /// Times this worker parked for lack of work.
+    pub parks: AtomicU64,
+}
+
+/// A point-in-time aggregate over all workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    pub jobs: u64,
+    pub steal_attempts: u64,
+    pub steals: u64,
+    pub aborts: u64,
+    pub yields: u64,
+    pub parks: u64,
+}
+
+impl PoolStats {
+    /// Sums the per-worker counters.
+    pub fn aggregate(workers: &[WorkerStats]) -> Self {
+        let mut s = PoolStats::default();
+        for w in workers {
+            s.jobs += w.jobs.load(Ordering::Relaxed);
+            s.steal_attempts += w.steal_attempts.load(Ordering::Relaxed);
+            s.steals += w.steals.load(Ordering::Relaxed);
+            s.aborts += w.aborts.load(Ordering::Relaxed);
+            s.yields += w.yields.load(Ordering::Relaxed);
+            s.parks += w.parks.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Fraction of completed steal attempts that succeeded.
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.steal_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums() {
+        let ws = [WorkerStats::default(), WorkerStats::default()];
+        ws[0].jobs.store(3, Ordering::Relaxed);
+        ws[1].jobs.store(4, Ordering::Relaxed);
+        ws[0].steals.store(1, Ordering::Relaxed);
+        ws[1].steal_attempts.store(10, Ordering::Relaxed);
+        let s = PoolStats::aggregate(&ws);
+        assert_eq!(s.jobs, 7);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.steal_attempts, 10);
+        assert!((s.steal_success_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate() {
+        assert_eq!(PoolStats::default().steal_success_rate(), 0.0);
+    }
+}

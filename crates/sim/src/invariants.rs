@@ -1,0 +1,325 @@
+//! Live checking of the paper's analysis machinery: the structural lemma
+//! (Lemma 3 / Corollary 4) and the potential function Φ (Section 4.2).
+//!
+//! The simulator calls into these trackers at the linearization points of
+//! deque operations and node executions, so the invariants are verified at
+//! exactly the granularity at which the paper states them.
+
+use abp_dag::{Dag, EnablingTree, NodeId};
+
+/// Checks Lemma 3 against one process's deque snapshot.
+///
+/// `assigned` is the process's assigned node `v₀` (if any); `deque_bottom_to_top`
+/// lists the deque contents `v₁ … v_k`. With `u_i` the designated parent
+/// of `v_i`, the lemma asserts `u_{i+1}` is an ancestor of `u_i` in the
+/// enabling tree — proper for `i ≥ 1`, possibly equal for `i = 0` — so the
+/// `u_i` lie on a root-to-leaf path. Corollary 4 then gives
+/// `w(v₀) ≤ w(v₁) < w(v₂) < … < w(v_k)`.
+///
+/// Returns `Err` with a description on the first violation.
+pub fn check_structural_lemma(
+    tree: &EnablingTree,
+    dag: &Dag,
+    assigned: Option<NodeId>,
+    deque_bottom_to_top: &[NodeId],
+) -> Result<(), String> {
+    // Build the v0..vk sequence (assigned first, then bottom→top).
+    let mut seq: Vec<NodeId> = Vec::with_capacity(deque_bottom_to_top.len() + 1);
+    if let Some(a) = assigned {
+        seq.push(a);
+    }
+    seq.extend_from_slice(deque_bottom_to_top);
+    if seq.len() <= 1 {
+        return Ok(());
+    }
+    // Designated parents must exist for every non-root node in the deque.
+    let parents: Vec<Option<NodeId>> = seq
+        .iter()
+        .map(|&v| {
+            if v == dag.root() {
+                None
+            } else {
+                tree.designated_parent(v)
+            }
+        })
+        .collect();
+    for (i, (&v, p)) in seq.iter().zip(&parents).enumerate() {
+        if v != dag.root() && p.is_none() {
+            return Err(format!("node {v} (position {i}) has no designated parent"));
+        }
+    }
+    // Ancestor chain: u_{i+1} ancestor of u_i; proper unless i == 0 and an
+    // assigned node exists (the paper's u1 = u0 case arises from a node
+    // enabling two children with the same designated parent).
+    let has_assigned = assigned.is_some();
+    for i in 0..seq.len() - 1 {
+        let (ui, ui1) = match (parents[i], parents[i + 1]) {
+            (Some(a), Some(b)) => (a, b),
+            // The root node can only be the assigned node (it is never in
+            // a deque after the first execution); treat its "parent" as a
+            // virtual super-root that everything descends from.
+            (None, _) | (_, None) => continue,
+        };
+        let equality_allowed = i == 0 && has_assigned;
+        if equality_allowed {
+            if !tree.is_ancestor(ui1, ui) {
+                return Err(format!(
+                    "u{} = {} is not an ancestor of u{} = {}",
+                    i + 1,
+                    ui1,
+                    i,
+                    ui
+                ));
+            }
+        } else if !tree.is_proper_ancestor(ui1, ui) {
+            return Err(format!(
+                "u{} = {} is not a proper ancestor of u{} = {}",
+                i + 1,
+                ui1,
+                i,
+                ui
+            ));
+        }
+    }
+    // Corollary 4: weights.
+    let w: Vec<u64> = seq.iter().map(|&v| tree.weight(v)).collect();
+    for i in 0..w.len() - 1 {
+        let strict = !(i == 0 && has_assigned);
+        if strict {
+            if w[i] >= w[i + 1] {
+                return Err(format!(
+                    "weights not strictly increasing toward the top: w({})={} vs w({})={}",
+                    seq[i],
+                    w[i],
+                    seq[i + 1],
+                    w[i + 1]
+                ));
+            }
+        } else if w[i] > w[i + 1] {
+            return Err(format!(
+                "assigned node heavier than bottom deque node: w({})={} vs w({})={}",
+                seq[i],
+                w[i],
+                seq[i + 1],
+                w[i + 1]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Where a ready node sits, for potential accounting: assigned nodes
+/// contribute `3^{2w-1}`, deque nodes `3^{2w}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyState {
+    Assigned,
+    InDeque,
+}
+
+/// Tracks the potential `Φ = Σ φ(u)` over ready nodes, in log space
+/// (exponents reach `3^{2·T∞}`, far beyond any fixed-width integer).
+///
+/// `φ(u) = 3^{2w(u)-1}` if `u` is assigned, `3^{2w(u)}` if it is in a
+/// deque. Potential transitions are all decreases:
+/// * assignment of a deque node: `3^{2w} → 3^{2w-1}` (factor 2/3 of Φ(u) removed);
+/// * execution enabling children: children are one level deeper.
+#[derive(Debug)]
+pub struct PotentialTracker {
+    /// exponent (in units of ln 3) per ready node, or None if not ready.
+    exponent: Vec<Option<i64>>,
+    /// Number of ready nodes.
+    ready: usize,
+}
+
+impl PotentialTracker {
+    /// A tracker with the root assigned (the initial state, Φ = 3^{2·T∞−1}).
+    pub fn new(dag: &Dag, tree: &EnablingTree) -> Self {
+        let mut t = PotentialTracker {
+            exponent: vec![None; dag.num_nodes()],
+            ready: 0,
+        };
+        t.insert(dag.root(), ReadyState::Assigned, tree);
+        t
+    }
+
+    fn phi_exponent(tree: &EnablingTree, u: NodeId, state: ReadyState) -> i64 {
+        let w = tree.weight(u) as i64;
+        match state {
+            ReadyState::Assigned => 2 * w - 1,
+            ReadyState::InDeque => 2 * w,
+        }
+    }
+
+    /// Node `u` became ready in the given state.
+    pub fn insert(&mut self, u: NodeId, state: ReadyState, tree: &EnablingTree) {
+        debug_assert!(self.exponent[u.index()].is_none(), "{u} already ready");
+        self.exponent[u.index()] = Some(Self::phi_exponent(tree, u, state));
+        self.ready += 1;
+    }
+
+    /// Node `u` moved from a deque to assigned (pop or steal).
+    pub fn assign(&mut self, u: NodeId, tree: &EnablingTree) {
+        let e = Self::phi_exponent(tree, u, ReadyState::Assigned);
+        let old = self.exponent[u.index()].expect("assigning a non-ready node");
+        debug_assert!(e < old, "assignment must lower the exponent");
+        self.exponent[u.index()] = Some(e);
+    }
+
+    /// Node `u` was executed and is no longer ready.
+    pub fn remove(&mut self, u: NodeId) {
+        debug_assert!(self.exponent[u.index()].is_some());
+        self.exponent[u.index()] = None;
+        self.ready -= 1;
+    }
+
+    /// Number of ready nodes.
+    pub fn ready_count(&self) -> usize {
+        self.ready
+    }
+
+    /// `ln Φ` via a log-sum-exp over ready nodes (O(ready)); `-inf` when
+    /// no node is ready (termination).
+    pub fn log_potential(&self) -> f64 {
+        const LN3: f64 = 1.0986122886681098;
+        let mut max_e = i64::MIN;
+        for e in self.exponent.iter().flatten() {
+            max_e = max_e.max(*e);
+        }
+        if max_e == i64::MIN {
+            return f64::NEG_INFINITY;
+        }
+        let mut sum = 0.0f64;
+        for e in self.exponent.iter().flatten() {
+            sum += (((e - max_e) as f64) * LN3).exp();
+        }
+        max_e as f64 * LN3 + sum.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_dag::examples::figure1;
+
+    /// Replays the depth-first execution of Figure 1 and checks that the
+    /// structural lemma accepts all intermediate honest states and that Φ
+    /// strictly decreases.
+    #[test]
+    fn figure1_potential_monotone() {
+        let (d, f) = figure1();
+        let [v1, v2, v3, v4, v10, v11] = f.root_nodes;
+        let [v5, v6, v7, v8, v9] = f.child_nodes;
+        let mut tree = EnablingTree::new(&d);
+        let mut pot = PotentialTracker::new(&d, &tree);
+        let mut remaining: Vec<usize> = (0..d.num_nodes())
+            .map(|i| d.in_degree(NodeId(i as u32)))
+            .collect();
+        let order = [v1, v2, v5, v6, v3, v4, v7, v8, v9, v10, v11];
+        let mut last = pot.log_potential();
+        for &u in &order {
+            // Execute u: remove it, enable children (assigned/deque choice
+            // immaterial for monotonicity as long as at most one is
+            // Assigned).
+            pot.remove(u);
+            let mut enabled = Vec::new();
+            for &(v, _) in d.succs(u) {
+                remaining[v.index()] -= 1;
+                if remaining[v.index()] == 0 {
+                    tree.record(u, v);
+                    enabled.push(v);
+                }
+            }
+            for (i, &v) in enabled.iter().enumerate() {
+                let st = if i == 0 {
+                    ReadyState::Assigned
+                } else {
+                    ReadyState::InDeque
+                };
+                pot.insert(v, st, &tree);
+            }
+            let now = pot.log_potential();
+            assert!(
+                now < last || now == f64::NEG_INFINITY,
+                "potential did not decrease at {u}: {last} -> {now}"
+            );
+            last = now;
+        }
+        assert_eq!(pot.ready_count(), 0);
+        assert_eq!(last, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn initial_potential_is_root_weight() {
+        let (d, _) = figure1();
+        let tree = EnablingTree::new(&d);
+        let pot = PotentialTracker::new(&d, &tree);
+        const LN3: f64 = 1.0986122886681098;
+        let expect = ((2 * d.critical_path() - 1) as f64) * LN3;
+        assert!((pot.log_potential() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_lowers_potential() {
+        let (d, f) = figure1();
+        let mut tree = EnablingTree::new(&d);
+        let mut pot = PotentialTracker::new(&d, &tree);
+        let [v1, v2, ..] = f.root_nodes;
+        let v5 = f.child_nodes[0];
+        // Execute v1 (enables v2 assigned), execute v2 (enables v3 deque +
+        // v5 assigned); then "steal" v3: assign it.
+        pot.remove(v1);
+        tree.record(v1, v2);
+        pot.insert(v2, ReadyState::Assigned, &tree);
+        pot.remove(v2);
+        let v3 = f.root_nodes[2];
+        tree.record(v2, v3);
+        tree.record(v2, v5);
+        pot.insert(v5, ReadyState::Assigned, &tree);
+        pot.insert(v3, ReadyState::InDeque, &tree);
+        let before = pot.log_potential();
+        pot.assign(v3, &tree);
+        let after = pot.log_potential();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn structural_lemma_accepts_spawn_shape() {
+        // After v2 spawns: assigned v5, deque [v3]; both have designated
+        // parent v2 — the u1 == u0 case.
+        let (d, f) = figure1();
+        let [v1, v2, v3, ..] = f.root_nodes;
+        let v5 = f.child_nodes[0];
+        let mut tree = EnablingTree::new(&d);
+        tree.record(v1, v2);
+        tree.record(v2, v3);
+        tree.record(v2, v5);
+        check_structural_lemma(&tree, &d, Some(v5), &[v3]).unwrap();
+    }
+
+    #[test]
+    fn structural_lemma_rejects_shuffled_deque() {
+        // Construct an illegal state: deque ordered the wrong way.
+        let (d, f) = figure1();
+        let [v1, v2, v3, ..] = f.root_nodes;
+        let [v5, v6, v7, ..] = f.child_nodes;
+        let mut tree = EnablingTree::new(&d);
+        tree.record(v1, v2);
+        tree.record(v2, v3);
+        tree.record(v2, v5);
+        tree.record(v5, v6);
+        tree.record(v6, v7);
+        // Honest state would be assigned v7, deque [v3] — instead claim
+        // the deque holds [v3, v7] with v7 on top (weights increase the
+        // wrong way).
+        let err = check_structural_lemma(&tree, &d, None, &[v3, v7]).unwrap_err();
+        assert!(err.contains("not") || err.contains("weights"), "{err}");
+    }
+
+    #[test]
+    fn structural_lemma_trivial_states_ok() {
+        let (d, _) = figure1();
+        let tree = EnablingTree::new(&d);
+        check_structural_lemma(&tree, &d, Some(d.root()), &[]).unwrap();
+        check_structural_lemma(&tree, &d, None, &[]).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic instruction-level execution of the ABP non-blocking work
+//! stealer under adversarial kernels, plus the offline scheduling theory
+//! of Section 2.
+//!
+//! * [`ws`] — the Figure-3 scheduling loop at instruction granularity:
+//!   rounds, milestones, throws, yields, with configurable deque backend
+//!   (ABP / untagged / locking) and assignment policy;
+//! * [`offline`] — greedy and Brent level-by-level execution schedules,
+//!   the Figure-2 reproduction, and Theorem 1/2 bound checks;
+//! * [`invariants`] — live verification of the structural lemma (Lemma 3 /
+//!   Corollary 4) and the potential function Φ (Section 4.2);
+//! * [`metrics`] — the per-run [`RunReport`] with the paper's bound
+//!   ratios.
+
+pub mod central;
+pub mod invariants;
+pub mod locked_deque;
+pub mod metrics;
+pub mod offline;
+pub mod trace;
+pub mod ws;
+
+pub use central::{run_central, CentralConfig};
+pub use metrics::{PhaseStats, RunReport};
+pub use trace::{ActivityBreakdown, RoundActivity, Trace};
+pub use offline::{brent, figure2_execution, greedy, optimal_length, ExecutionSchedule};
+pub use ws::{run_ws, AssignPolicy, DequeBackend, WorkStealer, WsConfig, MILESTONE_C};

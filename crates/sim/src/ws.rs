@@ -1,0 +1,959 @@
+//! The non-blocking work stealer (Figure 3), executed one instruction at a
+//! time under an adversarial kernel.
+//!
+//! Every process runs the scheduling loop as a small state machine whose
+//! transitions each consume exactly one *instruction*:
+//!
+//! * executing the assigned node — 1 instruction (a **milestone**);
+//! * a deque operation — 1 instruction per shared-memory access of the
+//!   Figure-5 pseudocode ([`abp_deque::sim_deque`]), with `popTop`
+//!   completion a **milestone**;
+//! * `yield` and victim selection — 1 instruction each.
+//!
+//! The kernel schedules *rounds* (§4.1): each round it picks a set of
+//! processes (filtered through the yield constraints), and every chosen
+//! process executes between `2C` and `3C` instructions, where
+//! [`MILESTONE_C`] is large enough that any `C` consecutive instructions
+//! of a process contain a milestone. A steal attempt completing at its
+//! process's *second* milestone of a round is a **throw** — the quantity
+//! the analysis of Section 4 counts.
+
+use crate::invariants::{check_structural_lemma, PotentialTracker, ReadyState};
+use crate::trace::{RoundActivity, Trace};
+use crate::locked_deque::{LockKind, LockOp, LockStepOutcome, LockedSimDeque, LockedSteal};
+use crate::metrics::{PhaseStats, RunReport};
+use abp_dag::{Dag, DetRng, EnablingTree, NodeId, ProcId};
+use abp_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
+use abp_kernel::{Kernel, KernelView, YieldLedger, YieldPolicy};
+
+/// The milestone constant `C`: any `C` consecutive instructions executed
+/// by a process include a milestone. The longest milestone-free stretch is
+/// a full `popBottom` returning NIL (7) followed by yield (1), victim
+/// selection (1), and all but the last step of a `popTop` (3) — 12
+/// instructions, plus slack.
+pub const MILESTONE_C: u32 = 16;
+
+/// Which deque implementation the scheduler uses — the A1 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DequeBackend {
+    /// The non-blocking ABP deque (the paper's algorithm).
+    #[default]
+    Abp,
+    /// The ABP deque with the tag mechanism disabled (§3.3's broken
+    /// variant) — for demonstrations; unsafe.
+    AbpUntagged,
+    /// A blocking, lock-based deque.
+    Locking,
+}
+
+/// When a node's execution enables two children, which becomes the new
+/// assigned node (the paper proves its bounds for either choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignPolicy {
+    /// Assign the spawned/enabled thread's node, push the continuation —
+    /// the depth-first order Cilk uses (the paper's "latter choice").
+    #[default]
+    SpawnFirst,
+    /// Keep executing the current thread, push the newly enabled node.
+    ContinueFirst,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct WsConfig {
+    pub yield_policy: YieldPolicy,
+    pub backend: DequeBackend,
+    pub assign: AssignPolicy,
+    /// Seed for victim selection and quantum jitter.
+    pub seed: u64,
+    /// Abort the run after this many rounds (starvation protection for
+    /// adversaries that defeat the configuration under test).
+    pub max_rounds: u64,
+    /// Check Lemma 3 / Corollary 4 at every deque-operation completion.
+    pub check_structural: bool,
+    /// Check Φ monotonicity at every round boundary (O(nodes) per round).
+    pub check_potential: bool,
+    /// Collect Lemma-8 phase statistics (phases of ≥ P throws).
+    pub track_phases: bool,
+    /// Record a full per-round activity [`Trace`] (adds O(P) per round
+    /// plus one entry per steal attempt).
+    pub trace: bool,
+}
+
+impl Default for WsConfig {
+    fn default() -> Self {
+        WsConfig {
+            yield_policy: YieldPolicy::ToAll,
+            backend: DequeBackend::Abp,
+            assign: AssignPolicy::SpawnFirst,
+            seed: 0x5EED,
+            max_rounds: 50_000_000,
+            check_structural: false,
+            check_potential: false,
+            track_phases: false,
+            trace: false,
+        }
+    }
+}
+
+/// An in-flight deque operation on either backend.
+enum AnyOp {
+    Sim(DequeOp),
+    Locked(LockOp),
+}
+
+/// Unified completion result.
+enum OpDone {
+    NotDone,
+    Push,
+    PopBottom(Option<u64>),
+    PopTop(Option<u64>, /*was_abort:*/ bool),
+}
+
+/// What a process is doing, at instruction granularity.
+enum Phase {
+    /// Top of the scheduling loop: execute assigned node or start
+    /// stealing.
+    Loop,
+    /// `popBottom` in progress after the assigned thread died/blocked.
+    PoppingBottom(AnyOp),
+    /// `pushBottom(child)` in progress after enabling two children.
+    Pushing(AnyOp),
+    /// About to perform the yield system call.
+    Yielding,
+    /// About to pick a victim.
+    PickingVictim,
+    /// `popTop` on the victim's deque in progress.
+    Stealing { victim: usize, op: AnyOp },
+}
+
+struct Proc {
+    assigned: Option<NodeId>,
+    phase: Phase,
+    milestones_this_round: u32,
+    rng: DetRng,
+}
+
+/// One of the two deque arrays, depending on backend.
+enum Deques {
+    Sim(Vec<SimDeque>),
+    Locked(Vec<LockedSimDeque>),
+}
+
+impl Deques {
+    fn len_of(&self, i: usize) -> usize {
+        match self {
+            Deques::Sim(v) => v[i].len(),
+            Deques::Locked(v) => v[i].len(),
+        }
+    }
+
+    fn contents_bottom_to_top(&self, i: usize) -> Vec<u64> {
+        match self {
+            Deques::Sim(v) => {
+                let mut c = v[i].contents();
+                c.reverse(); // contents() is top→bottom
+                c
+            }
+            Deques::Locked(v) => v[i].contents_bottom_to_top(),
+        }
+    }
+}
+
+/// The full simulator state for one run.
+pub struct WorkStealer<'a> {
+    dag: &'a Dag,
+    config: WsConfig,
+    procs: Vec<Proc>,
+    deques: Deques,
+    remaining_preds: Vec<u32>,
+    executed: Vec<bool>,
+    tree: EnablingTree,
+    potential: PotentialTracker,
+    done: bool,
+    // measurement
+    executed_count: u64,
+    steal_attempts: u64,
+    successful_steals: u64,
+    throws: u64,
+    yields: u64,
+    structural_violations: u64,
+    potential_violations: u64,
+    milestone_violations: u64,
+    last_log_potential: f64,
+    phase_throws: u64,
+    phase_start_potential: f64,
+    phase_stats: PhaseStats,
+    ledger: YieldLedger,
+    quantum_rng: DetRng,
+    trace: Trace,
+    round_executed: Vec<bool>,
+    round_attempted: Vec<bool>,
+    round_stole: Vec<bool>,
+}
+
+impl<'a> WorkStealer<'a> {
+    /// Prepares a run of `dag` on `p` processes.
+    pub fn new(dag: &'a Dag, p: usize, config: WsConfig) -> Self {
+        assert!(p >= 1);
+        let mut seed_rng = DetRng::new(config.seed);
+        let procs = (0..p)
+            .map(|i| Proc {
+                assigned: if i == 0 { Some(dag.root()) } else { None },
+                phase: Phase::Loop,
+                milestones_this_round: 0,
+                rng: seed_rng.fork(i as u64),
+            })
+            .collect();
+        let deques = match config.backend {
+            DequeBackend::Abp => Deques::Sim((0..p).map(|_| SimDeque::new()).collect()),
+            DequeBackend::AbpUntagged => {
+                Deques::Sim((0..p).map(|_| SimDeque::with_tagging(false)).collect())
+            }
+            DequeBackend::Locking => {
+                Deques::Locked((0..p).map(|_| LockedSimDeque::new()).collect())
+            }
+        };
+        let tree = EnablingTree::new(dag);
+        let potential = PotentialTracker::new(dag, &tree);
+        let last_log_potential = potential.log_potential();
+        WorkStealer {
+            dag,
+            procs,
+            deques,
+            remaining_preds: (0..dag.num_nodes())
+                .map(|i| dag.in_degree(NodeId(i as u32)) as u32)
+                .collect(),
+            executed: vec![false; dag.num_nodes()],
+            tree,
+            phase_start_potential: last_log_potential,
+            potential,
+            done: false,
+            executed_count: 0,
+            steal_attempts: 0,
+            successful_steals: 0,
+            throws: 0,
+            yields: 0,
+            structural_violations: 0,
+            potential_violations: 0,
+            milestone_violations: 0,
+            last_log_potential,
+            phase_throws: 0,
+            phase_stats: PhaseStats::default(),
+            ledger: YieldLedger::new(p),
+            quantum_rng: DetRng::new(config.seed ^ 0x9E3779B97F4A7C15),
+            trace: Trace::default(),
+            round_executed: vec![false; p],
+            round_attempted: vec![false; p],
+            round_stole: vec![false; p],
+            config,
+        }
+    }
+
+    /// Runs the scheduling loop under `kernel` until the final node
+    /// executes or `max_rounds` elapse.
+    pub fn run(mut self, kernel: &mut dyn Kernel) -> RunReport {
+        assert_eq!(kernel.num_procs(), self.procs.len());
+        let p = self.procs.len();
+        let mut rounds = 0u64;
+        let mut proc_rounds = 0u64;
+        let mut instructions = 0u64;
+        let mut wall_steps = 0u64;
+        let use_yields = self.config.yield_policy != YieldPolicy::None;
+
+        let mut has_assigned = vec![false; p];
+        let mut deque_len = vec![0usize; p];
+        let mut in_cs = vec![false; p];
+
+        while !self.done && rounds < self.config.max_rounds {
+            rounds += 1;
+            for i in 0..p {
+                has_assigned[i] = self.procs[i].assigned.is_some();
+                deque_len[i] = self.deques.len_of(i);
+            }
+            // Lock-holder visibility (adaptive adversaries may exploit
+            // this; trivially all-false for the non-blocking backends).
+            in_cs.fill(false);
+            if let Deques::Locked(dq) = &self.deques {
+                for d in dq {
+                    if let Some(h) = d.holder() {
+                        in_cs[h as usize] = true;
+                    }
+                }
+            }
+            let view = KernelView {
+                round: rounds,
+                has_assigned: &has_assigned,
+                deque_len: &deque_len,
+                in_critical_section: &in_cs,
+            };
+            let raw = kernel.choose(&view);
+            let chosen = if use_yields {
+                self.ledger.enforce(&raw)
+            } else {
+                raw
+            };
+            proc_rounds += chosen.len() as u64;
+
+            // Quanta: the kernel grants each scheduled process 2C..3C
+            // instructions (its choice; here jittered deterministically).
+            let scheduled: Vec<usize> = chosen.iter().map(|q| q.index()).collect();
+            let quanta: Vec<u64> = scheduled
+                .iter()
+                .map(|_| {
+                    self.quantum_rng
+                        .range_inclusive(2 * MILESTONE_C as u64, 3 * MILESTONE_C as u64)
+                })
+                .collect();
+            for &i in &scheduled {
+                self.procs[i].milestones_this_round = 0;
+            }
+            if self.config.trace {
+                self.trace.deque_depths.push(deque_len.clone());
+                self.round_executed.fill(false);
+                self.round_attempted.fill(false);
+                self.round_stole.fill(false);
+            }
+            // Interleave instruction-by-instruction in round-robin order
+            // with a random starting offset (the kernel may interleave
+            // arbitrarily; this realizes one adversary-ish choice).
+            let offset = if scheduled.is_empty() {
+                0
+            } else {
+                self.quantum_rng.below_usize(scheduled.len())
+            };
+            let max_q = quanta.iter().copied().max().unwrap_or(0);
+            'round: for step in 0..max_q {
+                for k in 0..scheduled.len() {
+                    let idx = (k + offset) % scheduled.len();
+                    if step < quanta[idx] {
+                        let proc = scheduled[idx];
+                        self.instruction(proc);
+                        instructions += 1;
+                        if self.done {
+                            break 'round;
+                        }
+                    }
+                }
+            }
+            wall_steps += max_q;
+
+            if use_yields {
+                self.ledger.note_scheduled(&chosen);
+            }
+            // Milestone accounting: every scheduled process that received a
+            // full quantum must have hit ≥ 2 milestones (§4.1) — guaranteed
+            // for the non-blocking backends, and precisely what the
+            // Locking backend loses.
+            if !self.done && self.config.backend != DequeBackend::Locking {
+                for (pos, &i) in scheduled.iter().enumerate() {
+                    if quanta[pos] >= 2 * MILESTONE_C as u64
+                        && self.procs[i].milestones_this_round < 2
+                    {
+                        self.milestone_violations += 1;
+                    }
+                }
+            }
+            if self.config.trace {
+                let row: Vec<RoundActivity> = (0..p)
+                    .map(|i| {
+                        if !scheduled.contains(&i) {
+                            RoundActivity::Unscheduled
+                        } else if self.round_stole[i] {
+                            RoundActivity::Stealing
+                        } else if self.round_executed[i] {
+                            RoundActivity::Working
+                        } else if self.round_attempted[i] {
+                            RoundActivity::Thieving
+                        } else {
+                            RoundActivity::Stalled
+                        }
+                    })
+                    .collect();
+                self.trace.rounds.push(row);
+            }
+            if self.config.check_potential {
+                let now = self.potential.log_potential();
+                if now > self.last_log_potential + 1e-9 {
+                    self.potential_violations += 1;
+                }
+                self.last_log_potential = now;
+            }
+        }
+
+        let pa = if rounds == 0 {
+            0.0
+        } else {
+            proc_rounds as f64 / rounds as f64
+        };
+        RunReport {
+            rounds,
+            proc_rounds,
+            instructions,
+            wall_steps,
+            pa,
+            work: self.dag.work(),
+            critical_path: self.dag.critical_path(),
+            procs: p,
+            executed: self.executed_count,
+            steal_attempts: self.steal_attempts,
+            successful_steals: self.successful_steals,
+            throws: self.throws,
+            yields: self.yields,
+            completed: self.done,
+            structural_violations: self.structural_violations,
+            potential_violations: self.potential_violations,
+            milestone_violations: self.milestone_violations,
+            phases: if self.config.track_phases {
+                Some(self.phase_stats.clone())
+            } else {
+                None
+            },
+            trace: if self.config.trace {
+                Some(std::mem::take(&mut self.trace))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Executes one instruction of process `i`.
+    fn instruction(&mut self, i: usize) {
+        // Temporarily take the phase to appease the borrow checker.
+        let phase = std::mem::replace(&mut self.procs[i].phase, Phase::Loop);
+        let next = match phase {
+            Phase::Loop => self.at_loop_top(i),
+            Phase::PoppingBottom(op) => self.step_pop_bottom(i, op),
+            Phase::Pushing(op) => self.step_push(i, op),
+            Phase::Yielding => {
+                self.yields += 1;
+                match self.config.yield_policy {
+                    YieldPolicy::None => unreachable!("Yielding phase with no yield policy"),
+                    YieldPolicy::ToRandom => {
+                        let target = self.random_other(i);
+                        self.ledger
+                            .yield_to_random(ProcId(i as u32), ProcId(target as u32));
+                    }
+                    YieldPolicy::ToAll => self.ledger.yield_to_all(ProcId(i as u32)),
+                }
+                Phase::PickingVictim
+            }
+            Phase::PickingVictim => {
+                let victim = self.random_other(i);
+                Phase::Stealing {
+                    victim,
+                    op: self.new_op(LockKind::PopTop),
+                }
+            }
+            Phase::Stealing { victim, op } => self.step_steal(i, victim, op),
+        };
+        self.procs[i].phase = next;
+    }
+
+    /// Top of the scheduling loop: execute the assigned node, or begin a
+    /// steal attempt.
+    fn at_loop_top(&mut self, i: usize) -> Phase {
+        match self.procs[i].assigned {
+            Some(u) => self.execute_node(i, u),
+            None => {
+                if self.config.yield_policy == YieldPolicy::None {
+                    // Line 15 removed: go straight to victim selection.
+                    let victim = self.random_other(i);
+                    Phase::Stealing {
+                        victim,
+                        op: self.new_op(LockKind::PopTop),
+                    }
+                } else {
+                    Phase::Yielding
+                }
+            }
+        }
+    }
+
+    /// Executes assigned node `u` (one instruction; a milestone).
+    fn execute_node(&mut self, i: usize, u: NodeId) -> Phase {
+        debug_assert!(!self.executed[u.index()], "{u} executed twice");
+        debug_assert_eq!(self.remaining_preds[u.index()], 0, "{u} executed while not ready");
+        self.executed[u.index()] = true;
+        self.executed_count += 1;
+        if self.config.trace {
+            self.round_executed[i] = true;
+        }
+        self.milestone(i, false);
+        self.potential.remove(u);
+        if u == self.dag.final_node() {
+            self.done = true;
+            self.procs[i].assigned = None;
+            return Phase::Loop;
+        }
+        // Determine enabled children.
+        let mut enabled: Vec<(NodeId, abp_dag::EdgeKind)> = Vec::with_capacity(2);
+        for &(v, kind) in self.dag.succs(u) {
+            self.remaining_preds[v.index()] -= 1;
+            if self.remaining_preds[v.index()] == 0 {
+                self.tree.record(u, v);
+                enabled.push((v, kind));
+            }
+        }
+        match enabled.len() {
+            0 => {
+                // Die or block: get new work from the bottom of the deque.
+                self.procs[i].assigned = None;
+                Phase::PoppingBottom(self.new_op(LockKind::PopBottom))
+            }
+            1 => {
+                let (v, _) = enabled[0];
+                self.procs[i].assigned = Some(v);
+                self.potential.insert(v, ReadyState::Assigned, &self.tree);
+                Phase::Loop
+            }
+            _ => {
+                // Enable or spawn: one child is assigned, the other pushed.
+                let (a, b) = self.pick_assignment(enabled[0], enabled[1]);
+                self.procs[i].assigned = Some(a);
+                self.potential.insert(a, ReadyState::Assigned, &self.tree);
+                self.potential.insert(b, ReadyState::InDeque, &self.tree);
+                Phase::Pushing(self.new_op(LockKind::Push(b.index() as u64)))
+            }
+        }
+    }
+
+    /// Chooses (assigned, pushed) among two enabled children per policy.
+    fn pick_assignment(
+        &self,
+        x: (NodeId, abp_dag::EdgeKind),
+        y: (NodeId, abp_dag::EdgeKind),
+    ) -> (NodeId, NodeId) {
+        use abp_dag::EdgeKind::Continue;
+        let (cont, other) = if x.1 == Continue {
+            (Some(x.0), y.0)
+        } else if y.1 == Continue {
+            (Some(y.0), x.0)
+        } else {
+            (None, y.0)
+        };
+        match (cont, self.config.assign) {
+            (Some(c), AssignPolicy::SpawnFirst) => (other, c),
+            (Some(c), AssignPolicy::ContinueFirst) => (c, other),
+            (None, _) => (x.0, y.0),
+        }
+    }
+
+    fn new_op(&self, kind: LockKind) -> AnyOp {
+        match self.config.backend {
+            DequeBackend::Abp | DequeBackend::AbpUntagged => AnyOp::Sim(match kind {
+                LockKind::Push(v) => DequeOp::push_bottom(v),
+                LockKind::PopBottom => DequeOp::pop_bottom(),
+                LockKind::PopTop => DequeOp::pop_top(),
+            }),
+            DequeBackend::Locking => AnyOp::Locked(LockOp::new(kind)),
+        }
+    }
+
+    /// Steps an in-flight op against deque `target` on behalf of process
+    /// `me`, translating both backends to a unified result.
+    fn step_op(&mut self, me: usize, target: usize, op: &mut AnyOp) -> OpDone {
+        match (op, &mut self.deques) {
+            (AnyOp::Sim(op), Deques::Sim(dq)) => match op.step(&mut dq[target]) {
+                StepOutcome::Continue => OpDone::NotDone,
+                StepOutcome::PushDone => OpDone::Push,
+                StepOutcome::PopBottomDone(r) => OpDone::PopBottom(r),
+                StepOutcome::PopTopDone(SimSteal::Taken(v)) => OpDone::PopTop(Some(v), false),
+                StepOutcome::PopTopDone(SimSteal::Empty) => OpDone::PopTop(None, false),
+                StepOutcome::PopTopDone(SimSteal::Abort) => OpDone::PopTop(None, true),
+            },
+            (AnyOp::Locked(op), Deques::Locked(dq)) => {
+                match op.step(&mut dq[target], me as u32) {
+                    LockStepOutcome::Continue => OpDone::NotDone,
+                    LockStepOutcome::PushDone => OpDone::Push,
+                    LockStepOutcome::PopBottomDone(r) => OpDone::PopBottom(r),
+                    LockStepOutcome::PopTopDone(LockedSteal::Taken(v)) => {
+                        OpDone::PopTop(Some(v), false)
+                    }
+                    LockStepOutcome::PopTopDone(LockedSteal::Empty) => OpDone::PopTop(None, false),
+                }
+            }
+            _ => unreachable!("op/backend mismatch"),
+        }
+    }
+
+    fn step_pop_bottom(&mut self, i: usize, mut op: AnyOp) -> Phase {
+        match self.step_op(i, i, &mut op) {
+            OpDone::NotDone => Phase::PoppingBottom(op),
+            OpDone::PopBottom(Some(v)) => {
+                let u = NodeId(v as u32);
+                self.procs[i].assigned = Some(u);
+                self.potential.assign(u, &self.tree);
+                self.check_structure(i);
+                Phase::Loop
+            }
+            OpDone::PopBottom(None) => {
+                self.check_structure(i);
+                Phase::Loop // becomes a thief next instruction
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn step_push(&mut self, i: usize, mut op: AnyOp) -> Phase {
+        match self.step_op(i, i, &mut op) {
+            OpDone::NotDone => Phase::Pushing(op),
+            OpDone::Push => {
+                self.check_structure(i);
+                Phase::Loop
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn step_steal(&mut self, i: usize, victim: usize, mut op: AnyOp) -> Phase {
+        match self.step_op(i, victim, &mut op) {
+            OpDone::NotDone => Phase::Stealing { victim, op },
+            OpDone::PopTop(result, _aborted) => {
+                self.steal_attempts += 1;
+                self.milestone(i, true);
+                if self.config.trace {
+                    self.round_attempted[i] = true;
+                    if result.is_some() {
+                        self.round_stole[i] = true;
+                    }
+                    self.trace.steals.push((
+                        ProcId(i as u32),
+                        ProcId(victim as u32),
+                        result.is_some(),
+                    ));
+                }
+                if let Some(v) = result {
+                    self.successful_steals += 1;
+                    let u = NodeId(v as u32);
+                    self.procs[i].assigned = Some(u);
+                    self.potential.assign(u, &self.tree);
+                    self.check_structure(victim);
+                }
+                Phase::Loop
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Records a milestone for process `i`; a steal completion at the
+    /// second milestone of a round is a throw.
+    fn milestone(&mut self, i: usize, is_steal_completion: bool) {
+        self.procs[i].milestones_this_round += 1;
+        if is_steal_completion && self.procs[i].milestones_this_round == 2 {
+            self.throws += 1;
+            if self.config.track_phases {
+                self.phase_throws += 1;
+                if self.phase_throws >= self.procs.len() as u64 {
+                    // A phase of ≥ P throws ended: did Φ drop by ≥ 1/4?
+                    let now = self.potential.log_potential();
+                    self.phase_stats.phases += 1;
+                    const LN_4_3: f64 = 0.2876820724517809; // ln(4/3)
+                    if now <= self.phase_start_potential - LN_4_3 {
+                        self.phase_stats.successful += 1;
+                    }
+                    self.phase_start_potential = now;
+                    self.phase_throws = 0;
+                }
+            }
+        }
+    }
+
+    /// Uniform random process other than `i` (or `i` itself when P = 1).
+    fn random_other(&mut self, i: usize) -> usize {
+        let p = self.procs.len();
+        if p == 1 {
+            return 0;
+        }
+        let r = self.procs[i].rng.below_usize(p - 1);
+        if r >= i {
+            r + 1
+        } else {
+            r
+        }
+    }
+
+    /// Structural-lemma check for process `q`'s deque (between operations).
+    fn check_structure(&mut self, q: usize) {
+        if !self.config.check_structural {
+            return;
+        }
+        let contents: Vec<NodeId> = self
+            .deques
+            .contents_bottom_to_top(q)
+            .into_iter()
+            .map(|v| NodeId(v as u32))
+            .collect();
+        if let Err(_e) = check_structural_lemma(
+            &self.tree,
+            self.dag,
+            self.procs[q].assigned,
+            &contents,
+        ) {
+            self.structural_violations += 1;
+        }
+    }
+}
+
+/// Convenience: run `dag` on `p` processes under `kernel` with `config`.
+///
+/// ```
+/// use abp_dag::gen;
+/// use abp_kernel::DedicatedKernel;
+/// use abp_sim::{run_ws, WsConfig};
+///
+/// let dag = gen::fork_join_tree(4, 2);
+/// let mut kernel = DedicatedKernel::new(4);
+/// let report = run_ws(&dag, 4, &mut kernel, WsConfig::default());
+/// assert!(report.completed);
+/// assert_eq!(report.executed, dag.work());
+/// // Theorem 9's bound, with a generous round-unit constant:
+/// assert!(report.bound_ratio() < 1.0);
+/// ```
+pub fn run_ws(dag: &Dag, p: usize, kernel: &mut dyn Kernel, config: WsConfig) -> RunReport {
+    WorkStealer::new(dag, p, config).run(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_dag::gen;
+    use abp_kernel::{BenignKernel, CountSource, DedicatedKernel};
+
+    fn checked_config() -> WsConfig {
+        WsConfig {
+            check_structural: true,
+            check_potential: true,
+            track_phases: true,
+            max_rounds: 2_000_000,
+            ..WsConfig::default()
+        }
+    }
+
+    fn assert_clean(r: &RunReport) {
+        assert!(r.completed, "did not complete: {r}");
+        assert_eq!(r.executed, r.work, "not all nodes executed");
+        assert_eq!(r.structural_violations, 0, "structural lemma violated");
+        assert_eq!(r.potential_violations, 0, "potential increased");
+        assert_eq!(r.milestone_violations, 0, "milestone guarantee violated");
+    }
+
+    #[test]
+    fn serial_chain_single_process() {
+        let d = gen::chain(100);
+        let mut k = DedicatedKernel::new(1);
+        let r = run_ws(&d, 1, &mut k, checked_config());
+        assert_clean(&r);
+        assert_eq!(r.steal_attempts, 0, "nobody to steal from with P=1 and serial work");
+    }
+
+    #[test]
+    fn fork_join_dedicated_completes_clean() {
+        let d = gen::fork_join_tree(5, 2);
+        for p in [1, 2, 4, 8] {
+            let mut k = DedicatedKernel::new(p);
+            let r = run_ws(&d, p, &mut k, checked_config());
+            assert_clean(&r);
+            assert!(r.pa == p as f64);
+        }
+    }
+
+    #[test]
+    fn figure1_both_assign_policies() {
+        let (d, _) = abp_dag::examples::figure1();
+        for assign in [AssignPolicy::SpawnFirst, AssignPolicy::ContinueFirst] {
+            let mut k = DedicatedKernel::new(2);
+            let cfg = WsConfig {
+                assign,
+                ..checked_config()
+            };
+            let r = run_ws(&d, 2, &mut k, cfg);
+            assert_clean(&r);
+        }
+    }
+
+    #[test]
+    fn sync_pipeline_blocking_paths() {
+        let d = gen::sync_pipeline(4, 10);
+        let mut k = DedicatedKernel::new(3);
+        let r = run_ws(&d, 3, &mut k, checked_config());
+        assert_clean(&r);
+    }
+
+    #[test]
+    fn speedup_with_more_processes() {
+        let d = gen::fork_join_tree(8, 3);
+        let mut rounds = Vec::new();
+        for p in [1, 2, 4, 8] {
+            let mut k = DedicatedKernel::new(p);
+            let r = run_ws(&d, p, &mut k, WsConfig::default());
+            assert!(r.completed);
+            rounds.push(r.rounds);
+        }
+        // Ample parallelism: doubling P should shrink time substantially.
+        assert!(
+            (rounds[3] as f64) < rounds[0] as f64 / 4.0,
+            "rounds by P: {rounds:?}"
+        );
+    }
+
+    #[test]
+    fn benign_kernel_completes_clean() {
+        let d = gen::fib(12, 3);
+        let mut k = BenignKernel::new(6, CountSource::UniformBetween(1, 6), 11);
+        let r = run_ws(&d, 6, &mut k, checked_config());
+        assert_clean(&r);
+        assert!(r.pa < 6.0, "P_A should be well under P, got {}", r.pa);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = gen::random_series_parallel(5, 2000);
+        let run = || {
+            let mut k = BenignKernel::new(4, CountSource::UniformBetween(1, 4), 42);
+            run_ws(&d, 4, &mut k, WsConfig::default())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.throws, b.throws);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = gen::fib(11, 2);
+        let r1 = {
+            let mut k = DedicatedKernel::new(4);
+            run_ws(&d, 4, &mut k, WsConfig { seed: 1, ..WsConfig::default() })
+        };
+        let r2 = {
+            let mut k = DedicatedKernel::new(4);
+            run_ws(&d, 4, &mut k, WsConfig { seed: 2, ..WsConfig::default() })
+        };
+        // Almost surely different victim choices somewhere.
+        assert!(
+            r1.instructions != r2.instructions || r1.throws != r2.throws,
+            "identical runs across seeds is vanishingly unlikely"
+        );
+    }
+
+    #[test]
+    fn locking_backend_completes_on_dedicated() {
+        let d = gen::fork_join_tree(4, 2);
+        let mut k = DedicatedKernel::new(4);
+        let cfg = WsConfig {
+            backend: DequeBackend::Locking,
+            ..WsConfig::default()
+        };
+        let r = run_ws(&d, 4, &mut k, cfg);
+        assert!(r.completed);
+        assert_eq!(r.executed, r.work);
+    }
+
+    #[test]
+    fn phase_success_rate_beats_lemma8_bound() {
+        // Lemma 8 promises phases succeed with probability > 1/4; the
+        // empirical rate is much higher.
+        let d = gen::fork_join_tree(7, 2);
+        let mut k = DedicatedKernel::new(8);
+        let cfg = WsConfig {
+            track_phases: true,
+            ..WsConfig::default()
+        };
+        let r = run_ws(&d, 8, &mut k, cfg);
+        let ph = r.phases.unwrap();
+        assert!(ph.phases > 0, "no phases recorded");
+        assert!(
+            ph.success_rate() > 0.25,
+            "phase success rate {} ≤ 1/4 over {} phases",
+            ph.success_rate(),
+            ph.phases
+        );
+    }
+
+    #[test]
+    fn trace_records_everything_and_victims_are_uniform() {
+        let d = gen::fib(15, 3);
+        let p = 8;
+        let mut k = DedicatedKernel::new(p);
+        let cfg = WsConfig {
+            trace: true,
+            ..WsConfig::default()
+        };
+        let r = run_ws(&d, p, &mut k, cfg);
+        assert!(r.completed);
+        let tr = r.trace.expect("trace requested");
+        assert_eq!(tr.len() as u64, r.rounds);
+        assert_eq!(tr.steals.len() as u64, r.steal_attempts);
+        assert_eq!(
+            tr.steals.iter().filter(|&&(_, _, ok)| ok).count() as u64,
+            r.successful_steals
+        );
+        // Nobody targets themselves.
+        assert!(tr.steals.iter().all(|&(t, v, _)| t != v));
+        // Dedicated kernel: no Unscheduled entries; the non-blocking
+        // backend never stalls a whole round.
+        let b = tr.activity_breakdown();
+        assert_eq!(b.unscheduled, 0);
+        assert_eq!(b.stalled, 0);
+        assert_eq!(b.scheduled(), r.proc_rounds);
+        // Victim selection is uniform: chi-square over P bins with many
+        // samples stays below a generous threshold (99.9th percentile of
+        // χ²₇ is ~24.3; allow slack for the structured workload).
+        if tr.steals.len() > 500 {
+            let chi = tr.victim_chi_square(p);
+            assert!(chi < 60.0, "victim distribution suspicious: chi² = {chi}");
+        }
+        // The timeline renders one row per process.
+        let timeline = tr.render_timeline(60);
+        assert_eq!(timeline.lines().count(), p + 1);
+    }
+
+    #[test]
+    fn trace_marks_unscheduled_rounds() {
+        let d = gen::fork_join_tree(5, 2);
+        let p = 4;
+        let mut k = abp_kernel::BenignKernel::new(p, CountSource::Constant(2), 9);
+        let cfg = WsConfig {
+            trace: true,
+            ..WsConfig::default()
+        };
+        let r = run_ws(&d, p, &mut k, cfg);
+        assert!(r.completed);
+        let b = r.trace.unwrap().activity_breakdown();
+        // Half the process-rounds are unscheduled under Constant(2) of 4.
+        assert!(b.unscheduled > 0);
+        assert_eq!(b.scheduled(), r.proc_rounds);
+    }
+
+    #[test]
+    fn throws_bounded_by_o_p_tinf_dedicated() {
+        // Theorem 9's internals: E[throws] = O(P · T∞). Check a generous
+        // constant across shapes.
+        for (d, label) in [
+            (gen::fork_join_tree(6, 2), "fork-join"),
+            (gen::fib(13, 3), "fib"),
+            (gen::wide_shallow(32, 20), "wide"),
+        ] {
+            let p = 8;
+            let mut total = 0u64;
+            let trials = 5;
+            for seed in 0..trials {
+                let mut k = DedicatedKernel::new(p);
+                let cfg = WsConfig {
+                    seed,
+                    ..WsConfig::default()
+                };
+                let r = run_ws(&d, p, &mut k, cfg);
+                assert!(r.completed);
+                total += r.throws;
+            }
+            let avg = total as f64 / trials as f64;
+            let bound = 32.0 * p as f64 * d.critical_path() as f64;
+            assert!(
+                avg < bound,
+                "{label}: avg throws {avg} exceeds 32·P·T∞ = {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Domain example: parallel tree analytics with `scope` + `join`.
+//!
+//! ```sh
+//! cargo run --release --example parallel_tree
+//! ```
+//!
+//! Builds a large random binary search tree, then runs three analytics
+//! over it on the hood runtime: a parallel reduction (sum), a parallel
+//! max-depth computation (join over children — the irregular, unbalanced
+//! recursion work stealing exists for), and a parallel filtered count via
+//! scoped spawns into per-worker accumulators.
+
+use abp_dag::DetRng;
+use hood::{join, scope, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Node {
+    key: u64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+fn insert(root: &mut Option<Box<Node>>, key: u64) {
+    match root {
+        None => {
+            *root = Some(Box::new(Node {
+                key,
+                left: None,
+                right: None,
+            }))
+        }
+        Some(n) => {
+            if key < n.key {
+                insert(&mut n.left, key)
+            } else {
+                insert(&mut n.right, key)
+            }
+        }
+    }
+}
+
+fn par_sum(node: &Option<Box<Node>>) -> u64 {
+    match node {
+        None => 0,
+        Some(n) => {
+            let (l, r) = join(|| par_sum(&n.left), || par_sum(&n.right));
+            l + r + n.key
+        }
+    }
+}
+
+fn par_depth(node: &Option<Box<Node>>) -> u64 {
+    match node {
+        None => 0,
+        Some(n) => {
+            let (l, r) = join(|| par_depth(&n.left), || par_depth(&n.right));
+            1 + l.max(r)
+        }
+    }
+}
+
+fn count_multiples(node: &Option<Box<Node>>, k: u64, acc: &AtomicU64) {
+    if let Some(n) = node {
+        if n.key % k == 0 {
+            acc.fetch_add(1, Ordering::Relaxed);
+        }
+        scope(|s| {
+            s.spawn(|_| count_multiples(&n.left, k, acc));
+            count_multiples(&n.right, k, acc);
+        });
+    }
+}
+
+fn main() {
+    const N: u64 = 200_000;
+    let mut rng = DetRng::new(2024);
+    let mut keys: Vec<u64> = (0..N).collect();
+    rng.shuffle(&mut keys);
+    let mut root = None;
+    for k in keys {
+        insert(&mut root, k);
+    }
+
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4),
+    );
+    println!("random BST with {N} keys on P = {} processes", pool.num_procs());
+
+    let sum = pool.install(|| par_sum(&root));
+    assert_eq!(sum, N * (N - 1) / 2);
+    println!("parallel sum       : {sum}");
+
+    let depth = pool.install(|| par_depth(&root));
+    println!("parallel max depth : {depth} (ln-balanced would be ~{:.0})", (N as f64).log2() * 1.39);
+
+    let acc = AtomicU64::new(0);
+    pool.install(|| count_multiples(&root, 7, &acc));
+    let sevens = acc.load(Ordering::Relaxed);
+    assert_eq!(sevens, N.div_ceil(7));
+    println!("multiples of 7     : {sevens}");
+
+    let st = pool.stats();
+    println!(
+        "stats: {} jobs, {} steals, {:.1}% steal success",
+        st.jobs,
+        st.steals,
+        100.0 * st.steal_success_rate()
+    );
+}

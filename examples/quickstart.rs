@@ -1,0 +1,77 @@
+//! Quickstart: fork-join parallelism on the hood runtime.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a pool of worker processes, runs a recursive Fibonacci and a
+//! divide-and-conquer sum through `join`, and prints the scheduler
+//! statistics (steals, aborts, yields) that the paper's analysis is
+//! about.
+
+use hood::{join, ThreadPool};
+use std::time::Instant;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Sequential cutoff keeps task granularity sane, like any real
+    // work-stealing program.
+    if n < 12 {
+        return fib_serial(n);
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn sum(slice: &[u64]) -> u64 {
+    if slice.len() <= 4096 {
+        return slice.iter().sum();
+    }
+    let mid = slice.len() / 2;
+    let (a, b) = join(|| sum(&slice[..mid]), || sum(&slice[mid..]));
+    a + b
+}
+
+fn main() {
+    // At least 4 processes even on small machines: on an oversubscribed
+    // machine (P > processors) the yields keep the pool efficient, and the
+    // steal statistics stay interesting.
+    let procs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4);
+    let pool = ThreadPool::new(procs);
+    println!("hood pool with P = {} processes", pool.num_procs());
+
+    let t = Instant::now();
+    let f = pool.install(|| fib(32));
+    println!("fib(32) = {f}  ({:?})", t.elapsed());
+    assert_eq!(f, 2_178_309);
+
+    let data: Vec<u64> = (0..4_000_000).collect();
+    let t = Instant::now();
+    let s = pool.install(|| sum(&data));
+    println!("sum(0..4e6) = {s}  ({:?})", t.elapsed());
+    assert_eq!(s, 3_999_999u64 * 4_000_000 / 2);
+
+    let stats = pool.stats();
+    println!(
+        "scheduler stats: {} jobs, {} steals / {} attempts ({:.1}% success), {} aborts, {} yields",
+        stats.jobs,
+        stats.steals,
+        stats.steal_attempts,
+        100.0 * stats.steal_success_rate(),
+        stats.aborts,
+        stats.yields
+    );
+}

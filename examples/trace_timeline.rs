@@ -1,0 +1,80 @@
+//! Visualize where the time goes: per-process activity timelines of the
+//! simulated work stealer under three environments, plus the victim
+//! distribution and activity breakdown.
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline
+//! ```
+
+use abp_dag::gen;
+use abp_kernel::{
+    AdaptiveWorkerStarver, BenignKernel, CountSource, DedicatedKernel, Kernel, YieldPolicy,
+};
+use abp_sim::{run_ws, WsConfig};
+
+fn show(name: &str, dag: &abp_dag::Dag, p: usize, kernel: &mut dyn Kernel, yp: YieldPolicy) {
+    let cfg = WsConfig {
+        yield_policy: yp,
+        trace: true,
+        ..WsConfig::default()
+    };
+    let r = run_ws(dag, p, kernel, cfg);
+    assert!(r.completed);
+    let trace = r.trace.as_ref().unwrap();
+    println!("--- {name} ---");
+    print!("{}", trace.render_timeline(72));
+    let b = trace.activity_breakdown();
+    println!(
+        "breakdown: {b}  ({:.0}% of scheduled rounds productive)",
+        100.0 * b.working_fraction()
+    );
+    let hist = trace.victim_histogram(p);
+    println!(
+        "victims  : {hist:?}  (chi-square vs uniform: {:.1})",
+        trace.victim_chi_square(p)
+    );
+    println!(
+        "summary  : {} rounds, P_A {:.2}, {} steal attempts, {} throws, max deque depth {}",
+        r.rounds,
+        r.pa,
+        r.steal_attempts,
+        r.throws,
+        trace.max_deque_depth()
+    );
+    println!();
+}
+
+fn main() {
+    let dag = gen::fib(17, 4);
+    let p = 8;
+    println!(
+        "workload fib(17,4): T1 = {}, Tinf = {}, parallelism {:.1}; P = {p}\n",
+        dag.work(),
+        dag.critical_path(),
+        dag.parallelism()
+    );
+
+    let mut k = DedicatedKernel::new(p);
+    show("dedicated machine", &dag, p, &mut k, YieldPolicy::None);
+
+    let mut k = BenignKernel::new(
+        p,
+        CountSource::OnOff {
+            on_rounds: 15,
+            off_rounds: 15,
+            on_count: 8,
+            off_count: 2,
+        },
+        7,
+    );
+    show("benign bursty kernel", &dag, p, &mut k, YieldPolicy::None);
+
+    let mut k = AdaptiveWorkerStarver::new(p, CountSource::Constant(4), 7);
+    show(
+        "adaptive worker-starver + yieldToAll",
+        &dag,
+        p,
+        &mut k,
+        YieldPolicy::ToAll,
+    );
+}

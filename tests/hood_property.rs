@@ -1,0 +1,107 @@
+//! Property-based tests of the hood runtime: randomized join trees,
+//! scope storms, and helper functions must always agree with their
+//! sequential counterparts.
+
+use hood::{join, scope, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A random binary expression tree evaluated both serially and with
+/// nested joins.
+#[derive(Debug, Clone)]
+enum Expr {
+    Leaf(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0u64..100).prop_map(Expr::Leaf);
+    leaf.prop_recursive(8, 128, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_serial(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => eval_serial(a).wrapping_add(eval_serial(b)),
+        Expr::Mul(a, b) => eval_serial(a).wrapping_mul(eval_serial(b)),
+    }
+}
+
+fn eval_parallel(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => {
+            let (x, y) = join(|| eval_parallel(a), || eval_parallel(b));
+            x.wrapping_add(y)
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = join(|| eval_parallel(a), || eval_parallel(b));
+            x.wrapping_mul(y)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel evaluation of any expression tree equals serial.
+    #[test]
+    fn join_trees_evaluate_correctly(e in arb_expr(), p in 1usize..5) {
+        let pool = ThreadPool::new(p);
+        let expect = eval_serial(&e);
+        let got = pool.install(|| eval_parallel(&e));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Scoped spawns execute exactly once each, at any fan-out, even with
+    /// nested scopes.
+    #[test]
+    fn scope_spawn_counts(p in 1usize..5, outer in 0usize..40, inner in 0usize..5) {
+        let pool = ThreadPool::new(p);
+        let counter = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..outer {
+                    s.spawn(|s2| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..inner {
+                            s2.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        prop_assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (outer + outer * inner) as u64
+        );
+    }
+
+    /// The parallel sort agrees with std's sort for arbitrary data.
+    #[test]
+    fn parallel_sort_matches_std(mut v in proptest::collection::vec(any::<u32>(), 0..3000)) {
+        let pool = ThreadPool::new(3);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.install(|| hood::sort_unstable(&mut v));
+        prop_assert_eq!(v, expect);
+    }
+
+    /// map_reduce with (+, 0) equals the serial sum for any grain.
+    #[test]
+    fn map_reduce_any_grain(v in proptest::collection::vec(0u64..1000, 0..2000), grain in 1usize..600) {
+        let pool = ThreadPool::new(4);
+        let expect: u64 = v.iter().sum();
+        let got = pool.install(|| hood::map_reduce(&v, grain, 0u64, &|&x| x, &|a, b| a + b));
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate test: record an adaptive adversary's behaviour against one
+//! run, replay it obliviously, and compare. Also checks that the recorded
+//! processor average matches the live run's.
+
+use multiprog_ws::dag::gen;
+use multiprog_ws::kernel::{
+    AdaptiveWorkerStarver, CountSource, Kernel, ObliviousKernel, RecordingKernel, Tail,
+    YieldPolicy,
+};
+use multiprog_ws::sim::{run_ws, WsConfig};
+
+#[test]
+fn recorded_adaptive_replays_identically_with_same_seed() {
+    let dag = gen::fib(13, 3);
+    let p = 6;
+    let cfg = WsConfig {
+        yield_policy: YieldPolicy::ToAll,
+        seed: 99,
+        ..WsConfig::default()
+    };
+
+    // Live adaptive run, recorded.
+    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(
+        p,
+        CountSource::Constant(3),
+        5,
+    ));
+    let live = run_ws(&dag, p, &mut rec, cfg.clone());
+    assert!(live.completed);
+
+    // Replaying the recording with the SAME scheduler seed reproduces the
+    // run exactly: the adaptive kernel's choices were a deterministic
+    // function of scheduler state, which is itself seed-determined.
+    let mut replay = ObliviousKernel::new(rec.to_table(Tail::AllProcs));
+    let replayed = run_ws(&dag, p, &mut replay, cfg.clone());
+    assert!(replayed.completed);
+    assert_eq!(replayed.rounds, live.rounds);
+    assert_eq!(replayed.instructions, live.instructions);
+    assert_eq!(replayed.throws, live.throws);
+    assert!((replayed.pa - live.pa).abs() < 1e-12);
+}
+
+#[test]
+fn recorded_schedule_loses_its_teeth_against_fresh_seeds() {
+    // The adaptive worker-starver with NO yields starves the computation
+    // forever (live). Its recorded schedule, replayed against a scheduler
+    // with a *different* seed, is merely an oblivious kernel — Theorem 11
+    // vs Theorem 12 in action: obliviousness plus yieldToRandom suffices.
+    let dag = gen::fork_join_tree(6, 2);
+    let p = 6;
+    let cap = 150_000;
+
+    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(
+        p,
+        CountSource::Constant(3),
+        5,
+    ));
+    let live = run_ws(
+        &dag,
+        p,
+        &mut rec,
+        WsConfig {
+            yield_policy: YieldPolicy::None,
+            seed: 1,
+            max_rounds: cap,
+            ..WsConfig::default()
+        },
+    );
+    assert!(
+        !live.completed,
+        "worker-starver with no yields should starve the run"
+    );
+    assert_eq!(rec.rounds_recorded() as u64, cap);
+
+    // Same schedule, replayed obliviously against a different seed, with
+    // yieldToRandom: completes comfortably within the cap.
+    let mut replay = ObliviousKernel::new(rec.to_table(Tail::AllProcs));
+    let replayed = run_ws(
+        &dag,
+        p,
+        &mut replay,
+        WsConfig {
+            yield_policy: YieldPolicy::ToRandom,
+            seed: 2,
+            max_rounds: cap,
+            ..WsConfig::default()
+        },
+    );
+    assert!(
+        replayed.completed,
+        "the recorded schedule should be harmless once oblivious: {replayed}"
+    );
+    assert!(replayed.rounds < cap / 10);
+}
+
+#[test]
+fn recording_is_transparent() {
+    // Wrapping a kernel in a recorder must not change scheduling results.
+    let dag = gen::wide_shallow(32, 10);
+    let p = 4;
+    let cfg = WsConfig {
+        seed: 7,
+        ..WsConfig::default()
+    };
+    let mut plain = multiprog_ws::kernel::BenignKernel::new(p, CountSource::UniformBetween(1, 4), 3);
+    let a = run_ws(&dag, p, &mut plain, cfg.clone());
+    let mut recorded = RecordingKernel::new(multiprog_ws::kernel::BenignKernel::new(
+        p,
+        CountSource::UniformBetween(1, 4),
+        3,
+    ));
+    let b = run_ws(&dag, p, &mut recorded, cfg);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(recorded.rounds_recorded() as u64, b.rounds);
+    let _ = &mut recorded as &mut dyn Kernel;
+}

@@ -1,39 +1,39 @@
-//! Criterion micro-benchmarks for the deque implementations (experiment
-//! B1): uncontended owner ops, steal latency, and owner progress under
-//! thief contention, ABP vs the locking baseline.
+//! Micro-benchmarks for the deque implementations (experiment B1):
+//! uncontended owner ops, steal latency, and owner progress under thief
+//! contention, ABP vs the locking baseline.
 
+use abp_bench::harness::Harness;
 use abp_deque::{LockingDeque, Steal};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-fn bench_owner_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("owner_push_pop");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("abp", |b| {
+fn bench_owner_ops(h: &Harness) {
+    let mut g = h.group("owner_push_pop");
+    g.throughput_elems(1);
+    {
         let (w, _s) = abp_deque::new::<u64>(1 << 12);
-        b.iter(|| {
+        g.bench("abp", || {
             w.push_bottom(black_box(42)).unwrap();
-            black_box(w.pop_bottom())
+            black_box(w.pop_bottom());
         });
-    });
-    g.bench_function("locking", |b| {
+    }
+    {
         let d = LockingDeque::new();
-        b.iter(|| {
+        g.bench("locking", || {
             d.push_bottom(black_box(42u64));
-            black_box(d.pop_bottom())
+            black_box(d.pop_bottom());
         });
-    });
+    }
     g.finish();
 }
 
-fn bench_push_steal_cycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("push_then_steal");
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("abp", |b| {
+fn bench_push_steal_cycle(h: &Harness) {
+    let mut g = h.group("push_then_steal");
+    g.throughput_elems(64);
+    {
         let (w, s) = abp_deque::new::<u64>(1 << 12);
-        b.iter(|| {
+        g.bench("abp", || {
             for i in 0..64u64 {
                 w.push_bottom(i).unwrap();
             }
@@ -43,12 +43,12 @@ fn bench_push_steal_cycle(c: &mut Criterion) {
             }
             // Reset indices via the owner's empty pop.
             assert!(w.pop_bottom().is_none());
-            black_box(got)
+            black_box(got);
         });
-    });
-    g.bench_function("locking", |b| {
+    }
+    {
         let d = LockingDeque::new();
-        b.iter(|| {
+        g.bench("locking", || {
             for i in 0..64u64 {
                 d.push_bottom(i);
             }
@@ -56,62 +56,64 @@ fn bench_push_steal_cycle(c: &mut Criterion) {
             while let Steal::Taken(v) = d.pop_top() {
                 got += black_box(v) & 1;
             }
-            black_box(got)
-        });
-    });
-    g.finish();
-}
-
-/// Owner works while background thieves hammer the deque — the mixed
-/// workload the relaxed semantics is designed for.
-fn bench_contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contended_owner_progress");
-    g.throughput(Throughput::Elements(256));
-    g.sample_size(20);
-    for thieves in [1usize, 3] {
-        g.bench_function(format!("abp/{thieves}_thieves"), |b| {
-            b.iter_batched(
-                || {
-                    let (w, s) = abp_deque::new::<u64>(1 << 16);
-                    let stop = Arc::new(AtomicBool::new(false));
-                    let handles: Vec<_> = (0..thieves)
-                        .map(|_| {
-                            let s = s.clone();
-                            let stop = Arc::clone(&stop);
-                            std::thread::spawn(move || {
-                                let mut taken = 0u64;
-                                while !stop.load(Ordering::Acquire) {
-                                    if let Steal::Taken(v) = s.pop_top() {
-                                        taken = taken.wrapping_add(v);
-                                    } else {
-                                        std::thread::yield_now();
-                                    }
-                                }
-                                taken
-                            })
-                        })
-                        .collect();
-                    (w, stop, handles)
-                },
-                |(w, stop, handles)| {
-                    for i in 0..256u64 {
-                        w.push_bottom(i).unwrap();
-                        if i % 4 == 0 {
-                            black_box(w.pop_bottom());
-                        }
-                    }
-                    while w.pop_bottom().is_some() {}
-                    stop.store(true, Ordering::Release);
-                    for h in handles {
-                        black_box(h.join().unwrap());
-                    }
-                },
-                BatchSize::PerIteration,
-            );
+            black_box(got);
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_owner_ops, bench_push_steal_cycle, bench_contended);
-criterion_main!(benches);
+/// Owner works while background thieves hammer the deque — the mixed
+/// workload the relaxed semantics is designed for.
+fn bench_contended(h: &Harness) {
+    let mut g = h.group("contended_owner_progress");
+    g.throughput_elems(256);
+    g.sample_size(20);
+    for thieves in [1usize, 3] {
+        g.bench_with_setup(
+            &format!("abp/{thieves}_thieves"),
+            || {
+                let (w, s) = abp_deque::new::<u64>(1 << 16);
+                let stop = Arc::new(AtomicBool::new(false));
+                let handles: Vec<_> = (0..thieves)
+                    .map(|_| {
+                        let s = s.clone();
+                        let stop = Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            let mut taken = 0u64;
+                            while !stop.load(Ordering::Acquire) {
+                                if let Steal::Taken(v) = s.pop_top() {
+                                    taken = taken.wrapping_add(v);
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            taken
+                        })
+                    })
+                    .collect();
+                (w, stop, handles)
+            },
+            |(w, stop, handles)| {
+                for i in 0..256u64 {
+                    w.push_bottom(i).unwrap();
+                    if i % 4 == 0 {
+                        black_box(w.pop_bottom());
+                    }
+                }
+                while w.pop_bottom().is_some() {}
+                stop.store(true, Ordering::Release);
+                for h in handles {
+                    black_box(h.join().unwrap());
+                }
+            },
+        );
+    }
+    g.finish();
+}
+
+fn main() {
+    let h = Harness::from_args("deque_ops");
+    bench_owner_ops(&h);
+    bench_push_steal_cycle(&h);
+    bench_contended(&h);
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the hood runtime (experiment B1): fork-join
-//! throughput across process counts and the two ablation axes (deque
-//! backend, yields). On an oversubscribed machine the ABP-vs-locking and
+//! Benchmarks for the hood runtime (experiment B1): fork-join throughput
+//! across process counts and the two ablation axes (deque backend,
+//! yields). On an oversubscribed machine the ABP-vs-locking and
 //! yield-vs-no-yield gaps are the paper's headline practical results.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use abp_bench::harness::Harness;
 use hood::{join, Backend, PoolConfig, ThreadPool};
 use std::hint::black_box;
 
@@ -33,33 +33,33 @@ fn tree_sum(depth: u32) -> u64 {
     a + b + 1
 }
 
-fn bench_fib(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fib24");
+fn bench_fib(h: &Harness) {
+    let mut g = h.group("fib24");
     g.sample_size(15);
     for p in [1usize, 2, 4] {
         let pool = ThreadPool::new(p);
-        g.bench_function(format!("P{p}"), |b| {
-            b.iter(|| pool.install(|| black_box(fib(24))));
+        g.bench(&format!("P{p}"), || {
+            pool.install(|| black_box(fib(24)));
         });
     }
     g.finish();
 }
 
-fn bench_tree_sum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree_sum_d14");
+fn bench_tree_sum(h: &Harness) {
+    let mut g = h.group("tree_sum_d14");
     g.sample_size(15);
-    g.throughput(Throughput::Elements((1u64 << 15) - 1));
+    g.throughput_elems((1u64 << 15) - 1);
     for p in [1usize, 2, 4] {
         let pool = ThreadPool::new(p);
-        g.bench_function(format!("P{p}"), |b| {
-            b.iter(|| pool.install(|| black_box(tree_sum(14))));
+        g.bench(&format!("P{p}"), || {
+            pool.install(|| black_box(tree_sum(14)));
         });
     }
     g.finish();
 }
 
-fn bench_backend_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("backend_fib22_P4");
+fn bench_backend_ablation(h: &Harness) {
+    let mut g = h.group("backend_fib22_P4");
     g.sample_size(10);
     for (name, backend) in [
         ("abp", Backend::Abp { capacity: 1 << 15 }),
@@ -70,20 +70,20 @@ fn bench_backend_ablation(c: &mut Criterion) {
             backend,
             ..PoolConfig::default()
         });
-        g.bench_function(name, |b| {
-            b.iter(|| pool.install(|| black_box(fib(22))));
+        g.bench(name, || {
+            pool.install(|| black_box(fib(22)));
         });
     }
     g.finish();
 }
 
-fn bench_yield_ablation(c: &mut Criterion) {
+fn bench_yield_ablation(h: &Harness) {
     // Oversubscribe: P well beyond the machine's processors, so yields
     // matter (the multiprogrammed setting).
     let over = 4 * std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut g = c.benchmark_group(format!("yield_fib22_P{over}_oversubscribed"));
+    let mut g = h.group(&format!("yield_fib22_P{over}_oversubscribed"));
     g.sample_size(10);
     for (name, yields) in [("yield", true), ("no-yield", false)] {
         let pool = ThreadPool::with_config(PoolConfig {
@@ -94,18 +94,17 @@ fn bench_yield_ablation(c: &mut Criterion) {
             park_after: None,
             ..PoolConfig::default()
         });
-        g.bench_function(name, |b| {
-            b.iter(|| pool.install(|| black_box(fib(22))));
+        g.bench(name, || {
+            pool.install(|| black_box(fib(22)));
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fib,
-    bench_tree_sum,
-    bench_backend_ablation,
-    bench_yield_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args("fork_join");
+    bench_fib(&h);
+    bench_tree_sum(&h);
+    bench_backend_ablation(&h);
+    bench_yield_ablation(&h);
+}

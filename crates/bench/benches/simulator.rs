@@ -1,109 +1,98 @@
-//! Criterion benchmarks over the simulator itself: per-table timing of
-//! the work-stealer under each adversary (so regressions in the
-//! simulator's hot loop are caught), plus the offline schedulers.
+//! Benchmarks over the simulator itself: per-table timing of the
+//! work-stealer under each adversary (so regressions in the simulator's
+//! hot loop are caught), plus the offline schedulers.
 
+use abp_bench::harness::Harness;
 use abp_dag::gen;
 use abp_kernel::{
     AdaptiveWorkerStarver, BenignKernel, CountSource, DedicatedKernel, KernelTable,
     ObliviousKernel, YieldPolicy,
 };
 use abp_sim::{brent, greedy, run_ws, WsConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_ws_adversaries(c: &mut Criterion) {
+fn bench_ws_adversaries(h: &Harness) {
     let dag = gen::fib(16, 3);
     let p = 8;
-    let mut g = c.benchmark_group("ws_sim_fib16");
-    g.throughput(Throughput::Elements(dag.work()));
+    let mut g = h.group("ws_sim_fib16");
+    g.throughput_elems(dag.work());
     g.sample_size(20);
-    g.bench_function("dedicated", |b| {
-        b.iter(|| {
-            let mut k = DedicatedKernel::new(p);
-            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
-        });
+    g.bench("dedicated", || {
+        let mut k = DedicatedKernel::new(p);
+        black_box(run_ws(&dag, p, &mut k, WsConfig::default()));
     });
-    g.bench_function("benign", |b| {
-        b.iter(|| {
-            let mut k = BenignKernel::new(p, CountSource::UniformBetween(1, 8), 5);
-            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
-        });
+    g.bench("benign", || {
+        let mut k = BenignKernel::new(p, CountSource::UniformBetween(1, 8), 5);
+        black_box(run_ws(&dag, p, &mut k, WsConfig::default()));
     });
-    g.bench_function("oblivious_rotating", |b| {
-        b.iter(|| {
-            let mut k = ObliviousKernel::rotating(p, 3, 10, 100_000);
-            let cfg = WsConfig {
-                yield_policy: YieldPolicy::ToRandom,
-                ..WsConfig::default()
-            };
-            black_box(run_ws(&dag, p, &mut k, cfg))
-        });
+    g.bench("oblivious_rotating", || {
+        let mut k = ObliviousKernel::rotating(p, 3, 10, 100_000);
+        let cfg = WsConfig {
+            yield_policy: YieldPolicy::ToRandom,
+            ..WsConfig::default()
+        };
+        black_box(run_ws(&dag, p, &mut k, cfg));
     });
-    g.bench_function("adaptive_starver", |b| {
-        b.iter(|| {
-            let mut k = AdaptiveWorkerStarver::new(p, CountSource::Constant(4), 5);
-            black_box(run_ws(&dag, p, &mut k, WsConfig::default()))
-        });
+    g.bench("adaptive_starver", || {
+        let mut k = AdaptiveWorkerStarver::new(p, CountSource::Constant(4), 5);
+        black_box(run_ws(&dag, p, &mut k, WsConfig::default()));
     });
     g.finish();
 }
 
-fn bench_ws_invariant_overhead(c: &mut Criterion) {
+fn bench_ws_invariant_overhead(h: &Harness) {
     let dag = gen::fork_join_tree(8, 2);
     let p = 6;
-    let mut g = c.benchmark_group("ws_sim_checking_overhead");
+    let mut g = h.group("ws_sim_checking_overhead");
     g.sample_size(15);
     for (name, check) in [("unchecked", false), ("checked", true)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut k = DedicatedKernel::new(p);
-                let cfg = WsConfig {
-                    check_structural: check,
-                    check_potential: check,
-                    ..WsConfig::default()
-                };
-                black_box(run_ws(&dag, p, &mut k, cfg))
-            });
+        g.bench(name, || {
+            let mut k = DedicatedKernel::new(p);
+            let cfg = WsConfig {
+                check_structural: check,
+                check_potential: check,
+                ..WsConfig::default()
+            };
+            black_box(run_ws(&dag, p, &mut k, cfg));
         });
     }
     g.finish();
 }
 
-fn bench_offline(c: &mut Criterion) {
+fn bench_offline(h: &Harness) {
     let dag = gen::fib(17, 3);
     let table = KernelTable::dedicated(8);
-    let mut g = c.benchmark_group("offline_fib17_P8");
-    g.throughput(Throughput::Elements(dag.work()));
+    let mut g = h.group("offline_fib17_P8");
+    g.throughput_elems(dag.work());
     g.sample_size(20);
-    g.bench_function("greedy", |b| {
-        b.iter(|| black_box(greedy(&dag, &table, 100_000_000).length()));
+    g.bench("greedy", || {
+        black_box(greedy(&dag, &table, 100_000_000).length());
     });
-    g.bench_function("brent", |b| {
-        b.iter(|| black_box(brent(&dag, &table, 100_000_000).length()));
+    g.bench("brent", || {
+        black_box(brent(&dag, &table, 100_000_000).length());
     });
     g.finish();
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dag_generators");
+fn bench_generators(h: &Harness) {
+    let mut g = h.group("dag_generators");
     g.sample_size(20);
-    g.bench_function("fork_join_tree(12,2)", |b| {
-        b.iter(|| black_box(gen::fork_join_tree(12, 2).work()));
+    g.bench("fork_join_tree(12,2)", || {
+        black_box(gen::fork_join_tree(12, 2).work());
     });
-    g.bench_function("fib(20,4)", |b| {
-        b.iter(|| black_box(gen::fib(20, 4).work()));
+    g.bench("fib(20,4)", || {
+        black_box(gen::fib(20, 4).work());
     });
-    g.bench_function("series_parallel(50k)", |b| {
-        b.iter(|| black_box(gen::random_series_parallel(7, 50_000).work()));
+    g.bench("series_parallel(50k)", || {
+        black_box(gen::random_series_parallel(7, 50_000).work());
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ws_adversaries,
-    bench_ws_invariant_overhead,
-    bench_offline,
-    bench_generators
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args("simulator");
+    bench_ws_adversaries(&h);
+    bench_ws_invariant_overhead(&h);
+    bench_offline(&h);
+    bench_generators(&h);
+}

@@ -26,11 +26,12 @@ fn main() {
         "ws-vs-sharing" => vec![exp::ws_vs_sharing()],
         "assign-policy" => vec![exp::assign_policy()],
         "hood-wallclock" => vec![exp::hood_wallclock()],
+        "telemetry" => vec![exp::telemetry()],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
-                 lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock"
+                 lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry"
             );
             std::process::exit(2);
         }

@@ -131,7 +131,15 @@ pub fn fig2() -> ExpResult {
 /// T1 — Theorem 1: lower bounds on every execution schedule.
 pub fn thm1() -> ExpResult {
     let mut t = TextTable::new([
-        "workload", "P", "k", "sched", "T", "P_A", "T1/P_A", "Tinf*P/P_A", "T/lower",
+        "workload",
+        "P",
+        "k",
+        "sched",
+        "T",
+        "P_A",
+        "T1/P_A",
+        "Tinf*P/P_A",
+        "T/lower",
     ]);
     let mut pass = true;
     for (name, dag) in small_workloads() {
@@ -174,7 +182,9 @@ pub fn thm1() -> ExpResult {
 
 /// T2 — Theorem 2: greedy (and Brent) schedules meet the upper bound.
 pub fn thm2() -> ExpResult {
-    let mut t = TextTable::new(["workload", "kernel", "P", "sched", "T", "P_A", "bound", "T/bound"]);
+    let mut t = TextTable::new([
+        "workload", "kernel", "P", "sched", "T", "P_A", "bound", "T/bound",
+    ]);
     let mut pass = true;
     for (name, dag) in small_workloads() {
         let kernels: Vec<(&str, usize, KernelTable)> = vec![
@@ -182,11 +192,7 @@ pub fn thm2() -> ExpResult {
             (
                 "sawtooth",
                 8,
-                KernelTable::from_counts(
-                    8,
-                    &[8, 6, 4, 2, 1, 2, 4, 6],
-                    abp_kernel::Tail::Cycle,
-                ),
+                KernelTable::from_counts(8, &[8, 6, 4, 2, 1, 2, 4, 6], abp_kernel::Tail::Cycle),
             ),
             (
                 "on/off",
@@ -238,15 +244,7 @@ fn ws_defaults(seed: u64) -> WsConfig {
 /// T9 — dedicated environments: time O(T1/P + T∞) and linear speedup.
 pub fn thm9() -> ExpResult {
     let mut t = TextTable::new([
-        "workload",
-        "T1",
-        "Tinf",
-        "para",
-        "P",
-        "rounds",
-        "speedup",
-        "util",
-        "ratio",
+        "workload", "T1", "Tinf", "para", "P", "rounds", "speedup", "util", "ratio",
     ]);
     let mut pass = true;
     for (name, dag) in workloads() {
@@ -343,7 +341,9 @@ fn multiprog_row(
     r
 }
 
-const MULTIPROG_HEADER: [&str; 7] = ["workload", "kernel", "P", "rounds", "P_A", "throws", "ratio"];
+const MULTIPROG_HEADER: [&str; 7] = [
+    "workload", "kernel", "P", "rounds", "P_A", "throws", "ratio",
+];
 
 /// T10 — benign adversary (random membership), no yields needed.
 pub fn thm10() -> ExpResult {
@@ -422,7 +422,12 @@ pub fn thm11() -> ExpResult {
         max_ratio,
         t.render()
     );
-    ExpResult::new("T11", "Theorem 11: oblivious adversary + yieldToRandom", body, pass)
+    ExpResult::new(
+        "T11",
+        "Theorem 11: oblivious adversary + yieldToRandom",
+        body,
+        pass,
+    )
 }
 
 /// T12 — adaptive adversary with yieldToAll.
@@ -449,7 +454,16 @@ pub fn thm12() -> ExpResult {
             yield_policy: YieldPolicy::ToAll,
             ..ws_defaults(9)
         };
-        let r = multiprog_row(&mut t, &mut pass, name, "starve-thieves(4)", &dag, p, &mut k, cfg);
+        let r = multiprog_row(
+            &mut t,
+            &mut pass,
+            name,
+            "starve-thieves(4)",
+            &dag,
+            p,
+            &mut k,
+            cfg,
+        );
         ratios.push(r.bound_ratio());
     }
     let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
@@ -460,7 +474,12 @@ pub fn thm12() -> ExpResult {
         max_ratio,
         t.render()
     );
-    ExpResult::new("T12", "Theorem 12: adaptive adversary + yieldToAll", body, pass)
+    ExpResult::new(
+        "T12",
+        "Theorem 12: adaptive adversary + yieldToAll",
+        body,
+        pass,
+    )
 }
 
 /// H1 — the Hood empirical claim: the hidden constant is small and stable
@@ -522,7 +541,12 @@ pub fn hood_constant() -> ExpResult {
         max / ratios.iter().map(|(_, r)| *r).fold(f64::INFINITY, f64::min),
         t.render()
     );
-    ExpResult::new("H1", "Hood claim: small, stable hidden constant", body, pass)
+    ExpResult::new(
+        "H1",
+        "Hood claim: small, stable hidden constant",
+        body,
+        pass,
+    )
 }
 
 // ----------------------------------------------------------------- ablations
@@ -616,7 +640,11 @@ pub fn ablate_lock() -> ExpResult {
             } else {
                 format!(">{cap} (livelock)")
             },
-            if r.completed { "1.00".into() } else { "∞".into() },
+            if r.completed {
+                "1.00".into()
+            } else {
+                "∞".into()
+            },
         ]);
     }
     // The paper: "performance degrades dramatically" — a visible penalty
@@ -745,7 +773,12 @@ pub fn invariants() -> ExpResult {
          (> 1/4 required) checked live at every linearization point:\n\n{}",
         t.render()
     );
-    ExpResult::new("L3", "Lemma 3 + potential function, live-checked", body, pass)
+    ExpResult::new(
+        "L3",
+        "Lemma 3 + potential function, live-checked",
+        body,
+        pass,
+    )
 }
 
 /// D1 — model-check the deque's relaxed semantics; exhibit the §3.3 ABA.
@@ -800,7 +833,12 @@ pub fn deque_check() -> ExpResult {
          interleaving consume a value twice:\n\n{}",
         t.render()
     );
-    ExpResult::new("D1", "Deque model check (relaxed semantics + ABA)", body, pass)
+    ExpResult::new(
+        "D1",
+        "Deque model check (relaxed semantics + ABA)",
+        body,
+        pass,
+    )
 }
 
 /// C1 — work stealing vs centralized work sharing.
@@ -812,7 +850,14 @@ pub fn deque_check() -> ExpResult {
 /// shape with one shared locked queue instead of per-process deques.
 pub fn ws_vs_sharing() -> ExpResult {
     use abp_sim::{run_central, CentralConfig};
-    let mut t = TextTable::new(["workload", "kernel", "P", "stealing", "sharing", "sharing/stealing"]);
+    let mut t = TextTable::new([
+        "workload",
+        "kernel",
+        "P",
+        "stealing",
+        "sharing",
+        "sharing/stealing",
+    ]);
     let mut pass = true;
     let mut worst = 0.0f64;
     for (name, dag) in [
@@ -849,7 +894,12 @@ pub fn ws_vs_sharing() -> ExpResult {
         worst,
         t.render()
     );
-    ExpResult::new("C1", "Work stealing vs centralized work sharing", body, pass)
+    ExpResult::new(
+        "C1",
+        "Work stealing vs centralized work sharing",
+        body,
+        pass,
+    )
 }
 
 /// C2 — the spawn/continue assignment choice (§3.1: "The bounds proven
@@ -1034,7 +1084,11 @@ pub fn hood_wallclock() -> ExpResult {
             name.to_string(),
             p.to_string(),
             f2(ms),
-            if pp.is_nan() { "n/a".to_string() } else { f2(pp) },
+            if pp.is_nan() {
+                "n/a".to_string()
+            } else {
+                f2(pp)
+            },
             st.steals.to_string(),
             st.yields.to_string(),
         ]);
@@ -1052,6 +1106,148 @@ pub fn hood_wallclock() -> ExpResult {
         t.render()
     );
     ExpResult::new("H2", "Threaded runtime under oversubscription", body, pass)
+}
+
+/// O1 — the observability pipeline end to end: a real pool run and a
+/// simulator run exported through the *same* telemetry schema.
+///
+/// Runs a fork-join workload on a telemetry-enabled [`hood::ThreadPool`],
+/// snapshots at shutdown, writes `target/trace.json` (Chrome trace-event
+/// JSON, loadable in Perfetto) plus `target/metrics.json`; then runs the
+/// simulator with tracing on, adapts its [`abp_sim::Trace`] through
+/// [`abp_sim::telemetry_from_trace`], and writes `target/trace_sim.json`.
+/// Pass requires both exports to parse and the event-derived steal counts
+/// to agree exactly with the independent counters on each side.
+pub fn telemetry() -> ExpResult {
+    use abp_telemetry::{chrome_trace, json, metrics_json, StealOutcome, TelemetryConfig};
+    use hood::{join, PoolConfig, ThreadPool};
+
+    fn fib(n: u64) -> u64 {
+        if n < 12 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..n {
+                let c = a + b;
+                a = b;
+                b = c;
+            }
+            return a;
+        }
+        let (x, y) = join(|| fib(n - 1), || fib(n - 2));
+        x + y
+    }
+
+    let mut body = String::new();
+    let mut pass = true;
+
+    // -- real pool -------------------------------------------------------
+    let pool = ThreadPool::with_config(PoolConfig {
+        num_procs: 4,
+        telemetry: Some(TelemetryConfig {
+            ring_capacity: 1 << 16,
+        }),
+        ..PoolConfig::default()
+    });
+    let got = pool.install(|| fib(22));
+    pass &= got == 17_711;
+    let report = pool.shutdown();
+    let snap = report.telemetry.as_ref().expect("telemetry configured");
+    pass &= snap.total_dropped() == 0;
+
+    let trace = chrome_trace(snap);
+    let metrics = metrics_json(snap);
+    let _ = std::fs::create_dir_all("target");
+    let trace_ok = std::fs::write("target/trace.json", &trace).is_ok();
+    let metrics_ok = std::fs::write("target/metrics.json", &metrics).is_ok();
+    pass &= json::parse(&trace).is_ok() && json::parse(&metrics).is_ok();
+
+    let mut t = TextTable::new([
+        "worker", "jobs", "attempts", "steals", "aborts", "empties", "events", "dropped",
+    ]);
+    for (i, (w, st)) in snap.workers.iter().zip(&report.per_worker).enumerate() {
+        // The trace and the counters are two independent records of the
+        // same execution; shutdown() quiesces first, so they must agree
+        // event-for-event.
+        pass &= w.steal_attempts() == st.steal_attempts;
+        pass &= w.steals_with(StealOutcome::Hit) == st.steals;
+        pass &= w.steals_with(StealOutcome::Abort) == st.aborts;
+        pass &= w.steals_with(StealOutcome::Empty) == st.empties;
+        pass &= st.attempts_balance();
+        t.row([
+            i.to_string(),
+            st.jobs.to_string(),
+            st.steal_attempts.to_string(),
+            st.steals.to_string(),
+            st.aborts.to_string(),
+            st.empties.to_string(),
+            w.events.len().to_string(),
+            w.dropped.to_string(),
+        ]);
+    }
+    let lat = snap.steal_latency_all();
+    let run = snap.job_run_time_all();
+    writeln!(
+        body,
+        "pool: fib(22) on P=4, {} jobs, {} steal attempts; trace {} events\n\
+         steal latency: n={}, mean {:.0} ns, p90 ≤ {} ns; job run: n={}, mean {:.0} ns\n\
+         wrote target/trace.json ({} bytes{}) and target/metrics.json ({} bytes{})\n\n{}",
+        report.stats.jobs,
+        report.stats.steal_attempts,
+        snap.workers.iter().map(|w| w.events.len()).sum::<usize>(),
+        lat.count(),
+        lat.mean(),
+        lat.quantile_upper_bound(0.9),
+        run.count(),
+        run.mean(),
+        trace.len(),
+        if trace_ok { "" } else { ", WRITE FAILED" },
+        metrics.len(),
+        if metrics_ok { "" } else { ", WRITE FAILED" },
+        t.render()
+    )
+    .unwrap();
+
+    // -- simulator through the same schema -------------------------------
+    let dag = gen::fib(14, 3);
+    let p = 6;
+    let mut k = BenignKernel::new(p, CountSource::UniformBetween(2, 6), 11);
+    let cfg = WsConfig {
+        trace: true,
+        ..ws_defaults(23)
+    };
+    let r = run_ws(&dag, p, &mut k, cfg);
+    pass &= r.completed;
+    let sim_trace = r.trace.as_ref().expect("trace requested");
+    let sim_snap = abp_sim::telemetry_from_trace(sim_trace);
+    let sim_chrome = chrome_trace(&sim_snap);
+    let sim_ok = std::fs::write("target/trace_sim.json", &sim_chrome).is_ok();
+    pass &= json::parse(&sim_chrome).is_ok();
+    let sim_attempts: u64 = sim_snap.workers.iter().map(|w| w.steal_attempts()).sum();
+    pass &= sim_attempts == r.steal_attempts;
+    let sim_hits: u64 = sim_snap
+        .workers
+        .iter()
+        .map(|w| w.steals_with(StealOutcome::Hit))
+        .sum();
+    pass &= sim_hits == r.successful_steals;
+    writeln!(
+        body,
+        "sim: fib(14,3) on P={p} under a benign kernel, {} rounds;\n\
+         trace → telemetry: {} steal attempts ({} hits) = simulator counters;\n\
+         wrote target/trace_sim.json ({} bytes{}) — same schema, same loader",
+        r.rounds,
+        sim_attempts,
+        sim_hits,
+        sim_chrome.len(),
+        if sim_ok { "" } else { ", WRITE FAILED" },
+    )
+    .unwrap();
+
+    ExpResult::new(
+        "O1",
+        "Telemetry: one trace schema, pool + simulator",
+        body,
+        pass,
+    )
 }
 
 /// Runs every experiment, in index order.
@@ -1074,5 +1270,6 @@ pub fn all() -> Vec<ExpResult> {
         ws_vs_sharing(),
         assign_policy(),
         hood_wallclock(),
+        telemetry(),
     ]
 }

@@ -1,0 +1,186 @@
+//! A minimal benchmark harness (the workspace is dependency-free, so
+//! criterion is not available). It keeps criterion's group/function
+//! shape: warm-up, automatic inner-iteration calibration so a sample
+//! spans at least a millisecond, and a median/mean/min report with
+//! optional element throughput.
+//!
+//! Each `[[bench]]` target with `harness = false` builds a `main` that
+//! drives [`Harness`]; run with `cargo bench -p abp-bench` (an optional
+//! substring argument filters benchmark names).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Re-export so bench files only import from this module.
+pub use std::hint::black_box as bb;
+
+/// Target minimum duration of one timed sample.
+const MIN_SAMPLE_NS: u64 = 1_000_000;
+
+/// Top-level driver; parses the CLI filter and prints the header.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Builds from `std::env::args`, ignoring cargo's `--bench` flag and
+    /// treating the first free argument as a name filter.
+    pub fn from_args(title: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        println!("# {title}");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>14}",
+            "benchmark", "median", "mean", "min", "throughput"
+        );
+        Harness { filter }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: 20,
+            elems: None,
+        }
+    }
+}
+
+/// A group of related benchmark functions sharing sample count and
+/// throughput units.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    samples: usize,
+    elems: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Declare that one iteration processes `n` elements, enabling the
+    /// elements/second column.
+    pub fn throughput_elems(&mut self, n: u64) -> &mut Self {
+        self.elems = Some(n);
+        self
+    }
+
+    /// Benchmarks `f`, timing batches of calls.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        self.bench_with_setup(name, || (), move |()| f());
+    }
+
+    /// Benchmarks `f` with a fresh, untimed `setup()` product per call
+    /// (criterion's `iter_batched` with per-iteration batches).
+    pub fn bench_with_setup<S, T, F>(&mut self, name: &str, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> T,
+        F: FnMut(T),
+    {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and calibration: how many calls make a ≥ 1 ms sample?
+        let once = {
+            let input = setup();
+            let t0 = Instant::now();
+            f(black_box(input));
+            t0.elapsed().as_nanos().max(1) as u64
+        };
+        let iters = (MIN_SAMPLE_NS / once).clamp(1, 1_000_000);
+        let mut per_call: Vec<u64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                f(black_box(input));
+            }
+            per_call.push(t0.elapsed().as_nanos() as u64 / iters);
+        }
+        per_call.sort_unstable();
+        let median = per_call[per_call.len() / 2];
+        let mean = per_call.iter().sum::<u64>() / per_call.len() as u64;
+        let min = per_call[0];
+        let thr = match self.elems {
+            Some(e) if median > 0 => {
+                let eps = e as f64 * 1e9 / median as f64;
+                if eps >= 1e6 {
+                    format!("{:.1} Melem/s", eps / 1e6)
+                } else {
+                    format!("{:.1} kelem/s", eps / 1e3)
+                }
+            }
+            _ => String::from("-"),
+        };
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>14}",
+            full,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            thr
+        );
+    }
+
+    /// Criterion-compatibility no-op.
+    pub fn finish(&mut self) {}
+}
+
+/// Human duration formatting (ns → µs → ms → s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00 ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20 s");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let h = Harness { filter: None };
+        let mut g = h.group("smoke");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench("counting", || {
+            count = count.wrapping_add(1);
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let h = Harness {
+            filter: Some("nomatch".to_string()),
+        };
+        let mut g = h.group("smoke");
+        let mut ran = false;
+        g.bench("skipped", || ran = true);
+        assert!(!ran);
+    }
+}

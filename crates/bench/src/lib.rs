@@ -3,4 +3,5 @@
 //! EXPERIMENTS.md for recorded results.
 
 pub mod exp;
+pub mod harness;
 pub mod table;

@@ -83,7 +83,10 @@ pub enum DagError {
     BadFinal { out_degree_zero: usize },
     /// A non-root thread is missing a spawn edge into its first node, or has
     /// more than one.
-    BadSpawn { thread: ThreadId, spawn_edges: usize },
+    BadSpawn {
+        thread: ThreadId,
+        spawn_edges: usize,
+    },
     /// A spawn edge does not target the first node of a thread.
     SpawnNotAtThreadStart { to: NodeId },
     /// A thread was created but never given any nodes.
@@ -120,7 +123,10 @@ impl fmt::Display for DagError {
                 "thread {thread} must have exactly one incoming spawn edge, found {spawn_edges}"
             ),
             DagError::SpawnNotAtThreadStart { to } => {
-                write!(f, "spawn edge targets {to}, which is not a thread's first node")
+                write!(
+                    f,
+                    "spawn edge targets {to}, which is not a thread's first node"
+                )
             }
             DagError::EmptyThread { thread } => write!(f, "thread {thread} has no nodes"),
             DagError::SelfEdge { node } => write!(f, "self-edge at {node}"),
@@ -196,7 +202,9 @@ impl Dag {
             }
             for &(to, kind) in sl {
                 if to.index() == i {
-                    return Err(DagError::SelfEdge { node: NodeId(i as u32) });
+                    return Err(DagError::SelfEdge {
+                        node: NodeId(i as u32),
+                    });
                 }
                 in_deg[to.index()] += 1;
                 if kind == EdgeKind::Spawn {
@@ -216,9 +224,7 @@ impl Dag {
         let root = NodeId(zeros[0] as u32);
 
         // Final node: exactly one out-degree-0 node.
-        let finals: Vec<usize> = (0..n)
-            .filter(|&i| succs[i].as_slice().is_empty())
-            .collect();
+        let finals: Vec<usize> = (0..n).filter(|&i| succs[i].as_slice().is_empty()).collect();
         if finals.len() != 1 {
             return Err(DagError::BadFinal {
                 out_degree_zero: finals.len(),
@@ -409,11 +415,14 @@ impl Dag {
     /// All edges of the dag, in node order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_nodes()).flat_map(move |i| {
-            self.succs[i].as_slice().iter().map(move |&(to, kind)| Edge {
-                from: NodeId(i as u32),
-                to,
-                kind,
-            })
+            self.succs[i]
+                .as_slice()
+                .iter()
+                .map(move |&(to, kind)| Edge {
+                    from: NodeId(i as u32),
+                    to,
+                    kind,
+                })
         })
     }
 

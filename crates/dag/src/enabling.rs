@@ -61,10 +61,7 @@ impl EnablingTree {
             self.enabled[parent.index()],
             "designated parent {parent} was never enabled"
         );
-        debug_assert!(
-            !self.enabled[child.index()],
-            "node {child} enabled twice"
-        );
+        debug_assert!(!self.enabled[child.index()], "node {child} enabled twice");
         self.enabled[child.index()] = true;
         self.parent[child.index()] = Some(parent);
         self.depth[child.index()] = self.depth[parent.index()] + 1;

@@ -86,8 +86,7 @@ pub fn stats(dag: &Dag) -> DagStats {
         spawn_edges,
         enable_edges,
         max_thread_len: thread_lens.iter().copied().max().unwrap_or(0),
-        mean_thread_len: thread_lens.iter().sum::<usize>() as f64
-            / thread_lens.len().max(1) as f64,
+        mean_thread_len: thread_lens.iter().sum::<usize>() as f64 / thread_lens.len().max(1) as f64,
         max_in_degree,
     }
 }
@@ -129,7 +128,11 @@ mod tests {
 
     #[test]
     fn stats_spawn_count_matches_threads() {
-        for d in [gen::fork_join_tree(4, 2), gen::fib(9, 2), gen::wavefront(5, 4)] {
+        for d in [
+            gen::fork_join_tree(4, 2),
+            gen::fib(9, 2),
+            gen::wavefront(5, 4),
+        ] {
             let s = stats(&d);
             // Every non-root thread is created by exactly one spawn edge.
             assert_eq!(s.spawn_edges, s.threads - 1);

@@ -160,13 +160,7 @@ pub fn random_series_parallel(seed: u64, target_work: usize) -> Dag {
         .expect("series-parallel dag is valid by construction")
 }
 
-fn sp_rec(
-    b: &mut DagBuilder,
-    t: ThreadId,
-    budget: usize,
-    rng: &mut DetRng,
-    depth: u32,
-) -> NodeId {
+fn sp_rec(b: &mut DagBuilder, t: ThreadId, budget: usize, rng: &mut DetRng, depth: u32) -> NodeId {
     // Small budgets and deep recursion become serial chains.
     if budget <= 6 || depth > 24 || rng.chance(0.25) {
         return b.nodes(t, budget.max(1));
@@ -303,7 +297,11 @@ mod tests {
             let seq = 2;
             let d = fork_join_tree(depth, seq);
             // Thread count: 2^(depth+1) - 1 tasks.
-            assert_eq!(d.num_threads(), (1usize << (depth + 1)) - 1, "depth {depth}");
+            assert_eq!(
+                d.num_threads(),
+                (1usize << (depth + 1)) - 1,
+                "depth {depth}"
+            );
             // Work: internal tasks have 2*seq + 3 nodes (seq + 2 spawns +
             // join + seq), leaves have 2*seq + 1, and every spawned (non-
             // root) thread carries one thread-entry node where the spawn
@@ -311,9 +309,8 @@ mod tests {
             let internals = (1u64 << depth) - 1;
             let leaves = 1u64 << depth;
             let spawned_threads = internals + leaves - 1;
-            let expect = internals * (2 * seq as u64 + 3)
-                + leaves * (2 * seq as u64 + 1)
-                + spawned_threads;
+            let expect =
+                internals * (2 * seq as u64 + 3) + leaves * (2 * seq as u64 + 1) + spawned_threads;
             assert_eq!(d.work(), expect, "depth {depth}");
         }
     }

@@ -230,9 +230,9 @@ impl<T: Word> Worker<T> {
                     Ordering::SeqCst,
                 )
                 .is_ok()
-            {
-                return Some(node);
-            }
+        {
+            return Some(node);
+        }
         // 17-18: a thief won (or the deque was already empty): publish the
         // reset age and give up. Only the owner ever *stores* age directly,
         // so this cannot clobber a concurrent thief update beyond what the
@@ -354,7 +354,9 @@ mod tests {
         let mut x = 0u64;
         let mut rng = 0x12345678u64;
         for _ in 0..10_000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match rng >> 62 {
                 0 | 1 => {
                     w.push_bottom(x).unwrap();
@@ -445,20 +447,18 @@ mod tests {
             let s = s.clone();
             let counts = Arc::clone(&counts);
             let done = Arc::clone(&done);
-            handles.push(std::thread::spawn(move || {
-                loop {
-                    match s.pop_top() {
-                        Steal::Taken(v) => {
-                            counts[v as usize].fetch_add(1, Ordering::Relaxed);
-                        }
-                        Steal::Empty => {
-                            if done.load(Ordering::Acquire) {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                        Steal::Abort => {}
+            handles.push(std::thread::spawn(move || loop {
+                match s.pop_top() {
+                    Steal::Taken(v) => {
+                        counts[v as usize].fetch_add(1, Ordering::Relaxed);
                     }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    Steal::Abort => {}
                 }
             }));
         }
@@ -484,7 +484,11 @@ mod tests {
             h.join().unwrap();
         }
         for (i, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "value {i} consumed wrong number of times");
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "value {i} consumed wrong number of times"
+            );
         }
     }
 }

@@ -8,8 +8,10 @@
 //!
 //! * the owner, on running out of room, allocates a buffer of twice the
 //!   capacity, copies the live region, and publishes it; the old buffer
-//!   is reclaimed through epoch-based GC (`crossbeam_epoch`), so a
-//!   preempted thief can safely finish reading it;
+//!   is parked on an owner-private retire list and freed only when the
+//!   deque itself is dropped, so a preempted thief can safely finish
+//!   reading it (retired buffers form a geometric series, so they total
+//!   less than the current buffer's size — bounded waste, no GC);
 //! * stale-buffer reads are harmless by the same argument that protects
 //!   stale slot reads in the original algorithm: the owner only rewrites
 //!   low indices after a bottom reset, every reset bumps the `tag`, and
@@ -31,9 +33,9 @@
 
 use crate::atomic::Steal;
 use crate::word::Word;
-use crossbeam::epoch::{self, Atomic, Owned};
+use std::cell::UnsafeCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -72,7 +74,14 @@ impl Buffer {
 struct Inner<T: Word> {
     age: AtomicU64,
     bot: AtomicU64,
-    buffer: Atomic<Buffer>,
+    buffer: AtomicPtr<Buffer>,
+    /// Superseded buffers, kept alive so preempted thieves can finish
+    /// reading them. Pushed to only by the owner (`GrowableWorker` is
+    /// `!Sync`), drained only in `Drop` when no handles remain. The
+    /// boxes are required: stealers hold raw pointers into the buffers,
+    /// so their addresses must survive the `Vec` reallocating.
+    #[allow(clippy::vec_box)]
+    retired: UnsafeCell<Vec<Box<Buffer>>>,
     _marker: PhantomData<T>,
 }
 
@@ -81,10 +90,13 @@ unsafe impl<T: Word> Sync for Inner<T> {}
 
 impl<T: Word> Drop for Inner<T> {
     fn drop(&mut self) {
-        // Sole owner at this point: reclaim the current buffer directly.
-        let buf = std::mem::replace(&mut self.buffer, Atomic::null());
-        unsafe {
-            drop(buf.into_owned());
+        // Sole owner at this point: reclaim the current buffer directly
+        // (`retired` drops itself).
+        let ptr = *self.buffer.get_mut();
+        if !ptr.is_null() {
+            unsafe {
+                drop(Box::from_raw(ptr));
+            }
         }
     }
 }
@@ -116,7 +128,8 @@ pub fn new_growable<T: Word>(initial_capacity: usize) -> (GrowableWorker<T>, Gro
     let inner = Arc::new(Inner {
         age: AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack()),
         bot: AtomicU64::new(0),
-        buffer: Atomic::new(Buffer::new(cap)),
+        buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(cap)))),
+        retired: UnsafeCell::new(Vec::new()),
         _marker: PhantomData,
     });
     (
@@ -133,11 +146,10 @@ impl<T: Word> GrowableWorker<T> {
     /// reaches its end. Never fails.
     pub fn push_bottom(&self, node: T) {
         let inner = &*self.inner;
-        let guard = epoch::pin();
         let local_bot = inner.bot.load(Ordering::Relaxed);
-        let mut buf_ptr = inner.buffer.load(Ordering::Acquire, &guard);
-        // SAFETY: the buffer is live; only this owner replaces it.
-        let mut buf = unsafe { buf_ptr.deref() };
+        // SAFETY: the buffer is live (freed only in Drop); only this owner
+        // replaces it.
+        let mut buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
         if local_bot as usize >= buf.slots.len() {
             // Grow: copy everything (indices are absolute and small — bot
             // resets to 0 whenever the owner drains the deque).
@@ -145,14 +157,15 @@ impl<T: Word> GrowableWorker<T> {
             for (i, s) in buf.slots.iter().enumerate() {
                 new.slots[i].store(s.load(Ordering::Relaxed), Ordering::Relaxed);
             }
-            let new_ptr = Owned::new(new).into_shared(&guard);
-            let old = inner.buffer.swap(new_ptr, Ordering::Release, &guard);
-            // SAFETY: `old` is unlinked; readers drain with the epoch.
+            let new_ptr = Box::into_raw(Box::new(new));
+            let old = inner.buffer.swap(new_ptr, Ordering::Release);
+            // SAFETY: `old` is unlinked but thieves may still hold it;
+            // retire it until Drop. `retired` is owner-private: this
+            // `GrowableWorker` is `!Sync` and nothing else touches it.
             unsafe {
-                guard.defer_destroy(old);
+                (*inner.retired.get()).push(Box::from_raw(old));
             }
-            buf_ptr = new_ptr;
-            buf = unsafe { buf_ptr.deref() };
+            buf = unsafe { &*new_ptr };
         }
         buf.slots[local_bot as usize].store(node.to_word(), Ordering::Relaxed);
         inner.bot.store(local_bot + 1, Ordering::Release);
@@ -161,14 +174,14 @@ impl<T: Word> GrowableWorker<T> {
     /// `popBottom`, identical to the fixed-capacity protocol.
     pub fn pop_bottom(&self) -> Option<T> {
         let inner = &*self.inner;
-        let guard = epoch::pin();
         let local_bot = inner.bot.load(Ordering::Relaxed);
         if local_bot == 0 {
             return None;
         }
         let local_bot = local_bot - 1;
         inner.bot.store(local_bot, Ordering::SeqCst);
-        let buf = unsafe { inner.buffer.load(Ordering::Acquire, &guard).deref() };
+        // SAFETY: live until Drop, as above.
+        let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
         let node = T::from_word(buf.slots[local_bot as usize].load(Ordering::Relaxed));
         let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
         if local_bot > old_age.top as u64 {
@@ -207,15 +220,10 @@ impl<T: Word> GrowableWorker<T> {
 
     /// Current backing-array capacity (for tests/diagnostics).
     pub fn capacity(&self) -> usize {
-        let guard = epoch::pin();
-        unsafe {
-            self.inner
-                .buffer
-                .load(Ordering::Acquire, &guard)
-                .deref()
-                .slots
-                .len()
-        }
+        // SAFETY: live until Drop, as above.
+        unsafe { &*self.inner.buffer.load(Ordering::Acquire) }
+            .slots
+            .len()
     }
 
     /// Another thief handle.
@@ -232,7 +240,6 @@ impl<T: Word> GrowableStealer<T> {
     /// be stale, because the owner grows before publishing such a `bot`.
     pub fn pop_top(&self) -> Steal<T> {
         let inner = &*self.inner;
-        let guard = epoch::pin();
         let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
         let local_bot = inner.bot.load(Ordering::SeqCst);
         if local_bot <= old_age.top as u64 {
@@ -240,7 +247,9 @@ impl<T: Word> GrowableStealer<T> {
         }
         let mut spins = 0;
         let node = loop {
-            let buf = unsafe { inner.buffer.load(Ordering::SeqCst, &guard).deref() };
+            // SAFETY: buffers are never freed before `Inner` drops, and
+            // this stealer's `Arc` keeps `Inner` alive.
+            let buf = unsafe { &*inner.buffer.load(Ordering::SeqCst) };
             if (old_age.top as usize) < buf.slots.len() {
                 break T::from_word(buf.slots[old_age.top as usize].load(Ordering::Relaxed));
             }

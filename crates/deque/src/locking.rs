@@ -8,9 +8,8 @@
 //! dramatic. The real-runtime benchmarks and the simulator both expose the
 //! backend choice so the two can be compared head to head.
 
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::atomic::Steal;
 
@@ -38,12 +37,12 @@ impl<T> LockingDeque<T> {
 
     /// Pushes at the bottom (owner end).
     pub fn push_bottom(&self, v: T) {
-        self.inner.lock().push_back(v);
+        self.inner.lock().unwrap().push_back(v);
     }
 
     /// Pops from the bottom (owner end).
     pub fn pop_bottom(&self) -> Option<T> {
-        self.inner.lock().pop_back()
+        self.inner.lock().unwrap().pop_back()
     }
 
     /// Pops from the top (thief end). Uses `try_lock` so a thief never
@@ -51,22 +50,22 @@ impl<T> LockingDeque<T> {
     /// [`Steal::Abort`], mirroring the non-blocking deque's interface.
     pub fn pop_top(&self) -> Steal<T> {
         match self.inner.try_lock() {
-            Some(mut q) => match q.pop_front() {
+            Ok(mut q) => match q.pop_front() {
                 Some(v) => Steal::Taken(v),
                 None => Steal::Empty,
             },
-            None => Steal::Abort,
+            Err(_) => Steal::Abort,
         }
     }
 
     /// Current size.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().unwrap().is_empty()
     }
 }
 

@@ -292,7 +292,8 @@ fn aborts_excused(history: &[Invocation]) -> Result<(), String> {
                 && other.end >= inv.start
                 && matches!(
                     other.result,
-                    OpResult::Popped(Some(_)) | OpResult::Stolen(SimSteal::Taken(_))
+                    OpResult::Popped(Some(_))
+                        | OpResult::Stolen(SimSteal::Taken(_))
                         | OpResult::Popped(None)
                 )
         });
@@ -319,11 +320,7 @@ fn linearizable(history: &[Invocation]) -> Result<(), String> {
     }
 }
 
-fn lin_search(
-    ops: &[&Invocation],
-    linearized: &mut [bool],
-    spec: &mut VecDeque<u64>,
-) -> bool {
+fn lin_search(ops: &[&Invocation], linearized: &mut [bool], spec: &mut VecDeque<u64>) -> bool {
     if linearized.iter().all(|&b| b) {
         return true;
     }
@@ -333,8 +330,7 @@ fn lin_search(
         }
         // `i` is a candidate only if no unlinearized op finished strictly
         // before it started.
-        let minimal = (0..ops.len())
-            .all(|j| linearized[j] || j == i || ops[j].end >= ops[i].start);
+        let minimal = (0..ops.len()).all(|j| linearized[j] || j == i || ops[j].end >= ops[i].start);
         if !minimal {
             continue;
         }
@@ -374,18 +370,15 @@ fn lin_search(
         }
         // Undo the spec mutation.
         match (ops[i].kind, ops[i].result) {
-            (ProgOp::Push(_), OpResult::Pushed)
-                if ok => {
-                    spec.pop_back();
-                }
-            (ProgOp::PopBottom, OpResult::Popped(Some(v)))
-                if ok => {
-                    spec.push_back(v);
-                }
-            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v)))
-                if ok => {
-                    spec.push_front(v);
-                }
+            (ProgOp::Push(_), OpResult::Pushed) if ok => {
+                spec.pop_back();
+            }
+            (ProgOp::PopBottom, OpResult::Popped(Some(v))) if ok => {
+                spec.push_back(v);
+            }
+            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v))) if ok => {
+                spec.push_front(v);
+            }
             _ => {}
         }
     }
@@ -406,10 +399,7 @@ mod tests {
         let scenarios = [
             Scenario::new(vec![owner(&[Push(1), PopBottom]), vec![PopTop]]),
             Scenario::new(vec![owner(&[Push(1), Push(2), PopBottom]), vec![PopTop]]),
-            Scenario::new(vec![
-                owner(&[Push(1), PopBottom, Push(2)]),
-                vec![PopTop],
-            ]),
+            Scenario::new(vec![owner(&[Push(1), PopBottom, Push(2)]), vec![PopTop]]),
             Scenario::new(vec![
                 owner(&[Push(1), Push(2), PopBottom, PopBottom]),
                 vec![PopTop, PopTop],
@@ -448,10 +438,7 @@ mod tests {
         use ProgOp::*;
         // The §3.3 scenario: the checker must find a violating
         // interleaving for the untagged deque...
-        let sc = Scenario::new(vec![
-            owner(&[Push(1), PopBottom, Push(2)]),
-            vec![PopTop],
-        ]);
+        let sc = Scenario::new(vec![owner(&[Push(1), PopBottom, Push(2)]), vec![PopTop]]);
         let rep = explore(&sc, false);
         assert!(
             !rep.ok(),

@@ -172,11 +172,7 @@ pub enum DequeOp {
         old_age: SimAge,
     },
     /// Figure 5 `popTop`: up to 4 instructions.
-    PopTop {
-        pc: u8,
-        old_age: SimAge,
-        node: u64,
-    },
+    PopTop { pc: u8, old_age: SimAge, node: u64 },
 }
 
 impl DequeOp {
@@ -284,10 +280,9 @@ impl DequeOp {
                         },
                         top: 0,
                     };
-                    if *local_bot == old_age.top
-                        && d.cas_age(*old_age, new_age) {
-                            return StepOutcome::PopBottomDone(Some(*node));
-                        }
+                    if *local_bot == old_age.top && d.cas_age(*old_age, new_age) {
+                        return StepOutcome::PopBottomDone(Some(*node));
+                    }
                     *pc = 6;
                     StepOutcome::Continue
                 }
@@ -481,8 +476,8 @@ mod tests {
             assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load age
             assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load bot
             assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load deq[0]
-            // Owner pops 100 (reset path: localBot == top == 0) and pushes
-            // 200, restoring top=0, bot=1.
+                                                                   // Owner pops 100 (reset path: localBot == top == 0) and pushes
+                                                                   // 200, restoring top=0, bot=1.
             assert_eq!(pop_bottom(&mut d), Some(100));
             push(&mut d, 200);
             // Thief resumes with its cas.

@@ -72,13 +72,13 @@ where
             Some(j) => {
                 // A pending job from an enclosing join/scope: running it
                 // here is equivalent to it having been stolen.
-                unsafe { j.execute() };
+                worker.execute_job(j);
             }
             None => {
                 // Deque empty and b still out with a thief: contribute by
                 // stealing elsewhere (includes the configured yield).
                 if let Some(j) = worker.find_distant_work() {
-                    unsafe { j.execute() };
+                    worker.execute_job(j);
                 }
             }
         }
@@ -135,7 +135,10 @@ mod tests {
         let pool = ThreadPool::new(2);
         let data: Vec<u64> = (0..1000).collect();
         let sum = pool.install(|| {
-            let (l, r) = join(|| data[..500].iter().sum::<u64>(), || data[500..].iter().sum::<u64>());
+            let (l, r) = join(
+                || data[..500].iter().sum::<u64>(),
+                || data[500..].iter().sum::<u64>(),
+            );
             l + r
         });
         assert_eq!(sum, 999 * 1000 / 2);
@@ -190,7 +193,9 @@ mod tests {
         let pool = ThreadPool::with_config(PoolConfig {
             num_procs: 3,
             // Pathologically tiny initial capacity: growth must kick in.
-            backend: crate::pool::Backend::AbpGrowable { initial_capacity: 2 },
+            backend: crate::pool::Backend::AbpGrowable {
+                initial_capacity: 2,
+            },
             ..PoolConfig::default()
         });
         assert_eq!(pool.install(|| fib(18)), 2584);

@@ -6,8 +6,8 @@
 //! in the same sense as the paper's scheduler); external threads wait on a
 //! [`LockLatch`], which may sleep.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A one-shot spin latch, probed by workers between work-finding attempts.
 #[derive(Debug, Default)]
@@ -82,16 +82,16 @@ impl LockLatch {
 
     /// Sets the latch and wakes waiters.
     pub fn set(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         *done = true;
         self.cv.notify_all();
     }
 
     /// Blocks until set.
     pub fn wait(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         while !*done {
-            self.cv.wait(&mut done);
+            done = self.cv.wait(done).unwrap();
         }
     }
 }

@@ -36,6 +36,9 @@ pub mod stats;
 
 pub use join::join;
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
-pub use pool::{Backend, PoolConfig, ThreadPool, WorkerCtx};
+pub use pool::{Backend, PoolConfig, PoolReport, ThreadPool, WorkerCtx};
 pub use scope::{scope, Scope};
 pub use stats::{PoolStats, WorkerStats};
+
+#[cfg(feature = "telemetry")]
+pub use pool::{TelemetryConfig, TelemetrySnapshot};

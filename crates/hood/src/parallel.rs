@@ -78,7 +78,13 @@ pub fn sort_unstable<T: Ord + Send>(slice: &mut [T]) {
         // Median-of-three pivot.
         let (a, b, c) = (0, v.len() / 2, v.len() - 1);
         let med = if v[a] < v[b] {
-            if v[b] < v[c] { b } else if v[a] < v[c] { c } else { a }
+            if v[b] < v[c] {
+                b
+            } else if v[a] < v[c] {
+                c
+            } else {
+                a
+            }
         } else if v[a] < v[c] {
             a
         } else if v[b] < v[c] {
@@ -191,15 +197,8 @@ mod tests {
         // must be preserved.
         let pool = ThreadPool::new(4);
         let v: Vec<u32> = (0..200).collect();
-        let s = pool.install(|| {
-            map_reduce(
-                &v,
-                16,
-                String::new(),
-                &|x| format!("{x},"),
-                &|a, b| a + &b,
-            )
-        });
+        let s = pool
+            .install(|| map_reduce(&v, 16, String::new(), &|x| format!("{x},"), &|a, b| a + &b));
         let expect: String = (0..200).map(|x| format!("{x},")).collect();
         assert_eq!(s, expect);
     }

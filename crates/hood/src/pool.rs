@@ -11,18 +11,29 @@
 //! idle pool does not burn CPU — it is on a timeout and never holds locks
 //! around work, so it cannot reintroduce the preemption pathology the
 //! paper's non-blocking design eliminates.
+//!
+//! With the `telemetry` feature (on by default) a pool can additionally
+//! record a structured event trace — spawns, job spans, every steal
+//! attempt with its outcome, yields, parks — into per-worker lock-free
+//! rings (see [`abp_telemetry`]). Tracing is also gated at *runtime*: it
+//! is off unless [`PoolConfig::telemetry`] is `Some`, and when off each
+//! instrumentation point costs one branch on an `Option`.
 
 use crate::job::JobRef;
 use crate::latch::LockLatch;
 use crate::stats::{PoolStats, WorkerStats};
 use abp_dag::DetRng;
 use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+#[cfg(feature = "telemetry")]
+use abp_telemetry::{EventKind, Registry, StealOutcome, WorkerTelemetry};
+#[cfg(feature = "telemetry")]
+pub use abp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 
 /// Which deque implementation backs each worker — the ablation axis for
 /// the paper's "non-blocking data structures are essential" claim.
@@ -31,7 +42,7 @@ pub enum Backend {
     /// The non-blocking ABP deque with the given (fixed) array capacity.
     /// On overflow, jobs run inline — correct, just less parallel.
     Abp { capacity: usize },
-    /// The growable ABP deque (epoch-reclaimed buffers): never overflows.
+    /// The growable ABP deque (retire-list buffers): never overflows.
     AbpGrowable { initial_capacity: usize },
     /// A mutex-protected deque.
     Locking,
@@ -62,6 +73,11 @@ pub struct PoolConfig {
     /// jobs on the thief's stack ("leapfrogging"), so deep recursive
     /// workloads need headroom beyond the platform default.
     pub stack_size: usize,
+    /// Structured tracing: `Some(config)` records events and histograms
+    /// into per-worker rings; `None` (the default) records nothing and
+    /// leaves only an untaken branch at each instrumentation point.
+    #[cfg(feature = "telemetry")]
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for PoolConfig {
@@ -75,6 +91,8 @@ impl Default for PoolConfig {
             park_after: Some(64),
             seed: 0xAB9,
             stack_size: 8 * 1024 * 1024,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         }
     }
 }
@@ -111,11 +129,13 @@ pub(crate) struct Shared {
     pub(crate) stats: Vec<WorkerStats>,
     yield_between_steals: bool,
     park_after: Option<u32>,
+    #[cfg(feature = "telemetry")]
+    registry: Option<Arc<Registry>>,
 }
 
 impl Shared {
     fn inject(&self, job: JobRef) {
-        self.injector.lock().push_back(job);
+        self.injector.lock().unwrap().push_back(job);
         self.injected.fetch_add(1, Ordering::Release);
         self.sleep_cv.notify_all();
     }
@@ -124,7 +144,7 @@ impl Shared {
         if self.injected.load(Ordering::Acquire) == 0 {
             return None;
         }
-        let mut q = self.injector.lock();
+        let mut q = self.injector.lock().unwrap();
         let job = q.pop_front();
         if job.is_some() {
             self.injected.fetch_sub(1, Ordering::Release);
@@ -141,6 +161,8 @@ pub struct WorkerCtx {
     shared: Arc<Shared>,
     rng: RefCell<DetRng>,
     fail_streak: Cell<u32>,
+    #[cfg(feature = "telemetry")]
+    tele: Option<WorkerTelemetry>,
 }
 
 thread_local! {
@@ -169,9 +191,19 @@ impl WorkerCtx {
         &self.shared.stats[self.index]
     }
 
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn tele_record(&self, kind: EventKind) {
+        if let Some(t) = &self.tele {
+            t.record(kind);
+        }
+    }
+
     /// `pushBottom`. Returns false if the (fixed-capacity) deque is full —
     /// the caller then runs the job inline instead.
     pub(crate) fn push(&self, job: JobRef) -> bool {
+        #[cfg(feature = "telemetry")]
+        self.tele_record(EventKind::Spawn);
         match &self.deque {
             OwnerDeque::Abp(w) => w.push_bottom(job.to_word()).is_ok(),
             OwnerDeque::Growable(w) => {
@@ -195,14 +227,38 @@ impl WorkerCtx {
         w.map(JobRef::from_word)
     }
 
+    /// Executes `job` and maintains the job counter, the job-run-time
+    /// histogram, and the `ExecStart`/`ExecEnd` trace span. Every job the
+    /// scheduler runs goes through here so counts and traces agree.
+    pub(crate) fn execute_job(&self, job: JobRef) {
+        #[cfg(feature = "telemetry")]
+        let started = self.tele.as_ref().map(|t| {
+            let now = t.now_ns();
+            t.record_at(now, EventKind::ExecStart);
+            now
+        });
+        unsafe { job.execute() };
+        self.stats().jobs.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        if let (Some(t), Some(t0)) = (self.tele.as_ref(), started) {
+            let now = t.now_ns();
+            t.job_run_ns(now.saturating_sub(t0));
+            t.record_at(now, EventKind::ExecEnd);
+        }
+    }
+
     /// One full steal scan: yield (per config), then try every other
     /// worker once in random order, then the injector.
     pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
         let shared = &*self.shared;
         if shared.yield_between_steals {
             self.stats().yields.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            self.tele_record(EventKind::Yield);
             std::thread::yield_now();
         }
+        #[cfg(feature = "telemetry")]
+        let scan_start = self.tele.as_ref().map(|t| t.now_ns());
         let n = shared.stealers.len();
         if n > 1 {
             let start = self.rng.borrow_mut().below_usize(n - 1);
@@ -215,12 +271,37 @@ impl WorkerCtx {
                 match shared.stealers[v].steal() {
                     Steal::Taken(w) => {
                         self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = self.tele.as_ref() {
+                            let now = t.now_ns();
+                            // Steal latency: scan start → successful grab.
+                            t.steal_latency_ns(now.saturating_sub(scan_start.unwrap_or(now)));
+                            t.record_at(
+                                now,
+                                EventKind::StealAttempt {
+                                    victim: v as u32,
+                                    outcome: StealOutcome::Hit,
+                                },
+                            );
+                        }
                         return Some(JobRef::from_word(w));
                     }
                     Steal::Abort => {
                         self.stats().aborts.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "telemetry")]
+                        self.tele_record(EventKind::StealAttempt {
+                            victim: v as u32,
+                            outcome: StealOutcome::Abort,
+                        });
                     }
-                    Steal::Empty => {}
+                    Steal::Empty => {
+                        self.stats().empties.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "telemetry")]
+                        self.tele_record(EventKind::StealAttempt {
+                            victim: v as u32,
+                            outcome: StealOutcome::Empty,
+                        });
+                    }
                 }
             }
         }
@@ -233,8 +314,7 @@ impl WorkerCtx {
     pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
         while !probe() {
             if let Some(job) = self.pop().or_else(|| self.find_distant_work()) {
-                unsafe { job.execute() };
-                self.stats().jobs.fetch_add(1, Ordering::Relaxed);
+                self.execute_job(job);
             }
         }
     }
@@ -244,14 +324,11 @@ fn worker_main(ctx: WorkerCtx) {
     CURRENT.with(|c| c.set(&ctx as *const WorkerCtx));
     let shared = Arc::clone(&ctx.shared);
     loop {
-        let job = ctx
-            .pop()
-            .or_else(|| ctx.find_distant_work());
+        let job = ctx.pop().or_else(|| ctx.find_distant_work());
         match job {
             Some(job) => {
                 ctx.fail_streak.set(0);
-                unsafe { job.execute() };
-                ctx.stats().jobs.fetch_add(1, Ordering::Relaxed);
+                ctx.execute_job(job);
             }
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -262,21 +339,39 @@ fn worker_main(ctx: WorkerCtx) {
                 if let Some(limit) = shared.park_after {
                     if fails >= limit {
                         ctx.stats().parks.fetch_add(1, Ordering::Relaxed);
-                        let mut guard = shared.sleep_mutex.lock();
+                        #[cfg(feature = "telemetry")]
+                        ctx.tele_record(EventKind::Park);
+                        let guard = shared.sleep_mutex.lock().unwrap();
                         // Re-check for work signals under the lock.
                         if shared.injected.load(Ordering::Acquire) == 0
                             && !shared.shutdown.load(Ordering::Acquire)
                         {
-                            shared
+                            let _ = shared
                                 .sleep_cv
-                                .wait_for(&mut guard, Duration::from_micros(100));
+                                .wait_timeout(guard, Duration::from_micros(100));
                         }
+                        #[cfg(feature = "telemetry")]
+                        ctx.tele_record(EventKind::Unpark);
                     }
                 }
             }
         }
     }
     CURRENT.with(|c| c.set(std::ptr::null()));
+}
+
+/// What [`ThreadPool::shutdown`] returns: final statistics gathered
+/// *after* every worker has exited, so no counter or trace can still be
+/// moving underneath the caller.
+#[derive(Debug)]
+pub struct PoolReport {
+    /// Aggregate counters over the pool's whole life.
+    pub stats: PoolStats,
+    /// The same counters, per worker.
+    pub per_worker: Vec<PoolStats>,
+    /// The final telemetry snapshot, if tracing was configured.
+    #[cfg(feature = "telemetry")]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A work-stealing thread pool in the spirit of the authors' Hood library.
@@ -319,6 +414,8 @@ impl ThreadPool {
                 }
             }
         }
+        #[cfg(feature = "telemetry")]
+        let registry = config.telemetry.as_ref().map(|tc| Registry::new(p, tc));
         let shared = Arc::new(Shared {
             stealers,
             injector: Mutex::new(VecDeque::new()),
@@ -329,6 +426,8 @@ impl ThreadPool {
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
             yield_between_steals: config.yield_between_steals,
             park_after: config.park_after,
+            #[cfg(feature = "telemetry")]
+            registry,
         });
         let mut seed_rng = DetRng::new(config.seed);
         let handles = owners
@@ -341,6 +440,8 @@ impl ThreadPool {
                     shared: Arc::clone(&shared),
                     rng: RefCell::new(seed_rng.fork(index as u64)),
                     fail_streak: Cell::new(0),
+                    #[cfg(feature = "telemetry")]
+                    tele: shared.registry.as_ref().map(|r| r.worker(index)),
                 };
                 std::thread::Builder::new()
                     .name(format!("hood-worker-{index}"))
@@ -386,7 +487,7 @@ impl ThreadPool {
             let job = unsafe {
                 crate::job::HeapJob::into_job_ref(|| {
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-                    *result.lock() = Some(r);
+                    *result.lock().unwrap() = Some(r);
                     latch.set();
                 })
             };
@@ -395,6 +496,7 @@ impl ThreadPool {
         }
         match result
             .into_inner()
+            .unwrap()
             .expect("install job did not produce a result")
         {
             Ok(r) => r,
@@ -405,6 +507,38 @@ impl ThreadPool {
     /// Aggregate scheduler statistics since pool creation.
     pub fn stats(&self) -> PoolStats {
         PoolStats::aggregate(&self.shared.stats)
+    }
+
+    /// Per-worker scheduler statistics since pool creation.
+    pub fn per_worker_stats(&self) -> Vec<PoolStats> {
+        self.shared.stats.iter().map(|w| w.snapshot()).collect()
+    }
+
+    /// A live telemetry snapshot, if tracing was configured. Workers keep
+    /// running (and recording) while this executes; for counts that must
+    /// be exact, stop the pool with [`ThreadPool::shutdown`] instead.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.shared.registry.as_ref().map(|r| r.snapshot())
+    }
+
+    /// Stops the pool (joining every worker) and returns the final,
+    /// quiescent statistics and telemetry. Unlike [`ThreadPool::stats`] /
+    /// [`ThreadPool::telemetry_snapshot`], nothing can race this: the
+    /// trace, the per-worker counters, and the aggregate are mutually
+    /// consistent.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sleep_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        PoolReport {
+            stats: self.stats(),
+            per_worker: self.per_worker_stats(),
+            #[cfg(feature = "telemetry")]
+            telemetry: self.shared.registry.as_ref().map(|r| r.snapshot()),
+        }
     }
 }
 

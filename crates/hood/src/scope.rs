@@ -7,11 +7,11 @@
 
 use crate::job::HeapJob;
 use crate::pool::current_worker;
-use parking_lot::Mutex;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A spawn scope. See [`scope`].
 pub struct Scope<'scope> {
@@ -35,7 +35,7 @@ impl<'scope> Scope<'scope> {
         let run = move || {
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(this)));
             if let Err(p) = result {
-                let mut slot = this.panic.lock();
+                let mut slot = this.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(p);
                 }
@@ -101,7 +101,7 @@ where
             }
         }
     }
-    if let Some(p) = s.panic.lock().take() {
+    if let Some(p) = s.panic.lock().unwrap().take() {
         std::panic::resume_unwind(p);
     }
     match result {

@@ -1,4 +1,15 @@
 //! Per-worker and aggregate scheduler statistics.
+//!
+//! Every completed `popTop` against a victim is counted once as a
+//! `steal_attempt` and once under exactly one outcome, so the identity
+//!
+//! ```text
+//! steal_attempts == steals + aborts + empties
+//! ```
+//!
+//! holds for each worker and for the aggregate (checked in the tests and
+//! relied on by the telemetry integration tests, which reconcile these
+//! counters against the event trace).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,19 +26,38 @@ pub struct WorkerStats {
     pub steals: AtomicU64,
     /// Steal attempts that lost a `cas` race.
     pub aborts: AtomicU64,
+    /// Steal attempts that found the victim's deque empty.
+    pub empties: AtomicU64,
     /// yield system calls between steal scans.
     pub yields: AtomicU64,
     /// Times this worker parked for lack of work.
     pub parks: AtomicU64,
 }
 
-/// A point-in-time aggregate over all workers.
+impl WorkerStats {
+    /// A point-in-time copy of this worker's counters.
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            empties: self.empties.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time aggregate over all workers (or a copy of one worker's
+/// counters — see [`WorkerStats::snapshot`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     pub jobs: u64,
     pub steal_attempts: u64,
     pub steals: u64,
     pub aborts: u64,
+    pub empties: u64,
     pub yields: u64,
     pub parks: u64,
 }
@@ -41,6 +71,7 @@ impl PoolStats {
             s.steal_attempts += w.steal_attempts.load(Ordering::Relaxed);
             s.steals += w.steals.load(Ordering::Relaxed);
             s.aborts += w.aborts.load(Ordering::Relaxed);
+            s.empties += w.empties.load(Ordering::Relaxed);
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
         }
@@ -55,6 +86,11 @@ impl PoolStats {
             self.steals as f64 / self.steal_attempts as f64
         }
     }
+
+    /// True iff every attempt is accounted for by exactly one outcome.
+    pub fn attempts_balance(&self) -> bool {
+        self.steal_attempts == self.steals + self.aborts + self.empties
+    }
 }
 
 #[cfg(test)]
@@ -68,15 +104,64 @@ mod tests {
         ws[1].jobs.store(4, Ordering::Relaxed);
         ws[0].steals.store(1, Ordering::Relaxed);
         ws[1].steal_attempts.store(10, Ordering::Relaxed);
+        ws[1].empties.store(9, Ordering::Relaxed);
         let s = PoolStats::aggregate(&ws);
         assert_eq!(s.jobs, 7);
         assert_eq!(s.steals, 1);
         assert_eq!(s.steal_attempts, 10);
+        assert_eq!(s.empties, 9);
         assert!((s.steal_success_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn empty_rate() {
         assert_eq!(PoolStats::default().steal_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn attempts_balance_identity() {
+        let s = PoolStats {
+            steal_attempts: 10,
+            steals: 3,
+            aborts: 2,
+            empties: 5,
+            ..PoolStats::default()
+        };
+        assert!(s.attempts_balance());
+        assert!(!PoolStats {
+            steal_attempts: 1,
+            ..PoolStats::default()
+        }
+        .attempts_balance());
+    }
+
+    /// The live pool maintains the identity: every completed `popTop` is
+    /// classified as exactly one of hit / abort / empty.
+    #[test]
+    fn live_pool_attempts_balance() {
+        let pool = crate::pool::ThreadPool::new(4);
+        let n = pool.install(|| {
+            fn fib(n: u64) -> u64 {
+                if n < 2 {
+                    return n;
+                }
+                let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+                a + b
+            }
+            fib(16)
+        });
+        assert_eq!(n, 987);
+        let report = pool.shutdown();
+        assert!(
+            report.stats.attempts_balance(),
+            "attempts {} != steals {} + aborts {} + empties {}",
+            report.stats.steal_attempts,
+            report.stats.steals,
+            report.stats.aborts,
+            report.stats.empties
+        );
+        for (i, w) in report.per_worker.iter().enumerate() {
+            assert!(w.attempts_balance(), "worker {i} unbalanced: {w:?}");
+        }
     }
 }

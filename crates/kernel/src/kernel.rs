@@ -76,7 +76,10 @@ impl CountSource {
                 rng.range_inclusive(*lo as u64, *hi as u64) as usize
             }
             CountSource::Cyclic(v) => {
-                assert!(!v.is_empty(), "CountSource::Cyclic requires a non-empty pattern");
+                assert!(
+                    !v.is_empty(),
+                    "CountSource::Cyclic requires a non-empty pattern"
+                );
                 v[((round - 1) as usize) % v.len()]
             }
             CountSource::OnOff {
@@ -174,10 +177,7 @@ impl ObliviousKernel {
         for r in 0..rounds {
             let block = (r / quantum) as usize;
             let start = (block * k) % p;
-            let set = ProcSet::from_iter(
-                p,
-                (0..k).map(|i| ProcId(((start + i) % p) as u32)),
-            );
+            let set = ProcSet::from_iter(p, (0..k).map(|i| ProcId(((start + i) % p) as u32)));
             steps.push(set);
         }
         ObliviousKernel::new(KernelTable::new(p, steps, Tail::Cycle))
@@ -185,12 +185,7 @@ impl ObliviousKernel {
 
     /// A precommitted schedule drawn at random in advance (seeded): every
     /// round's count and members are fixed before execution starts.
-    pub fn precommitted_random(
-        p: usize,
-        counts: CountSource,
-        rounds: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn precommitted_random(p: usize, counts: CountSource, rounds: u64, seed: u64) -> Self {
         let mut rng = DetRng::new(seed);
         let mut steps = Vec::with_capacity(rounds as usize);
         for r in 1..=rounds {
@@ -475,18 +470,10 @@ mod tests {
 
     #[test]
     fn oblivious_precommitted_ignores_view() {
-        let mut k1 = ObliviousKernel::precommitted_random(
-            4,
-            CountSource::UniformBetween(1, 4),
-            50,
-            99,
-        );
-        let mut k2 = ObliviousKernel::precommitted_random(
-            4,
-            CountSource::UniformBetween(1, 4),
-            50,
-            99,
-        );
+        let mut k1 =
+            ObliviousKernel::precommitted_random(4, CountSource::UniformBetween(1, 4), 50, 99);
+        let mut k2 =
+            ObliviousKernel::precommitted_random(4, CountSource::UniformBetween(1, 4), 50, 99);
         let dq = [0usize; 4];
         for r in 1..=50 {
             // Different views must not change an oblivious kernel's choice.
@@ -531,7 +518,10 @@ mod tests {
                 in_critical_section: &cs,
             };
             let s = k.choose(&view);
-            assert!(s.contains(ProcId(0)) && s.contains(ProcId(2)), "round {r}: {s:?}");
+            assert!(
+                s.contains(ProcId(0)) && s.contains(ProcId(2)),
+                "round {r}: {s:?}"
+            );
         }
         // If everyone is in a critical section, it still schedules k.
         let all_cs = [true; 4];

@@ -24,8 +24,8 @@ pub mod table;
 pub mod yields;
 
 pub use kernel::{
-    AdaptiveCriticalStarver, AdaptiveThiefStarver, AdaptiveWorkerStarver, BenignKernel, CountSource, DedicatedKernel,
-    Kernel, KernelView, ObliviousKernel, Theorem1Kernel,
+    AdaptiveCriticalStarver, AdaptiveThiefStarver, AdaptiveWorkerStarver, BenignKernel,
+    CountSource, DedicatedKernel, Kernel, KernelView, ObliviousKernel, Theorem1Kernel,
 };
 pub use procset::ProcSet;
 pub use recording::RecordingKernel;

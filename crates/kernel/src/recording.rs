@@ -74,11 +74,8 @@ mod tests {
     #[test]
     fn records_and_replays_exactly() {
         let p = 5;
-        let mut rec = RecordingKernel::new(BenignKernel::new(
-            p,
-            CountSource::UniformBetween(1, 5),
-            77,
-        ));
+        let mut rec =
+            RecordingKernel::new(BenignKernel::new(p, CountSource::UniformBetween(1, 5), 77));
         let has = [true; 5];
         let dq = [0usize; 5];
         let cs = [false; 5];

@@ -95,7 +95,11 @@ impl KernelTable {
         }
         match self.tail {
             Tail::Cycle => self.steps[idx % self.steps.len()].clone(),
-            Tail::HoldLast => self.steps.last().cloned().unwrap_or_else(|| ProcSet::full(self.p)),
+            Tail::HoldLast => self
+                .steps
+                .last()
+                .cloned()
+                .unwrap_or_else(|| ProcSet::full(self.p)),
             Tail::AllProcs => ProcSet::full(self.p),
         }
     }
@@ -125,7 +129,11 @@ impl KernelTable {
             let set = self.at(i);
             out.push_str(&format!("{i:4} |"));
             for q in 0..self.p {
-                let mark = if set.contains(ProcId(q as u32)) { "✓" } else { " " };
+                let mark = if set.contains(ProcId(q as u32)) {
+                    "✓"
+                } else {
+                    " "
+                };
                 out.push_str(&format!("  {mark} |"));
             }
             out.push('\n');

@@ -66,7 +66,10 @@ impl YieldLedger {
     /// steal attempt, and `q` must have been scheduled — hence released —
     /// to reach the yield again).
     pub fn yield_to_random(&mut self, q: ProcId, v: ProcId) {
-        debug_assert!(q != v || self.p == 1, "yield target should differ from yielder");
+        debug_assert!(
+            q != v || self.p == 1,
+            "yield target should differ from yielder"
+        );
         self.constraints[q.index()] = Some(Constraint::One { target: v });
     }
 

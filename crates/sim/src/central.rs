@@ -57,7 +57,12 @@ struct Proc {
 /// Runs the computation under `kernel` with the centralized scheduler.
 /// Uses the same round/quantum structure as the work stealer so times are
 /// directly comparable.
-pub fn run_central(dag: &Dag, p: usize, kernel: &mut dyn Kernel, config: CentralConfig) -> RunReport {
+pub fn run_central(
+    dag: &Dag,
+    p: usize,
+    kernel: &mut dyn Kernel,
+    config: CentralConfig,
+) -> RunReport {
     assert!(p >= 1 && kernel.num_procs() == p);
     // The shared queue is "deque 0"; only its FIFO end is used.
     let mut queue = LockedSimDeque::new();
@@ -104,7 +109,12 @@ pub fn run_central(dag: &Dag, p: usize, kernel: &mut dyn Kernel, config: Central
         let scheduled: Vec<usize> = chosen.iter().map(|q| q.index()).collect();
         let quanta: Vec<u64> = scheduled
             .iter()
-            .map(|_| rng.range_inclusive(2 * crate::ws::MILESTONE_C as u64, 3 * crate::ws::MILESTONE_C as u64))
+            .map(|_| {
+                rng.range_inclusive(
+                    2 * crate::ws::MILESTONE_C as u64,
+                    3 * crate::ws::MILESTONE_C as u64,
+                )
+            })
             .collect();
         let max_q = quanta.iter().copied().max().unwrap_or(0);
         'round: for step in 0..max_q {
@@ -155,7 +165,10 @@ pub fn run_central(dag: &Dag, p: usize, kernel: &mut dyn Kernel, config: Central
                         LockStepOutcome::Continue => Phase::Pushing(op, pending),
                         LockStepOutcome::PushDone => {
                             if let Some(next) = pending.pop() {
-                                Phase::Pushing(LockOp::new(LockKind::Push(next.index() as u64)), pending)
+                                Phase::Pushing(
+                                    LockOp::new(LockKind::Push(next.index() as u64)),
+                                    pending,
+                                )
                             } else {
                                 Phase::Loop
                             }
@@ -291,7 +304,10 @@ mod tests {
                 ..crate::ws::WsConfig::default()
             },
         );
-        assert!(ws.completed, "the non-blocking scheduler should shrug it off");
+        assert!(
+            ws.completed,
+            "the non-blocking scheduler should shrug it off"
+        );
     }
 
     #[test]
@@ -302,6 +318,11 @@ mod tests {
         let ws = crate::ws::run_ws(&dag, 1, &mut k1, crate::ws::WsConfig::default());
         let mut k2 = DedicatedKernel::new(1);
         let cs = run_central(&dag, 1, &mut k2, CentralConfig::default());
-        assert!(cs.rounds < 2 * ws.rounds, "ws {} vs central {}", ws.rounds, cs.rounds);
+        assert!(
+            cs.rounds < 2 * ws.rounds,
+            "ws {} vs central {}",
+            ws.rounds,
+            cs.rounds
+        );
     }
 }

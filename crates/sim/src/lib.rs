@@ -10,18 +10,23 @@
 //! * [`invariants`] — live verification of the structural lemma (Lemma 3 /
 //!   Corollary 4) and the potential function Φ (Section 4.2);
 //! * [`metrics`] — the per-run [`RunReport`] with the paper's bound
-//!   ratios.
+//!   ratios;
+//! * [`telemetry`] — adapter from a recorded [`Trace`] to the shared
+//!   [`abp_telemetry`] schema, so simulated and real runs export the
+//!   same Chrome-trace/metrics formats.
 
 pub mod central;
 pub mod invariants;
 pub mod locked_deque;
 pub mod metrics;
 pub mod offline;
+pub mod telemetry;
 pub mod trace;
 pub mod ws;
 
 pub use central::{run_central, CentralConfig};
 pub use metrics::{PhaseStats, RunReport};
-pub use trace::{ActivityBreakdown, RoundActivity, Trace};
 pub use offline::{brent, figure2_execution, greedy, optimal_length, ExecutionSchedule};
+pub use telemetry::{telemetry_from_trace, NS_PER_ROUND};
+pub use trace::{ActivityBreakdown, RoundActivity, StealRecord, Trace};
 pub use ws::{run_ws, AssignPolicy, DequeBackend, WorkStealer, WsConfig, MILESTONE_C};

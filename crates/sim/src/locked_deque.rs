@@ -210,7 +210,7 @@ mod tests {
             }
         }
         assert_eq!(
-            run(&mut d, LockKind::PopTop, 1) ,
+            run(&mut d, LockKind::PopTop, 1),
             LockStepOutcome::PopTopDone(LockedSteal::Empty)
         );
         let _ = thief_op;

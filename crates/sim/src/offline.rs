@@ -318,8 +318,7 @@ mod tests {
             sched.validate(&dag, &table).unwrap();
             let t = sched.length() as f64;
             let pa = sched.processor_average();
-            let bound =
-                (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
+            let bound = (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
             assert!(t <= bound + 1e-9, "T={t} > bound={bound}");
             // And the universal lower bound T ≥ T1/PA.
             assert!(t >= dag.work() as f64 / pa - 1e-9);
@@ -334,8 +333,7 @@ mod tests {
             sched.validate(&dag, &table).unwrap();
             let t = sched.length() as f64;
             let pa = sched.processor_average();
-            let bound =
-                (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
+            let bound = (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
             assert!(t <= bound + 1e-9, "T={t} > bound={bound}");
         }
     }
@@ -364,12 +362,8 @@ mod tests {
                 sched.validate(&dag, &table).unwrap();
                 let t = sched.length() as f64;
                 let pa = sched.processor_average();
-                let lower =
-                    dag.critical_path() as f64 * p as f64 / pa;
-                assert!(
-                    t >= lower - 1e-9,
-                    "k={k}: T={t} < T∞·P/P_A={lower}"
-                );
+                let lower = dag.critical_path() as f64 * p as f64 / pa;
+                assert!(t >= lower - 1e-9, "k={k}: T={t} < T∞·P/P_A={lower}");
                 assert!(t >= dag.work() as f64 / pa - 1e-9);
             }
         }

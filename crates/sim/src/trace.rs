@@ -3,6 +3,7 @@
 //! victim selection, deque occupancy, where the time actually went).
 
 use abp_dag::ProcId;
+use abp_telemetry::StealOutcome;
 use std::fmt;
 
 /// What one process spent (most of) a round doing.
@@ -36,13 +37,33 @@ impl RoundActivity {
     }
 }
 
+/// One completed steal attempt (`popTop` returning), in simulation time.
+/// The outcome vocabulary is shared with the real runtime's telemetry
+/// ([`abp_telemetry::StealOutcome`]) so simulator traces and pool traces
+/// export through the same schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealRecord {
+    /// Round (0-based) in which the attempt completed.
+    pub round: u64,
+    pub thief: ProcId,
+    pub victim: ProcId,
+    pub outcome: StealOutcome,
+}
+
+impl StealRecord {
+    /// True for a steal that returned a node.
+    pub fn hit(&self) -> bool {
+        self.outcome == StealOutcome::Hit
+    }
+}
+
 /// A complete per-round, per-process activity trace plus steal records.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// `rounds[r][p]` = what process `p` did in round `r` (0-based).
     pub rounds: Vec<Vec<RoundActivity>>,
-    /// Every completed steal attempt: (thief, victim, success).
-    pub steals: Vec<(ProcId, ProcId, bool)>,
+    /// Every completed steal attempt, in completion order.
+    pub steals: Vec<StealRecord>,
     /// Deque length of each process sampled at each round start.
     pub deque_depths: Vec<Vec<usize>>,
 }
@@ -62,8 +83,8 @@ impl Trace {
     /// into bins". Under uniform victim selection these are near-equal.
     pub fn victim_histogram(&self, p: usize) -> Vec<u64> {
         let mut h = vec![0u64; p];
-        for &(_, v, _) in &self.steals {
-            h[v.index()] += 1;
+        for s in &self.steals {
+            h[s.victim.index()] += 1;
         }
         h
     }
@@ -232,14 +253,24 @@ mod tests {
         // Perfectly uniform: chi-square is 0.
         for v in 0..4u32 {
             for _ in 0..10 {
-                t.steals.push((ProcId(0), ProcId(v), false));
+                t.steals.push(StealRecord {
+                    round: 0,
+                    thief: ProcId(0),
+                    victim: ProcId(v),
+                    outcome: StealOutcome::Empty,
+                });
             }
         }
         assert_eq!(t.victim_histogram(4), vec![10, 10, 10, 10]);
         assert!(t.victim_chi_square(4) < 1e-12);
         // Skewed: chi-square grows.
         for _ in 0..40 {
-            t.steals.push((ProcId(1), ProcId(2), true));
+            t.steals.push(StealRecord {
+                round: 1,
+                thief: ProcId(1),
+                victim: ProcId(2),
+                outcome: StealOutcome::Hit,
+            });
         }
         assert!(t.victim_chi_square(4) > 10.0);
     }

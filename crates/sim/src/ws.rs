@@ -19,12 +19,13 @@
 //! the analysis of Section 4 counts.
 
 use crate::invariants::{check_structural_lemma, PotentialTracker, ReadyState};
-use crate::trace::{RoundActivity, Trace};
 use crate::locked_deque::{LockKind, LockOp, LockStepOutcome, LockedSimDeque, LockedSteal};
 use crate::metrics::{PhaseStats, RunReport};
+use crate::trace::{RoundActivity, StealRecord, Trace};
 use abp_dag::{Dag, DetRng, EnablingTree, NodeId, ProcId};
 use abp_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
 use abp_kernel::{Kernel, KernelView, YieldLedger, YieldPolicy};
+use abp_telemetry::StealOutcome;
 
 /// The milestone constant `C`: any `C` consecutive instructions executed
 /// by a process include a milestone. The longest milestone-free stretch is
@@ -473,7 +474,11 @@ impl<'a> WorkStealer<'a> {
     /// Executes assigned node `u` (one instruction; a milestone).
     fn execute_node(&mut self, i: usize, u: NodeId) -> Phase {
         debug_assert!(!self.executed[u.index()], "{u} executed twice");
-        debug_assert_eq!(self.remaining_preds[u.index()], 0, "{u} executed while not ready");
+        debug_assert_eq!(
+            self.remaining_preds[u.index()],
+            0,
+            "{u} executed while not ready"
+        );
         self.executed[u.index()] = true;
         self.executed_count += 1;
         if self.config.trace {
@@ -562,17 +567,15 @@ impl<'a> WorkStealer<'a> {
                 StepOutcome::PopTopDone(SimSteal::Empty) => OpDone::PopTop(None, false),
                 StepOutcome::PopTopDone(SimSteal::Abort) => OpDone::PopTop(None, true),
             },
-            (AnyOp::Locked(op), Deques::Locked(dq)) => {
-                match op.step(&mut dq[target], me as u32) {
-                    LockStepOutcome::Continue => OpDone::NotDone,
-                    LockStepOutcome::PushDone => OpDone::Push,
-                    LockStepOutcome::PopBottomDone(r) => OpDone::PopBottom(r),
-                    LockStepOutcome::PopTopDone(LockedSteal::Taken(v)) => {
-                        OpDone::PopTop(Some(v), false)
-                    }
-                    LockStepOutcome::PopTopDone(LockedSteal::Empty) => OpDone::PopTop(None, false),
+            (AnyOp::Locked(op), Deques::Locked(dq)) => match op.step(&mut dq[target], me as u32) {
+                LockStepOutcome::Continue => OpDone::NotDone,
+                LockStepOutcome::PushDone => OpDone::Push,
+                LockStepOutcome::PopBottomDone(r) => OpDone::PopBottom(r),
+                LockStepOutcome::PopTopDone(LockedSteal::Taken(v)) => {
+                    OpDone::PopTop(Some(v), false)
                 }
-            }
+                LockStepOutcome::PopTopDone(LockedSteal::Empty) => OpDone::PopTop(None, false),
+            },
             _ => unreachable!("op/backend mismatch"),
         }
     }
@@ -609,7 +612,7 @@ impl<'a> WorkStealer<'a> {
     fn step_steal(&mut self, i: usize, victim: usize, mut op: AnyOp) -> Phase {
         match self.step_op(i, victim, &mut op) {
             OpDone::NotDone => Phase::Stealing { victim, op },
-            OpDone::PopTop(result, _aborted) => {
+            OpDone::PopTop(result, aborted) => {
                 self.steal_attempts += 1;
                 self.milestone(i, true);
                 if self.config.trace {
@@ -617,11 +620,20 @@ impl<'a> WorkStealer<'a> {
                     if result.is_some() {
                         self.round_stole[i] = true;
                     }
-                    self.trace.steals.push((
-                        ProcId(i as u32),
-                        ProcId(victim as u32),
-                        result.is_some(),
-                    ));
+                    self.trace.steals.push(StealRecord {
+                        // Round rows are pushed at round end, so the rows
+                        // recorded so far count the current round's index.
+                        round: self.trace.rounds.len() as u64,
+                        thief: ProcId(i as u32),
+                        victim: ProcId(victim as u32),
+                        outcome: if result.is_some() {
+                            StealOutcome::Hit
+                        } else if aborted {
+                            StealOutcome::Abort
+                        } else {
+                            StealOutcome::Empty
+                        },
+                    });
                 }
                 if let Some(v) = result {
                     self.successful_steals += 1;
@@ -684,12 +696,9 @@ impl<'a> WorkStealer<'a> {
             .into_iter()
             .map(|v| NodeId(v as u32))
             .collect();
-        if let Err(_e) = check_structural_lemma(
-            &self.tree,
-            self.dag,
-            self.procs[q].assigned,
-            &contents,
-        ) {
+        if let Err(_e) =
+            check_structural_lemma(&self.tree, self.dag, self.procs[q].assigned, &contents)
+        {
             self.structural_violations += 1;
         }
     }
@@ -744,7 +753,10 @@ mod tests {
         let mut k = DedicatedKernel::new(1);
         let r = run_ws(&d, 1, &mut k, checked_config());
         assert_clean(&r);
-        assert_eq!(r.steal_attempts, 0, "nobody to steal from with P=1 and serial work");
+        assert_eq!(
+            r.steal_attempts, 0,
+            "nobody to steal from with P=1 and serial work"
+        );
     }
 
     #[test]
@@ -824,11 +836,27 @@ mod tests {
         let d = gen::fib(11, 2);
         let r1 = {
             let mut k = DedicatedKernel::new(4);
-            run_ws(&d, 4, &mut k, WsConfig { seed: 1, ..WsConfig::default() })
+            run_ws(
+                &d,
+                4,
+                &mut k,
+                WsConfig {
+                    seed: 1,
+                    ..WsConfig::default()
+                },
+            )
         };
         let r2 = {
             let mut k = DedicatedKernel::new(4);
-            run_ws(&d, 4, &mut k, WsConfig { seed: 2, ..WsConfig::default() })
+            run_ws(
+                &d,
+                4,
+                &mut k,
+                WsConfig {
+                    seed: 2,
+                    ..WsConfig::default()
+                },
+            )
         };
         // Almost surely different victim choices somewhere.
         assert!(
@@ -886,11 +914,13 @@ mod tests {
         assert_eq!(tr.len() as u64, r.rounds);
         assert_eq!(tr.steals.len() as u64, r.steal_attempts);
         assert_eq!(
-            tr.steals.iter().filter(|&&(_, _, ok)| ok).count() as u64,
+            tr.steals.iter().filter(|s| s.hit()).count() as u64,
             r.successful_steals
         );
         // Nobody targets themselves.
-        assert!(tr.steals.iter().all(|&(t, v, _)| t != v));
+        assert!(tr.steals.iter().all(|s| s.thief != s.victim));
+        // Steal rounds are within range and non-decreasing per thief.
+        assert!(tr.steals.iter().all(|s| s.round < r.rounds));
         // Dedicated kernel: no Unscheduled entries; the non-blocking
         // backend never stalls a whole round.
         let b = tr.activity_breakdown();

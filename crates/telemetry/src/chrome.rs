@@ -1,0 +1,296 @@
+//! Chrome trace-event export.
+//!
+//! [`chrome_trace`] renders a [`TelemetrySnapshot`] as the JSON array
+//! flavour of the Trace Event Format, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`: one track (`tid`)
+//! per worker, `B`/`E` spans for job execution and parks, instant events
+//! for spawns, steals, and yields.
+//!
+//! The output is deterministic byte-for-byte for a given snapshot: fixed
+//! key order, fixed number formatting (microseconds with three decimals),
+//! one event per line.
+
+use crate::event::EventKind;
+use crate::registry::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// Formats `ns` as trace-event microseconds (`123.456`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    ts_ns: u64,
+    tid: usize,
+    extra: &str,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}{extra}}}",
+        us(ts_ns)
+    );
+}
+
+/// Renders the snapshot as a Chrome trace-event JSON array.
+pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let pname = if snap.process_name.is_empty() {
+        "abp"
+    } else {
+        &snap.process_name
+    };
+    push_event(
+        &mut out,
+        &mut first,
+        "process_name",
+        "M",
+        0,
+        0,
+        &format!(",\"args\":{{\"name\":\"{}\"}}", crate::json::escape(pname)),
+    );
+    for w in &snap.workers {
+        push_event(
+            &mut out,
+            &mut first,
+            "thread_name",
+            "M",
+            0,
+            w.worker,
+            &format!(",\"args\":{{\"name\":\"worker-{}\"}}", w.worker),
+        );
+    }
+    for w in &snap.workers {
+        for e in &w.events {
+            match e.kind {
+                EventKind::Spawn => push_event(
+                    &mut out,
+                    &mut first,
+                    "spawn",
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    ",\"s\":\"t\"",
+                ),
+                EventKind::ExecStart => {
+                    push_event(&mut out, &mut first, "job", "B", e.ts_ns, w.worker, "")
+                }
+                EventKind::ExecEnd => {
+                    push_event(&mut out, &mut first, "job", "E", e.ts_ns, w.worker, "")
+                }
+                EventKind::StealAttempt { victim, outcome } => push_event(
+                    &mut out,
+                    &mut first,
+                    outcome.name(),
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    &format!(",\"s\":\"t\",\"args\":{{\"victim\":{victim}}}"),
+                ),
+                EventKind::Yield => push_event(
+                    &mut out,
+                    &mut first,
+                    "yield",
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    ",\"s\":\"t\"",
+                ),
+                EventKind::Park => {
+                    push_event(&mut out, &mut first, "park", "B", e.ts_ns, w.worker, "")
+                }
+                EventKind::Unpark => {
+                    push_event(&mut out, &mut first, "park", "E", e.ts_ns, w.worker, "")
+                }
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders the flat metrics dump: per-worker scalar counts derived from
+/// the event streams, histogram summaries, and the snapshot's named
+/// counters. Deterministic for a given snapshot.
+pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "\"process\":\"{}\",\n\"workers\":[\n",
+        crate::json::escape(&snap.process_name)
+    );
+    for (i, w) in snap.workers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let mut spawns = 0u64;
+        let mut execs = 0u64;
+        let mut yields = 0u64;
+        let mut parks = 0u64;
+        let (mut hits, mut empties, mut aborts) = (0u64, 0u64, 0u64);
+        for e in &w.events {
+            match e.kind {
+                EventKind::Spawn => spawns += 1,
+                EventKind::ExecStart => execs += 1,
+                EventKind::ExecEnd => {}
+                EventKind::StealAttempt { outcome, .. } => match outcome {
+                    crate::StealOutcome::Hit => hits += 1,
+                    crate::StealOutcome::Empty => empties += 1,
+                    crate::StealOutcome::Abort => aborts += 1,
+                },
+                EventKind::Yield => yields += 1,
+                EventKind::Park => parks += 1,
+                EventKind::Unpark => {}
+            }
+        }
+        let sl = &w.steal_latency;
+        let jr = &w.job_run_time;
+        let _ = write!(
+            out,
+            "{{\"worker\":{},\"events\":{},\"dropped\":{},\"spawns\":{},\"execs\":{},\
+             \"steal_hits\":{},\"steal_empties\":{},\"steal_aborts\":{},\"yields\":{},\"parks\":{},\
+             \"steal_latency\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}},\
+             \"job_run_time\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}}",
+            w.worker,
+            w.pushed,
+            w.dropped,
+            spawns,
+            execs,
+            hits,
+            empties,
+            aborts,
+            yields,
+            parks,
+            sl.count(),
+            sl.mean(),
+            sl.quantile_upper_bound(0.5),
+            sl.quantile_upper_bound(0.99),
+            jr.count(),
+            jr.mean(),
+            jr.quantile_upper_bound(0.5),
+            jr.quantile_upper_bound(0.99),
+        );
+    }
+    out.push_str("\n],\n\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", crate::json::escape(name), v);
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, StealOutcome};
+    use crate::registry::WorkerTrace;
+
+    fn tiny_snapshot() -> TelemetrySnapshot {
+        let mut w0 = WorkerTrace {
+            worker: 0,
+            ..WorkerTrace::default()
+        };
+        w0.events = vec![
+            Event {
+                ts_ns: 1_000,
+                kind: EventKind::Spawn,
+            },
+            Event {
+                ts_ns: 2_500,
+                kind: EventKind::ExecStart,
+            },
+            Event {
+                ts_ns: 7_750,
+                kind: EventKind::ExecEnd,
+            },
+        ];
+        w0.pushed = 3;
+        let mut w1 = WorkerTrace {
+            worker: 1,
+            ..WorkerTrace::default()
+        };
+        w1.events = vec![
+            Event {
+                ts_ns: 1_200,
+                kind: EventKind::Yield,
+            },
+            Event {
+                ts_ns: 3_000,
+                kind: EventKind::StealAttempt {
+                    victim: 0,
+                    outcome: StealOutcome::Hit,
+                },
+            },
+            Event {
+                ts_ns: 9_000,
+                kind: EventKind::Park,
+            },
+            Event {
+                ts_ns: 9_400,
+                kind: EventKind::Unpark,
+            },
+        ];
+        w1.pushed = 4;
+        TelemetrySnapshot {
+            process_name: "golden".to_string(),
+            workers: vec![w0, w1],
+            counters: vec![("rounds".to_string(), 7)],
+        }
+    }
+
+    /// The exporter is byte-stable: any change to the format is a
+    /// deliberate golden update.
+    #[test]
+    fn golden_chrome_trace() {
+        let expect = "[\n\
+{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"golden\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"worker-0\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":0,\"tid\":1,\"args\":{\"name\":\"worker-1\"}},\n\
+{\"name\":\"spawn\",\"ph\":\"i\",\"ts\":1.000,\"pid\":0,\"tid\":0,\"s\":\"t\"},\n\
+{\"name\":\"job\",\"ph\":\"B\",\"ts\":2.500,\"pid\":0,\"tid\":0},\n\
+{\"name\":\"job\",\"ph\":\"E\",\"ts\":7.750,\"pid\":0,\"tid\":0},\n\
+{\"name\":\"yield\",\"ph\":\"i\",\"ts\":1.200,\"pid\":0,\"tid\":1,\"s\":\"t\"},\n\
+{\"name\":\"steal_hit\",\"ph\":\"i\",\"ts\":3.000,\"pid\":0,\"tid\":1,\"s\":\"t\",\"args\":{\"victim\":0}},\n\
+{\"name\":\"park\",\"ph\":\"B\",\"ts\":9.000,\"pid\":0,\"tid\":1},\n\
+{\"name\":\"park\",\"ph\":\"E\",\"ts\":9.400,\"pid\":0,\"tid\":1}\n\
+]\n";
+        assert_eq!(chrome_trace(&tiny_snapshot()), expect);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_required_keys() {
+        let json = chrome_trace(&tiny_snapshot());
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 10);
+        for obj in arr {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(obj.get(key).is_some(), "missing {key} in {obj:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_json_parses() {
+        let json = metrics_json(&tiny_snapshot());
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let workers = v.get("workers").unwrap().as_array().unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[1].get("steal_hits").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(
+            v.get("counters").unwrap().get("rounds").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+}

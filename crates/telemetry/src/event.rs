@@ -1,0 +1,158 @@
+//! The structured event schema shared by the real runtime and the
+//! simulator.
+//!
+//! Events are deliberately word-packable: the ring buffer stores each
+//! record as two `u64` payload words (timestamp + packed kind), so a
+//! record can be published with a handful of atomic stores and snapshot
+//! readers can detect torn reads at word granularity.
+
+/// Outcome of one completed `popTop` invocation against a victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealOutcome {
+    /// The attempt returned a job.
+    Hit,
+    /// The victim's deque was empty.
+    Empty,
+    /// The attempt lost the `cas` race (the paper's abort).
+    Abort,
+}
+
+impl StealOutcome {
+    /// Stable short name used by the exporters (`steal_hit`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            StealOutcome::Hit => "steal_hit",
+            StealOutcome::Empty => "steal_empty",
+            StealOutcome::Abort => "steal_abort",
+        }
+    }
+}
+
+/// What happened. One scheduler action per variant, mirroring the
+/// vocabulary of the paper's Figure-3 loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job was pushed onto this worker's deque (a spawn).
+    Spawn,
+    /// This worker began executing a job (an assigned node).
+    ExecStart,
+    /// This worker finished executing a job.
+    ExecEnd,
+    /// This worker completed a `popTop` against `victim`.
+    StealAttempt { victim: u32, outcome: StealOutcome },
+    /// A yield between steal scans (§4.4).
+    Yield,
+    /// The worker parked for lack of work.
+    Park,
+    /// The worker woke from a park.
+    Unpark,
+}
+
+/// A timestamped event on one worker's timeline. Timestamps are
+/// nanoseconds from the registry's epoch (the real runtime) or scaled
+/// logical time (the simulator); either way they only need to be
+/// comparable within one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub ts_ns: u64,
+    pub kind: EventKind,
+}
+
+// Packed representation: one u64.
+//   bits 0..8    tag
+//   bits 8..16   steal outcome (for StealAttempt)
+//   bits 32..64  victim       (for StealAttempt)
+const TAG_SPAWN: u64 = 1;
+const TAG_EXEC_START: u64 = 2;
+const TAG_EXEC_END: u64 = 3;
+const TAG_STEAL: u64 = 4;
+const TAG_YIELD: u64 = 5;
+const TAG_PARK: u64 = 6;
+const TAG_UNPARK: u64 = 7;
+
+impl EventKind {
+    /// Packs the kind into one word for the ring buffer.
+    pub(crate) fn pack(self) -> u64 {
+        match self {
+            EventKind::Spawn => TAG_SPAWN,
+            EventKind::ExecStart => TAG_EXEC_START,
+            EventKind::ExecEnd => TAG_EXEC_END,
+            EventKind::StealAttempt { victim, outcome } => {
+                let o = match outcome {
+                    StealOutcome::Hit => 0u64,
+                    StealOutcome::Empty => 1,
+                    StealOutcome::Abort => 2,
+                };
+                TAG_STEAL | (o << 8) | ((victim as u64) << 32)
+            }
+            EventKind::Yield => TAG_YIELD,
+            EventKind::Park => TAG_PARK,
+            EventKind::Unpark => TAG_UNPARK,
+        }
+    }
+
+    /// Unpacks a word written by [`EventKind::pack`]. Returns `None` for
+    /// words that were never written (zero-initialized slots).
+    pub(crate) fn unpack(w: u64) -> Option<Self> {
+        Some(match w & 0xFF {
+            TAG_SPAWN => EventKind::Spawn,
+            TAG_EXEC_START => EventKind::ExecStart,
+            TAG_EXEC_END => EventKind::ExecEnd,
+            TAG_STEAL => {
+                let outcome = match (w >> 8) & 0xFF {
+                    0 => StealOutcome::Hit,
+                    1 => StealOutcome::Empty,
+                    _ => StealOutcome::Abort,
+                };
+                EventKind::StealAttempt {
+                    victim: (w >> 32) as u32,
+                    outcome,
+                }
+            }
+            TAG_YIELD => EventKind::Yield,
+            TAG_PARK => EventKind::Park,
+            TAG_UNPARK => EventKind::Unpark,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let kinds = [
+            EventKind::Spawn,
+            EventKind::ExecStart,
+            EventKind::ExecEnd,
+            EventKind::StealAttempt {
+                victim: 0,
+                outcome: StealOutcome::Hit,
+            },
+            EventKind::StealAttempt {
+                victim: u32::MAX,
+                outcome: StealOutcome::Empty,
+            },
+            EventKind::StealAttempt {
+                victim: 7,
+                outcome: StealOutcome::Abort,
+            },
+            EventKind::Yield,
+            EventKind::Park,
+            EventKind::Unpark,
+        ];
+        for k in kinds {
+            assert_eq!(EventKind::unpack(k.pack()), Some(k), "{k:?}");
+        }
+        assert_eq!(EventKind::unpack(0), None);
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(StealOutcome::Hit.name(), "steal_hit");
+        assert_eq!(StealOutcome::Empty.name(), "steal_empty");
+        assert_eq!(StealOutcome::Abort.name(), "steal_abort");
+    }
+}

@@ -1,0 +1,54 @@
+//! **abp-telemetry** — lock-free structured tracing and metrics for the
+//! ABP work-stealing stack.
+//!
+//! The paper's empirical argument rests on *measuring* execution: steals,
+//! throws, yields, and the `T₁/P_A + T∞·P/P_A` time bound. This crate is
+//! the shared observability layer that makes those measurements
+//! first-class for both the real [`hood`] runtime and the `abp-sim`
+//! simulator:
+//!
+//! * [`EventRing`] — a fixed-capacity, cache-line-padded, single-producer
+//!   event ring per worker. Recording is a handful of atomic stores;
+//!   overflow drops the oldest events and counts them; snapshots are
+//!   tear-free and never block the producer.
+//! * [`Event`]/[`EventKind`] — the structured schema (`Spawn`,
+//!   `ExecStart`/`ExecEnd`, `StealAttempt { victim, outcome }`, `Yield`,
+//!   `Park`/`Unpark`) shared by runtime and simulator, so their traces
+//!   are directly comparable.
+//! * [`Counter`]/[`Histogram`] — lock-free metrics; histograms use
+//!   power-of-two buckets (steal latency, job run time).
+//! * [`Registry`]/[`TelemetrySnapshot`] — one registry per pool snapshots
+//!   all rings and histograms at once.
+//! * [`chrome_trace`] — Chrome trace-event JSON (open in Perfetto or
+//!   `chrome://tracing`; one track per worker); [`metrics_json`] — a flat
+//!   machine-readable metrics dump; [`json`] — the tiny parser the tests
+//!   validate both with.
+//!
+//! ```
+//! use abp_telemetry::{EventKind, Registry, StealOutcome, TelemetryConfig};
+//!
+//! let registry = Registry::new(2, &TelemetryConfig::default());
+//! let worker0 = registry.worker(0);
+//! worker0.record(EventKind::ExecStart);
+//! worker0.record(EventKind::StealAttempt { victim: 1, outcome: StealOutcome::Empty });
+//! worker0.record(EventKind::ExecEnd);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.steal_attempts_per_worker(), vec![1, 0]);
+//! let trace = abp_telemetry::chrome_trace(&snapshot); // → Perfetto
+//! assert!(trace.starts_with("[\n"));
+//! ```
+//!
+//! [`hood`]: https://docs.rs/hood
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+
+pub use chrome::{chrome_trace, metrics_json};
+pub use event::{Event, EventKind, StealOutcome};
+pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use registry::{Registry, TelemetryConfig, TelemetrySnapshot, WorkerTelemetry, WorkerTrace};
+pub use ring::{EventRing, Producer, RingSnapshot};

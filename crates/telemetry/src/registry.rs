@@ -1,0 +1,269 @@
+//! The registry ties per-worker rings and metrics together and produces
+//! whole-system snapshots.
+
+use crate::event::{Event, EventKind, StealOutcome};
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::ring::{EventRing, Producer};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Construction parameters for a telemetry registry.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Per-worker event-ring capacity (rounded up to a power of two).
+    /// When a worker emits more events than this between snapshots, the
+    /// oldest are dropped and counted.
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 1 << 14,
+        }
+    }
+}
+
+struct WorkerSlot {
+    ring: Arc<EventRing>,
+    steal_latency: Histogram,
+    job_run_time: Histogram,
+}
+
+/// All telemetry state for one pool (or one simulated run): a ring and
+/// two histograms per worker, plus the common clock epoch.
+pub struct Registry {
+    epoch: Instant,
+    workers: Vec<WorkerSlot>,
+}
+
+impl Registry {
+    /// A registry for `workers` workers.
+    pub fn new(workers: usize, config: &TelemetryConfig) -> Arc<Self> {
+        Arc::new(Registry {
+            epoch: Instant::now(),
+            workers: (0..workers)
+                .map(|_| WorkerSlot {
+                    ring: EventRing::new(config.ring_capacity),
+                    steal_latency: Histogram::new(),
+                    job_run_time: Histogram::new(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Number of worker slots.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Nanoseconds since the registry was created — the timestamp base
+    /// for every event.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Claims worker `index`'s recording handle. Panics if claimed twice
+    /// (each ring has exactly one producer).
+    pub fn worker(self: &Arc<Self>, index: usize) -> WorkerTelemetry {
+        WorkerTelemetry {
+            producer: self.workers[index].ring.producer(),
+            registry: Arc::clone(self),
+            index,
+        }
+    }
+
+    /// Snapshots every ring and histogram. Lock-free with respect to the
+    /// producers; safe to call at any time, from any thread.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            process_name: "hood".to_string(),
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let s = w.ring.snapshot();
+                    WorkerTrace {
+                        worker: i,
+                        events: s.events,
+                        dropped: s.dropped,
+                        pushed: s.pushed,
+                        steal_latency: w.steal_latency.snapshot(),
+                        job_run_time: w.job_run_time.snapshot(),
+                    }
+                })
+                .collect(),
+            counters: Vec::new(),
+        }
+    }
+}
+
+/// Per-worker recording handle held by the worker thread. `Send` but not
+/// `Sync`/`Clone`: exactly one per worker.
+pub struct WorkerTelemetry {
+    producer: Producer,
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+impl WorkerTelemetry {
+    /// This worker's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Nanoseconds since the registry epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.registry.now_ns()
+    }
+
+    /// Records `kind` stamped with the current time.
+    #[inline]
+    pub fn record(&self, kind: EventKind) {
+        self.record_at(self.now_ns(), kind);
+    }
+
+    /// Records `kind` at an explicit timestamp (the simulator's logical
+    /// clocks use this).
+    #[inline]
+    pub fn record_at(&self, ts_ns: u64, kind: EventKind) {
+        self.producer.record(Event { ts_ns, kind });
+    }
+
+    /// Records one steal-latency sample (nanoseconds per completed
+    /// `popTop`).
+    #[inline]
+    pub fn steal_latency_ns(&self, ns: u64) {
+        self.registry.workers[self.index].steal_latency.record(ns);
+    }
+
+    /// Records one job-run-time sample.
+    #[inline]
+    pub fn job_run_ns(&self, ns: u64) {
+        self.registry.workers[self.index].job_run_time.record(ns);
+    }
+}
+
+/// One worker's timeline inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTrace {
+    pub worker: usize,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow before this snapshot.
+    pub dropped: u64,
+    /// Events ever recorded by this worker.
+    pub pushed: u64,
+    pub steal_latency: HistogramSnapshot,
+    pub job_run_time: HistogramSnapshot,
+}
+
+impl WorkerTrace {
+    /// Completed steal attempts visible in the retained events.
+    pub fn steal_attempts(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::StealAttempt { .. }))
+            .count() as u64
+    }
+
+    /// Retained steal attempts with the given outcome.
+    pub fn steals_with(&self, want: StealOutcome) -> u64 {
+        self.events
+            .iter()
+            .filter(
+                |e| matches!(e.kind, EventKind::StealAttempt { outcome, .. } if outcome == want),
+            )
+            .count() as u64
+    }
+}
+
+/// A whole-system snapshot: every worker's events and histograms plus
+/// free-form named counters. The real runtime and the simulator both
+/// export through this type, so their traces are directly comparable.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Label used as the Chrome trace process name.
+    pub process_name: String,
+    pub workers: Vec<WorkerTrace>,
+    /// Named scalar metrics (sorted into the metrics dump as-is).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetrySnapshot {
+    /// Total events dropped across all rings.
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// Per-worker completed steal attempts, from the event streams.
+    pub fn steal_attempts_per_worker(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.steal_attempts()).collect()
+    }
+
+    /// Steal-latency distribution aggregated over all workers.
+    pub fn steal_latency_all(&self) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for w in &self.workers {
+            h.merge(&w.steal_latency);
+        }
+        h
+    }
+
+    /// Job-run-time distribution aggregated over all workers.
+    pub fn job_run_time_all(&self) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for w in &self.workers {
+            h.merge(&w.job_run_time);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        let reg = Registry::new(2, &TelemetryConfig { ring_capacity: 64 });
+        let w0 = reg.worker(0);
+        let w1 = reg.worker(1);
+        w0.record_at(10, EventKind::Spawn);
+        w0.record_at(
+            20,
+            EventKind::StealAttempt {
+                victim: 1,
+                outcome: StealOutcome::Hit,
+            },
+        );
+        w1.record_at(
+            15,
+            EventKind::StealAttempt {
+                victim: 0,
+                outcome: StealOutcome::Empty,
+            },
+        );
+        w0.steal_latency_ns(100);
+        w1.job_run_ns(50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.steal_attempts_per_worker(), vec![1, 1]);
+        assert_eq!(snap.workers[0].steals_with(StealOutcome::Hit), 1);
+        assert_eq!(snap.workers[1].steals_with(StealOutcome::Empty), 1);
+        assert_eq!(snap.steal_latency_all().count(), 1);
+        assert_eq!(snap.job_run_time_all().count(), 1);
+        assert_eq!(snap.total_dropped(), 0);
+    }
+
+    #[test]
+    fn monotone_clock() {
+        let reg = Registry::new(1, &TelemetryConfig::default());
+        let a = reg.now_ns();
+        let b = reg.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -17,11 +17,18 @@ use abp_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
 fn run_scenario(tagged: bool) {
     println!(
         "--- {} deque ---",
-        if tagged { "tagged (correct)" } else { "UNTAGGED (broken)" }
+        if tagged {
+            "tagged (correct)"
+        } else {
+            "UNTAGGED (broken)"
+        }
     );
     let mut d = SimDeque::with_tagging(tagged);
     DequeOp::push_bottom(100).run_to_completion(&mut d);
-    println!("owner : pushBottom(100)            deque = {:?}", d.contents());
+    println!(
+        "owner : pushBottom(100)            deque = {:?}",
+        d.contents()
+    );
 
     let mut thief = DequeOp::pop_top();
     thief.step(&mut d); // load age
@@ -31,13 +38,18 @@ fn run_scenario(tagged: bool) {
 
     match DequeOp::pop_bottom().run_to_completion(&mut d) {
         StepOutcome::PopBottomDone(r) => {
-            println!("owner : popBottom() -> {r:?}           (resets bot and top{})",
-                if tagged { ", bumps tag" } else { "" })
+            println!(
+                "owner : popBottom() -> {r:?}           (resets bot and top{})",
+                if tagged { ", bumps tag" } else { "" }
+            )
         }
         o => panic!("{o:?}"),
     }
     DequeOp::push_bottom(200).run_to_completion(&mut d);
-    println!("owner : pushBottom(200)            deque = {:?}", d.contents());
+    println!(
+        "owner : pushBottom(200)            deque = {:?}",
+        d.contents()
+    );
 
     print!("thief : resumes, cas(age, oldAge, oldAge.top+1) -> ");
     match thief.step(&mut d) {

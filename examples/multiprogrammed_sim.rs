@@ -40,7 +40,11 @@ fn main() {
         ),
         (
             "benign uniform(1..8)",
-            Box::new(BenignKernel::new(p, CountSource::UniformBetween(1, 8), seed)),
+            Box::new(BenignKernel::new(
+                p,
+                CountSource::UniformBetween(1, 8),
+                seed,
+            )),
             YieldPolicy::None,
         ),
         (
@@ -64,7 +68,11 @@ fn main() {
         ),
         (
             "adaptive starve-workers",
-            Box::new(AdaptiveWorkerStarver::new(p, CountSource::Constant(4), seed)),
+            Box::new(AdaptiveWorkerStarver::new(
+                p,
+                CountSource::Constant(4),
+                seed,
+            )),
             YieldPolicy::ToAll,
         ),
     ];

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release --example parallel_tree
+//! cargo run --release --example parallel_tree -- --trace target/tree.json
 //! ```
 //!
 //! Builds a large random binary search tree, then runs three analytics
@@ -9,9 +10,13 @@
 //! max-depth computation (join over children — the irregular, unbalanced
 //! recursion work stealing exists for), and a parallel filtered count via
 //! scoped spawns into per-worker accumulators.
+//!
+//! With `--trace <path>` the run records structured telemetry and writes
+//! a Chrome trace-event JSON file — open it in <https://ui.perfetto.dev>
+//! to see one track per worker with job spans, steals, and parks.
 
 use abp_dag::DetRng;
-use hood::{join, scope, ThreadPool};
+use hood::{join, scope, PoolConfig, TelemetryConfig, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct Node {
@@ -71,8 +76,26 @@ fn count_multiples(node: &Option<Box<Node>>, k: u64, acc: &AtomicU64) {
     }
 }
 
+/// Parses `--trace <path>` from the command line.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() {
     const N: u64 = 200_000;
+    let trace = trace_path();
     let mut rng = DetRng::new(2024);
     let mut keys: Vec<u64> = (0..N).collect();
     rng.shuffle(&mut keys);
@@ -81,20 +104,30 @@ fn main() {
         insert(&mut root, k);
     }
 
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism()
+    let pool = ThreadPool::with_config(PoolConfig {
+        num_procs: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .max(4),
+        telemetry: trace.as_ref().map(|_| TelemetryConfig {
+            ring_capacity: 1 << 16,
+        }),
+        ..PoolConfig::default()
+    });
+    println!(
+        "random BST with {N} keys on P = {} processes",
+        pool.num_procs()
     );
-    println!("random BST with {N} keys on P = {} processes", pool.num_procs());
 
     let sum = pool.install(|| par_sum(&root));
     assert_eq!(sum, N * (N - 1) / 2);
     println!("parallel sum       : {sum}");
 
     let depth = pool.install(|| par_depth(&root));
-    println!("parallel max depth : {depth} (ln-balanced would be ~{:.0})", (N as f64).log2() * 1.39);
+    println!(
+        "parallel max depth : {depth} (ln-balanced would be ~{:.0})",
+        (N as f64).log2() * 1.39
+    );
 
     let acc = AtomicU64::new(0);
     pool.install(|| count_multiples(&root, 7, &acc));
@@ -109,4 +142,17 @@ fn main() {
         st.steals,
         100.0 * st.steal_success_rate()
     );
+
+    if let Some(path) = trace {
+        let report = pool.shutdown();
+        let snap = report.telemetry.expect("telemetry was configured");
+        let json = abp_telemetry::chrome_trace(&snap);
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "wrote {path}: {} events across {} workers ({} dropped) — open in ui.perfetto.dev",
+            snap.workers.iter().map(|w| w.events.len()).sum::<usize>(),
+            snap.workers.len(),
+            snap.total_dropped()
+        );
+    }
 }

@@ -16,10 +16,15 @@
 //! * [`sim`] ([`abp_sim`]) — the instruction-level simulator of the
 //!   Figure-3 scheduling loop with live Lemma-3/potential checking, plus
 //!   greedy and Brent offline schedulers;
-//! * [`runtime`] ([`hood`]) — the real threaded fork-join runtime.
+//! * [`runtime`] ([`hood`]) — the real threaded fork-join runtime;
+//! * [`telemetry`] ([`abp_telemetry`]) — the shared tracing/metrics
+//!   subsystem: lock-free per-worker event rings, histograms, and
+//!   Chrome-trace (Perfetto) / JSON exporters used by both the runtime
+//!   and the simulator.
 
 pub use abp_dag as dag;
 pub use abp_deque as deque;
 pub use abp_kernel as kernel;
 pub use abp_sim as sim;
+pub use abp_telemetry as telemetry;
 pub use hood as runtime;

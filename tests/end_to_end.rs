@@ -29,7 +29,11 @@ fn adversary_suite(p: usize, seed: u64) -> Vec<(&'static str, Box<dyn Kernel>, Y
         ),
         (
             "benign",
-            Box::new(BenignKernel::new(p, CountSource::UniformBetween(1, p), seed)),
+            Box::new(BenignKernel::new(
+                p,
+                CountSource::UniformBetween(1, p),
+                seed,
+            )),
             YieldPolicy::None,
         ),
         (
@@ -49,17 +53,29 @@ fn adversary_suite(p: usize, seed: u64) -> Vec<(&'static str, Box<dyn Kernel>, Y
         ),
         (
             "adaptive-worker-starver",
-            Box::new(AdaptiveWorkerStarver::new(p, CountSource::Constant(p / 2), seed)),
+            Box::new(AdaptiveWorkerStarver::new(
+                p,
+                CountSource::Constant(p / 2),
+                seed,
+            )),
             YieldPolicy::ToAll,
         ),
         (
             "adaptive-thief-starver",
-            Box::new(AdaptiveThiefStarver::new(p, CountSource::Constant(p / 2), seed)),
+            Box::new(AdaptiveThiefStarver::new(
+                p,
+                CountSource::Constant(p / 2),
+                seed,
+            )),
             YieldPolicy::ToAll,
         ),
         (
             "adaptive-critical-starver",
-            Box::new(AdaptiveCriticalStarver::new(p, CountSource::Constant(p / 2), seed)),
+            Box::new(AdaptiveCriticalStarver::new(
+                p,
+                CountSource::Constant(p / 2),
+                seed,
+            )),
             YieldPolicy::ToAll,
         ),
     ]
@@ -67,10 +83,20 @@ fn adversary_suite(p: usize, seed: u64) -> Vec<(&'static str, Box<dyn Kernel>, Y
 
 fn assert_clean(label: &str, r: &RunReport) {
     assert!(r.completed, "{label}: did not complete ({r})");
-    assert_eq!(r.executed, r.work, "{label}: executed {} of {}", r.executed, r.work);
-    assert_eq!(r.structural_violations, 0, "{label}: structural lemma violated");
+    assert_eq!(
+        r.executed, r.work,
+        "{label}: executed {} of {}",
+        r.executed, r.work
+    );
+    assert_eq!(
+        r.structural_violations, 0,
+        "{label}: structural lemma violated"
+    );
     assert_eq!(r.potential_violations, 0, "{label}: potential increased");
-    assert_eq!(r.milestone_violations, 0, "{label}: milestone guarantee violated");
+    assert_eq!(
+        r.milestone_violations, 0,
+        "{label}: milestone guarantee violated"
+    );
 }
 
 /// The big matrix: every workload × every adversary, fully checked.

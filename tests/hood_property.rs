@@ -1,9 +1,10 @@
-//! Property-based tests of the hood runtime: randomized join trees,
-//! scope storms, and helper functions must always agree with their
-//! sequential counterparts.
+//! Randomized tests of the hood runtime: randomized join trees, scope
+//! storms, and helper functions must always agree with their sequential
+//! counterparts. Seeded [`DetRng`] loops replace proptest (the workspace
+//! is dependency-free); every case is reproducible from its index.
 
+use abp_dag::DetRng;
 use hood::{join, scope, ThreadPool};
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A random binary expression tree evaluated both serially and with
@@ -15,15 +16,20 @@ enum Expr {
     Mul(Box<Expr>, Box<Expr>),
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0u64..100).prop_map(Expr::Leaf);
-    leaf.prop_recursive(8, 128, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random expression with bounded depth and node budget (mirrors the old
+/// `prop_recursive(8, 128, 2, ..)` shape).
+fn arb_expr(rng: &mut DetRng, depth: u32, budget: &mut u32) -> Expr {
+    if depth == 0 || *budget == 0 || rng.chance(0.35) {
+        return Expr::Leaf(rng.below(100));
+    }
+    *budget = budget.saturating_sub(2);
+    let a = Box::new(arb_expr(rng, depth - 1, budget));
+    let b = Box::new(arb_expr(rng, depth - 1, budget));
+    if rng.chance(0.5) {
+        Expr::Add(a, b)
+    } else {
+        Expr::Mul(a, b)
+    }
 }
 
 fn eval_serial(e: &Expr) -> u64 {
@@ -48,22 +54,30 @@ fn eval_parallel(e: &Expr) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Parallel evaluation of any expression tree equals serial.
-    #[test]
-    fn join_trees_evaluate_correctly(e in arb_expr(), p in 1usize..5) {
+/// Parallel evaluation of any expression tree equals serial.
+#[test]
+fn join_trees_evaluate_correctly() {
+    let mut rng = DetRng::new(0x3012);
+    for case in 0..48 {
+        let mut budget = 128;
+        let e = arb_expr(&mut rng, 8, &mut budget);
+        let p = 1 + rng.below_usize(4);
         let pool = ThreadPool::new(p);
         let expect = eval_serial(&e);
         let got = pool.install(|| eval_parallel(&e));
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case} (p={p})");
     }
+}
 
-    /// Scoped spawns execute exactly once each, at any fan-out, even with
-    /// nested scopes.
-    #[test]
-    fn scope_spawn_counts(p in 1usize..5, outer in 0usize..40, inner in 0usize..5) {
+/// Scoped spawns execute exactly once each, at any fan-out, even with
+/// nested scopes.
+#[test]
+fn scope_spawn_counts() {
+    let mut rng = DetRng::new(0x5C0F);
+    for case in 0..32 {
+        let p = 1 + rng.below_usize(4);
+        let outer = rng.below_usize(40);
+        let inner = rng.below_usize(5);
         let pool = ThreadPool::new(p);
         let counter = AtomicU64::new(0);
         pool.install(|| {
@@ -80,28 +94,40 @@ proptest! {
                 }
             });
         });
-        prop_assert_eq!(
+        assert_eq!(
             counter.load(Ordering::Relaxed),
-            (outer + outer * inner) as u64
+            (outer + outer * inner) as u64,
+            "case {case} (p={p}, outer={outer}, inner={inner})"
         );
     }
+}
 
-    /// The parallel sort agrees with std's sort for arbitrary data.
-    #[test]
-    fn parallel_sort_matches_std(mut v in proptest::collection::vec(any::<u32>(), 0..3000)) {
+/// The parallel sort agrees with std's sort for arbitrary data.
+#[test]
+fn parallel_sort_matches_std() {
+    let mut rng = DetRng::new(0x5021);
+    for case in 0..24 {
+        let len = rng.below_usize(3000);
+        let mut v: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32).collect();
         let pool = ThreadPool::new(3);
         let mut expect = v.clone();
         expect.sort_unstable();
         pool.install(|| hood::sort_unstable(&mut v));
-        prop_assert_eq!(v, expect);
+        assert_eq!(v, expect, "case {case} (len={len})");
     }
+}
 
-    /// map_reduce with (+, 0) equals the serial sum for any grain.
-    #[test]
-    fn map_reduce_any_grain(v in proptest::collection::vec(0u64..1000, 0..2000), grain in 1usize..600) {
+/// map_reduce with (+, 0) equals the serial sum for any grain.
+#[test]
+fn map_reduce_any_grain() {
+    let mut rng = DetRng::new(0x0A12);
+    for case in 0..24 {
+        let len = rng.below_usize(2000);
+        let grain = 1 + rng.below_usize(599);
+        let v: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
         let pool = ThreadPool::new(4);
         let expect: u64 = v.iter().sum();
         let got = pool.install(|| hood::map_reduce(&v, grain, 0u64, &|&x| x, &|a, b| a + b));
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case} (len={len}, grain={grain})");
     }
 }

@@ -1,92 +1,114 @@
-//! Property-based tests (proptest) over the core data structures and the
+//! Randomized property tests over the core data structures and the
 //! cross-crate pipeline: random dags are valid and schedule correctly;
 //! random deque op sequences match the specification; random kernel
 //! patterns never break the invariants.
+//!
+//! The workspace is dependency-free, so instead of proptest these use the
+//! deterministic [`DetRng`] with fixed seeds: every case is reproducible
+//! by its printed seed, and the case counts are chosen to cover at least
+//! what the proptest defaults did.
 
-use multiprog_ws::dag::{gen, DagBuilder, NodeId};
+use multiprog_ws::dag::{gen, DagBuilder, DetRng, NodeId};
 use multiprog_ws::deque::{DequeOp, SimDeque, StepOutcome};
 use multiprog_ws::kernel::{BenignKernel, CountSource, KernelTable, Tail, YieldPolicy};
 use multiprog_ws::sim::{greedy, run_ws, WsConfig};
-use proptest::prelude::*;
 
-// ------------------------------------------------------------- generators
-
-/// A random series-parallel dag described by (seed, size).
-fn arb_dag() -> impl Strategy<Value = multiprog_ws::dag::Dag> {
-    (0u64..1_000, 10usize..800)
-        .prop_map(|(seed, size)| gen::random_series_parallel(seed, size))
+/// A random series-parallel dag from a per-case RNG.
+fn arb_dag(rng: &mut DetRng) -> multiprog_ws::dag::Dag {
+    let seed = rng.below(1_000);
+    let size = 10 + rng.below_usize(790);
+    gen::random_series_parallel(seed, size)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Generated dags always satisfy the paper's structural assumptions.
-    #[test]
-    fn random_dags_are_structurally_valid(dag in arb_dag()) {
-        prop_assert_eq!(dag.in_degree(dag.root()), 0);
-        prop_assert_eq!(dag.out_degree(dag.final_node()), 0);
-        prop_assert!(dag.critical_path() <= dag.work());
-        prop_assert!(dag.parallelism() >= 1.0);
+/// Generated dags always satisfy the paper's structural assumptions.
+#[test]
+fn random_dags_are_structurally_valid() {
+    let mut rng = DetRng::new(0xDA61);
+    for case in 0..64 {
+        let dag = arb_dag(&mut rng);
+        assert_eq!(dag.in_degree(dag.root()), 0, "case {case}");
+        assert_eq!(dag.out_degree(dag.final_node()), 0, "case {case}");
+        assert!(dag.critical_path() <= dag.work(), "case {case}");
+        assert!(dag.parallelism() >= 1.0, "case {case}");
         let mut roots = 0;
         let mut finals = 0;
         for i in 0..dag.num_nodes() {
             let u = NodeId(i as u32);
-            prop_assert!(dag.out_degree(u) <= 2, "out-degree of {} is {}", u, dag.out_degree(u));
-            if dag.in_degree(u) == 0 { roots += 1; }
-            if dag.out_degree(u) == 0 { finals += 1; }
+            assert!(
+                dag.out_degree(u) <= 2,
+                "case {case}: out-degree of {} is {}",
+                u,
+                dag.out_degree(u)
+            );
+            if dag.in_degree(u) == 0 {
+                roots += 1;
+            }
+            if dag.out_degree(u) == 0 {
+                finals += 1;
+            }
         }
-        prop_assert_eq!(roots, 1);
-        prop_assert_eq!(finals, 1);
+        assert_eq!(roots, 1, "case {case}");
+        assert_eq!(finals, 1, "case {case}");
     }
+}
 
-    /// Topological order is consistent with every edge.
-    #[test]
-    fn topo_order_sound(dag in arb_dag()) {
+/// Topological order is consistent with every edge.
+#[test]
+fn topo_order_sound() {
+    let mut rng = DetRng::new(0x1090);
+    for case in 0..64 {
+        let dag = arb_dag(&mut rng);
         let mut pos = vec![usize::MAX; dag.num_nodes()];
         for (i, &u) in dag.topo_order().iter().enumerate() {
             pos[u.index()] = i;
         }
         for e in dag.edges() {
-            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+            assert!(pos[e.from.index()] < pos[e.to.index()], "case {case}");
         }
     }
+}
 
-    /// Greedy offline schedules are valid and meet the Theorem-2 bound for
-    /// arbitrary cyclic kernel count patterns.
-    #[test]
-    fn greedy_meets_theorem2_on_random_inputs(
-        dag in arb_dag(),
-        counts in proptest::collection::vec(0usize..6, 1..12),
-        p in 1usize..6,
-    ) {
+/// Greedy offline schedules are valid and meet the Theorem-2 bound for
+/// arbitrary cyclic kernel count patterns.
+#[test]
+fn greedy_meets_theorem2_on_random_inputs() {
+    let mut rng = DetRng::new(0x6EED);
+    for case in 0..64 {
+        let dag = arb_dag(&mut rng);
+        let p = 1 + rng.below_usize(5);
+        let len = 1 + rng.below_usize(11);
+        let mut counts: Vec<usize> = (0..len).map(|_| rng.below_usize(6).min(p)).collect();
         // Ensure the schedule can finish: at least one positive count.
-        let mut counts = counts;
         if counts.iter().all(|&c| c == 0) {
             counts.push(1);
         }
-        let counts: Vec<usize> = counts.into_iter().map(|c| c.min(p)).collect();
         let table = KernelTable::from_counts(p, &counts, Tail::Cycle);
         let sched = greedy(&dag, &table, 50_000_000);
-        prop_assert!(sched.validate(&dag, &table).is_ok());
+        assert!(sched.validate(&dag, &table).is_ok(), "case {case}");
         let t = sched.length() as f64;
         let pa = sched.processor_average();
         let bound = (dag.work() as f64 + dag.critical_path() as f64 * (p as f64 - 1.0)) / pa;
-        prop_assert!(t <= bound + 1e-9, "T={} > bound={}", t, bound);
-        prop_assert!(t >= dag.work() as f64 / pa - 1e-9, "T={} below T1/PA", t);
+        assert!(t <= bound + 1e-9, "case {case}: T={t} > bound={bound}");
+        assert!(
+            t >= dag.work() as f64 / pa - 1e-9,
+            "case {case}: T={t} below T1/PA"
+        );
     }
+}
 
-    /// The simulated work stealer executes every node exactly once and
-    /// keeps all invariants, for random dags, process counts, and benign
-    /// kernel patterns.
-    #[test]
-    fn ws_sim_clean_on_random_inputs(
-        dag in arb_dag(),
-        p in 1usize..9,
-        kseed in 0u64..500,
-        sseed in 0u64..500,
-        lo in 1usize..4,
-    ) {
-        let mut k = BenignKernel::new(p, CountSource::UniformBetween(lo.min(p), p), kseed);
+/// The simulated work stealer executes every node exactly once and keeps
+/// all invariants, for random dags, process counts, and benign kernel
+/// patterns.
+#[test]
+fn ws_sim_clean_on_random_inputs() {
+    let mut rng = DetRng::new(0x5EED);
+    for case in 0..48 {
+        let dag = arb_dag(&mut rng);
+        let p = 1 + rng.below_usize(8);
+        let kseed = rng.below(500);
+        let sseed = rng.below(500);
+        let lo = (1 + rng.below_usize(3)).min(p);
+        let mut k = BenignKernel::new(p, CountSource::UniformBetween(lo, p), kseed);
         let cfg = WsConfig {
             yield_policy: YieldPolicy::ToAll,
             check_structural: true,
@@ -96,26 +118,30 @@ proptest! {
             ..WsConfig::default()
         };
         let r = run_ws(&dag, p, &mut k, cfg);
-        prop_assert!(r.completed);
-        prop_assert_eq!(r.executed, r.work);
-        prop_assert_eq!(r.structural_violations, 0);
-        prop_assert_eq!(r.potential_violations, 0);
-        prop_assert_eq!(r.milestone_violations, 0);
+        assert!(r.completed, "case {case}");
+        assert_eq!(r.executed, r.work, "case {case}");
+        assert_eq!(r.structural_violations, 0, "case {case}");
+        assert_eq!(r.potential_violations, 0, "case {case}");
+        assert_eq!(r.milestone_violations, 0, "case {case}");
     }
+}
 
-    /// Sequentially interleaved sim-deque operations agree with a
-    /// VecDeque specification for arbitrary op sequences.
-    #[test]
-    fn sim_deque_matches_spec(ops in proptest::collection::vec(0u8..4, 1..400)) {
+/// Sequentially interleaved sim-deque operations agree with a VecDeque
+/// specification for arbitrary op sequences.
+#[test]
+fn sim_deque_matches_spec() {
+    let mut rng = DetRng::new(0xD0_0D);
+    for case in 0..64 {
+        let n_ops = 1 + rng.below_usize(399);
         let mut d = SimDeque::new();
         let mut spec = std::collections::VecDeque::new();
         let mut next = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.below(4) {
                 0 | 1 => {
                     match DequeOp::push_bottom(next).run_to_completion(&mut d) {
                         StepOutcome::PushDone => {}
-                        o => prop_assert!(false, "unexpected {:?}", o),
+                        o => panic!("case {case}: unexpected {o:?}"),
                     }
                     spec.push_back(next);
                     next += 1;
@@ -123,85 +149,96 @@ proptest! {
                 2 => {
                     let got = match DequeOp::pop_bottom().run_to_completion(&mut d) {
                         StepOutcome::PopBottomDone(r) => r,
-                        o => { prop_assert!(false, "unexpected {:?}", o); None }
+                        o => panic!("case {case}: unexpected {o:?}"),
                     };
-                    prop_assert_eq!(got, spec.pop_back());
+                    assert_eq!(got, spec.pop_back(), "case {case}");
                 }
                 _ => {
                     let got = match DequeOp::pop_top().run_to_completion(&mut d) {
                         StepOutcome::PopTopDone(r) => r.taken(),
-                        o => { prop_assert!(false, "unexpected {:?}", o); None }
+                        o => panic!("case {case}: unexpected {o:?}"),
                     };
-                    prop_assert_eq!(got, spec.pop_front());
+                    assert_eq!(got, spec.pop_front(), "case {case}");
                 }
             }
-            prop_assert_eq!(d.len(), spec.len());
+            assert_eq!(d.len(), spec.len(), "case {case}");
         }
     }
+}
 
-    /// Same for the real atomic deque used sequentially.
-    #[test]
-    fn atomic_deque_matches_spec(ops in proptest::collection::vec(0u8..4, 1..400)) {
+/// Same for the real atomic deque used sequentially.
+#[test]
+fn atomic_deque_matches_spec() {
+    let mut rng = DetRng::new(0xA70);
+    for case in 0..64 {
+        let n_ops = 1 + rng.below_usize(399);
         let (w, s) = multiprog_ws::deque::new::<u64>(512);
         let mut spec = std::collections::VecDeque::new();
         let mut next = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.below(4) {
                 0 | 1 => {
-                    prop_assert!(w.push_bottom(next).is_ok());
+                    assert!(w.push_bottom(next).is_ok(), "case {case}");
                     spec.push_back(next);
                     next += 1;
                 }
-                2 => prop_assert_eq!(w.pop_bottom(), spec.pop_back()),
-                _ => prop_assert_eq!(s.pop_top().taken(), spec.pop_front()),
+                2 => assert_eq!(w.pop_bottom(), spec.pop_back(), "case {case}"),
+                _ => assert_eq!(s.pop_top().taken(), spec.pop_front(), "case {case}"),
             }
         }
     }
+}
 
-    /// Builder round-trip: a random fork-join construction always
-    /// validates, and its metrics satisfy the composition laws.
-    #[test]
-    fn builder_composition_laws(depth in 0u32..7, seq in 1usize..5) {
+/// Builder round-trip: a random fork-join construction always validates,
+/// and its metrics satisfy the composition laws.
+#[test]
+fn builder_composition_laws() {
+    let mut rng = DetRng::new(0xB11D);
+    for case in 0..28 {
+        let depth = rng.below(7) as u32;
+        let seq = 1 + rng.below_usize(4);
         let d = gen::fork_join_tree(depth, seq);
         // T∞ grows linearly in depth; work exponentially.
         let d2 = gen::fork_join_tree(depth + 1, seq);
-        prop_assert!(d2.work() > 2 * d.work());
-        prop_assert!(d2.critical_path() > d.critical_path());
+        assert!(d2.work() > 2 * d.work(), "case {case}");
+        assert!(d2.critical_path() > d.critical_path(), "case {case}");
         // One extra level adds a constant number of nodes to the critical
         // path (prologue + spawn + entry + join + epilogue ≤ seq·2 + 4).
-        prop_assert!(d2.critical_path() <= d.critical_path() + 2 * seq as u64 + 4);
+        assert!(
+            d2.critical_path() <= d.critical_path() + 2 * seq as u64 + 4,
+            "case {case}"
+        );
     }
+}
 
-    /// A dag built from random thread chains with random (forward) sync
-    /// edges either validates or fails with a *specific* error — never
-    /// panics.
-    #[test]
-    fn builder_never_panics_on_random_syncs(
-        lens in proptest::collection::vec(1usize..6, 1..5),
-        syncs in proptest::collection::vec((0usize..20, 0usize..20), 0..8),
-    ) {
+/// A dag built from random thread chains with random (forward) sync edges
+/// either validates or fails with a *specific* error — never panics.
+#[test]
+fn builder_never_panics_on_random_syncs() {
+    let mut rng = DetRng::new(0x5799C);
+    for _case in 0..64 {
+        let n_threads = 1 + rng.below_usize(4);
+        let lens: Vec<usize> = (0..n_threads).map(|_| 1 + rng.below_usize(5)).collect();
+        let n_syncs = rng.below_usize(8);
+        let syncs: Vec<(usize, usize)> = (0..n_syncs)
+            .map(|_| (rng.below_usize(20), rng.below_usize(20)))
+            .collect();
         let mut b = DagBuilder::new();
         let mut all_nodes = Vec::new();
         let mut threads = Vec::new();
-        for (ti, &len) in lens.iter().enumerate() {
+        for &len in &lens {
             let t = b.thread();
             threads.push(t);
-            let mut prev_spawn_source: Option<NodeId> = None;
             for _ in 0..len {
                 let n = b.node(t);
                 all_nodes.push(n);
-                prev_spawn_source.get_or_insert(n);
             }
-            // Spawn each non-root thread from some node of thread 0.
-            let _ = ti;
         }
         // Wire spawns: root thread must exist; spawn every other thread's
         // first node from the root thread's first node region.
-        for (ti, t) in threads.iter().enumerate().skip(1) {
+        for t in threads.iter().skip(1) {
             let first = b.node(*t); // ensure a target node exists
             all_nodes.push(first);
-            let from = all_nodes[0];
-            let _ = (ti, from);
             b.spawn(all_nodes[0], first);
         }
         for &(a, c) in &syncs {

@@ -4,8 +4,7 @@
 
 use multiprog_ws::dag::gen;
 use multiprog_ws::kernel::{
-    AdaptiveWorkerStarver, CountSource, Kernel, ObliviousKernel, RecordingKernel, Tail,
-    YieldPolicy,
+    AdaptiveWorkerStarver, CountSource, Kernel, ObliviousKernel, RecordingKernel, Tail, YieldPolicy,
 };
 use multiprog_ws::sim::{run_ws, WsConfig};
 
@@ -20,11 +19,7 @@ fn recorded_adaptive_replays_identically_with_same_seed() {
     };
 
     // Live adaptive run, recorded.
-    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(
-        p,
-        CountSource::Constant(3),
-        5,
-    ));
+    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(p, CountSource::Constant(3), 5));
     let live = run_ws(&dag, p, &mut rec, cfg.clone());
     assert!(live.completed);
 
@@ -50,11 +45,7 @@ fn recorded_schedule_loses_its_teeth_against_fresh_seeds() {
     let p = 6;
     let cap = 150_000;
 
-    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(
-        p,
-        CountSource::Constant(3),
-        5,
-    ));
+    let mut rec = RecordingKernel::new(AdaptiveWorkerStarver::new(p, CountSource::Constant(3), 5));
     let live = run_ws(
         &dag,
         p,
@@ -102,7 +93,8 @@ fn recording_is_transparent() {
         seed: 7,
         ..WsConfig::default()
     };
-    let mut plain = multiprog_ws::kernel::BenignKernel::new(p, CountSource::UniformBetween(1, 4), 3);
+    let mut plain =
+        multiprog_ws::kernel::BenignKernel::new(p, CountSource::UniformBetween(1, 4), 3);
     let a = run_ws(&dag, p, &mut plain, cfg.clone());
     let mut recorded = RecordingKernel::new(multiprog_ws::kernel::BenignKernel::new(
         p,

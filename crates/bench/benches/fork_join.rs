@@ -85,15 +85,20 @@ fn bench_yield_ablation(h: &Harness) {
         .unwrap_or(1);
     let mut g = h.group(&format!("yield_fib22_P{over}_oversubscribed"));
     g.sample_size(10);
-    for (name, yields) in [("yield", true), ("no-yield", false)] {
-        let pool = ThreadPool::with_config(PoolConfig {
-            num_procs: over,
-            yield_between_steals: yields,
-            // Pure spinning, as in the original Hood: the yield is the
-            // only thing keeping thieves from wasting whole quanta.
-            park_after: None,
-            ..PoolConfig::default()
-        });
+    for (name, backoff) in [
+        ("yield", hood::BackoffKind::Yield),
+        ("no-yield", hood::BackoffKind::None),
+    ] {
+        // Pure spinning on the idle axis, as in the original Hood: the
+        // yield is the only thing keeping thieves from wasting whole
+        // quanta.
+        let pool = ThreadPool::with_config(
+            PoolConfig::default().with_num_procs(over).with_policies(
+                hood::PolicySet::paper()
+                    .with_backoff(backoff)
+                    .with_idle(hood::IdleKind::Spin),
+            ),
+        );
         g.bench(name, || {
             pool.install(|| black_box(fib(22)));
         });

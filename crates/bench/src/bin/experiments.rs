@@ -27,11 +27,14 @@ fn main() {
         "assign-policy" => vec![exp::assign_policy()],
         "hood-wallclock" => vec![exp::hood_wallclock()],
         "telemetry" => vec![exp::telemetry()],
+        "policies" => vec![exp::policies(false)],
+        "policies-small" => vec![exp::policies(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
-                 lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry"
+                 lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
+                 policies policies-small"
             );
             std::process::exit(2);
         }

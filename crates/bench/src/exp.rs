@@ -234,11 +234,9 @@ pub fn thm2() -> ExpResult {
 // ------------------------------------------------------- Section 4 theorems
 
 fn ws_defaults(seed: u64) -> WsConfig {
-    WsConfig {
-        seed,
-        max_rounds: 20_000_000,
-        ..WsConfig::default()
-    }
+    WsConfig::default()
+        .with_seed(seed)
+        .with_max_rounds(20_000_000)
 }
 
 /// T9 — dedicated environments: time O(T1/P + T∞) and linear speedup.
@@ -366,10 +364,7 @@ pub fn thm10() -> ExpResult {
             ),
         ] {
             let mut k = BenignKernel::new(p, counts, 1234);
-            let cfg = WsConfig {
-                yield_policy: YieldPolicy::None,
-                ..ws_defaults(3)
-            };
+            let cfg = ws_defaults(3).with_yield_policy(YieldPolicy::None);
             let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
             ratios.push(r.bound_ratio());
         }
@@ -406,10 +401,7 @@ pub fn thm11() -> ExpResult {
             ),
         ];
         for (kname, mut k) in kernels {
-            let cfg = WsConfig {
-                yield_policy: YieldPolicy::ToRandom,
-                ..ws_defaults(5)
-            };
+            let cfg = ws_defaults(5).with_yield_policy(YieldPolicy::ToRandom);
             let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
             ratios.push(r.bound_ratio());
         }
@@ -442,18 +434,12 @@ pub fn thm12() -> ExpResult {
             ("starve-workers(1..8)", CountSource::UniformBetween(1, 8)),
         ] {
             let mut k = AdaptiveWorkerStarver::new(p, counts, 555);
-            let cfg = WsConfig {
-                yield_policy: YieldPolicy::ToAll,
-                ..ws_defaults(9)
-            };
+            let cfg = ws_defaults(9).with_yield_policy(YieldPolicy::ToAll);
             let r = multiprog_row(&mut t, &mut pass, name, kname, &dag, p, &mut k, cfg);
             ratios.push(r.bound_ratio());
         }
         let mut k = AdaptiveThiefStarver::new(p, CountSource::Constant(4), 556);
-        let cfg = WsConfig {
-            yield_policy: YieldPolicy::ToAll,
-            ..ws_defaults(9)
-        };
+        let cfg = ws_defaults(9).with_yield_policy(YieldPolicy::ToAll);
         let r = multiprog_row(
             &mut t,
             &mut pass,
@@ -511,10 +497,7 @@ pub fn hood_constant() -> ExpResult {
             ),
         ];
         for (kname, mut k, yp) in cases {
-            let cfg = WsConfig {
-                yield_policy: yp,
-                ..ws_defaults(21)
-            };
+            let cfg = ws_defaults(21).with_yield_policy(yp);
             let r = run_ws(&dag, p, k.as_mut(), cfg);
             if r.completed {
                 ratios.push((format!("{name}/{kname}"), r.bound_ratio()));
@@ -580,12 +563,10 @@ pub fn ablate_lock() -> ExpResult {
             let mut rounds_abp = 0;
             for backend in [DequeBackend::Abp, DequeBackend::Locking] {
                 let mut k = make();
-                let cfg = WsConfig {
-                    backend,
-                    yield_policy: YieldPolicy::None,
-                    max_rounds: 30_000_000,
-                    ..ws_defaults(13)
-                };
+                let cfg = ws_defaults(13)
+                    .with_backend(backend)
+                    .with_yield_policy(YieldPolicy::None)
+                    .with_max_rounds(30_000_000);
                 let r = run_ws(&dag, p, k.as_mut(), cfg);
                 pass &= r.completed;
                 let slowdown = if backend == DequeBackend::Abp {
@@ -618,12 +599,10 @@ pub fn ablate_lock() -> ExpResult {
     let mut abp_completed = false;
     for backend in [DequeBackend::Abp, DequeBackend::Locking] {
         let mut k = abp_kernel::AdaptiveCriticalStarver::new(8, CountSource::Constant(4), 99);
-        let cfg = WsConfig {
-            backend,
-            yield_policy: YieldPolicy::None,
-            max_rounds: cap,
-            ..ws_defaults(13)
-        };
+        let cfg = ws_defaults(13)
+            .with_backend(backend)
+            .with_yield_policy(YieldPolicy::None)
+            .with_max_rounds(cap);
         let dag = gen::fib(14, 3);
         let r = run_ws(&dag, 8, &mut k, cfg);
         match backend {
@@ -683,11 +662,7 @@ pub fn ablate_yield() -> ExpResult {
     for (kname, make) in adversaries {
         for yp in [YieldPolicy::None, YieldPolicy::ToRandom, YieldPolicy::ToAll] {
             let mut k = make();
-            let cfg = WsConfig {
-                yield_policy: yp,
-                max_rounds: cap,
-                ..ws_defaults(31)
-            };
+            let cfg = ws_defaults(31).with_yield_policy(yp).with_max_rounds(cap);
             let r = run_ws(&dag, p, k.as_mut(), cfg);
             t.row([
                 kname.to_string(),
@@ -743,12 +718,10 @@ pub fn invariants() -> ExpResult {
             ),
         ];
         for (kname, mut k) in cases {
-            let cfg = WsConfig {
-                check_structural: true,
-                check_potential: true,
-                track_phases: true,
-                ..ws_defaults(17)
-            };
+            let cfg = ws_defaults(17)
+                .with_check_structural(true)
+                .with_check_potential(true)
+                .with_track_phases(true);
             let r = run_ws(&dag, 6, k.as_mut(), cfg);
             let ph = r.phases.clone().unwrap_or_default();
             pass &= r.completed
@@ -918,11 +891,9 @@ pub fn assign_policy() -> ExpResult {
         let mut per_policy = Vec::new();
         for policy in [AssignPolicy::SpawnFirst, AssignPolicy::ContinueFirst] {
             let mut k = DedicatedKernel::new(p);
-            let cfg = WsConfig {
-                assign: policy,
-                check_structural: true,
-                ..ws_defaults(19)
-            };
+            let cfg = ws_defaults(19)
+                .with_assign(policy)
+                .with_check_structural(true);
             let r = run_ws(&dag, p, &mut k, cfg);
             pass &= r.completed && r.structural_violations == 0;
             per_policy.push(r.rounds);
@@ -958,7 +929,7 @@ pub fn assign_policy() -> ExpResult {
 /// criterion is correctness plus "yield never loses badly"; the timing
 /// columns are the interesting output.
 pub fn hood_wallclock() -> ExpResult {
-    use hood::{join, Backend, PoolConfig, ThreadPool};
+    use hood::{join, Backend, BackoffKind, IdleKind, PolicySet, PoolConfig, ThreadPool};
     use std::time::Instant;
 
     fn fib_serial(n: u64) -> u64 {
@@ -1008,39 +979,28 @@ pub fn hood_wallclock() -> ExpResult {
     let mut noyield_ms = 0.0f64;
     let mut yield_pp = 0.0f64;
     let mut noyield_pp = 0.0f64;
+    let spin_yield = PolicySet::paper().with_idle(IdleKind::Spin);
+    let spin_noyield = spin_yield.with_backoff(BackoffKind::None);
     let cases: Vec<(&str, PoolConfig)> = vec![
-        (
-            "abp, P=cores",
-            PoolConfig {
-                num_procs: cores,
-                ..PoolConfig::default()
-            },
-        ),
+        ("abp, P=cores", PoolConfig::default().with_num_procs(cores)),
         (
             "abp+yield, oversubscribed",
-            PoolConfig {
-                num_procs: over,
-                park_after: None,
-                ..PoolConfig::default()
-            },
+            PoolConfig::default()
+                .with_num_procs(over)
+                .with_policies(spin_yield),
         ),
         (
             "abp no-yield, oversubscribed",
-            PoolConfig {
-                num_procs: over,
-                yield_between_steals: false,
-                park_after: None,
-                ..PoolConfig::default()
-            },
+            PoolConfig::default()
+                .with_num_procs(over)
+                .with_policies(spin_noyield),
         ),
         (
             "locking+yield, oversubscribed",
-            PoolConfig {
-                num_procs: over,
-                backend: Backend::Locking,
-                park_after: None,
-                ..PoolConfig::default()
-            },
+            PoolConfig::default()
+                .with_num_procs(over)
+                .with_backend(Backend::Locking)
+                .with_policies(spin_yield),
         ),
     ];
     for (name, cfg) in cases {
@@ -1210,10 +1170,7 @@ pub fn telemetry() -> ExpResult {
     let dag = gen::fib(14, 3);
     let p = 6;
     let mut k = BenignKernel::new(p, CountSource::UniformBetween(2, 6), 11);
-    let cfg = WsConfig {
-        trace: true,
-        ..ws_defaults(23)
-    };
+    let cfg = ws_defaults(23).with_trace(true);
     let r = run_ws(&dag, p, &mut k, cfg);
     pass &= r.completed;
     let sim_trace = r.trace.as_ref().expect("trace requested");
@@ -1250,6 +1207,239 @@ pub fn telemetry() -> ExpResult {
     )
 }
 
+/// PL1 — policy matrix: pluggable victim/backoff/idle on both surfaces.
+///
+/// Sweeps the `abp-core` policy sets over a workload × P matrix on the
+/// simulator (deterministic, seeded) and over the live pool, reporting
+/// throws, steal attempts, and T against the paper bound. Also emits
+/// `target/BENCH_policies.json`, validated with the `abp-telemetry` JSON
+/// parser — the sim half of that file is bit-reproducible across runs.
+pub fn policies(small: bool) -> ExpResult {
+    use abp_sim::{BackoffKind, IdleKind, PolicySet, VictimKind};
+    use abp_telemetry::json;
+    use hood::{join, PoolConfig, ThreadPool};
+
+    let policy_sets: Vec<PolicySet> = vec![
+        PolicySet::paper(),
+        PolicySet::paper().with_victim(VictimKind::RoundRobin),
+        PolicySet::paper().with_victim(VictimKind::LastVictim),
+        PolicySet::paper().with_backoff(BackoffKind::ExpJitter { base: 4, cap: 64 }),
+        PolicySet::paper().with_backoff(BackoffKind::SpinThenYield {
+            spin: 8,
+            threshold: 3,
+        }),
+        PolicySet::paper().with_idle(IdleKind::ParkAfter {
+            threshold: 8,
+            park_len: 16,
+        }),
+    ];
+    let dags: Vec<(&str, Dag)> = if small {
+        vec![
+            ("fib(12,3)", gen::fib(12, 3)),
+            ("wide(32,20)", gen::wide_shallow(32, 20)),
+        ]
+    } else {
+        vec![
+            ("fib(18,4)", gen::fib(18, 4)),
+            ("wide(256,50)", gen::wide_shallow(256, 50)),
+        ]
+    };
+    let ps_list: Vec<usize> = if small { vec![4] } else { vec![4, 8] };
+
+    let mut pass = true;
+    let mut t = TextTable::new([
+        "policy", "workload", "kernel", "P", "rounds", "throws", "attempts", "hits", "ratio",
+    ]);
+    let mut sim_json = String::new();
+    for ps in &policy_sets {
+        for (wname, dag) in &dags {
+            for &p in &ps_list {
+                let kernels: Vec<(&str, Box<dyn Kernel>)> = vec![
+                    ("dedicated", Box::new(DedicatedKernel::new(p))),
+                    (
+                        "benign",
+                        Box::new(BenignKernel::new(p, CountSource::UniformBetween(2, p), 41)),
+                    ),
+                ];
+                for (kname, mut k) in kernels {
+                    let cfg = ws_defaults(29).with_policies(*ps);
+                    let r = run_ws(dag, p, k.as_mut(), cfg);
+                    // Every policy must complete the run, keep the steal
+                    // accounting identity, and stamp its identity on the
+                    // report.
+                    pass &= r.completed;
+                    pass &= r.steal_accounting_balanced();
+                    pass &= r.policy.starts_with(&ps.label());
+                    // Milestone accounting (and thus the Lemma-7 check)
+                    // is only meaningful for non-spinning, non-parking
+                    // sets; for those, the paper bound must hold with a
+                    // modest constant.
+                    if ps.preserves_milestones() {
+                        pass &= r.milestone_violations == 0;
+                        pass &= r.bound_ratio() < 4.0;
+                    }
+                    t.row([
+                        ps.label(),
+                        wname.to_string(),
+                        kname.to_string(),
+                        p.to_string(),
+                        r.rounds.to_string(),
+                        r.throws.to_string(),
+                        r.steal_attempts.to_string(),
+                        r.successful_steals.to_string(),
+                        f3(r.bound_ratio()),
+                    ]);
+                    if !sim_json.is_empty() {
+                        sim_json.push_str(",\n");
+                    }
+                    write!(
+                        sim_json,
+                        "    {{\"policy\":\"{}\",\"workload\":\"{}\",\"kernel\":\"{}\",\
+                         \"p\":{},\"rounds\":{},\"throws\":{},\"attempts\":{},\"hits\":{},\
+                         \"aborts\":{},\"empties\":{},\"bound_ratio\":{:.6},\
+                         \"milestone_safe\":{}}}",
+                        r.policy,
+                        wname,
+                        kname,
+                        p,
+                        r.rounds,
+                        r.throws,
+                        r.steal_attempts,
+                        r.successful_steals,
+                        r.steal_aborts,
+                        r.steal_empties,
+                        r.bound_ratio(),
+                        ps.preserves_milestones(),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+
+    // -- live pool: same policy sets drive the hood steal loop -----------
+    fn fib(n: u64) -> u64 {
+        if n < 12 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..n {
+                let c = a + b;
+                a = b;
+                b = c;
+            }
+            return a;
+        }
+        let (x, y) = join(|| fib(n - 1), || fib(n - 2));
+        x + y
+    }
+    // Forced-steal ping-pong (as in H2): each round's second closure must
+    // be stolen and run by another worker before the first can finish, so
+    // every policy's actual steal path gets exercised even on one core.
+    fn ping_pong(rounds: u32) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for _ in 0..rounds {
+            let flag = AtomicBool::new(false);
+            join(
+                || {
+                    while !flag.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                },
+                || flag.store(true, Ordering::Release),
+            );
+        }
+    }
+    let (fib_n, fib_expect) = if small {
+        (18u64, 2_584u64)
+    } else {
+        (22u64, 17_711u64)
+    };
+    let ping_rounds = if small { 4 } else { 8 };
+    let mut pt = TextTable::new([
+        "policy", "P", "jobs", "attempts", "steals", "yields", "parks",
+    ]);
+    let mut pool_json = String::new();
+    for ps in &policy_sets {
+        // Keep the pool's engineering default (park when idle) except for
+        // the set that explicitly probes the idle axis.
+        let pool_ps = if matches!(ps.idle, IdleKind::Spin) {
+            ps.with_idle(PoolConfig::DEFAULT_IDLE)
+        } else {
+            *ps
+        };
+        let p = 4;
+        let pool = ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(p)
+                .with_policies(pool_ps),
+        );
+        pass &= pool.install(|| fib(fib_n)) == fib_expect;
+        pool.install(|| ping_pong(ping_rounds));
+        let report = pool.shutdown();
+        pass &= report.stats.steals >= ping_rounds as u64;
+        let st = &report.stats;
+        pass &= st.attempts_balance();
+        pt.row([
+            pool_ps.label(),
+            p.to_string(),
+            st.jobs.to_string(),
+            st.steal_attempts.to_string(),
+            st.steals.to_string(),
+            st.yields.to_string(),
+            st.parks.to_string(),
+        ]);
+        if !pool_json.is_empty() {
+            pool_json.push_str(",\n");
+        }
+        write!(
+            pool_json,
+            "    {{\"policy\":\"{}\",\"p\":{},\"jobs\":{},\"attempts\":{},\"steals\":{},\
+             \"aborts\":{},\"empties\":{},\"yields\":{},\"parks\":{}}}",
+            pool_ps.label(),
+            p,
+            st.jobs,
+            st.steal_attempts,
+            st.steals,
+            st.aborts,
+            st.empties,
+            st.yields,
+            st.parks,
+        )
+        .unwrap();
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"policies\",\n  \"mode\": \"{}\",\n  \"sim\": [\n{}\n  ],\n  \
+         \"pool\": [\n{}\n  ]\n}}\n",
+        if small { "small" } else { "full" },
+        sim_json,
+        pool_json
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_policies.json", &artifact).is_ok();
+
+    let body = format!(
+        "Policy matrix over {} sets × {} workloads × P ∈ {:?} (sim, seeded) and the\n\
+         live pool (fib({fib_n}), P=4). ratio = T/(T1/P_A + Tinf·P/P_A); milestone-safe\n\
+         sets must meet the paper bound. wrote target/BENCH_policies.json ({} bytes{})\n\n\
+         simulator:\n{}\nlive pool:\n{}",
+        policy_sets.len(),
+        dags.len(),
+        ps_list,
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render(),
+        pt.render()
+    );
+    ExpResult::new(
+        "PL1",
+        "Policy layer: victim/backoff/idle matrix",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -1271,5 +1461,6 @@ pub fn all() -> Vec<ExpResult> {
         assign_policy(),
         hood_wallclock(),
         telemetry(),
+        policies(false),
     ]
 }

@@ -1,0 +1,283 @@
+//! Contention backoff (Figure 3, line 15).
+//!
+//! The paper's thief yields once before every steal attempt — that is
+//! what makes a throw cost at most one quantum of the victim's progress
+//! under multiprogramming. The alternatives here explore the engineering
+//! space around that point: no backoff at all (maximally aggressive,
+//! what you get if line 15 is deleted), truncated exponential backoff
+//! with seeded jitter (the classic contention response), and a
+//! spin-then-yield hybrid.
+//!
+//! Anything that spins burns instructions that are **not** milestones,
+//! so the simulator only enforces the paper's milestone/throw accounting
+//! (Lemma 7's "every quantum contains a milestone") for backoffs where
+//! [`ContentionBackoff::may_spin`] is false.
+
+use crate::rng::PolicyRng;
+
+/// What a thief does before its next steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffAction {
+    /// Go straight to the attempt.
+    Proceed,
+    /// Yield the processor first (the paper's line 15).
+    Yield,
+    /// Busy-wait for `n` units (instructions in the simulator,
+    /// pause-loop iterations in the runtime), then attempt.
+    Spin(u32),
+    /// Busy-wait for `n` units, then yield, then attempt.
+    SpinThenYield(u32),
+}
+
+/// Decides the action taken between steal attempts.
+pub trait ContentionBackoff: Send {
+    /// Action before the next attempt, given `fails` consecutive
+    /// failures to find work since work was last found.
+    fn on_fail(&mut self, fails: u32, rng: &mut PolicyRng) -> BackoffAction;
+
+    /// Short identity label, e.g. `"yield"`.
+    fn name(&self) -> &'static str;
+
+    /// True if this backoff can emit [`BackoffAction::Spin`] /
+    /// [`BackoffAction::SpinThenYield`] — spinning invalidates the
+    /// paper's milestone accounting, so surfaces gate those checks on
+    /// this.
+    fn may_spin(&self) -> bool {
+        true
+    }
+}
+
+/// Cloneable spec for a backoff policy (lives in configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackoffKind {
+    /// Yield before every attempt — the paper's line 15.
+    #[default]
+    Yield,
+    /// No backoff: attempt immediately.
+    None,
+    /// Truncated exponential spin with seeded jitter:
+    /// spin `uniform[1, min(cap, base << fails)]`.
+    ExpJitter { base: u32, cap: u32 },
+    /// Spin `spin` units for the first `threshold` failures, yield after.
+    SpinThenYield { spin: u32, threshold: u32 },
+}
+
+impl BackoffKind {
+    /// Builds the backoff this spec names.
+    pub fn build(self) -> Box<dyn ContentionBackoff> {
+        match self {
+            BackoffKind::Yield => Box::new(PlainYield),
+            BackoffKind::None => Box::new(NoBackoff),
+            BackoffKind::ExpJitter { base, cap } => Box::new(ExpJitterBackoff::new(base, cap)),
+            BackoffKind::SpinThenYield { spin, threshold } => {
+                Box::new(SpinThenYield::new(spin, threshold))
+            }
+        }
+    }
+
+    /// Short identity label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackoffKind::Yield => "yield",
+            BackoffKind::None => "none",
+            BackoffKind::ExpJitter { .. } => "exp-jitter",
+            BackoffKind::SpinThenYield { .. } => "spin-yield",
+        }
+    }
+}
+
+/// The paper's backoff: yield before every attempt. Consumes no
+/// randomness (the yield *target*, under `YieldPolicy::ToRandom`, is the
+/// kernel's concern, not the backoff's).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainYield;
+
+impl ContentionBackoff for PlainYield {
+    fn on_fail(&mut self, _fails: u32, _rng: &mut PolicyRng) -> BackoffAction {
+        BackoffAction::Yield
+    }
+
+    fn name(&self) -> &'static str {
+        "yield"
+    }
+
+    fn may_spin(&self) -> bool {
+        false
+    }
+}
+
+/// Line 15 deleted: the thief attempts steals back-to-back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBackoff;
+
+impl ContentionBackoff for NoBackoff {
+    fn on_fail(&mut self, _fails: u32, _rng: &mut PolicyRng) -> BackoffAction {
+        BackoffAction::Proceed
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn may_spin(&self) -> bool {
+        false
+    }
+}
+
+/// Truncated exponential backoff with seeded jitter: after `fails`
+/// consecutive failures, spin a uniform number of units in
+/// `[1, min(cap, base << fails)]`. The jitter draw comes from the
+/// worker's [`PolicyRng`], so runs are reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpJitterBackoff {
+    base: u32,
+    cap: u32,
+}
+
+impl ExpJitterBackoff {
+    pub fn new(base: u32, cap: u32) -> Self {
+        ExpJitterBackoff {
+            base: base.max(1),
+            cap: cap.max(1),
+        }
+    }
+}
+
+impl Default for ExpJitterBackoff {
+    fn default() -> Self {
+        ExpJitterBackoff::new(4, 1024)
+    }
+}
+
+impl ContentionBackoff for ExpJitterBackoff {
+    fn on_fail(&mut self, fails: u32, rng: &mut PolicyRng) -> BackoffAction {
+        let shift = fails.min(16);
+        let ceiling = self.base.saturating_shl(shift).max(1).min(self.cap);
+        BackoffAction::Spin(rng.range_inclusive(1, ceiling as u64) as u32)
+    }
+
+    fn name(&self) -> &'static str {
+        "exp-jitter"
+    }
+}
+
+/// Spin for a fixed short window on early failures (work may reappear
+/// momentarily), degrade to the paper's yield once contention persists.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinThenYield {
+    spin: u32,
+    threshold: u32,
+}
+
+impl SpinThenYield {
+    pub fn new(spin: u32, threshold: u32) -> Self {
+        SpinThenYield {
+            spin: spin.max(1),
+            threshold,
+        }
+    }
+}
+
+impl Default for SpinThenYield {
+    fn default() -> Self {
+        SpinThenYield::new(8, 3)
+    }
+}
+
+impl ContentionBackoff for SpinThenYield {
+    fn on_fail(&mut self, fails: u32, _rng: &mut PolicyRng) -> BackoffAction {
+        if fails <= self.threshold {
+            BackoffAction::Spin(self.spin)
+        } else {
+            BackoffAction::Yield
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spin-yield"
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u32 {
+    fn saturating_shl(self, shift: u32) -> u32 {
+        if shift >= 32 || self.leading_zeros() < shift {
+            u32::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_yield_is_the_paper_and_draws_nothing() {
+        let mut b = PlainYield;
+        let mut rng = PolicyRng::new(1);
+        let before = rng.clone();
+        for fails in 0..10 {
+            assert_eq!(b.on_fail(fails, &mut rng), BackoffAction::Yield);
+        }
+        assert_eq!(rng, before);
+        assert!(!b.may_spin());
+    }
+
+    #[test]
+    fn no_backoff_always_proceeds() {
+        let mut b = NoBackoff;
+        let mut rng = PolicyRng::new(1);
+        assert_eq!(b.on_fail(100, &mut rng), BackoffAction::Proceed);
+        assert!(!b.may_spin());
+    }
+
+    #[test]
+    fn exp_jitter_grows_then_truncates() {
+        let mut b = ExpJitterBackoff::new(2, 64);
+        let mut rng = PolicyRng::new(0xB0FF);
+        for fails in 0..40 {
+            let ceiling = 64.min(2u64 << fails.min(16));
+            match b.on_fail(fails, &mut rng) {
+                BackoffAction::Spin(n) => {
+                    assert!(n >= 1 && n as u64 <= ceiling, "fails={fails} n={n}")
+                }
+                other => panic!("expected Spin, got {other:?}"),
+            }
+        }
+        assert!(b.may_spin());
+    }
+
+    #[test]
+    fn exp_jitter_is_seed_deterministic() {
+        let mut a = ExpJitterBackoff::default();
+        let mut b = ExpJitterBackoff::default();
+        let mut ra = PolicyRng::new(77);
+        let mut rb = PolicyRng::new(77);
+        for fails in 0..32 {
+            assert_eq!(a.on_fail(fails % 8, &mut ra), b.on_fail(fails % 8, &mut rb));
+        }
+    }
+
+    #[test]
+    fn spin_then_yield_degrades() {
+        let mut b = SpinThenYield::new(8, 3);
+        let mut rng = PolicyRng::new(0);
+        assert_eq!(b.on_fail(0, &mut rng), BackoffAction::Spin(8));
+        assert_eq!(b.on_fail(3, &mut rng), BackoffAction::Spin(8));
+        assert_eq!(b.on_fail(4, &mut rng), BackoffAction::Yield);
+        assert_eq!(b.on_fail(100, &mut rng), BackoffAction::Yield);
+    }
+
+    #[test]
+    fn shift_saturates_instead_of_overflowing() {
+        assert_eq!(u32::MAX.saturating_shl(1), u32::MAX);
+        assert_eq!(1u32.saturating_shl(31), 1 << 31);
+        assert_eq!(1u32.saturating_shl(32), u32::MAX);
+        assert_eq!(0x8000_0000u32.saturating_shl(1), u32::MAX);
+    }
+}

@@ -34,6 +34,7 @@ pub mod pool;
 pub mod scope;
 pub mod stats;
 
+pub use abp_core::{BackoffKind, IdleKind, PolicySet, VictimKind};
 pub use join::join;
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
 pub use pool::{Backend, PoolConfig, PoolReport, ThreadPool, WorkerCtx};

@@ -4,13 +4,18 @@
 //!
 //! The scheduling loop follows Figure 3: a worker executes its assigned
 //! job; completed jobs are replaced by popping the bottom of its own
-//! deque; an empty deque turns the worker into a thief that yields, picks
-//! a uniformly random victim, and tries `popTop` on the victim's deque.
-//! All inter-worker synchronization is non-blocking (the deque) except
-//! the optional parking of *completely idle* workers, which exists so an
-//! idle pool does not burn CPU — it is on a timeout and never holds locks
-//! around work, so it cannot reintroduce the preemption pathology the
-//! paper's non-blocking design eliminates.
+//! deque; an empty deque turns the worker into a thief that backs off,
+//! picks a victim, and tries `popTop` on the victim's deque. The three
+//! policy points of that loop — victim selection (line 16), contention
+//! backoff (line 15), and what a persistently idle worker does — are
+//! pluggable via [`PoolConfig::policies`] (an [`abp_core::PolicySet`]);
+//! the default is the paper's uniform-random victim and yield, plus
+//! Hood's engineering compromise of parking a completely idle worker on
+//! a timeout so an idle pool does not burn CPU. All inter-worker
+//! synchronization is non-blocking (the deque) except that optional
+//! parking, which never holds locks around work, so it cannot
+//! reintroduce the preemption pathology the paper's non-blocking design
+//! eliminates.
 //!
 //! With the `telemetry` feature (on by default) a pool can additionally
 //! record a structured event trace — spawns, job spans, every steal
@@ -22,6 +27,9 @@
 use crate::job::JobRef;
 use crate::latch::LockLatch;
 use crate::stats::{PoolStats, WorkerStats};
+use abp_core::{
+    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, StealResult,
+};
 use abp_dag::DetRng;
 use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
 use std::cell::{Cell, RefCell};
@@ -60,13 +68,12 @@ pub struct PoolConfig {
     /// Number of worker threads (the paper's fixed process count `P`).
     pub num_procs: usize,
     pub backend: Backend,
-    /// Call `std::thread::yield_now` between failed steal scans — the
-    /// paper's `yield` (§4.4). Turning this off degrades sharply when
-    /// `P` exceeds the processors available.
-    pub yield_between_steals: bool,
-    /// Park an idle worker (100 µs timeout) after this many consecutive
-    /// failed scans; `None` = pure spinning, as in the original Hood.
-    pub park_after: Option<u32>,
+    /// The scheduling-policy set (victim selection, contention backoff,
+    /// idle behaviour). The default is the paper's policy with Hood's
+    /// engineering compromise on the idle axis: uniform victims, a yield
+    /// between failed steal scans, and parking (100 µs timeout) after 64
+    /// consecutive failed scans so an idle pool does not burn CPU.
+    pub policies: PolicySet,
     /// Seed for victim selection.
     pub seed: u64,
     /// Worker thread stack size in bytes. Work stealing executes stolen
@@ -80,6 +87,52 @@ pub struct PoolConfig {
     pub telemetry: Option<TelemetryConfig>,
 }
 
+impl PoolConfig {
+    /// Hood's default idle policy: park (100 µs timeout) after 64
+    /// consecutive failed steal scans.
+    pub const DEFAULT_IDLE: IdleKind = IdleKind::ParkAfter {
+        threshold: 64,
+        park_len: 100,
+    };
+
+    /// Replaces the worker count.
+    pub fn with_num_procs(mut self, num_procs: usize) -> Self {
+        self.num_procs = num_procs;
+        self
+    }
+
+    /// Replaces the deque backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the scheduling-policy set.
+    pub fn with_policies(mut self, policies: PolicySet) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the worker stack size.
+    pub fn with_stack_size(mut self, stack_size: usize) -> Self {
+        self.stack_size = stack_size;
+        self
+    }
+
+    /// Enables structured tracing with the given telemetry configuration.
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
 impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
@@ -87,8 +140,7 @@ impl Default for PoolConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             backend: Backend::default(),
-            yield_between_steals: true,
-            park_after: Some(64),
+            policies: PolicySet::paper().with_idle(PoolConfig::DEFAULT_IDLE),
             seed: 0xAB9,
             stack_size: 8 * 1024 * 1024,
             #[cfg(feature = "telemetry")]
@@ -127,8 +179,6 @@ pub(crate) struct Shared {
     sleep_mutex: Mutex<()>,
     sleep_cv: Condvar,
     pub(crate) stats: Vec<WorkerStats>,
-    yield_between_steals: bool,
-    park_after: Option<u32>,
     #[cfg(feature = "telemetry")]
     registry: Option<Arc<Registry>>,
 }
@@ -159,8 +209,7 @@ pub struct WorkerCtx {
     index: usize,
     deque: OwnerDeque,
     shared: Arc<Shared>,
-    rng: RefCell<DetRng>,
-    fail_streak: Cell<u32>,
+    engine: RefCell<PolicyEngine>,
     #[cfg(feature = "telemetry")]
     tele: Option<WorkerTelemetry>,
 }
@@ -247,62 +296,87 @@ impl WorkerCtx {
         }
     }
 
-    /// One full steal scan: yield (per config), then try every other
-    /// worker once in random order, then the injector.
+    /// The paper's `yield` between steal scans (§4.4).
+    fn do_yield(&self) {
+        self.stats().yields.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        self.tele_record(EventKind::Yield);
+        std::thread::yield_now();
+    }
+
+    /// Records one completed steal attempt everywhere it is counted —
+    /// stats outcome counter, telemetry event, steal-latency sample, and
+    /// the policy engine's victim feedback. One function so the three
+    /// outcome branches cannot drift apart again.
+    fn note_steal(&self, victim: usize, result: StealResult, scan_start_ns: Option<u64>) {
+        let stats = self.stats();
+        match result {
+            StealResult::Hit => stats.steals.fetch_add(1, Ordering::Relaxed),
+            StealResult::Abort => stats.aborts.fetch_add(1, Ordering::Relaxed),
+            StealResult::Empty => stats.empties.fetch_add(1, Ordering::Relaxed),
+        };
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.tele.as_ref() {
+            let now = t.now_ns();
+            if result == StealResult::Hit {
+                // Steal latency: scan start → successful grab.
+                t.steal_latency_ns(now.saturating_sub(scan_start_ns.unwrap_or(now)));
+            }
+            t.record_at(
+                now,
+                EventKind::StealAttempt {
+                    victim: victim as u32,
+                    outcome: match result {
+                        StealResult::Hit => StealOutcome::Hit,
+                        StealResult::Abort => StealOutcome::Abort,
+                        StealResult::Empty => StealOutcome::Empty,
+                    },
+                },
+            );
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = scan_start_ns;
+        self.engine.borrow_mut().observe(victim, result);
+    }
+
+    /// One full steal scan: backoff (per policy), then try `P − 1`
+    /// victims in the selector's order, then the injector.
     pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
         let shared = &*self.shared;
-        if shared.yield_between_steals {
-            self.stats().yields.fetch_add(1, Ordering::Relaxed);
-            #[cfg(feature = "telemetry")]
-            self.tele_record(EventKind::Yield);
-            std::thread::yield_now();
+        match self.engine.borrow_mut().backoff_action() {
+            BackoffAction::Proceed => {}
+            BackoffAction::Yield => self.do_yield(),
+            BackoffAction::Spin(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+            }
+            BackoffAction::SpinThenYield(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+                self.do_yield();
+            }
         }
         #[cfg(feature = "telemetry")]
         let scan_start = self.tele.as_ref().map(|t| t.now_ns());
+        #[cfg(not(feature = "telemetry"))]
+        let scan_start = None;
         let n = shared.stealers.len();
         if n > 1 {
-            let start = self.rng.borrow_mut().below_usize(n - 1);
-            for k in 0..n - 1 {
-                let mut v = (start + k) % (n - 1);
-                if v >= self.index {
-                    v += 1;
-                }
+            self.engine.borrow_mut().begin_scan(self.index, n);
+            for _ in 0..n - 1 {
+                let v = self.engine.borrow_mut().next_victim(self.index, n);
                 self.stats().steal_attempts.fetch_add(1, Ordering::Relaxed);
-                match shared.stealers[v].steal() {
+                let result = match shared.stealers[v].steal() {
                     Steal::Taken(w) => {
-                        self.stats().steals.fetch_add(1, Ordering::Relaxed);
-                        #[cfg(feature = "telemetry")]
-                        if let Some(t) = self.tele.as_ref() {
-                            let now = t.now_ns();
-                            // Steal latency: scan start → successful grab.
-                            t.steal_latency_ns(now.saturating_sub(scan_start.unwrap_or(now)));
-                            t.record_at(
-                                now,
-                                EventKind::StealAttempt {
-                                    victim: v as u32,
-                                    outcome: StealOutcome::Hit,
-                                },
-                            );
-                        }
+                        self.note_steal(v, StealResult::Hit, scan_start);
                         return Some(JobRef::from_word(w));
                     }
-                    Steal::Abort => {
-                        self.stats().aborts.fetch_add(1, Ordering::Relaxed);
-                        #[cfg(feature = "telemetry")]
-                        self.tele_record(EventKind::StealAttempt {
-                            victim: v as u32,
-                            outcome: StealOutcome::Abort,
-                        });
-                    }
-                    Steal::Empty => {
-                        self.stats().empties.fetch_add(1, Ordering::Relaxed);
-                        #[cfg(feature = "telemetry")]
-                        self.tele_record(EventKind::StealAttempt {
-                            victim: v as u32,
-                            outcome: StealOutcome::Empty,
-                        });
-                    }
-                }
+                    Steal::Abort => StealResult::Abort,
+                    Steal::Empty => StealResult::Empty,
+                };
+                self.note_steal(v, result, scan_start);
             }
         }
         shared.take_injected()
@@ -327,32 +401,33 @@ fn worker_main(ctx: WorkerCtx) {
         let job = ctx.pop().or_else(|| ctx.find_distant_work());
         match job {
             Some(job) => {
-                ctx.fail_streak.set(0);
+                ctx.engine.borrow_mut().note_work_found();
                 ctx.execute_job(job);
             }
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                let fails = ctx.fail_streak.get() + 1;
-                ctx.fail_streak.set(fails);
-                if let Some(limit) = shared.park_after {
-                    if fails >= limit {
-                        ctx.stats().parks.fetch_add(1, Ordering::Relaxed);
-                        #[cfg(feature = "telemetry")]
-                        ctx.tele_record(EventKind::Park);
-                        let guard = shared.sleep_mutex.lock().unwrap();
-                        // Re-check for work signals under the lock.
-                        if shared.injected.load(Ordering::Acquire) == 0
-                            && !shared.shutdown.load(Ordering::Acquire)
-                        {
-                            let _ = shared
-                                .sleep_cv
-                                .wait_timeout(guard, Duration::from_micros(100));
-                        }
-                        #[cfg(feature = "telemetry")]
-                        ctx.tele_record(EventKind::Unpark);
+                let action = {
+                    let mut engine = ctx.engine.borrow_mut();
+                    engine.note_failed();
+                    engine.idle_action()
+                };
+                if let IdleAction::Park(us) = action {
+                    ctx.stats().parks.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "telemetry")]
+                    ctx.tele_record(EventKind::Park);
+                    let guard = shared.sleep_mutex.lock().unwrap();
+                    // Re-check for work signals under the lock.
+                    if shared.injected.load(Ordering::Acquire) == 0
+                        && !shared.shutdown.load(Ordering::Acquire)
+                    {
+                        let _ = shared
+                            .sleep_cv
+                            .wait_timeout(guard, Duration::from_micros(us as u64));
                     }
+                    #[cfg(feature = "telemetry")]
+                    ctx.tele_record(EventKind::Unpark);
                 }
             }
         }
@@ -415,7 +490,10 @@ impl ThreadPool {
             }
         }
         #[cfg(feature = "telemetry")]
-        let registry = config.telemetry.as_ref().map(|tc| Registry::new(p, tc));
+        let registry = config
+            .telemetry
+            .as_ref()
+            .map(|tc| Registry::with_policy(p, tc, config.policies.label()));
         let shared = Arc::new(Shared {
             stealers,
             injector: Mutex::new(VecDeque::new()),
@@ -424,8 +502,6 @@ impl ThreadPool {
             sleep_mutex: Mutex::new(()),
             sleep_cv: Condvar::new(),
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
-            yield_between_steals: config.yield_between_steals,
-            park_after: config.park_after,
             #[cfg(feature = "telemetry")]
             registry,
         });
@@ -438,8 +514,10 @@ impl ThreadPool {
                     index,
                     deque,
                     shared: Arc::clone(&shared),
-                    rng: RefCell::new(seed_rng.fork(index as u64)),
-                    fail_streak: Cell::new(0),
+                    engine: RefCell::new(PolicyEngine::new(
+                        &config.policies,
+                        PolicyRng::from_det(seed_rng.fork(index as u64)),
+                    )),
                     #[cfg(feature = "telemetry")]
                     tele: shared.registry.as_ref().map(|r| r.worker(index)),
                 };
@@ -533,8 +611,13 @@ impl ThreadPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        let stats = self.stats();
+        debug_assert!(
+            stats.attempts_balance(),
+            "steal accounting identity violated: {stats:?}"
+        );
         PoolReport {
-            stats: self.stats(),
+            stats,
             per_worker: self.per_worker_stats(),
             #[cfg(feature = "telemetry")]
             telemetry: self.shared.registry.as_ref().map(|r| r.snapshot()),

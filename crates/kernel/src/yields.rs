@@ -33,6 +33,18 @@ pub enum YieldPolicy {
     ToAll,
 }
 
+impl YieldPolicy {
+    /// Short identity label, stamped on reports alongside the
+    /// policy-set label.
+    pub fn label(self) -> &'static str {
+        match self {
+            YieldPolicy::None => "none",
+            YieldPolicy::ToRandom => "to-random",
+            YieldPolicy::ToAll => "to-all",
+        }
+    }
+}
+
 /// An outstanding yield constraint for one process.
 #[derive(Debug, Clone)]
 enum Constraint {

@@ -208,8 +208,11 @@ pub fn run_central(
         executed: executed_count,
         steal_attempts: 0,
         successful_steals: 0,
+        steal_aborts: 0,
+        steal_empties: 0,
         throws: 0,
         yields: 0,
+        policy: "central-queue".to_string(),
         completed: done,
         structural_violations: 0,
         potential_violations: 0,

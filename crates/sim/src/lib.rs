@@ -24,9 +24,10 @@ pub mod telemetry;
 pub mod trace;
 pub mod ws;
 
+pub use abp_core::{BackoffKind, IdleKind, PolicySet, StealTally, VictimKind};
 pub use central::{run_central, CentralConfig};
 pub use metrics::{PhaseStats, RunReport};
 pub use offline::{brent, figure2_execution, greedy, optimal_length, ExecutionSchedule};
-pub use telemetry::{telemetry_from_trace, NS_PER_ROUND};
+pub use telemetry::{telemetry_from_run, telemetry_from_trace, NS_PER_ROUND};
 pub use trace::{ActivityBreakdown, RoundActivity, StealRecord, Trace};
 pub use ws::{run_ws, AssignPolicy, DequeBackend, WorkStealer, WsConfig, MILESTONE_C};

@@ -29,11 +29,19 @@ pub struct RunReport {
     pub steal_attempts: u64,
     /// Steal attempts that returned a node.
     pub successful_steals: u64,
+    /// Steal attempts that lost a `cas` race (§3.2's ABORT).
+    pub steal_aborts: u64,
+    /// Steal attempts that found the victim's deque empty.
+    pub steal_empties: u64,
     /// Steal attempts that were *throws*: completed at their process's
     /// second milestone in a round (§4.1).
     pub throws: u64,
     /// yield calls performed.
     pub yields: u64,
+    /// Identity of the scheduling-policy configuration that produced this
+    /// run, `"victim+backoff+idle/yield-policy"` (e.g. the paper default
+    /// is `"uniform+yield+spin/to-all"`).
+    pub policy: String,
     /// True if the computation ran to completion (vs. hitting the round
     /// cap).
     pub completed: bool,
@@ -80,6 +88,12 @@ impl RunReport {
             return 0.0;
         }
         self.successful_steals as f64 / self.steal_attempts as f64
+    }
+
+    /// The shared accounting identity:
+    /// `attempts == steals + aborts + empties`.
+    pub fn steal_accounting_balanced(&self) -> bool {
+        self.steal_attempts == self.successful_steals + self.steal_aborts + self.steal_empties
     }
 }
 
@@ -139,8 +153,11 @@ mod tests {
             executed: 1_000,
             steal_attempts: 60,
             successful_steals: 30,
+            steal_aborts: 10,
+            steal_empties: 20,
             throws: 55,
             yields: 60,
+            policy: "uniform+yield+spin/to-all".to_string(),
             completed: true,
             structural_violations: 0,
             potential_violations: 0,
@@ -175,5 +192,13 @@ mod tests {
         let mut r = dummy();
         r.steal_attempts = 0;
         assert_eq!(r.steal_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn steal_accounting_identity() {
+        let mut r = dummy();
+        assert!(r.steal_accounting_balanced());
+        r.steal_aborts += 1;
+        assert!(!r.steal_accounting_balanced());
     }
 }

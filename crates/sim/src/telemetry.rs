@@ -150,6 +150,21 @@ pub fn telemetry_from_trace(trace: &Trace) -> TelemetrySnapshot {
     snap
 }
 
+/// Converts a completed run's trace into the shared telemetry snapshot,
+/// stamping it with the run's scheduling-policy identity and counters.
+///
+/// Requires the run to have been traced (`WsConfig { trace: true, .. }`);
+/// returns `None` otherwise.
+pub fn telemetry_from_run(report: &crate::metrics::RunReport) -> Option<TelemetrySnapshot> {
+    let trace = report.trace.as_ref()?;
+    let mut snap = telemetry_from_trace(trace);
+    snap.policy = report.policy.clone();
+    snap.counters.push(("throws".to_string(), report.throws));
+    snap.counters
+        .push(("successful_steals".to_string(), report.successful_steals));
+    Some(snap)
+}
+
 /// A [`StealRecord`] re-expressed as a telemetry event (helper for tests
 /// and ad-hoc tooling).
 pub fn steal_event(s: &StealRecord) -> (usize, u64, EventKind) {
@@ -255,5 +270,32 @@ mod tests {
         // Exports parse.
         let json = abp_telemetry::chrome_trace(&snap);
         assert!(abp_telemetry::json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn run_snapshot_carries_policy_identity() {
+        let dag = abp_dag::gen::fork_join_tree(5, 2);
+        let mut k = abp_kernel::DedicatedKernel::new(4);
+        let cfg = crate::ws::WsConfig::default().with_trace(true);
+        let report = crate::ws::run_ws(&dag, 4, &mut k, cfg);
+        let snap = telemetry_from_run(&report).expect("trace was recorded");
+        assert_eq!(snap.policy, "uniform+yield+spin/to-all");
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(name, v)| name == "throws" && *v == report.throws));
+        // The policy flows through both exporters.
+        let trace_json = abp_telemetry::chrome_trace(&snap);
+        assert!(trace_json.contains("uniform+yield+spin/to-all"));
+        let metrics = abp_telemetry::metrics_json(&snap);
+        let v = abp_telemetry::json::parse(&metrics).unwrap();
+        assert_eq!(
+            v.get("policy").unwrap().as_str(),
+            Some("uniform+yield+spin/to-all")
+        );
+        // Untraced runs yield no snapshot.
+        let mut k = abp_kernel::DedicatedKernel::new(4);
+        let untraced = crate::ws::run_ws(&dag, 4, &mut k, crate::ws::WsConfig::default());
+        assert!(telemetry_from_run(&untraced).is_none());
     }
 }

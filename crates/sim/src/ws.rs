@@ -22,6 +22,9 @@ use crate::invariants::{check_structural_lemma, PotentialTracker, ReadyState};
 use crate::locked_deque::{LockKind, LockOp, LockStepOutcome, LockedSimDeque, LockedSteal};
 use crate::metrics::{PhaseStats, RunReport};
 use crate::trace::{RoundActivity, StealRecord, Trace};
+use abp_core::{
+    BackoffAction, IdleAction, PolicyEngine, PolicyRng, PolicySet, StealResult, StealTally,
+};
 use abp_dag::{Dag, DetRng, EnablingTree, NodeId, ProcId};
 use abp_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
 use abp_kernel::{Kernel, KernelView, YieldLedger, YieldPolicy};
@@ -65,6 +68,9 @@ pub struct WsConfig {
     pub yield_policy: YieldPolicy,
     pub backend: DequeBackend,
     pub assign: AssignPolicy,
+    /// The scheduling-policy set (victim selection, contention backoff,
+    /// idle behaviour). Defaults to [`PolicySet::paper`].
+    pub policies: PolicySet,
     /// Seed for victim selection and quantum jitter.
     pub seed: u64,
     /// Abort the run after this many rounds (starvation protection for
@@ -87,6 +93,7 @@ impl Default for WsConfig {
             yield_policy: YieldPolicy::ToAll,
             backend: DequeBackend::Abp,
             assign: AssignPolicy::SpawnFirst,
+            policies: PolicySet::paper(),
             seed: 0x5EED,
             max_rounds: 50_000_000,
             check_structural: false,
@@ -94,6 +101,74 @@ impl Default for WsConfig {
             track_phases: false,
             trace: false,
         }
+    }
+}
+
+impl WsConfig {
+    /// Replaces the yield policy.
+    pub fn with_yield_policy(mut self, yield_policy: YieldPolicy) -> Self {
+        self.yield_policy = yield_policy;
+        self
+    }
+
+    /// Replaces the deque backend.
+    pub fn with_backend(mut self, backend: DequeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the assignment policy.
+    pub fn with_assign(mut self, assign: AssignPolicy) -> Self {
+        self.assign = assign;
+        self
+    }
+
+    /// Replaces the scheduling-policy set.
+    pub fn with_policies(mut self, policies: PolicySet) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables/disables the structural-lemma checker.
+    pub fn with_check_structural(mut self, on: bool) -> Self {
+        self.check_structural = on;
+        self
+    }
+
+    /// Enables/disables the potential-monotonicity checker.
+    pub fn with_check_potential(mut self, on: bool) -> Self {
+        self.check_potential = on;
+        self
+    }
+
+    /// Enables/disables Lemma-8 phase statistics.
+    pub fn with_track_phases(mut self, on: bool) -> Self {
+        self.track_phases = on;
+        self
+    }
+
+    /// Enables/disables full per-round tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// The policy identity stamped on reports and telemetry:
+    /// `"victim+backoff+idle/yield-policy"`.
+    pub fn policy_label(&self) -> String {
+        format!("{}/{}", self.policies.label(), self.yield_policy.label())
     }
 }
 
@@ -126,13 +201,19 @@ enum Phase {
     PickingVictim,
     /// `popTop` on the victim's deque in progress.
     Stealing { victim: usize, op: AnyOp },
+    /// Spinning in a contention backoff: `left` more milestone-free
+    /// instructions, then yield (if `then_yield`) or attempt directly.
+    Backing { left: u64, then_yield: bool },
+    /// Parked by the idle policy for `left` more milestone-free
+    /// instructions.
+    Parked { left: u64 },
 }
 
 struct Proc {
     assigned: Option<NodeId>,
     phase: Phase,
     milestones_this_round: u32,
-    rng: DetRng,
+    engine: PolicyEngine,
 }
 
 /// One of the two deque arrays, depending on backend.
@@ -172,10 +253,12 @@ pub struct WorkStealer<'a> {
     tree: EnablingTree,
     potential: PotentialTracker,
     done: bool,
+    /// Whether the configured policy set keeps Lemma 7's milestone
+    /// accounting valid (no spinning backoff, no parking).
+    milestone_safe: bool,
     // measurement
     executed_count: u64,
-    steal_attempts: u64,
-    successful_steals: u64,
+    tally: StealTally,
     throws: u64,
     yields: u64,
     structural_violations: u64,
@@ -203,7 +286,10 @@ impl<'a> WorkStealer<'a> {
                 assigned: if i == 0 { Some(dag.root()) } else { None },
                 phase: Phase::Loop,
                 milestones_this_round: 0,
-                rng: seed_rng.fork(i as u64),
+                engine: PolicyEngine::new(
+                    &config.policies,
+                    PolicyRng::from_det(seed_rng.fork(i as u64)),
+                ),
             })
             .collect();
         let deques = match config.backend {
@@ -230,9 +316,9 @@ impl<'a> WorkStealer<'a> {
             phase_start_potential: last_log_potential,
             potential,
             done: false,
+            milestone_safe: config.policies.preserves_milestones(),
             executed_count: 0,
-            steal_attempts: 0,
-            successful_steals: 0,
+            tally: StealTally::default(),
             throws: 0,
             yields: 0,
             structural_violations: 0,
@@ -344,9 +430,10 @@ impl<'a> WorkStealer<'a> {
             }
             // Milestone accounting: every scheduled process that received a
             // full quantum must have hit ≥ 2 milestones (§4.1) — guaranteed
-            // for the non-blocking backends, and precisely what the
-            // Locking backend loses.
-            if !self.done && self.config.backend != DequeBackend::Locking {
+            // for the non-blocking backends under the paper's policies,
+            // and precisely what the Locking backend (and any spinning or
+            // parking policy) loses.
+            if !self.done && self.config.backend != DequeBackend::Locking && self.milestone_safe {
                 for (pos, &i) in scheduled.iter().enumerate() {
                     if quanta[pos] >= 2 * MILESTONE_C as u64
                         && self.procs[i].milestones_this_round < 2
@@ -387,6 +474,11 @@ impl<'a> WorkStealer<'a> {
         } else {
             proc_rounds as f64 / rounds as f64
         };
+        debug_assert!(
+            self.tally.balanced(),
+            "steal accounting identity violated: {:?}",
+            self.tally
+        );
         RunReport {
             rounds,
             proc_rounds,
@@ -397,10 +489,13 @@ impl<'a> WorkStealer<'a> {
             critical_path: self.dag.critical_path(),
             procs: p,
             executed: self.executed_count,
-            steal_attempts: self.steal_attempts,
-            successful_steals: self.successful_steals,
+            steal_attempts: self.tally.attempts,
+            successful_steals: self.tally.hits,
+            steal_aborts: self.tally.aborts,
+            steal_empties: self.tally.empties,
             throws: self.throws,
             yields: self.yields,
+            policy: self.config.policy_label(),
             completed: self.done,
             structural_violations: self.structural_violations,
             potential_violations: self.potential_violations,
@@ -428,10 +523,11 @@ impl<'a> WorkStealer<'a> {
             Phase::Pushing(op) => self.step_push(i, op),
             Phase::Yielding => {
                 self.yields += 1;
+                let p = self.procs.len();
                 match self.config.yield_policy {
                     YieldPolicy::None => unreachable!("Yielding phase with no yield policy"),
                     YieldPolicy::ToRandom => {
-                        let target = self.random_other(i);
+                        let target = self.procs[i].engine.uniform_other(i, p);
                         self.ledger
                             .yield_to_random(ProcId(i as u32), ProcId(target as u32));
                     }
@@ -439,35 +535,79 @@ impl<'a> WorkStealer<'a> {
                 }
                 Phase::PickingVictim
             }
-            Phase::PickingVictim => {
-                let victim = self.random_other(i);
-                Phase::Stealing {
-                    victim,
-                    op: self.new_op(LockKind::PopTop),
+            Phase::PickingVictim => self.pick_and_steal(i),
+            Phase::Stealing { victim, op } => self.step_steal(i, victim, op),
+            Phase::Backing { left, then_yield } => {
+                // One milestone-free spin instruction.
+                if left > 1 {
+                    Phase::Backing {
+                        left: left - 1,
+                        then_yield,
+                    }
+                } else if then_yield && self.config.yield_policy != YieldPolicy::None {
+                    Phase::Yielding
+                } else {
+                    self.pick_and_steal(i)
                 }
             }
-            Phase::Stealing { victim, op } => self.step_steal(i, victim, op),
+            Phase::Parked { left } => {
+                // One milestone-free parked instruction; on wake, hunt
+                // again (skipping the idle check so the wake always
+                // attempts at least one steal).
+                if left > 1 {
+                    Phase::Parked { left: left - 1 }
+                } else {
+                    self.after_idle(i)
+                }
+            }
         };
         self.procs[i].phase = next;
     }
 
     /// Top of the scheduling loop: execute the assigned node, or begin a
-    /// steal attempt.
+    /// hunt for work.
     fn at_loop_top(&mut self, i: usize) -> Phase {
         match self.procs[i].assigned {
             Some(u) => self.execute_node(i, u),
-            None => {
-                if self.config.yield_policy == YieldPolicy::None {
-                    // Line 15 removed: go straight to victim selection.
-                    let victim = self.random_other(i);
-                    Phase::Stealing {
-                        victim,
-                        op: self.new_op(LockKind::PopTop),
-                    }
-                } else {
-                    Phase::Yielding
-                }
+            None => match self.procs[i].engine.idle_action() {
+                IdleAction::Park(n) => Phase::Parked { left: n as u64 },
+                IdleAction::Steal => self.after_idle(i),
+            },
+        }
+    }
+
+    /// The idle policy said to keep hunting: consult the backoff, then
+    /// head for a steal attempt.
+    fn after_idle(&mut self, i: usize) -> Phase {
+        match self.procs[i].engine.backoff_action() {
+            // The paper's path: yield (line 15), then pick a victim —
+            // unless the yield ablation removed line 15, in which case
+            // the victim draw happens right here, in this instruction.
+            BackoffAction::Yield if self.config.yield_policy != YieldPolicy::None => {
+                Phase::Yielding
             }
+            BackoffAction::Yield | BackoffAction::Proceed => self.pick_and_steal(i),
+            BackoffAction::Spin(n) => Phase::Backing {
+                left: n as u64,
+                then_yield: false,
+            },
+            BackoffAction::SpinThenYield(n) => Phase::Backing {
+                left: n as u64,
+                then_yield: true,
+            },
+        }
+    }
+
+    /// Picks the next victim (one scan of one attempt — the thief yields
+    /// between attempts) and starts the `popTop`.
+    fn pick_and_steal(&mut self, i: usize) -> Phase {
+        let p = self.procs.len();
+        let eng = &mut self.procs[i].engine;
+        eng.begin_scan(i, p);
+        let victim = eng.next_victim(i, p);
+        Phase::Stealing {
+            victim,
+            op: self.new_op(LockKind::PopTop),
         }
     }
 
@@ -586,6 +726,7 @@ impl<'a> WorkStealer<'a> {
             OpDone::PopBottom(Some(v)) => {
                 let u = NodeId(v as u32);
                 self.procs[i].assigned = Some(u);
+                self.procs[i].engine.note_work_found();
                 self.potential.assign(u, &self.tree);
                 self.check_structure(i);
                 Phase::Loop
@@ -613,7 +754,14 @@ impl<'a> WorkStealer<'a> {
         match self.step_op(i, victim, &mut op) {
             OpDone::NotDone => Phase::Stealing { victim, op },
             OpDone::PopTop(result, aborted) => {
-                self.steal_attempts += 1;
+                let res = if result.is_some() {
+                    StealResult::Hit
+                } else if aborted {
+                    StealResult::Abort
+                } else {
+                    StealResult::Empty
+                };
+                self.tally.record(res);
                 self.milestone(i, true);
                 if self.config.trace {
                     self.round_attempted[i] = true;
@@ -626,21 +774,22 @@ impl<'a> WorkStealer<'a> {
                         round: self.trace.rounds.len() as u64,
                         thief: ProcId(i as u32),
                         victim: ProcId(victim as u32),
-                        outcome: if result.is_some() {
-                            StealOutcome::Hit
-                        } else if aborted {
-                            StealOutcome::Abort
-                        } else {
-                            StealOutcome::Empty
+                        outcome: match res {
+                            StealResult::Hit => StealOutcome::Hit,
+                            StealResult::Abort => StealOutcome::Abort,
+                            StealResult::Empty => StealOutcome::Empty,
                         },
                     });
                 }
+                self.procs[i].engine.observe(victim, res);
                 if let Some(v) = result {
-                    self.successful_steals += 1;
+                    self.procs[i].engine.note_work_found();
                     let u = NodeId(v as u32);
                     self.procs[i].assigned = Some(u);
                     self.potential.assign(u, &self.tree);
                     self.check_structure(victim);
+                } else {
+                    self.procs[i].engine.note_failed();
                 }
                 Phase::Loop
             }
@@ -668,20 +817,6 @@ impl<'a> WorkStealer<'a> {
                     self.phase_throws = 0;
                 }
             }
-        }
-    }
-
-    /// Uniform random process other than `i` (or `i` itself when P = 1).
-    fn random_other(&mut self, i: usize) -> usize {
-        let p = self.procs.len();
-        if p == 1 {
-            return 0;
-        }
-        let r = self.procs[i].rng.below_usize(p - 1);
-        if r >= i {
-            r + 1
-        } else {
-            r
         }
     }
 

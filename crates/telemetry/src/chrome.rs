@@ -57,6 +57,20 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
         0,
         &format!(",\"args\":{{\"name\":\"{}\"}}", crate::json::escape(pname)),
     );
+    if !snap.policy.is_empty() {
+        push_event(
+            &mut out,
+            &mut first,
+            "policy",
+            "M",
+            0,
+            0,
+            &format!(
+                ",\"args\":{{\"name\":\"{}\"}}",
+                crate::json::escape(&snap.policy)
+            ),
+        );
+    }
     for w in &snap.workers {
         push_event(
             &mut out,
@@ -124,8 +138,9 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
     let mut out = String::from("{\n");
     let _ = write!(
         out,
-        "\"process\":\"{}\",\n\"workers\":[\n",
-        crate::json::escape(&snap.process_name)
+        "\"process\":\"{}\",\n\"policy\":\"{}\",\n\"workers\":[\n",
+        crate::json::escape(&snap.process_name),
+        crate::json::escape(&snap.policy)
     );
     for (i, w) in snap.workers.iter().enumerate() {
         if i > 0 {
@@ -246,6 +261,7 @@ mod tests {
             process_name: "golden".to_string(),
             workers: vec![w0, w1],
             counters: vec![("rounds".to_string(), 7)],
+            policy: String::new(),
         }
     }
 
@@ -291,6 +307,36 @@ mod tests {
         assert_eq!(
             v.get("counters").unwrap().get("rounds").unwrap().as_f64(),
             Some(7.0)
+        );
+        assert_eq!(v.get("policy").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn policy_identity_exported_when_present() {
+        let mut snap = tiny_snapshot();
+        snap.policy = "uniform+yield+spin/to-all".to_string();
+        let trace = chrome_trace(&snap);
+        let v = crate::json::parse(&trace).expect("valid JSON");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 11, "one extra policy metadata event");
+        let policy_event = arr
+            .iter()
+            .find(|o| o.get("name").and_then(|n| n.as_str()) == Some("policy"))
+            .expect("policy metadata event");
+        assert_eq!(
+            policy_event
+                .get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("uniform+yield+spin/to-all")
+        );
+        let metrics = metrics_json(&snap);
+        let m = crate::json::parse(&metrics).unwrap();
+        assert_eq!(
+            m.get("policy").unwrap().as_str(),
+            Some("uniform+yield+spin/to-all")
         );
     }
 }

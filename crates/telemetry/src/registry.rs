@@ -35,11 +35,22 @@ struct WorkerSlot {
 pub struct Registry {
     epoch: Instant,
     workers: Vec<WorkerSlot>,
+    policy: String,
 }
 
 impl Registry {
-    /// A registry for `workers` workers.
+    /// A registry for `workers` workers with no policy identity.
     pub fn new(workers: usize, config: &TelemetryConfig) -> Arc<Self> {
+        Registry::with_policy(workers, config, "")
+    }
+
+    /// A registry for `workers` workers whose snapshots carry the given
+    /// scheduling-policy identity label.
+    pub fn with_policy(
+        workers: usize,
+        config: &TelemetryConfig,
+        policy: impl Into<String>,
+    ) -> Arc<Self> {
         Arc::new(Registry {
             epoch: Instant::now(),
             workers: (0..workers)
@@ -49,6 +60,7 @@ impl Registry {
                     job_run_time: Histogram::new(),
                 })
                 .collect(),
+            policy: policy.into(),
         })
     }
 
@@ -96,6 +108,7 @@ impl Registry {
                 })
                 .collect(),
             counters: Vec::new(),
+            policy: self.policy.clone(),
         }
     }
 }
@@ -191,6 +204,9 @@ pub struct TelemetrySnapshot {
     pub workers: Vec<WorkerTrace>,
     /// Named scalar metrics (sorted into the metrics dump as-is).
     pub counters: Vec<(String, u64)>,
+    /// Scheduling-policy identity of the run that produced this snapshot
+    /// (`"victim+backoff+idle/yield-policy"`; empty when unknown).
+    pub policy: String,
 }
 
 impl TelemetrySnapshot {
@@ -257,6 +273,14 @@ mod tests {
         assert_eq!(snap.steal_latency_all().count(), 1);
         assert_eq!(snap.job_run_time_all().count(), 1);
         assert_eq!(snap.total_dropped(), 0);
+    }
+
+    #[test]
+    fn policy_identity_flows_into_snapshots() {
+        let reg = Registry::with_policy(1, &TelemetryConfig::default(), "uniform+yield+spin");
+        assert_eq!(reg.snapshot().policy, "uniform+yield+spin");
+        let plain = Registry::new(1, &TelemetryConfig::default());
+        assert_eq!(plain.snapshot().policy, "");
     }
 
     #[test]

@@ -44,19 +44,71 @@ fn mergesortish_check(pool: &ThreadPool, n: usize, seed: u64) {
 #[test]
 fn parallel_quicksort_all_configs() {
     let configs = [
-        ("abp+yield", Backend::Abp { capacity: 1 << 15 }, true),
-        ("abp-noyield", Backend::Abp { capacity: 1 << 15 }, false),
-        ("locking+yield", Backend::Locking, true),
+        (
+            "abp+yield",
+            Backend::Abp { capacity: 1 << 15 },
+            hood::BackoffKind::Yield,
+        ),
+        (
+            "abp-noyield",
+            Backend::Abp { capacity: 1 << 15 },
+            hood::BackoffKind::None,
+        ),
+        ("locking+yield", Backend::Locking, hood::BackoffKind::Yield),
     ];
-    for (name, backend, yields) in configs {
-        let pool = ThreadPool::with_config(PoolConfig {
-            num_procs: 4,
-            backend,
-            yield_between_steals: yields,
-            ..PoolConfig::default()
-        });
+    for (name, backend, backoff) in configs {
+        let pool = ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(4)
+                .with_backend(backend)
+                .with_policies(hood::PolicySet::paper().with_backoff(backoff).with_idle(
+                    hood::IdleKind::ParkAfter {
+                        threshold: 64,
+                        park_len: 100,
+                    },
+                )),
+        );
         mergesortish_check(&pool, 50_000, 42);
         let _ = name;
+    }
+}
+
+#[test]
+fn every_policy_set_completes_with_balanced_accounting() {
+    // One pool per point of the policy space: each victim selector,
+    // backoff, and idle policy must complete real work and keep the
+    // attempts == steals + aborts + empties identity.
+    let sets = [
+        hood::PolicySet::paper(),
+        hood::PolicySet::paper().with_victim(hood::VictimKind::RoundRobin),
+        hood::PolicySet::paper().with_victim(hood::VictimKind::LastVictim),
+        hood::PolicySet::paper().with_backoff(hood::BackoffKind::None),
+        hood::PolicySet::paper().with_backoff(hood::BackoffKind::ExpJitter { base: 4, cap: 64 }),
+        hood::PolicySet::paper().with_backoff(hood::BackoffKind::SpinThenYield {
+            spin: 8,
+            threshold: 3,
+        }),
+        hood::PolicySet::paper().with_idle(hood::IdleKind::ParkAfter {
+            threshold: 16,
+            park_len: 50,
+        }),
+    ];
+    for policies in sets {
+        let pool = ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(4)
+                .with_policies(policies),
+        );
+        mergesortish_check(&pool, 20_000, 99);
+        let report = pool.shutdown();
+        assert!(
+            report.stats.attempts_balance(),
+            "steal accounting out of balance under {}",
+            policies.label()
+        );
+        for w in &report.per_worker {
+            assert!(w.attempts_balance());
+        }
     }
 }
 

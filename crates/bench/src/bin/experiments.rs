@@ -29,12 +29,14 @@ fn main() {
         "telemetry" => vec![exp::telemetry()],
         "policies" => vec![exp::policies(false)],
         "policies-small" => vec![exp::policies(true)],
+        "serve" => vec![exp::serve(false)],
+        "serve-small" => vec![exp::serve(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
-                 policies policies-small"
+                 policies policies-small serve serve-small"
             );
             std::process::exit(2);
         }

@@ -1126,11 +1126,16 @@ pub fn telemetry() -> ExpResult {
     for (i, (w, st)) in snap.workers.iter().zip(&report.per_worker).enumerate() {
         // The trace and the counters are two independent records of the
         // same execution; shutdown() quiesces first, so they must agree
-        // event-for-event.
-        pass &= w.steal_attempts() == st.steal_attempts;
+        // event-for-event. `steal_attempts` counts injector polls too
+        // (each is a counted attempt landing in `injects` or `empties`),
+        // so the popTop events and the poll events are reconciled
+        // additively against the stats.
+        pass &= w.steal_attempts() + w.injector_polls() == st.steal_attempts;
         pass &= w.steals_with(StealOutcome::Hit) == st.steals;
         pass &= w.steals_with(StealOutcome::Abort) == st.aborts;
-        pass &= w.steals_with(StealOutcome::Empty) == st.empties;
+        pass &= w.steals_with(StealOutcome::Empty) + (w.injector_polls() - w.injector_hits())
+            == st.empties;
+        pass &= w.injector_hits() == st.injects;
         pass &= st.attempts_balance();
         t.row([
             i.to_string(),
@@ -1440,6 +1445,190 @@ pub fn policies(small: bool) -> ExpResult {
     )
 }
 
+/// SV1 — the external-submission front door under live load.
+///
+/// M non-worker submitter threads drive a telemetry-enabled pool through
+/// [`hood::ThreadPool::spawn`] / [`hood::ThreadPool::spawn_batch`] while
+/// the workers also churn on internal fork-join work. Pass requires
+/// exactly-once execution of every submission, the extended accounting
+/// identity (`attempts == steals + aborts + empties + injects`), and the
+/// injector metrics (submissions, shard contention, inject-to-start
+/// latency) to reconcile across the counter and event records. Emits
+/// `target/BENCH_serve.json`, validated with the in-repo JSON parser.
+pub fn serve(small: bool) -> ExpResult {
+    use abp_telemetry::{json, metrics_json, TelemetryConfig};
+    use hood::{join, PoolConfig, ThreadPool};
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::Arc;
+
+    let p = 4;
+    let submitters = 4;
+    let jobs_per_submitter: usize = if small { 100 } else { 1_000 };
+    let total = submitters * jobs_per_submitter;
+
+    let pool = Arc::new(ThreadPool::with_config(
+        PoolConfig::default()
+            .with_num_procs(p)
+            .with_telemetry(TelemetryConfig {
+                ring_capacity: 1 << 16,
+            }),
+    ));
+    let counts: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
+
+    // Internal churn so injected jobs compete with deque traffic.
+    let churn_pool = Arc::clone(&pool);
+    let churn = std::thread::spawn(move || {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        churn_pool.install(|| fib(if small { 16 } else { 20 }))
+    });
+
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..submitters {
+        let pool = Arc::clone(&pool);
+        let counts = Arc::clone(&counts);
+        handles.push(std::thread::spawn(move || {
+            let base = s * jobs_per_submitter;
+            let mut next = base;
+            let end = base + jobs_per_submitter;
+            while next < end {
+                // Alternate the two submission paths; batches take the
+                // single-shard-lock fast path.
+                if (next - base).is_multiple_of(3) {
+                    let len = (end - next).min(5);
+                    let jobs: Vec<_> = (next..next + len)
+                        .map(|id| {
+                            let counts = Arc::clone(&counts);
+                            move || {
+                                counts[id].fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                        .collect();
+                    pool.spawn_batch(jobs);
+                    next += len;
+                } else {
+                    let id = next;
+                    let counts = Arc::clone(&counts);
+                    pool.spawn(move || {
+                        counts[id].fetch_add(1, Ordering::Relaxed);
+                    });
+                    next += 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let churn_ok = churn.join().unwrap() == if small { 987 } else { 6_765 };
+    while counts.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+        std::thread::yield_now();
+    }
+    let serve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = Arc::try_unwrap(pool)
+        .unwrap_or_else(|_| panic!("all clones joined"))
+        .shutdown();
+
+    let mut pass = churn_ok;
+    let exactly_once = counts.iter().all(|c| c.load(Ordering::Relaxed) == 1);
+    pass &= exactly_once;
+    // `install` roots also enter through the front door, so the churn
+    // thread's install contributes one extra submission.
+    let expected = total as u64 + 1;
+    let st = &report.stats;
+    pass &= st.attempts_balance();
+    pass &= st.injects == expected;
+    let snap = report.telemetry.as_ref().expect("telemetry configured");
+    let inj = &snap.injector;
+    pass &= inj.submissions == expected;
+    pass &= inj.hits == st.injects;
+    pass &= inj.polls >= inj.hits;
+    pass &= inj.latency.count() == expected;
+
+    let mut t = TextTable::new(["worker", "jobs", "attempts", "steals", "empties", "injects"]);
+    for (i, w) in report.per_worker.iter().enumerate() {
+        pass &= w.attempts_balance();
+        t.row([
+            i.to_string(),
+            w.jobs.to_string(),
+            w.steal_attempts.to_string(),
+            w.steals.to_string(),
+            w.empties.to_string(),
+            w.injects.to_string(),
+        ]);
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"p\": {},\n  \
+         \"submitters\": {},\n  \"submitted\": {},\n  \"executed_once\": {},\n  \
+         \"elapsed_ms\": {:.3},\n  \"injector\": {{\"shards\": {}, \"submissions\": {}, \
+         \"contention\": {}, \"polls\": {}, \"hits\": {}, \
+         \"latency\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}}},\n  \
+         \"stats\": {{\"jobs\": {}, \"attempts\": {}, \"steals\": {}, \"aborts\": {}, \
+         \"empties\": {}, \"injects\": {}}}\n}}\n",
+        if small { "small" } else { "full" },
+        p,
+        submitters,
+        total,
+        exactly_once,
+        serve_ms,
+        inj.shards,
+        inj.submissions,
+        inj.contention,
+        inj.polls,
+        inj.hits,
+        inj.latency.count(),
+        inj.latency.mean(),
+        inj.latency.quantile_upper_bound(0.5),
+        inj.latency.quantile_upper_bound(0.99),
+        st.jobs,
+        st.steal_attempts,
+        st.steals,
+        st.aborts,
+        st.empties,
+        st.injects,
+    );
+    pass &= json::parse(&artifact).is_ok();
+    pass &= json::parse(&metrics_json(snap)).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_serve.json", &artifact).is_ok();
+
+    let body = format!(
+        "{submitters} submitter threads × {jobs_per_submitter} jobs into P={p} workers \
+         (plus internal fork-join churn), {:.1} ms\n\
+         exactly-once: {exactly_once}; injector: {} shards, {} submissions, {} polls \
+         ({} hits), {} shard contentions\n\
+         inject-to-start latency: n={}, mean {:.0} ns, p50 ≤ {} ns, p99 ≤ {} ns\n\
+         wrote target/BENCH_serve.json ({} bytes{})\n\n{}",
+        serve_ms,
+        inj.shards,
+        inj.submissions,
+        inj.polls,
+        inj.hits,
+        inj.contention,
+        inj.latency.count(),
+        inj.latency.mean(),
+        inj.latency.quantile_upper_bound(0.5),
+        inj.latency.quantile_upper_bound(0.99),
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render()
+    );
+    ExpResult::new(
+        "SV1",
+        "External submission: the sharded front door",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -1462,5 +1651,6 @@ pub fn all() -> Vec<ExpResult> {
         hood_wallclock(),
         telemetry(),
         policies(false),
+        serve(false),
     ]
 }

@@ -2,6 +2,7 @@
 
 use crate::backoff::{BackoffAction, BackoffKind, ContentionBackoff};
 use crate::idle::{IdleAction, IdleKind, IdlePolicy};
+use crate::inject::{InjectKind, InjectPolicy};
 use crate::rng::PolicyRng;
 use crate::tally::StealResult;
 use crate::victim::{VictimKind, VictimSelector};
@@ -20,6 +21,9 @@ pub struct PolicySet {
     pub backoff: BackoffKind,
     /// Whether a persistently idle worker parks.
     pub idle: IdleKind,
+    /// How often an idle worker polls the external-submission injector
+    /// (runtimes without an injector ignore this axis).
+    pub inject: InjectKind,
 }
 
 impl PolicySet {
@@ -46,16 +50,30 @@ impl PolicySet {
         self
     }
 
+    /// Replaces the injector-poll cadence.
+    pub fn with_inject(mut self, inject: InjectKind) -> Self {
+        self.inject = inject;
+        self
+    }
+
     /// Stable identity string, `"victim+backoff+idle"` — e.g. the
     /// default is `"uniform+yield+spin"`. Stamped on telemetry
-    /// snapshots, `RunReport`s, and experiment JSON.
+    /// snapshots, `RunReport`s, and experiment JSON. A non-default
+    /// injector cadence is appended as a fourth `+` segment; the default
+    /// cadence is omitted so labels (and the golden regression files
+    /// that pin them) are unchanged for the three classic axes.
     pub fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}+{}+{}",
             self.victim.label(),
             self.backoff.label(),
             self.idle.label()
-        )
+        );
+        if self.inject != InjectKind::default() {
+            s.push('+');
+            s.push_str(self.inject.label());
+        }
+        s
     }
 
     /// True when the set keeps the paper's milestone accounting valid:
@@ -85,6 +103,7 @@ pub struct PolicyEngine {
     victim: Box<dyn VictimSelector>,
     backoff: Box<dyn ContentionBackoff>,
     idle: Box<dyn IdlePolicy>,
+    inject: Box<dyn InjectPolicy>,
     rng: PolicyRng,
     fails: u32,
 }
@@ -97,6 +116,7 @@ impl PolicyEngine {
             victim: set.victim.build(),
             backoff: set.backoff.build(),
             idle: set.idle.build(),
+            inject: set.inject.build(),
             rng,
             fails: 0,
         }
@@ -125,6 +145,12 @@ impl PolicyEngine {
     /// Whether to keep hunting or park.
     pub fn idle_action(&mut self) -> IdleAction {
         self.idle.on_idle(self.fails)
+    }
+
+    /// Whether this hunt iteration should poll the external-submission
+    /// injector (runtimes without an injector never call this).
+    pub fn injector_due(&mut self) -> bool {
+        self.inject.should_poll(self.fails)
     }
 
     /// A whole hunt found nothing: bump the consecutive-failure count.
@@ -156,6 +182,7 @@ impl std::fmt::Debug for PolicyEngine {
             .field("victim", &self.victim.name())
             .field("backoff", &self.backoff.name())
             .field("idle", &self.idle.name())
+            .field("inject", &self.inject.name())
             .field("fails", &self.fails)
             .finish()
     }
@@ -226,6 +253,24 @@ mod tests {
         assert_eq!(eng.fails(), 200);
         eng.note_work_found();
         assert_eq!(eng.fails(), 0);
+    }
+
+    #[test]
+    fn inject_axis_defaults_and_labels() {
+        // The default cadence leaves the classic three-axis label
+        // untouched (the policy_regression goldens depend on that).
+        assert_eq!(PolicySet::paper().label(), "uniform+yield+spin");
+        let set = PolicySet::paper().with_inject(InjectKind::EveryN { n: 8 });
+        assert_eq!(set.label(), "uniform+yield+spin+inject-nth");
+        let mut eng = PolicyEngine::new(&set, PolicyRng::new(1));
+        assert!(eng.injector_due()); // fails == 0
+        eng.note_failed();
+        assert!(!eng.injector_due()); // fails == 1, period 8
+        let mut default_eng = PolicyEngine::new(&PolicySet::paper(), PolicyRng::new(1));
+        for _ in 0..5 {
+            assert!(default_eng.injector_due());
+            default_eng.note_failed();
+        }
     }
 
     #[test]

@@ -29,9 +29,16 @@
 //! engine protocol (`backoff_action` → `begin_scan` → `next_victim` →
 //! `observe`) through their otherwise very different steal loops.
 //!
+//! * [`InjectPolicy`] — how often a work-less worker polls the external
+//!   submission injector, when the runtime has one. Implementations:
+//!   [`EveryScan`] (once per victim scan, the default), [`EveryN`]
+//!   (every n-th failed hunt), and [`NeverInject`] (the pre-injector
+//!   behavior, for ablation).
+//!
 //! [`StealTally`] is the shared attempt accounting; it maintains the
-//! identity `attempts == hits + aborts + empties` that both surfaces
-//! assert.
+//! identity `attempts == hits + aborts + empties + injects` that both
+//! surfaces assert (`injects` stays zero on surfaces without an
+//! injector, reducing to the classic three-way identity).
 //!
 //! ```
 //! use abp_core::{PolicyEngine, PolicySet, PolicyRng, StealResult};
@@ -49,6 +56,7 @@
 pub mod backoff;
 pub mod engine;
 pub mod idle;
+pub mod inject;
 pub mod rng;
 pub mod tally;
 pub mod victim;
@@ -59,6 +67,7 @@ pub use backoff::{
 };
 pub use engine::{PolicyEngine, PolicySet};
 pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, SpinIdle};
+pub use inject::{EveryN, EveryScan, InjectKind, InjectPolicy, NeverInject};
 pub use rng::PolicyRng;
 pub use tally::{StealResult, StealTally};
 pub use victim::{LastVictim, RoundRobinVictim, UniformVictim, VictimKind, VictimSelector};

@@ -5,8 +5,13 @@
 //! (the simulator did not even track aborts and empties separately).
 //! [`StealTally`] is the one place the counting order lives: every
 //! completed `popTop` records exactly one [`StealResult`], so the
-//! identity `attempts == hits + aborts + empties` holds by construction
-//! and both surfaces assert it.
+//! identity `attempts == hits + aborts + empties + injects` holds by
+//! construction and both surfaces assert it. `injects` counts successful
+//! grabs from the external-submission injector (a fourth place an
+//! attempt can land work, added with the `hood` front door); an injector
+//! poll that finds nothing records [`StealResult::Empty`], so surfaces
+//! without an injector keep the classic three-way identity with
+//! `injects == 0`.
 
 /// Outcome of one completed steal attempt (`popTop` against a victim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +42,9 @@ pub struct StealTally {
     pub aborts: u64,
     /// Attempts that found the victim empty.
     pub empties: u64,
+    /// Attempts that grabbed a job from the external-submission
+    /// injector rather than a victim's deque.
+    pub injects: u64,
 }
 
 impl StealTally {
@@ -51,10 +59,19 @@ impl StealTally {
         }
     }
 
+    /// Records one completed injector poll that found a job. (A poll
+    /// that finds the injector empty is recorded as
+    /// [`StealResult::Empty`] via [`StealTally::record`].)
+    #[inline]
+    pub fn record_inject(&mut self) {
+        self.attempts += 1;
+        self.injects += 1;
+    }
+
     /// The accounting identity every surface asserts:
-    /// `attempts == hits + aborts + empties`.
+    /// `attempts == hits + aborts + empties + injects`.
     pub fn balanced(&self) -> bool {
-        self.attempts == self.hits + self.aborts + self.empties
+        self.attempts == self.hits + self.aborts + self.empties + self.injects
     }
 
     /// Adds another tally into this one (aggregating workers).
@@ -63,6 +80,7 @@ impl StealTally {
         self.hits += other.hits;
         self.aborts += other.aborts;
         self.empties += other.empties;
+        self.injects += other.injects;
     }
 }
 
@@ -99,5 +117,23 @@ mod tests {
         a.merge(&b);
         assert!(a.balanced());
         assert_eq!(a.attempts, 3);
+    }
+
+    #[test]
+    fn injects_extend_the_identity() {
+        let mut t = StealTally::default();
+        t.record(StealResult::Hit);
+        t.record_inject();
+        t.record(StealResult::Empty);
+        t.record_inject();
+        assert!(t.balanced());
+        assert_eq!(t.attempts, 4);
+        assert_eq!(t.injects, 2);
+        // Merging carries injects.
+        let mut sum = StealTally::default();
+        sum.merge(&t);
+        sum.merge(&t);
+        assert!(sum.balanced());
+        assert_eq!(sum.injects, 4);
     }
 }

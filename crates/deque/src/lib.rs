@@ -13,10 +13,14 @@
 //!
 //! [`model`] exhaustively checks the relaxed semantics of §3.2 over all
 //! interleavings of small owner/thief programs, standing in for the
-//! paper's companion correctness proof.
+//! paper's companion correctness proof. The checker itself lives in
+//! [`history`], which also records timestamped histories from real
+//! concurrent threads so the same judge runs over the production
+//! [`atomic`] deque.
 
 pub mod atomic;
 pub mod growable;
+pub mod history;
 pub mod locking;
 pub mod model;
 pub mod sim_deque;

@@ -4,40 +4,19 @@
 //! separate technical report \[11\]; in its place this module *exhaustively
 //! enumerates every interleaving* of small owner/thief programs over the
 //! instruction-stepped deque of [`crate::sim_deque`] and checks each
-//! complete history against the relaxed semantics:
-//!
-//! 1. **Linearizability of the good ops** — there must exist a
-//!    linearization point inside every invocation's interval such that the
-//!    results agree with a serial deque execution (Wing–Gong style search
-//!    against a `VecDeque` specification). `popTop` invocations that
-//!    return NIL by losing a `cas` ([`SimSteal::Abort`]) are exempt: the
-//!    relaxed semantics does not require them to linearize.
-//! 2. **The Abort excuse** — every `Abort` must overlap (in real time) a
-//!    successful removal by another process or an interval where the deque
-//!    is empty; this is the §3.2 condition "at some point during the
-//!    invocation … the topmost item is removed from the deque by another
-//!    process".
-//! 3. **Conservation** — every pushed value is consumed at most once, and
-//!    values never materialize out of thin air. (This is the check that
-//!    the untagged ABA variant fails.)
+//! complete history with the shared relaxed-semantics checker in
+//! [`crate::history`] (conservation, the §3.2 Abort excuse, and Wing–Gong
+//! linearizability of the good ops). The same checker also runs over
+//! timestamped histories recorded from the *real* [`crate::atomic`] deque
+//! — see [`crate::history::Recorder`].
 //!
 //! The state space of a scenario with a handful of operations is small
 //! (thousands to a few million interleavings), so the exploration is a
 //! plain depth-first search with no state hashing.
 
-use crate::sim_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
-use std::collections::VecDeque;
+use crate::sim_deque::{DequeOp, SimDeque, StepOutcome};
 
-/// One instruction-level operation in a process's program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProgOp {
-    /// Owner-only: `pushBottom(v)`.
-    Push(u64),
-    /// Owner-only: `popBottom()`.
-    PopBottom,
-    /// `popTop()`.
-    PopTop,
-}
+pub use crate::history::{check, Invocation, OpResult, ProgOp, Violation};
 
 /// A scenario: `programs[0]` is the owner (may push/pop bottom), the rest
 /// are thieves (must only `PopTop`) — the "good invocation sets" of §3.2.
@@ -58,33 +37,6 @@ impl Scenario {
         }
         Scenario { programs }
     }
-}
-
-/// A completed invocation within one history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Invocation {
-    pub proc: usize,
-    /// Global instruction index at which the op issued its first step.
-    pub start: u64,
-    /// Global instruction index of its last step.
-    pub end: u64,
-    pub kind: ProgOp,
-    pub result: OpResult,
-}
-
-/// The result attached to a completed invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpResult {
-    Pushed,
-    Popped(Option<u64>),
-    Stolen(SimSteal),
-}
-
-/// A relaxed-semantics violation with the offending history.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    pub reason: String,
-    pub history: Vec<Invocation>,
 }
 
 /// Outcome of exploring every interleaving of a scenario.
@@ -135,6 +87,13 @@ impl ProcState {
 /// ]), false).ok());                   // the untagged variant is not
 /// ```
 pub fn explore(scenario: &Scenario, tagged: bool) -> Report {
+    explore_on(scenario, SimDeque::with_tagging(tagged))
+}
+
+/// Explores every interleaving of `scenario` starting from an arbitrary
+/// initial deque — e.g. [`SimDeque::with_growth`] to model the growable
+/// deque's buffer replacement racing concurrent `popTop`s.
+pub fn explore_on(scenario: &Scenario, initial: SimDeque) -> Report {
     let procs: Vec<ProcState> = scenario
         .programs
         .iter()
@@ -150,13 +109,8 @@ pub fn explore(scenario: &Scenario, tagged: bool) -> Report {
         example: None,
     };
     let mut history = Vec::new();
-    dfs(
-        &mut SimDeque::with_tagging(tagged),
-        procs,
-        0,
-        &mut history,
-        &mut report,
-    );
+    let mut deque = initial;
+    dfs(&mut deque, procs, 0, &mut history, &mut report);
     report
 }
 
@@ -169,7 +123,7 @@ fn dfs(
 ) {
     if procs.iter().all(|p| p.done()) {
         report.histories += 1;
-        if let Err(reason) = check_history(history) {
+        if let Err(reason) = check(history) {
             report.violating += 1;
             if report.example.is_none() {
                 report.example = Some(Violation {
@@ -237,152 +191,6 @@ fn step_proc(
             true
         }
     }
-}
-
-/// Checks one complete history against the relaxed semantics.
-fn check_history(history: &[Invocation]) -> Result<(), String> {
-    conservation(history)?;
-    aborts_excused(history)?;
-    linearizable(history)?;
-    Ok(())
-}
-
-/// Every pushed value consumed at most once; every consumed value was
-/// pushed. (Values in scenarios are unique by convention.)
-fn conservation(history: &[Invocation]) -> Result<(), String> {
-    let mut pushed = Vec::new();
-    let mut consumed = Vec::new();
-    for inv in history {
-        match inv.result {
-            OpResult::Pushed => {
-                if let ProgOp::Push(v) = inv.kind {
-                    pushed.push(v);
-                }
-            }
-            OpResult::Popped(Some(v)) => consumed.push(v),
-            OpResult::Stolen(SimSteal::Taken(v)) => consumed.push(v),
-            _ => {}
-        }
-    }
-    for &v in &consumed {
-        if !pushed.contains(&v) {
-            return Err(format!("value {v} consumed but never pushed"));
-        }
-    }
-    let mut sorted = consumed.clone();
-    sorted.sort_unstable();
-    for w in sorted.windows(2) {
-        if w[0] == w[1] {
-            return Err(format!("value {} consumed twice", w[0]));
-        }
-    }
-    Ok(())
-}
-
-/// Every Abort must overlap a removal by another process (or trivially, an
-/// overlapping owner reset — any overlapping successful pop counts).
-fn aborts_excused(history: &[Invocation]) -> Result<(), String> {
-    for inv in history {
-        if inv.result != OpResult::Stolen(SimSteal::Abort) {
-            continue;
-        }
-        let excused = history.iter().any(|other| {
-            other.proc != inv.proc
-                && other.start <= inv.end
-                && other.end >= inv.start
-                && matches!(
-                    other.result,
-                    OpResult::Popped(Some(_))
-                        | OpResult::Stolen(SimSteal::Taken(_))
-                        | OpResult::Popped(None)
-                )
-        });
-        if !excused {
-            return Err("popTop aborted with no overlapping removal".to_string());
-        }
-    }
-    Ok(())
-}
-
-/// Wing–Gong linearizability of the non-Abort invocations against a serial
-/// deque specification.
-fn linearizable(history: &[Invocation]) -> Result<(), String> {
-    let ops: Vec<&Invocation> = history
-        .iter()
-        .filter(|inv| inv.result != OpResult::Stolen(SimSteal::Abort))
-        .collect();
-    let mut linearized = vec![false; ops.len()];
-    let mut spec = VecDeque::new();
-    if lin_search(&ops, &mut linearized, &mut spec) {
-        Ok(())
-    } else {
-        Err("no linearization consistent with a serial deque".to_string())
-    }
-}
-
-fn lin_search(ops: &[&Invocation], linearized: &mut [bool], spec: &mut VecDeque<u64>) -> bool {
-    if linearized.iter().all(|&b| b) {
-        return true;
-    }
-    for i in 0..ops.len() {
-        if linearized[i] {
-            continue;
-        }
-        // `i` is a candidate only if no unlinearized op finished strictly
-        // before it started.
-        let minimal = (0..ops.len()).all(|j| linearized[j] || j == i || ops[j].end >= ops[i].start);
-        if !minimal {
-            continue;
-        }
-        // Try linearizing op i here: replay on the spec.
-        let ok = match (ops[i].kind, ops[i].result) {
-            (ProgOp::Push(v), OpResult::Pushed) => {
-                spec.push_back(v);
-                true
-            }
-            (ProgOp::PopBottom, OpResult::Popped(r)) => {
-                if spec.back().copied() == r {
-                    if r.is_some() {
-                        spec.pop_back();
-                    }
-                    true
-                } else {
-                    false
-                }
-            }
-            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v))) => {
-                if spec.front() == Some(&v) {
-                    spec.pop_front();
-                    true
-                } else {
-                    false
-                }
-            }
-            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Empty)) => spec.is_empty(),
-            other => panic!("malformed invocation {other:?}"),
-        };
-        if ok {
-            linearized[i] = true;
-            if lin_search(ops, linearized, spec) {
-                return true;
-            }
-            linearized[i] = false;
-        }
-        // Undo the spec mutation.
-        match (ops[i].kind, ops[i].result) {
-            (ProgOp::Push(_), OpResult::Pushed) if ok => {
-                spec.pop_back();
-            }
-            (ProgOp::PopBottom, OpResult::Popped(Some(v))) if ok => {
-                spec.push_back(v);
-            }
-            (ProgOp::PopTop, OpResult::Stolen(SimSteal::Taken(v))) if ok => {
-                spec.push_front(v);
-            }
-            _ => {}
-        }
-    }
-    false
 }
 
 #[cfg(test)]
@@ -466,84 +274,54 @@ mod tests {
         Scenario::new(vec![vec![ProgOp::Push(1)], vec![ProgOp::Push(2)]]);
     }
 
+    /// A growth event racing concurrent popTops: with the faithful
+    /// copy-on-grow protocol (the one `crate::growable` implements),
+    /// every interleaving satisfies the relaxed semantics.
     #[test]
-    fn conservation_detects_duplicate() {
-        let h = [
-            Invocation {
-                proc: 0,
-                start: 0,
-                end: 1,
-                kind: ProgOp::Push(7),
-                result: OpResult::Pushed,
-            },
-            Invocation {
-                proc: 0,
-                start: 2,
-                end: 3,
-                kind: ProgOp::PopBottom,
-                result: OpResult::Popped(Some(7)),
-            },
-            Invocation {
-                proc: 1,
-                start: 2,
-                end: 4,
-                kind: ProgOp::PopTop,
-                result: OpResult::Stolen(SimSteal::Taken(7)),
-            },
+    fn growth_racing_poptop_is_clean_when_copied() {
+        use crate::sim_deque::SimDeque;
+        use ProgOp::*;
+        // cap = 1, so the second push grows the array while the thieves'
+        // popTops may be mid-flight (between their slot read and cas).
+        let scenarios = [
+            Scenario::new(vec![owner(&[Push(1), Push(2)]), vec![PopTop]]),
+            Scenario::new(vec![
+                owner(&[Push(1), Push(2), PopBottom]),
+                vec![PopTop],
+                vec![PopTop],
+            ]),
         ];
-        assert!(conservation(&h).is_err());
+        for (i, sc) in scenarios.iter().enumerate() {
+            let rep = explore_on(sc, SimDeque::with_growth(true, 1, true));
+            assert!(rep.histories > 0);
+            assert!(
+                rep.ok(),
+                "scenario {i} violated: {:?}",
+                rep.example.as_ref().map(|v| &v.reason)
+            );
+        }
     }
 
+    /// The broken growth variant — publish a fresh buffer without copying
+    /// the live region — is caught by the checker: a thief whose slot
+    /// read lands after the growth consumes a value that was never
+    /// pushed (the zeroed slot).
     #[test]
-    fn linearizability_rejects_wrong_order() {
-        // Two sequential (non-overlapping) pushes then a popTop of the
-        // *second* value: impossible serially.
-        let h = [
-            Invocation {
-                proc: 0,
-                start: 0,
-                end: 1,
-                kind: ProgOp::Push(1),
-                result: OpResult::Pushed,
-            },
-            Invocation {
-                proc: 0,
-                start: 2,
-                end: 3,
-                kind: ProgOp::Push(2),
-                result: OpResult::Pushed,
-            },
-            Invocation {
-                proc: 1,
-                start: 4,
-                end: 5,
-                kind: ProgOp::PopTop,
-                result: OpResult::Stolen(SimSteal::Taken(2)),
-            },
-        ];
-        assert!(linearizable(&h).is_err());
-    }
-
-    #[test]
-    fn empty_steal_requires_observably_empty_spec() {
-        // popTop -> Empty while a pushed value sits in the deque the whole
-        // time and nothing overlaps: not linearizable.
-        let h = [
-            Invocation {
-                proc: 0,
-                start: 0,
-                end: 1,
-                kind: ProgOp::Push(1),
-                result: OpResult::Pushed,
-            },
-            Invocation {
-                proc: 1,
-                start: 2,
-                end: 3,
-                kind: ProgOp::PopTop,
-                result: OpResult::Stolen(SimSteal::Empty),
-            },
-        ];
-        assert!(linearizable(&h).is_err());
+    fn growth_without_copy_is_caught() {
+        use crate::sim_deque::SimDeque;
+        use ProgOp::*;
+        let sc = Scenario::new(vec![owner(&[Push(1), Push(2)]), vec![PopTop]]);
+        let rep = explore_on(&sc, SimDeque::with_growth(true, 1, false));
+        assert!(
+            !rep.ok(),
+            "no-copy growth should violate conservation somewhere in {} histories",
+            rep.histories
+        );
+        let ex = rep.example.unwrap();
+        assert!(
+            ex.reason.contains("never pushed") || ex.reason.contains("no linearization"),
+            "unexpected reason: {}",
+            ex.reason
+        );
     }
 }

@@ -1,0 +1,373 @@
+//! The sharded external-submission injector — the pool's "front door".
+//!
+//! The paper's runtime is closed: work enters only by being spawned from
+//! a worker already inside the pool. A multiprogrammed *server* needs
+//! the opposite shape — many non-worker client threads submitting jobs
+//! concurrently. This module provides that entry point without
+//! reintroducing the central bottleneck the ABP deques were designed to
+//! avoid:
+//!
+//! * The queue is split into `N` cache-line-padded **shards**, each a
+//!   mutex-protected **segment queue** (a linked list of fixed-size
+//!   slot arrays, so pushes and pops touch one segment and allocation
+//!   is amortized over [`SEG_CAP`] submissions).
+//! * Each submitting client thread gets a **round-robin cursor** seeded
+//!   from a process-wide client id, so concurrent clients start on
+//!   different shards and each client spreads its own submissions
+//!   across all shards.
+//! * Both submitters and polling workers use `try_lock` first and move
+//!   to the next shard on contention (counted in
+//!   [`Injector::contention`]); a submitter only falls back to a
+//!   blocking lock after a full failed scan, and a polling worker
+//!   *never* blocks — a contended poll is just a miss. The steal loop
+//!   therefore keeps the paper's non-blocking property: a worker's hunt
+//!   iteration completes in a bounded number of its own steps no matter
+//!   what clients or other workers are doing.
+//!
+//! Entries carry `(job_word, submit_ns)` so the worker that grabs a job
+//! can record the inject-to-start latency histogram. The injector
+//! stores raw words, not [`crate::job::JobRef`]s, so it is testable in
+//! isolation; the pool owns the conversion on both sides.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Slots per segment. One segment is one allocation; a full segment is
+/// retired (dropped) once drained.
+pub(crate) const SEG_CAP: usize = 64;
+
+struct Segment {
+    read: usize,
+    write: usize,
+    slots: [(usize, u64); SEG_CAP],
+}
+
+impl Segment {
+    fn new() -> Box<Segment> {
+        Box::new(Segment {
+            read: 0,
+            write: 0,
+            slots: [(0, 0); SEG_CAP],
+        })
+    }
+
+    fn push(&mut self, v: (usize, u64)) -> bool {
+        if self.write == SEG_CAP {
+            return false;
+        }
+        self.slots[self.write] = v;
+        self.write += 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<(usize, u64)> {
+        if self.read == self.write {
+            return None;
+        }
+        let v = self.slots[self.read];
+        self.read += 1;
+        Some(v)
+    }
+}
+
+/// FIFO of segments behind one shard's mutex.
+#[derive(Default)]
+struct SegQueue {
+    segs: VecDeque<Box<Segment>>,
+}
+
+impl SegQueue {
+    fn push(&mut self, v: (usize, u64)) {
+        if let Some(seg) = self.segs.back_mut() {
+            if seg.push(v) {
+                return;
+            }
+        }
+        let mut seg = Segment::new();
+        seg.push(v);
+        self.segs.push_back(seg);
+    }
+
+    fn pop(&mut self) -> Option<(usize, u64)> {
+        loop {
+            let front = self.segs.front_mut()?;
+            if let Some(v) = front.pop() {
+                return Some(v);
+            }
+            // Drained segment: retire it and try the next.
+            self.segs.pop_front();
+        }
+    }
+}
+
+#[repr(align(128))]
+struct Shard {
+    q: Mutex<SegQueue>,
+}
+
+/// The sharded front door. One per pool, shared by all submitters and
+/// workers.
+pub(crate) struct Injector {
+    shards: Vec<Shard>,
+    mask: usize,
+    /// Jobs currently enqueued across all shards (fast empty check for
+    /// the steal loop and the park path).
+    pending: AtomicUsize,
+    /// Jobs ever submitted.
+    pub(crate) submissions: AtomicU64,
+    /// Shard `try_lock` failures seen by submitters and pollers.
+    pub(crate) contention: AtomicU64,
+    /// Counted worker polls (hits + misses); shutdown draining is not a
+    /// poll.
+    pub(crate) polls: AtomicU64,
+    /// Counted worker polls that grabbed a job.
+    pub(crate) hits: AtomicU64,
+}
+
+/// Per-thread round-robin submission cursor: the high part identifies
+/// the client (assigned once per thread, spreading clients over
+/// shards), the low part advances by one per submission.
+fn client_ticket() -> usize {
+    static NEXT_CLIENT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static CURSOR: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    }
+    CURSOR.with(|c| {
+        let (base, n) = c.get().unwrap_or_else(|| {
+            // Weyl-ish spread so client k and client k+1 start far apart.
+            let id = NEXT_CLIENT.fetch_add(1, Ordering::Relaxed);
+            (id.wrapping_mul(0x9E37_79B9), 0)
+        });
+        c.set(Some((base, n.wrapping_add(1))));
+        base.wrapping_add(n)
+    })
+}
+
+impl Injector {
+    /// `shards` is rounded up to a power of two and clamped to
+    /// `[1, 128]`.
+    pub(crate) fn new(shards: usize) -> Injector {
+        let n = shards.clamp(1, 128).next_power_of_two();
+        Injector {
+            shards: (0..n)
+                .map(|_| Shard {
+                    q: Mutex::new(SegQueue::default()),
+                })
+                .collect(),
+            mask: n - 1,
+            pending: AtomicUsize::new(0),
+            submissions: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs currently enqueued. `Acquire` so a nonzero read happens
+    /// after the corresponding push.
+    #[inline]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Submits one job word from the calling thread's shard cursor.
+    /// Tries every shard with `try_lock` before blocking on the home
+    /// shard, so submitters only ever wait when all `N` shards are
+    /// simultaneously held.
+    pub(crate) fn push(&self, word: usize, submit_ns: u64) {
+        let ticket = client_ticket();
+        for i in 0..self.shards.len() {
+            let idx = ticket.wrapping_add(i) & self.mask;
+            match self.shards[idx].q.try_lock() {
+                Ok(mut q) => {
+                    q.push((word, submit_ns));
+                    drop(q);
+                    self.finish_push(1);
+                    return;
+                }
+                Err(_) => {
+                    self.contention.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut q = self.shards[ticket & self.mask].q.lock().unwrap();
+        q.push((word, submit_ns));
+        drop(q);
+        self.finish_push(1);
+    }
+
+    /// Submits a batch under a single shard lock (one lock acquisition
+    /// for the whole batch — the point of `spawn_batch`).
+    pub(crate) fn push_batch(&self, words: &[usize], submit_ns: u64) {
+        if words.is_empty() {
+            return;
+        }
+        let ticket = client_ticket();
+        let home = ticket & self.mask;
+        let mut q = match self.shards[home].q.try_lock() {
+            Ok(q) => q,
+            Err(_) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.shards[home].q.lock().unwrap()
+            }
+        };
+        for &w in words {
+            q.push((w, submit_ns));
+        }
+        drop(q);
+        self.finish_push(words.len());
+    }
+
+    fn finish_push(&self, n: usize) {
+        self.submissions.fetch_add(n as u64, Ordering::Relaxed);
+        self.pending.fetch_add(n, Ordering::Release);
+    }
+
+    /// One counted, non-blocking worker poll: scans all shards from
+    /// `start` with `try_lock`; a contended or empty scan is a miss.
+    /// Returns `(job_word, submit_ns)`.
+    pub(crate) fn poll(&self, start: usize) -> Option<(usize, u64)> {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if self.pending() == 0 {
+            return None;
+        }
+        for i in 0..self.shards.len() {
+            let idx = start.wrapping_add(i) & self.mask;
+            match self.shards[idx].q.try_lock() {
+                Ok(mut q) => {
+                    if let Some(v) = q.pop() {
+                        drop(q);
+                        self.pending.fetch_sub(1, Ordering::Release);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(v);
+                    }
+                }
+                Err(_) => {
+                    self.contention.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        None
+    }
+
+    /// Uncounted blocking pop, for shutdown draining only: takes every
+    /// shard lock in turn, so a `None` really means empty (with respect
+    /// to submissions that happened before shutdown).
+    pub(crate) fn pop_blocking(&self, start: usize) -> Option<(usize, u64)> {
+        for i in 0..self.shards.len() {
+            let idx = start.wrapping_add(i) & self.mask;
+            if let Some(v) = self.shards[idx].q.lock().unwrap().pop() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Copies the scalar counters into a telemetry snapshot section.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn stamp(&self, out: &mut abp_telemetry::InjectorSnapshot) {
+        out.shards = self.shards.len() as u64;
+        out.submissions = self.submissions.load(Ordering::Relaxed);
+        out.contention = self.contention.load(Ordering::Relaxed);
+        out.polls = self.polls.load(Ordering::Relaxed);
+        out.hits = self.hits.load(Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(Injector::new(0).shard_count(), 1);
+        assert_eq!(Injector::new(3).shard_count(), 4);
+        assert_eq!(Injector::new(8).shard_count(), 8);
+        assert_eq!(Injector::new(1000).shard_count(), 128);
+    }
+
+    #[test]
+    fn push_poll_roundtrip_and_counters() {
+        let inj = Injector::new(4);
+        assert_eq!(inj.poll(0), None); // counted miss on empty
+        for w in 1..=10usize {
+            inj.push(w, w as u64 * 100);
+        }
+        assert_eq!(inj.pending(), 10);
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((w, ns)) = inj.poll(2) {
+            assert_eq!(ns, w as u64 * 100);
+            got.push(w);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (1..=10).collect::<Vec<_>>());
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.submissions.load(Ordering::Relaxed), 10);
+        assert_eq!(inj.hits.load(Ordering::Relaxed), 10);
+        assert_eq!(inj.polls.load(Ordering::Relaxed), 12); // 10 hits + 2 misses
+    }
+
+    #[test]
+    fn batch_goes_through_one_shard_in_order() {
+        let inj = Injector::new(1); // single shard: global FIFO
+        inj.push_batch(&[7, 8, 9], 5);
+        assert_eq!(inj.pending(), 3);
+        assert_eq!(inj.poll(0), Some((7, 5)));
+        assert_eq!(inj.poll(0), Some((8, 5)));
+        assert_eq!(inj.pop_blocking(0), Some((9, 5)));
+        assert_eq!(inj.pop_blocking(0), None);
+    }
+
+    #[test]
+    fn segments_retire_across_many_pushes() {
+        let inj = Injector::new(2);
+        let n = SEG_CAP * 5 + 3;
+        for w in 0..n {
+            inj.push(w + 1, 0);
+        }
+        let mut seen = 0;
+        while inj.pop_blocking(1).is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, n);
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_lose_nothing() {
+        let inj = Arc::new(Injector::new(4));
+        let clients = 8;
+        let per = 500;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        inj.push(c * per + i + 1, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some((w, _)) = inj.pop_blocking(0) {
+            got.push(w);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (1..=clients * per).collect::<Vec<_>>());
+        assert_eq!(
+            inj.submissions.load(Ordering::Relaxed),
+            (clients * per) as u64
+        );
+    }
+}

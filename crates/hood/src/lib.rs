@@ -25,7 +25,30 @@
 //! Configuration ([`PoolConfig`]) exposes the paper's ablation axes: the
 //! deque backend (non-blocking ABP vs. a locking baseline) and whether
 //! thieves yield between steal attempts.
+//!
+//! # External submission
+//!
+//! Non-worker threads submit work through the pool's sharded injector
+//! ("front door") with [`ThreadPool::spawn`] / [`ThreadPool::spawn_batch`];
+//! idle workers poll it between steal scans (cadence set by the
+//! [`InjectKind`] policy axis):
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = hood::ThreadPool::new(2);
+//! let hits = Arc::new(AtomicU64::new(0));
+//! for _ in 0..16 {
+//!     let hits = Arc::clone(&hits);
+//!     pool.spawn(move || { hits.fetch_add(1, Ordering::Relaxed); });
+//! }
+//! let report = pool.shutdown(); // drains the injector: exactly-once
+//! assert_eq!(hits.load(Ordering::Relaxed), 16);
+//! assert!(report.stats.attempts_balance());
+//! ```
 
+mod injector;
 pub mod job;
 pub mod join;
 pub mod latch;
@@ -34,7 +57,7 @@ pub mod pool;
 pub mod scope;
 pub mod stats;
 
-pub use abp_core::{BackoffKind, IdleKind, PolicySet, VictimKind};
+pub use abp_core::{BackoffKind, IdleKind, InjectKind, PolicySet, VictimKind};
 pub use join::join;
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
 pub use pool::{Backend, PoolConfig, PoolReport, ThreadPool, WorkerCtx};

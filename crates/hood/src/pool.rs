@@ -24,6 +24,7 @@
 //! is off unless [`PoolConfig::telemetry`] is `Some`, and when off each
 //! instrumentation point costs one branch on an `Option`.
 
+use crate::injector::Injector;
 use crate::job::JobRef;
 use crate::latch::LockLatch;
 use crate::stats::{PoolStats, WorkerStats};
@@ -33,8 +34,7 @@ use abp_core::{
 use abp_dag::DetRng;
 use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -80,6 +80,9 @@ pub struct PoolConfig {
     /// jobs on the thief's stack ("leapfrogging"), so deep recursive
     /// workloads need headroom beyond the platform default.
     pub stack_size: usize,
+    /// Shards in the external-submission injector; `0` (the default)
+    /// sizes it to the worker count.
+    pub injector_shards: usize,
     /// Structured tracing: `Some(config)` records events and histograms
     /// into per-worker rings; `None` (the default) records nothing and
     /// leaves only an untaken branch at each instrumentation point.
@@ -125,6 +128,12 @@ impl PoolConfig {
         self
     }
 
+    /// Replaces the injector shard count (`0` = one shard per worker).
+    pub fn with_injector_shards(mut self, injector_shards: usize) -> Self {
+        self.injector_shards = injector_shards;
+        self
+    }
+
     /// Enables structured tracing with the given telemetry configuration.
     #[cfg(feature = "telemetry")]
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
@@ -143,6 +152,7 @@ impl Default for PoolConfig {
             policies: PolicySet::paper().with_idle(PoolConfig::DEFAULT_IDLE),
             seed: 0xAB9,
             stack_size: 8 * 1024 * 1024,
+            injector_shards: 0,
             #[cfg(feature = "telemetry")]
             telemetry: None,
         }
@@ -173,8 +183,7 @@ impl StealerSide {
 
 pub(crate) struct Shared {
     stealers: Vec<StealerSide>,
-    injector: Mutex<VecDeque<JobRef>>,
-    injected: AtomicUsize,
+    injector: Injector,
     shutdown: AtomicBool,
     sleep_mutex: Mutex<()>,
     sleep_cv: Condvar,
@@ -184,22 +193,33 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// Timestamp for an external submission (0 when tracing is off: the
+    /// latency histogram is then skipped on the worker side).
+    fn submit_ns(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.registry.as_ref().map(|r| r.now_ns()).unwrap_or(0)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Submits one external job through the sharded injector and wakes
+    /// parked workers. The wakeup is sent *without* holding the sleep
+    /// lock, so a worker that checked `pending()` before this push and
+    /// parks after the notify can miss it — the bounded park timeout
+    /// (`PoolConfig::DEFAULT_IDLE`) caps that race at one park length.
     fn inject(&self, job: JobRef) {
-        self.injector.lock().unwrap().push_back(job);
-        self.injected.fetch_add(1, Ordering::Release);
+        self.injector.push(job.to_word(), self.submit_ns());
         self.sleep_cv.notify_all();
     }
 
-    fn take_injected(&self) -> Option<JobRef> {
-        if self.injected.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let mut q = self.injector.lock().unwrap();
-        let job = q.pop_front();
-        if job.is_some() {
-            self.injected.fetch_sub(1, Ordering::Release);
-        }
-        job
+    /// Submits a batch under one shard lock, then wakes all workers.
+    fn inject_batch(&self, words: &[usize]) {
+        self.injector.push_batch(words, self.submit_ns());
+        self.sleep_cv.notify_all();
     }
 }
 
@@ -339,8 +359,41 @@ impl WorkerCtx {
         self.engine.borrow_mut().observe(victim, result);
     }
 
+    /// One counted, non-blocking poll of the external-submission
+    /// injector. A grab counts as an `inject`; a miss (empty or
+    /// contended) counts as an `empty` — either way exactly one outcome
+    /// per attempt, so the accounting identity extends to the new path.
+    pub(crate) fn poll_injector(&self) -> Option<JobRef> {
+        let stats = self.stats();
+        stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        match self.shared.injector.poll(self.index) {
+            Some((word, submit_ns)) => {
+                stats.injects.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = &self.tele {
+                    let now = t.now_ns();
+                    if submit_ns > 0 {
+                        t.inject_latency_ns(now.saturating_sub(submit_ns));
+                    }
+                    t.record_at(now, EventKind::InjectorPoll { hit: true });
+                }
+                #[cfg(not(feature = "telemetry"))]
+                let _ = submit_ns;
+                Some(JobRef::from_word(word))
+            }
+            None => {
+                stats.empties.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                self.tele_record(EventKind::InjectorPoll { hit: false });
+                None
+            }
+        }
+    }
+
     /// One full steal scan: backoff (per policy), then try `P − 1`
-    /// victims in the selector's order, then the injector.
+    /// victims in the selector's order, then — when the inject policy
+    /// says the poll is due and the injector is non-empty — the
+    /// injector.
     pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
         let shared = &*self.shared;
         match self.engine.borrow_mut().backoff_action() {
@@ -379,7 +432,10 @@ impl WorkerCtx {
                 self.note_steal(v, result, scan_start);
             }
         }
-        shared.take_injected()
+        if shared.injector.pending() > 0 && self.engine.borrow_mut().injector_due() {
+            return self.poll_injector();
+        }
+        None
     }
 
     /// Executes other work (or yields) while waiting for `probe` to become
@@ -406,6 +462,15 @@ fn worker_main(ctx: WorkerCtx) {
             }
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    // Drain the front door before exiting so every
+                    // accepted external submission still runs exactly
+                    // once. Blocking pops: during shutdown a `None`
+                    // must really mean empty.
+                    if let Some((word, _)) = shared.injector.pop_blocking(ctx.index) {
+                        ctx.engine.borrow_mut().note_work_found();
+                        ctx.execute_job(JobRef::from_word(word));
+                        continue;
+                    }
                     break;
                 }
                 let action = {
@@ -419,15 +484,21 @@ fn worker_main(ctx: WorkerCtx) {
                     ctx.tele_record(EventKind::Park);
                     let guard = shared.sleep_mutex.lock().unwrap();
                     // Re-check for work signals under the lock.
-                    if shared.injected.load(Ordering::Acquire) == 0
-                        && !shared.shutdown.load(Ordering::Acquire)
-                    {
+                    if shared.injector.pending() == 0 && !shared.shutdown.load(Ordering::Acquire) {
                         let _ = shared
                             .sleep_cv
                             .wait_timeout(guard, Duration::from_micros(us as u64));
                     }
                     #[cfg(feature = "telemetry")]
                     ctx.tele_record(EventKind::Unpark);
+                    // A wake-up usually means an external submission;
+                    // poll unconditionally (counted) so even an
+                    // `InjectKind::Never` ablation drains the front
+                    // door after parking.
+                    if let Some(job) = ctx.poll_injector() {
+                        ctx.engine.borrow_mut().note_work_found();
+                        ctx.execute_job(job);
+                    }
                 }
             }
         }
@@ -496,8 +567,11 @@ impl ThreadPool {
             .map(|tc| Registry::with_policy(p, tc, config.policies.label()));
         let shared = Arc::new(Shared {
             stealers,
-            injector: Mutex::new(VecDeque::new()),
-            injected: AtomicUsize::new(0),
+            injector: Injector::new(if config.injector_shards == 0 {
+                p
+            } else {
+                config.injector_shards
+            }),
             shutdown: AtomicBool::new(false),
             sleep_mutex: Mutex::new(()),
             sleep_cv: Condvar::new(),
@@ -582,6 +656,50 @@ impl ThreadPool {
         }
     }
 
+    /// Submits `f` for execution from *any* thread — the pool's front
+    /// door. Returns immediately; the job runs on whichever worker
+    /// grabs it from the sharded injector. Fire-and-forget: use
+    /// [`ThreadPool::install`] (or channels/latches inside `f`) when
+    /// the caller needs the result. Jobs accepted before
+    /// [`ThreadPool::shutdown`] are guaranteed to execute exactly once
+    /// (workers drain the injector before exiting).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // SAFETY: the closure is 'static and the injector/worker
+        // protocol executes each submitted job exactly once (each entry
+        // is popped by exactly one worker, and shutdown drains leftovers).
+        let job = unsafe { crate::job::HeapJob::into_job_ref(f) };
+        self.shared.inject(job);
+    }
+
+    /// Submits a batch of jobs under a single injector shard lock — the
+    /// cheap way for one client to submit many jobs at once. Same
+    /// semantics per job as [`ThreadPool::spawn`].
+    pub fn spawn_batch<I, F>(&self, jobs: I)
+    where
+        I: IntoIterator<Item = F>,
+        F: FnOnce() + Send + 'static,
+    {
+        let words: Vec<usize> = jobs
+            .into_iter()
+            // SAFETY: as in `spawn` — exactly-once execution of each ref.
+            .map(|f| unsafe { crate::job::HeapJob::into_job_ref(f) }.to_word())
+            .collect();
+        self.shared.inject_batch(&words);
+    }
+
+    /// Jobs submitted from outside and not yet picked up by a worker.
+    pub fn injector_backlog(&self) -> usize {
+        self.shared.injector.pending()
+    }
+
+    /// Number of shards the front-door injector was built with.
+    pub fn injector_shards(&self) -> usize {
+        self.shared.injector.shard_count()
+    }
+
     /// Aggregate scheduler statistics since pool creation.
     pub fn stats(&self) -> PoolStats {
         PoolStats::aggregate(&self.shared.stats)
@@ -597,7 +715,11 @@ impl ThreadPool {
     /// be exact, stop the pool with [`ThreadPool::shutdown`] instead.
     #[cfg(feature = "telemetry")]
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
-        self.shared.registry.as_ref().map(|r| r.snapshot())
+        self.shared.registry.as_ref().map(|r| {
+            let mut snap = r.snapshot();
+            self.shared.injector.stamp(&mut snap.injector);
+            snap
+        })
     }
 
     /// Stops the pool (joining every worker) and returns the final,
@@ -620,7 +742,11 @@ impl ThreadPool {
             stats,
             per_worker: self.per_worker_stats(),
             #[cfg(feature = "telemetry")]
-            telemetry: self.shared.registry.as_ref().map(|r| r.snapshot()),
+            telemetry: self.shared.registry.as_ref().map(|r| {
+                let mut snap = r.snapshot();
+                self.shared.injector.stamp(&mut snap.injector);
+                snap
+            }),
         }
     }
 }

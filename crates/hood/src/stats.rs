@@ -1,15 +1,18 @@
 //! Per-worker and aggregate scheduler statistics.
 //!
-//! Every completed `popTop` against a victim is counted once as a
+//! Every completed `popTop` against a victim — and every counted poll
+//! of the external-submission injector — is counted once as a
 //! `steal_attempt` and once under exactly one outcome, so the identity
 //!
 //! ```text
-//! steal_attempts == steals + aborts + empties
+//! steal_attempts == steals + aborts + empties + injects
 //! ```
 //!
-//! holds for each worker and for the aggregate (checked in the tests and
-//! relied on by the telemetry integration tests, which reconcile these
-//! counters against the event trace).
+//! holds (injector polls land in `injects` on a grab and in `empties`
+//! on a miss) and
+//! it holds for each worker and for the aggregate (checked in the tests
+//! and relied on by the telemetry integration tests, which reconcile
+//! these counters against the event trace).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -26,8 +29,11 @@ pub struct WorkerStats {
     pub steals: AtomicU64,
     /// Steal attempts that lost a `cas` race.
     pub aborts: AtomicU64,
-    /// Steal attempts that found the victim's deque empty.
+    /// Steal attempts that found the victim's deque empty, plus
+    /// injector polls that found the injector empty (or contended).
     pub empties: AtomicU64,
+    /// Counted injector polls that grabbed an externally submitted job.
+    pub injects: AtomicU64,
     /// yield system calls between steal scans.
     pub yields: AtomicU64,
     /// Times this worker parked for lack of work.
@@ -43,6 +49,7 @@ impl WorkerStats {
             steals: self.steals.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             empties: self.empties.load(Ordering::Relaxed),
+            injects: self.injects.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
         }
@@ -58,6 +65,7 @@ pub struct PoolStats {
     pub steals: u64,
     pub aborts: u64,
     pub empties: u64,
+    pub injects: u64,
     pub yields: u64,
     pub parks: u64,
 }
@@ -72,6 +80,7 @@ impl PoolStats {
             s.steals += w.steals.load(Ordering::Relaxed);
             s.aborts += w.aborts.load(Ordering::Relaxed);
             s.empties += w.empties.load(Ordering::Relaxed);
+            s.injects += w.injects.load(Ordering::Relaxed);
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
         }
@@ -89,7 +98,7 @@ impl PoolStats {
 
     /// True iff every attempt is accounted for by exactly one outcome.
     pub fn attempts_balance(&self) -> bool {
-        self.steal_attempts == self.steals + self.aborts + self.empties
+        self.steal_attempts == self.steals + self.aborts + self.empties + self.injects
     }
 }
 
@@ -133,6 +142,59 @@ mod tests {
             ..PoolStats::default()
         }
         .attempts_balance());
+        // The identity covers the injector path: an attempt that landed
+        // as an inject balances, and injects without attempts do not.
+        assert!(PoolStats {
+            steal_attempts: 11,
+            steals: 3,
+            aborts: 2,
+            empties: 5,
+            injects: 1,
+            ..PoolStats::default()
+        }
+        .attempts_balance());
+        assert!(!PoolStats {
+            injects: 1,
+            ..PoolStats::default()
+        }
+        .attempts_balance());
+    }
+
+    /// Regression for the extended identity on the live pool: external
+    /// submissions flow through counted injector polls, so `injects`
+    /// moves and `steal_attempts == steals + aborts + empties + injects`
+    /// still holds per worker and in aggregate.
+    #[test]
+    fn live_pool_attempts_balance_with_injects() {
+        let pool = crate::pool::ThreadPool::new(3);
+        let done = std::sync::Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let done = std::sync::Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while done.load(Ordering::Relaxed) < 64 {
+            std::thread::yield_now();
+        }
+        let report = pool.shutdown();
+        assert!(
+            report.stats.injects > 0,
+            "external submissions must be taken via counted injector polls: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.attempts_balance(),
+            "attempts {} != steals {} + aborts {} + empties {} + injects {}",
+            report.stats.steal_attempts,
+            report.stats.steals,
+            report.stats.aborts,
+            report.stats.empties,
+            report.stats.injects
+        );
+        for (i, w) in report.per_worker.iter().enumerate() {
+            assert!(w.attempts_balance(), "worker {i} unbalanced: {w:?}");
+        }
     }
 
     /// The live pool maintains the identity: every completed `popTop` is

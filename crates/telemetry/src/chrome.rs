@@ -109,6 +109,15 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
                     w.worker,
                     &format!(",\"s\":\"t\",\"args\":{{\"victim\":{victim}}}"),
                 ),
+                EventKind::InjectorPoll { hit } => push_event(
+                    &mut out,
+                    &mut first,
+                    if hit { "inject_hit" } else { "inject_empty" },
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    ",\"s\":\"t\"",
+                ),
                 EventKind::Yield => push_event(
                     &mut out,
                     &mut first,
@@ -151,6 +160,7 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
         let mut yields = 0u64;
         let mut parks = 0u64;
         let (mut hits, mut empties, mut aborts) = (0u64, 0u64, 0u64);
+        let (mut inj_polls, mut inj_hits) = (0u64, 0u64);
         for e in &w.events {
             match e.kind {
                 EventKind::Spawn => spawns += 1,
@@ -161,6 +171,10 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
                     crate::StealOutcome::Empty => empties += 1,
                     crate::StealOutcome::Abort => aborts += 1,
                 },
+                EventKind::InjectorPoll { hit } => {
+                    inj_polls += 1;
+                    inj_hits += hit as u64;
+                }
                 EventKind::Yield => yields += 1,
                 EventKind::Park => parks += 1,
                 EventKind::Unpark => {}
@@ -171,7 +185,8 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
         let _ = write!(
             out,
             "{{\"worker\":{},\"events\":{},\"dropped\":{},\"spawns\":{},\"execs\":{},\
-             \"steal_hits\":{},\"steal_empties\":{},\"steal_aborts\":{},\"yields\":{},\"parks\":{},\
+             \"steal_hits\":{},\"steal_empties\":{},\"steal_aborts\":{},\
+             \"inject_polls\":{},\"inject_hits\":{},\"yields\":{},\"parks\":{},\
              \"steal_latency\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}},\
              \"job_run_time\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}}",
             w.worker,
@@ -182,6 +197,8 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
             hits,
             empties,
             aborts,
+            inj_polls,
+            inj_hits,
             yields,
             parks,
             sl.count(),
@@ -194,7 +211,24 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
             jr.quantile_upper_bound(0.99),
         );
     }
-    out.push_str("\n],\n\"counters\":{");
+    let inj = &snap.injector;
+    let lat = &inj.latency;
+    let _ = write!(
+        out,
+        "\n],\n\"injector\":{{\"shards\":{},\"submissions\":{},\"contention\":{},\
+         \"polls\":{},\"hits\":{},\
+         \"latency\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}},\n",
+        inj.shards,
+        inj.submissions,
+        inj.contention,
+        inj.polls,
+        inj.hits,
+        lat.count(),
+        lat.mean(),
+        lat.quantile_upper_bound(0.5),
+        lat.quantile_upper_bound(0.99),
+    );
+    out.push_str("\"counters\":{");
     for (i, (name, v)) in snap.counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -261,6 +295,7 @@ mod tests {
             process_name: "golden".to_string(),
             workers: vec![w0, w1],
             counters: vec![("rounds".to_string(), 7)],
+            injector: Default::default(),
             policy: String::new(),
         }
     }
@@ -309,6 +344,37 @@ mod tests {
             Some(7.0)
         );
         assert_eq!(v.get("policy").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn injector_metrics_flow_through_both_exporters() {
+        let mut snap = tiny_snapshot();
+        snap.workers[1].events.push(Event {
+            ts_ns: 9_500,
+            kind: EventKind::InjectorPoll { hit: true },
+        });
+        snap.workers[1].events.push(Event {
+            ts_ns: 9_600,
+            kind: EventKind::InjectorPoll { hit: false },
+        });
+        snap.injector.shards = 4;
+        snap.injector.submissions = 12;
+        snap.injector.contention = 1;
+        snap.injector.polls = 2;
+        snap.injector.hits = 1;
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"inject_hit\""));
+        assert!(trace.contains("\"name\":\"inject_empty\""));
+        assert!(crate::json::parse(&trace).is_ok());
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let inj = v.get("injector").expect("injector section");
+        assert_eq!(inj.get("shards").unwrap().as_f64(), Some(4.0));
+        assert_eq!(inj.get("submissions").unwrap().as_f64(), Some(12.0));
+        assert_eq!(inj.get("hits").unwrap().as_f64(), Some(1.0));
+        let w1 = &v.get("workers").unwrap().as_array().unwrap()[1];
+        assert_eq!(w1.get("inject_polls").unwrap().as_f64(), Some(2.0));
+        assert_eq!(w1.get("inject_hits").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

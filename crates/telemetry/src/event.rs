@@ -40,6 +40,9 @@ pub enum EventKind {
     ExecEnd,
     /// This worker completed a `popTop` against `victim`.
     StealAttempt { victim: u32, outcome: StealOutcome },
+    /// This worker polled the external-submission injector between
+    /// steal attempts; `hit` is whether a job was grabbed.
+    InjectorPoll { hit: bool },
     /// A yield between steal scans (§4.4).
     Yield,
     /// The worker parked for lack of work.
@@ -69,6 +72,7 @@ const TAG_STEAL: u64 = 4;
 const TAG_YIELD: u64 = 5;
 const TAG_PARK: u64 = 6;
 const TAG_UNPARK: u64 = 7;
+const TAG_INJECT: u64 = 8;
 
 impl EventKind {
     /// Packs the kind into one word for the ring buffer.
@@ -85,6 +89,7 @@ impl EventKind {
                 };
                 TAG_STEAL | (o << 8) | ((victim as u64) << 32)
             }
+            EventKind::InjectorPoll { hit } => TAG_INJECT | ((hit as u64) << 8),
             EventKind::Yield => TAG_YIELD,
             EventKind::Park => TAG_PARK,
             EventKind::Unpark => TAG_UNPARK,
@@ -109,6 +114,9 @@ impl EventKind {
                     outcome,
                 }
             }
+            TAG_INJECT => EventKind::InjectorPoll {
+                hit: (w >> 8) & 1 == 1,
+            },
             TAG_YIELD => EventKind::Yield,
             TAG_PARK => EventKind::Park,
             TAG_UNPARK => EventKind::Unpark,
@@ -139,6 +147,8 @@ mod tests {
                 victim: 7,
                 outcome: StealOutcome::Abort,
             },
+            EventKind::InjectorPoll { hit: true },
+            EventKind::InjectorPoll { hit: false },
             EventKind::Yield,
             EventKind::Park,
             EventKind::Unpark,

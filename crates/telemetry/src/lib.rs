@@ -50,5 +50,7 @@ pub mod ring;
 pub use chrome::{chrome_trace, metrics_json};
 pub use event::{Event, EventKind, StealOutcome};
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
-pub use registry::{Registry, TelemetryConfig, TelemetrySnapshot, WorkerTelemetry, WorkerTrace};
+pub use registry::{
+    InjectorSnapshot, Registry, TelemetryConfig, TelemetrySnapshot, WorkerTelemetry, WorkerTrace,
+};
 pub use ring::{EventRing, Producer, RingSnapshot};

@@ -31,10 +31,14 @@ struct WorkerSlot {
 }
 
 /// All telemetry state for one pool (or one simulated run): a ring and
-/// two histograms per worker, plus the common clock epoch.
+/// two histograms per worker, plus the common clock epoch and one
+/// pool-wide inject-to-start latency histogram (samples are recorded by
+/// whichever worker grabs an external submission, so the histogram is
+/// registry-level, not per-worker).
 pub struct Registry {
     epoch: Instant,
     workers: Vec<WorkerSlot>,
+    inject_latency: Histogram,
     policy: String,
 }
 
@@ -60,6 +64,7 @@ impl Registry {
                     job_run_time: Histogram::new(),
                 })
                 .collect(),
+            inject_latency: Histogram::new(),
             policy: policy.into(),
         })
     }
@@ -86,8 +91,21 @@ impl Registry {
         }
     }
 
+    /// Records one inject-to-start latency sample (nanoseconds from
+    /// submission to a worker beginning the job). Lock-free; callable
+    /// from any thread.
+    #[inline]
+    pub fn inject_latency_ns(&self, ns: u64) {
+        self.inject_latency.record(ns);
+    }
+
     /// Snapshots every ring and histogram. Lock-free with respect to the
     /// producers; safe to call at any time, from any thread.
+    ///
+    /// The injector section carries the latency histogram; the scalar
+    /// injector counters (submissions, contention, ...) live with the
+    /// injector itself, and the owning pool stamps them into the
+    /// snapshot after calling this.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             process_name: "hood".to_string(),
@@ -108,6 +126,10 @@ impl Registry {
                 })
                 .collect(),
             counters: Vec::new(),
+            injector: InjectorSnapshot {
+                latency: self.inject_latency.snapshot(),
+                ..InjectorSnapshot::default()
+            },
             policy: self.policy.clone(),
         }
     }
@@ -158,6 +180,13 @@ impl WorkerTelemetry {
     pub fn job_run_ns(&self, ns: u64) {
         self.registry.workers[self.index].job_run_time.record(ns);
     }
+
+    /// Records one inject-to-start latency sample on the registry-wide
+    /// histogram (the worker that grabs the submission records it).
+    #[inline]
+    pub fn inject_latency_ns(&self, ns: u64) {
+        self.registry.inject_latency_ns(ns);
+    }
 }
 
 /// One worker's timeline inside a [`TelemetrySnapshot`].
@@ -192,6 +221,42 @@ impl WorkerTrace {
             )
             .count() as u64
     }
+
+    /// Injector polls visible in the retained events.
+    pub fn injector_polls(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::InjectorPoll { .. }))
+            .count() as u64
+    }
+
+    /// Injector polls that grabbed a job.
+    pub fn injector_hits(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::InjectorPoll { hit: true }))
+            .count() as u64
+    }
+}
+
+/// External-submission injector metrics inside a [`TelemetrySnapshot`].
+/// The latency histogram is filled by [`Registry::snapshot`]; the scalar
+/// counters are stamped by the pool that owns the injector (they stay
+/// zero for runs without one, e.g. the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct InjectorSnapshot {
+    /// Jobs submitted from outside the pool (`spawn` + batched items).
+    pub submissions: u64,
+    /// Shard try-lock failures observed by submitters and pollers.
+    pub contention: u64,
+    /// Injector polls by workers (hits + misses).
+    pub polls: u64,
+    /// Polls that grabbed a job.
+    pub hits: u64,
+    /// Number of shards the injector was built with.
+    pub shards: u64,
+    /// Inject-to-start latency (ns from submission to job start).
+    pub latency: HistogramSnapshot,
 }
 
 /// A whole-system snapshot: every worker's events and histograms plus
@@ -204,6 +269,9 @@ pub struct TelemetrySnapshot {
     pub workers: Vec<WorkerTrace>,
     /// Named scalar metrics (sorted into the metrics dump as-is).
     pub counters: Vec<(String, u64)>,
+    /// External-submission injector metrics (all-zero when the run had
+    /// no injector).
+    pub injector: InjectorSnapshot,
     /// Scheduling-policy identity of the run that produced this snapshot
     /// (`"victim+backoff+idle/yield-policy"`; empty when unknown).
     pub policy: String,
@@ -281,6 +349,26 @@ mod tests {
         assert_eq!(reg.snapshot().policy, "uniform+yield+spin");
         let plain = Registry::new(1, &TelemetryConfig::default());
         assert_eq!(plain.snapshot().policy, "");
+    }
+
+    #[test]
+    fn injector_latency_and_poll_counts_roundtrip() {
+        let reg = Registry::new(1, &TelemetryConfig { ring_capacity: 16 });
+        let w = reg.worker(0);
+        w.record_at(5, EventKind::InjectorPoll { hit: false });
+        w.record_at(9, EventKind::InjectorPoll { hit: true });
+        w.inject_latency_ns(2_000);
+        reg.inject_latency_ns(3_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.workers[0].injector_polls(), 2);
+        assert_eq!(snap.workers[0].injector_hits(), 1);
+        assert_eq!(snap.injector.latency.count(), 2);
+        // Scalar counters are the pool's to stamp; the registry leaves
+        // them zero.
+        assert_eq!(snap.injector.submissions, 0);
+        assert_eq!(snap.injector.shards, 0);
+        // Injector polls are not steal attempts.
+        assert_eq!(snap.workers[0].steal_attempts(), 0);
     }
 
     #[test]

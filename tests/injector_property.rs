@@ -1,0 +1,190 @@
+//! Randomized exactly-once properties of the sharded external-submission
+//! injector ("front door").
+//!
+//! K non-worker threads submit jobs through [`ThreadPool::spawn`] and
+//! [`ThreadPool::spawn_batch`] while the pool is churning on internal
+//! fork-join work, so externally injected jobs contend with ordinary
+//! deque traffic for the workers' attention. Every submitted job must
+//! execute exactly once — no loss (a dropped segment, a pop that misses
+//! a shard) and no duplication (two workers grabbing the same slot).
+//! As everywhere else, randomness comes from the deterministic
+//! [`DetRng`] with fixed seeds, so every failure is reproducible.
+//!
+//! [`ThreadPool::spawn`]: multiprog_ws::runtime::ThreadPool::spawn
+//! [`ThreadPool::spawn_batch`]: multiprog_ws::runtime::ThreadPool::spawn_batch
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use multiprog_ws::dag::DetRng;
+use multiprog_ws::runtime::{join, PoolConfig, ThreadPool};
+
+/// Runs one seeded churn episode: `submitters` external threads push
+/// `jobs_per_submitter` jobs each (singly or in seeded batches) into a
+/// `workers`-wide pool that is simultaneously running a recursive join
+/// workload. Returns after asserting every job ran exactly once.
+fn exactly_once_episode(seed: u64, workers: usize, submitters: usize, jobs_per_submitter: usize) {
+    let total = submitters * jobs_per_submitter;
+    let pool = Arc::new(ThreadPool::with_config(
+        PoolConfig::default()
+            .with_num_procs(workers)
+            .with_injector_shards(if seed.is_multiple_of(2) { 0 } else { 1 }),
+    ));
+    let counts: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
+
+    // Internal churn: a worker-side fork-join computation keeps the
+    // deques busy while the injector is being hammered.
+    let churn_pool = Arc::clone(&pool);
+    let churn = std::thread::spawn(move || {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        churn_pool.install(|| fib(18))
+    });
+
+    let mut handles = Vec::new();
+    for s in 0..submitters {
+        let pool = Arc::clone(&pool);
+        let counts = Arc::clone(&counts);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = DetRng::new(seed ^ (0x51AB_0000 + s as u64));
+            let mut next = s * jobs_per_submitter;
+            let end = next + jobs_per_submitter;
+            while next < end {
+                if rng.chance(0.5) {
+                    // A seeded batch through the single-shard-lock path.
+                    let len = 1 + rng.below_usize((end - next).min(7));
+                    let jobs: Vec<_> = (next..next + len)
+                        .map(|id| {
+                            let counts = Arc::clone(&counts);
+                            move || {
+                                counts[id].fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                        .collect();
+                    pool.spawn_batch(jobs);
+                    next += len;
+                } else {
+                    let id = next;
+                    let counts = Arc::clone(&counts);
+                    pool.spawn(move || {
+                        counts[id].fetch_add(1, Ordering::Relaxed);
+                    });
+                    next += 1;
+                }
+                if rng.chance(0.25) {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(churn.join().unwrap(), 2584, "fib(18)");
+
+    // Wait for the injector to drain and all jobs to run.
+    while counts.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+        std::thread::yield_now();
+    }
+    let report = Arc::try_unwrap(pool)
+        .unwrap_or_else(|_| panic!("all clones joined"))
+        .shutdown();
+
+    for (id, c) in counts.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            1,
+            "seed {seed:#x}: job {id} ran a wrong number of times"
+        );
+    }
+    assert!(
+        report.stats.injects >= total as u64,
+        "seed {seed:#x}: {} injector grabs for {total} submissions",
+        report.stats.injects
+    );
+    assert!(
+        report.stats.attempts_balance(),
+        "seed {seed:#x}: identity broken: {:?}",
+        report.stats
+    );
+}
+
+/// Exactly-once under churn from 4 external submitters, across seeds
+/// (alternating between per-worker sharding and a single shared shard).
+#[test]
+fn external_submissions_execute_exactly_once_under_churn() {
+    for seed in 0..6u64 {
+        exactly_once_episode(0xF00D_0000 + seed, 4, 4, 200);
+    }
+}
+
+/// Oversubscription: more workers than cores forces real preemption (the
+/// paper's multiprogrammed setting) — exactly-once must survive workers
+/// being descheduled mid-poll.
+#[test]
+fn exactly_once_with_more_workers_than_cores() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    exactly_once_episode(0x0E5B_0001, 2 * cores + 1, 3, 150);
+}
+
+/// Shutdown drains the injector: jobs submitted and never awaited still
+/// execute exactly once before `shutdown` returns.
+#[test]
+fn shutdown_drains_pending_submissions() {
+    for seed in 0..4u64 {
+        let pool = ThreadPool::new(2);
+        let total = 300usize;
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
+        let mut rng = DetRng::new(0xD12A_0000 + seed);
+        let mut next = 0usize;
+        while next < total {
+            let len = 1 + rng.below_usize((total - next).min(9));
+            let jobs: Vec<_> = (next..next + len)
+                .map(|id| {
+                    let counts = Arc::clone(&counts);
+                    move || {
+                        counts[id].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            pool.spawn_batch(jobs);
+            next += len;
+        }
+        // No waiting: shutdown itself must deliver the backlog.
+        let report = pool.shutdown();
+        for (id, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "seed {seed}: job {id}");
+        }
+        assert_eq!(report.stats.jobs, total as u64);
+        assert!(report.stats.attempts_balance(), "{:?}", report.stats);
+    }
+}
+
+/// The backlog gauge reflects pending submissions and returns to zero.
+#[test]
+fn injector_backlog_gauge() {
+    let pool = ThreadPool::new(2);
+    assert_eq!(pool.injector_backlog(), 0);
+    let ran = Arc::new(AtomicU64::new(0));
+    for _ in 0..32 {
+        let ran = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    while ran.load(Ordering::Relaxed) < 32 {
+        std::thread::yield_now();
+    }
+    while pool.injector_backlog() != 0 {
+        std::thread::yield_now();
+    }
+    pool.shutdown();
+    assert_eq!(ran.load(Ordering::Relaxed), 32);
+}

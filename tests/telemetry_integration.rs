@@ -41,13 +41,15 @@ fn fib(n: u64) -> u64 {
 }
 
 /// Parses a Chrome trace export and returns, per worker `tid`, the number
-/// of steal-attempt instant events with each outcome, checking the
-/// required keys on every event on the way.
-fn steal_counts_by_tid(trace: &str, workers: usize) -> Vec<[u64; 3]> {
+/// of steal-attempt instant events with each outcome plus injector-poll
+/// hits and misses (`[hits, aborts, empties, inject_hits,
+/// inject_misses]`), checking the required keys on every event on the
+/// way.
+fn steal_counts_by_tid(trace: &str, workers: usize) -> Vec<[u64; 5]> {
     let parsed = json::parse(trace).expect("chrome trace parses");
     let events = parsed.as_array().expect("top level is an array");
     assert!(!events.is_empty());
-    let mut counts = vec![[0u64; 3]; workers];
+    let mut counts = vec![[0u64; 5]; workers];
     for e in events {
         let name = e.get("name").and_then(|v| v.as_str()).expect("name");
         let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
@@ -65,15 +67,22 @@ fn steal_counts_by_tid(trace: &str, workers: usize) -> Vec<[u64; 3]> {
             "steal_hit" => 0,
             "steal_abort" => 1,
             "steal_empty" => 2,
+            "inject_hit" => 3,
+            "inject_empty" => 4,
             _ => continue,
         };
-        assert_eq!(ph, "i", "steal attempts are instant events");
-        let victim = e
-            .get("args")
-            .and_then(|a| a.get("victim"))
-            .and_then(|v| v.as_f64())
-            .expect("steal event carries its victim") as usize;
-        assert!(victim < workers);
+        assert_eq!(
+            ph, "i",
+            "steal attempts and injector polls are instant events"
+        );
+        if slot < 3 {
+            let victim = e
+                .get("args")
+                .and_then(|a| a.get("victim"))
+                .and_then(|v| v.as_f64())
+                .expect("steal event carries its victim") as usize;
+            assert!(victim < workers);
+        }
         counts[tid][slot] += 1;
     }
     counts
@@ -103,23 +112,54 @@ fn pool_trace_matches_pool_stats() {
     let trace = chrome_trace(snap);
     let counts = steal_counts_by_tid(&trace, p);
     for (i, (w, st)) in snap.workers.iter().zip(&report.per_worker).enumerate() {
-        let [hits, aborts, empties] = counts[i];
+        let [hits, aborts, empties, inj_hits, inj_misses] = counts[i];
         assert_eq!(hits, st.steals, "worker {i} hits");
         assert_eq!(aborts, st.aborts, "worker {i} aborts");
-        assert_eq!(empties, st.empties, "worker {i} empties");
-        assert_eq!(hits + aborts + empties, st.steal_attempts, "worker {i}");
-        assert_eq!(w.steal_attempts(), st.steal_attempts, "worker {i}");
+        // Stats fold injector misses into `empties`; the trace keeps
+        // them distinct as `inject_empty` instants.
+        assert_eq!(empties + inj_misses, st.empties, "worker {i} empties");
+        assert_eq!(inj_hits, st.injects, "worker {i} injects");
+        assert_eq!(
+            hits + aborts + empties + inj_hits + inj_misses,
+            st.steal_attempts,
+            "worker {i}"
+        );
+        assert_eq!(
+            w.steal_attempts() + w.injector_polls(),
+            st.steal_attempts,
+            "worker {i}"
+        );
+        assert_eq!(w.injector_hits(), st.injects, "worker {i}");
         assert_eq!(w.steals_with(StealOutcome::Hit), st.steals, "worker {i}");
         assert!(st.attempts_balance(), "worker {i}");
     }
     assert_eq!(
-        snap.steal_attempts_per_worker(),
+        snap.workers
+            .iter()
+            .map(|w| w.steal_attempts() + w.injector_polls())
+            .collect::<Vec<_>>(),
         report
             .per_worker
             .iter()
             .map(|s| s.steal_attempts)
             .collect::<Vec<_>>()
     );
+    // The two installs flowed through the front door: the injector
+    // section records them, and some worker's counted poll grabbed each.
+    assert_eq!(snap.injector.submissions, 2);
+    assert_eq!(snap.injector.hits, 2);
+    assert_eq!(report.stats.injects, 2);
+    assert_eq!(
+        snap.injector.polls,
+        report
+            .per_worker
+            .iter()
+            .map(|s| s.steal_attempts)
+            .sum::<u64>()
+            - snap.workers.iter().map(|w| w.steal_attempts()).sum::<u64>()
+    );
+    assert!(snap.injector.shards >= 1);
+    assert_eq!(snap.injector.latency.count(), 2, "one sample per grab");
     // Histograms saw every hit and every job execution.
     assert_eq!(snap.steal_latency_all().count(), report.stats.steals);
     assert!(snap.job_run_time_all().count() >= report.stats.jobs);
@@ -154,8 +194,13 @@ fn pool_metrics_json_matches_stats() {
             "worker {i}"
         );
         assert_eq!(
-            field("steal_empties"),
+            field("steal_empties") + field("inject_polls") - field("inject_hits"),
             report.per_worker[i].empties,
+            "worker {i}"
+        );
+        assert_eq!(
+            field("inject_hits"),
+            report.per_worker[i].injects,
             "worker {i}"
         );
         assert_eq!(

@@ -8,10 +8,9 @@
 //! 1. **Conservation** — every consumed value was pushed, and no value
 //!    is consumed twice (the check the untagged §3.3 ABA variant fails).
 //! 2. **The Abort excuse** — every `popTop` that returned NIL by losing
-//!    a `cas` must overlap a successful removal by another process (or
-//!    an observed-empty interval): §3.2's "at some point during the
-//!    invocation … the topmost item is removed from the deque by
-//!    another process".
+//!    a `cas` must overlap a successful removal by another process:
+//!    §3.2's "at some point during the invocation … the topmost item is
+//!    removed from the deque by another process".
 //! 3. **Linearizability of the good ops** — a Wing–Gong search must
 //!    find linearization points, one inside each non-Abort invocation's
 //!    interval, such that the results agree with a serial deque
@@ -116,8 +115,17 @@ pub fn conservation(history: &[Invocation]) -> Result<(), String> {
     Ok(())
 }
 
-/// Every Abort must overlap a removal by another process (or trivially,
-/// an overlapping owner reset — any overlapping successful pop counts).
+/// Every Abort must overlap an actual removal by another process —
+/// `Popped(Some(_))` or `Taken(_)`. An observed-empty `Popped(None)` is
+/// deliberately *not* an excuse: in the ABP algorithm an abort's `cas`
+/// fails only because `age` was written inside the abort's interval,
+/// and although the owner's empty-reset path does write `age` while
+/// returning NIL, reaching that reset from the state the aborting
+/// `popTop` observed (`bot > top`) requires the deque to cross from
+/// nonempty to empty inside the same interval — and that crossing is
+/// itself a removal (`popBottom` → Some, or a winning steal) whose
+/// invocation overlaps the abort. Accepting any empty pop would instead
+/// mask a deque bug where `popTop` aborts spuriously on an empty deque.
 pub fn aborts_excused(history: &[Invocation]) -> Result<(), String> {
     for inv in history {
         if inv.result != OpResult::Stolen(SimSteal::Abort) {
@@ -129,9 +137,7 @@ pub fn aborts_excused(history: &[Invocation]) -> Result<(), String> {
                 && other.end >= inv.start
                 && matches!(
                     other.result,
-                    OpResult::Popped(Some(_))
-                        | OpResult::Stolen(SimSteal::Taken(_))
-                        | OpResult::Popped(None)
+                    OpResult::Popped(Some(_)) | OpResult::Stolen(SimSteal::Taken(_))
                 )
         });
         if !excused {

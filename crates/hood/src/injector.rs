@@ -187,8 +187,8 @@ impl Injector {
             match self.shards[idx].q.try_lock() {
                 Ok(mut q) => {
                     q.push((word, submit_ns));
-                    drop(q);
                     self.finish_push(1);
+                    drop(q);
                     return;
                 }
                 Err(_) => {
@@ -198,8 +198,8 @@ impl Injector {
         }
         let mut q = self.shards[ticket & self.mask].q.lock().unwrap();
         q.push((word, submit_ns));
-        drop(q);
         self.finish_push(1);
+        drop(q);
     }
 
     /// Submits a batch under a single shard lock (one lock acquisition
@@ -220,10 +220,15 @@ impl Injector {
         for &w in words {
             q.push((w, submit_ns));
         }
-        drop(q);
         self.finish_push(words.len());
+        drop(q);
     }
 
+    /// Counter updates for `n` just-enqueued jobs. Must run while the
+    /// shard lock is still held: a popper can only reach the new items
+    /// after the lock drops, so `pending` is always >= the number of
+    /// live items and the pop-side `fetch_sub` can never underflow
+    /// (`pending` may transiently over-count, never under-count).
     fn finish_push(&self, n: usize) {
         self.submissions.fetch_add(n as u64, Ordering::Relaxed);
         self.pending.fetch_add(n, Ordering::Release);

@@ -194,11 +194,15 @@ pub(crate) struct Shared {
 
 impl Shared {
     /// Timestamp for an external submission (0 when tracing is off: the
-    /// latency histogram is then skipped on the worker side).
+    /// latency histogram is then skipped on the worker side). With
+    /// tracing on, the stamp is clamped to at least 1ns so a submission
+    /// landing exactly on the registry epoch can never be mistaken for
+    /// the tracing-off sentinel (and silently dropped from the
+    /// histogram).
     fn submit_ns(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
-            self.registry.as_ref().map(|r| r.now_ns()).unwrap_or(0)
+            self.registry.as_ref().map(|r| r.now_ns().max(1)).unwrap_or(0)
         }
         #[cfg(not(feature = "telemetry"))]
         {
@@ -488,6 +492,12 @@ fn worker_main(ctx: WorkerCtx) {
                         let _ = shared
                             .sleep_cv
                             .wait_timeout(guard, Duration::from_micros(us as u64));
+                    } else {
+                        // Release the sleep lock before polling: the job
+                        // below runs arbitrary user code, which must never
+                        // execute while holding the pool-wide park lock
+                        // (every other parking worker would block on it).
+                        drop(guard);
                     }
                     #[cfg(feature = "telemetry")]
                     ctx.tele_record(EventKind::Unpark);
@@ -661,8 +671,10 @@ impl ThreadPool {
     /// grabs it from the sharded injector. Fire-and-forget: use
     /// [`ThreadPool::install`] (or channels/latches inside `f`) when
     /// the caller needs the result. Jobs accepted before
-    /// [`ThreadPool::shutdown`] are guaranteed to execute exactly once
-    /// (workers drain the injector before exiting).
+    /// [`ThreadPool::shutdown`] returns are guaranteed to execute
+    /// exactly once (workers drain the injector before exiting, and
+    /// `shutdown` itself runs any straggler that slipped in after the
+    /// last worker's final sweep — nothing is leaked).
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
@@ -732,6 +744,18 @@ impl ThreadPool {
         self.shared.sleep_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Workers drain the injector before exiting, but a submission
+        // racing the shutdown flag could in principle land after the
+        // last worker's final sweep. Run (not leak) any stragglers here
+        // — every accepted job executes exactly once. Workers are gone,
+        // so this thread is the only consumer.
+        while let Some((word, _)) = self.shared.injector.pop_blocking(0) {
+            // SAFETY: the word came out of the injector exactly once,
+            // so this is the job's single execution.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                JobRef::from_word(word).execute()
+            }));
         }
         let stats = self.stats();
         debug_assert!(

@@ -31,12 +31,13 @@ fn main() {
         "policies-small" => vec![exp::policies(true)],
         "serve" => vec![exp::serve(false)],
         "serve-small" => vec![exp::serve(true)],
+        "hotpath" => vec![exp::hotpath()],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
-                 policies policies-small serve serve-small"
+                 policies policies-small serve serve-small hotpath"
             );
             std::process::exit(2);
         }

@@ -1629,6 +1629,203 @@ pub fn serve(small: bool) -> ExpResult {
     )
 }
 
+/// HP1 — the hot-path memory-ordering relaxation: perf trajectory plus
+/// behavioural goldens.
+///
+/// Three parts, one artifact (`target/BENCH_hotpath.json`, validated with
+/// the in-repo JSON parser; a blessed copy is committed at the repo root):
+///
+/// 1. **Sim-counter sanity** — the relaxation touches only memory
+///    orderings, so the simulator's deterministic steal/abort accounting
+///    under `PolicySet::paper()` must still match the pre-relaxation
+///    goldens (the same values `crates/sim/tests/policy_regression.rs`
+///    pins) exactly.
+/// 2. **Owner ping-pong before/after** — `pushBottom`/`popBottom` pairs
+///    timed under the blanket-SeqCst profile and the relaxed profile in
+///    this same binary (both monomorphizations of the same generic code);
+///    the acceptance bar is a ≥ 10% median improvement.
+/// 3. **Four-way identity** — a live pool doing fork-join work plus
+///    external submissions must keep
+///    `attempts == steals + aborts + empties + injects`.
+pub fn hotpath() -> ExpResult {
+    use abp_deque::{new_with_order, OrderProfile, RelaxedProtocol, SeqCstProtocol};
+    use abp_telemetry::json;
+    use hood::{join, ThreadPool};
+    use std::time::Instant;
+
+    let mut pass = true;
+    let mut body = String::new();
+
+    // -- (1) sim-counter sanity against the policy-regression goldens ----
+    // (dag, p, seed, kernel, expected attempts/steals/throws) — the
+    // steal-accounting columns of the policy_regression corpus.
+    let cases: Vec<(&str, Dag, usize, u64, Box<dyn Kernel>, u64, u64, u64)> = vec![
+        (
+            "fork-join(8,2)/dedicated",
+            gen::fork_join_tree(8, 2),
+            4,
+            11,
+            Box::new(DedicatedKernel::new(4)),
+            21,
+            5,
+            3,
+        ),
+        (
+            "fib(14,3)/dedicated",
+            gen::fib(14, 3),
+            8,
+            7,
+            Box::new(DedicatedKernel::new(8)),
+            103,
+            23,
+            15,
+        ),
+        (
+            "wide(64,25)/benign",
+            gen::wide_shallow(64, 25),
+            6,
+            3,
+            Box::new(BenignKernel::new(6, CountSource::UniformBetween(2, 6), 99)),
+            88,
+            19,
+            12,
+        ),
+    ];
+    let mut t = TextTable::new(["case", "attempts", "steals", "throws", "golden"]);
+    let mut sim_json = String::new();
+    for (name, dag, p, seed, mut k, g_attempts, g_steals, g_throws) in cases {
+        let cfg = WsConfig::default().with_seed(seed);
+        assert_eq!(cfg.policies, abp_sim::PolicySet::paper());
+        let r = run_ws(&dag, p, k.as_mut(), cfg);
+        let ok = r.completed
+            && r.steal_accounting_balanced()
+            && r.steal_attempts == g_attempts
+            && r.successful_steals == g_steals
+            && r.throws == g_throws;
+        pass &= ok;
+        t.row([
+            name.to_string(),
+            r.steal_attempts.to_string(),
+            r.successful_steals.to_string(),
+            r.throws.to_string(),
+            if ok { "match" } else { "DRIFT" }.to_string(),
+        ]);
+        if !sim_json.is_empty() {
+            sim_json.push_str(",\n");
+        }
+        write!(
+            sim_json,
+            "    {{\"case\":\"{}\",\"attempts\":{},\"steals\":{},\"throws\":{},\"golden\":{}}}",
+            name, r.steal_attempts, r.successful_steals, r.throws, ok
+        )
+        .unwrap();
+    }
+
+    // -- (2) owner ping-pong, blanket SeqCst vs relaxed protocol ---------
+    fn pingpong_ns<P: OrderProfile>() -> f64 {
+        const OPS: u64 = 200_000;
+        const SAMPLES: usize = 9;
+        let (w, _s) = new_with_order::<u64, P>(1 << 12);
+        let mut per_op: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for i in 0..OPS {
+                w.push_bottom(std::hint::black_box(i)).unwrap();
+                std::hint::black_box(w.pop_bottom());
+            }
+            per_op.push(t0.elapsed().as_nanos() as f64 / OPS as f64);
+        }
+        per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_op[SAMPLES / 2]
+    }
+    // Warm both paths once before timing.
+    let _ = (
+        pingpong_ns::<SeqCstProtocol>(),
+        pingpong_ns::<RelaxedProtocol>(),
+    );
+    let seq_ns = pingpong_ns::<SeqCstProtocol>();
+    let rel_ns = pingpong_ns::<RelaxedProtocol>();
+    let improvement = 1.0 - rel_ns / seq_ns;
+    pass &= improvement >= 0.10;
+
+    // -- (3) four-way identity on a live pool ----------------------------
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    let pool = ThreadPool::new(4);
+    pass &= pool.install(|| fib(18)) == 2_584;
+    let submitted = 64u64;
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    for _ in 0..submitted {
+        let done = std::sync::Arc::clone(&done);
+        pool.spawn(move || {
+            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    while done.load(std::sync::atomic::Ordering::Relaxed) < submitted {
+        std::thread::yield_now();
+    }
+    let report = pool.shutdown();
+    let st = &report.stats;
+    pass &= st.attempts_balance();
+    // install roots also enter through the injector.
+    pass &= st.injects >= submitted;
+    for (i, w) in report.per_worker.iter().enumerate() {
+        pass &= w.attempts_balance();
+        let _ = i;
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"pingpong\": {{\"seqcst_ns\": {:.1}, \
+         \"relaxed_ns\": {:.1}, \"median_improvement\": {:.4}}},\n  \"sim_goldens\": [\n{}\n  ],\n  \
+         \"pool\": {{\"attempts\": {}, \"steals\": {}, \"aborts\": {}, \"empties\": {}, \
+         \"injects\": {}, \"balanced\": {}}}\n}}\n",
+        seq_ns,
+        rel_ns,
+        improvement,
+        sim_json,
+        st.steal_attempts,
+        st.steals,
+        st.aborts,
+        st.empties,
+        st.injects,
+        st.attempts_balance(),
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_hotpath.json", &artifact).is_ok();
+
+    writeln!(
+        body,
+        "owner ping-pong: SeqCst {seq_ns:.1} ns/op → relaxed {rel_ns:.1} ns/op \
+         ({:.1}% median improvement; bar ≥ 10%)\n\
+         pool identity: attempts {} == steals {} + aborts {} + empties {} + injects {}\n\
+         wrote target/BENCH_hotpath.json ({} bytes{})\n\nsim goldens (PolicySet::paper()):\n{}",
+        improvement * 100.0,
+        st.steal_attempts,
+        st.steals,
+        st.aborts,
+        st.empties,
+        st.injects,
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render()
+    )
+    .unwrap();
+
+    ExpResult::new(
+        "HP1",
+        "Hot path: memory-ordering relaxation trajectory",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -1652,5 +1849,6 @@ pub fn all() -> Vec<ExpResult> {
         telemetry(),
         policies(false),
         serve(false),
+        hotpath(),
     ]
 }

@@ -17,25 +17,35 @@ pub use std::hint::black_box as bb;
 /// Target minimum duration of one timed sample.
 const MIN_SAMPLE_NS: u64 = 1_000_000;
 
+/// Sample-duration target and cap in `--quick` mode (the CI smoke run):
+/// shorter samples, at most this many of them.
+const QUICK_SAMPLE_NS: u64 = 50_000;
+const QUICK_SAMPLES: usize = 5;
+
 /// Top-level driver; parses the CLI filter and prints the header.
 pub struct Harness {
     filter: Option<String>,
+    quick: bool,
 }
 
 impl Harness {
-    /// Builds from `std::env::args`, ignoring cargo's `--bench` flag and
-    /// treating the first free argument as a name filter.
+    /// Builds from `std::env::args`, ignoring cargo's `--bench` flag,
+    /// treating the first free argument as a name filter, and honouring
+    /// `--quick` (short samples, few of them — the CI smoke mode).
     pub fn from_args(title: &str) -> Self {
-        let filter = std::env::args()
-            .skip(1)
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let filter = args
+            .iter()
             .find(|a| !a.starts_with('-'))
-            .filter(|a| !a.is_empty());
-        println!("# {title}");
+            .filter(|a| !a.is_empty())
+            .cloned();
+        println!("# {title}{}", if quick { " (quick)" } else { "" });
         println!(
             "{:<44} {:>12} {:>12} {:>12} {:>14}",
             "benchmark", "median", "mean", "min", "throughput"
         );
-        Harness { filter }
+        Harness { filter, quick }
     }
 
     /// Opens a named benchmark group.
@@ -90,16 +100,21 @@ impl Group<'_> {
                 return;
             }
         }
-        // Warm-up and calibration: how many calls make a ≥ 1 ms sample?
+        let (sample_ns, samples) = if self.harness.quick {
+            (QUICK_SAMPLE_NS, self.samples.min(QUICK_SAMPLES))
+        } else {
+            (MIN_SAMPLE_NS, self.samples)
+        };
+        // Warm-up and calibration: how many calls make a full sample?
         let once = {
             let input = setup();
             let t0 = Instant::now();
             f(black_box(input));
             t0.elapsed().as_nanos().max(1) as u64
         };
-        let iters = (MIN_SAMPLE_NS / once).clamp(1, 1_000_000);
-        let mut per_call: Vec<u64> = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
+        let iters = (sample_ns / once).clamp(1, 1_000_000);
+        let mut per_call: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
             let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
             let t0 = Instant::now();
             for input in inputs {
@@ -163,7 +178,10 @@ mod tests {
 
     #[test]
     fn bench_runs_and_reports() {
-        let h = Harness { filter: None };
+        let h = Harness {
+            filter: None,
+            quick: false,
+        };
         let mut g = h.group("smoke");
         g.sample_size(3);
         let mut count = 0u64;
@@ -177,10 +195,26 @@ mod tests {
     fn filter_skips_nonmatching() {
         let h = Harness {
             filter: Some("nomatch".to_string()),
+            quick: false,
         };
         let mut g = h.group("smoke");
         let mut ran = false;
         g.bench("skipped", || ran = true);
         assert!(!ran);
+    }
+
+    #[test]
+    fn quick_mode_caps_samples_and_still_runs() {
+        let h = Harness {
+            filter: None,
+            quick: true,
+        };
+        let mut g = h.group("smoke");
+        g.sample_size(50);
+        let mut count = 0u64;
+        g.bench("counting", || {
+            count = count.wrapping_add(1);
+        });
+        assert!(count > 0);
     }
 }

@@ -20,6 +20,28 @@
 //! model checker in [`crate::model`] verifies the protocol logic
 //! exhaustively at small scope).
 //!
+//! # Memory orderings
+//!
+//! The point of the Figure-5 protocol is that the owner's hot path is a
+//! handful of plain loads and stores; paying a full fence (`SeqCst`) on
+//! each of them squanders it. Every access below names its ordering
+//! through an [`OrderProfile`] and cites the protocol invariant that
+//! licenses it (the `INV-*` names and the full argument live in
+//! [`crate::order`]; DESIGN.md §7 maps them to Figure 4/5 lines). The
+//! single deliberate full fence on each side of the §3.3 owner/thief
+//! window is `P::owner_fence()` / `P::thief_fence()`. The profile is
+//! [`DefaultProtocol`] unless instantiated explicitly via
+//! [`new_with_order`] — which is how the `hotpath` benchmarks compare the
+//! relaxed protocol against the blanket-SeqCst baseline in one binary —
+//! and the `seqcst-fallback` cargo feature flips the default back to
+//! all-`SeqCst` so behavioural equivalence can be pinned in CI.
+//!
+//! The store→load reordering that makes the fence necessary is modeled
+//! (and its omission caught) by [`crate::sim_deque::MemModel`] in the
+//! exhaustive checker, and the whole protocol re-runs under the
+//! linearizability history suite (`tests/atomic_linearizability.rs`) at
+//! 3 thieves.
+//!
 //! This implementation meets the paper's *relaxed semantics* (§3.2): owner
 //! operations and successful steals are linearizable; a [`Steal::Abort`]
 //! result corresponds to a `popTop` that lost a race and may be retried.
@@ -32,9 +54,10 @@
 //! `pushBottom`/`popBottom` invocations are ever concurrent). `Stealer` is
 //! `Clone + Send + Sync` and may be used from any number of processes.
 
+use crate::order::{DefaultProtocol, OrderProfile};
 use crate::word::Word;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Packed `age` word: tag in the high 32 bits, top in the low 32 bits —
@@ -60,9 +83,17 @@ impl AgeWord {
     }
 }
 
+/// Pads a word onto its own cache line. `age` is CAS-hammered by thieves
+/// while `bot` is stored by the owner on every push/pop; sharing a line
+/// would turn every owner operation into a coherence miss whenever any
+/// thief is scanning. 128 bytes covers adjacent-line prefetch pairing on
+/// modern x86 as well as plain 64-byte lines.
+#[repr(align(128))]
+struct Line<T>(T);
+
 struct Inner<T: Word> {
-    age: AtomicU64,
-    bot: AtomicU64,
+    age: Line<AtomicU64>,
+    bot: Line<AtomicU64>,
     deq: Box<[AtomicU64]>,
     _marker: PhantomData<T>,
 }
@@ -102,25 +133,28 @@ impl<T> Steal<T> {
 }
 
 /// The owner handle: `pushBottom` and `popBottom`.
-pub struct Worker<T: Word> {
+pub struct Worker<T: Word, P: OrderProfile = DefaultProtocol> {
     inner: Arc<Inner<T>>,
     // !Sync: a Worker must not be shared across processes.
     _not_sync: PhantomData<std::cell::Cell<()>>,
+    _order: PhantomData<fn() -> P>,
 }
 
 // A Worker may migrate between OS threads (processes are multiplexed), but
 // never be used by two at once.
-unsafe impl<T: Word> Send for Worker<T> {}
+unsafe impl<T: Word, P: OrderProfile> Send for Worker<T, P> {}
 
 /// A thief handle: `popTop`. Freely cloneable and shareable.
-pub struct Stealer<T: Word> {
+pub struct Stealer<T: Word, P: OrderProfile = DefaultProtocol> {
     inner: Arc<Inner<T>>,
+    _order: PhantomData<fn() -> P>,
 }
 
-impl<T: Word> Clone for Stealer<T> {
+impl<T: Word, P: OrderProfile> Clone for Stealer<T, P> {
     fn clone(&self) -> Self {
         Stealer {
             inner: Arc::clone(&self.inner),
+            _order: PhantomData,
         }
     }
 }
@@ -146,11 +180,18 @@ impl<T: Word> Clone for Stealer<T> {
 /// index past `capacity`, in which case [`Worker::push_bottom`] reports
 /// [`PushError`] instead of overwriting live entries. Size generously.
 pub fn new<T: Word>(capacity: usize) -> (Worker<T>, Stealer<T>) {
+    new_with_order::<T, DefaultProtocol>(capacity)
+}
+
+/// [`new`], but with an explicit [`OrderProfile`] — used by the benchmarks
+/// to compare [`crate::order::RelaxedProtocol`] against the blanket-SeqCst
+/// baseline ([`crate::order::SeqCstProtocol`]) in the same binary.
+pub fn new_with_order<T: Word, P: OrderProfile>(capacity: usize) -> (Worker<T, P>, Stealer<T, P>) {
     assert!(capacity >= 1 && capacity <= u32::MAX as usize);
     let deq = (0..capacity).map(|_| AtomicU64::new(0)).collect();
     let inner = Arc::new(Inner {
-        age: AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack()),
-        bot: AtomicU64::new(0),
+        age: Line(AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack())),
+        bot: Line(AtomicU64::new(0)),
         deq,
         _marker: PhantomData,
     });
@@ -158,8 +199,12 @@ pub fn new<T: Word>(capacity: usize) -> (Worker<T>, Stealer<T>) {
         Worker {
             inner: Arc::clone(&inner),
             _not_sync: PhantomData,
+            _order: PhantomData,
         },
-        Stealer { inner },
+        Stealer {
+            inner,
+            _order: PhantomData,
+        },
     )
 }
 
@@ -168,22 +213,28 @@ pub fn new<T: Word>(capacity: usize) -> (Worker<T>, Stealer<T>) {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PushError<T>(pub T);
 
-impl<T: Word> Worker<T> {
+impl<T: Word, P: OrderProfile> Worker<T, P> {
     /// `pushBottom` (Figure 5): store the node at `deq[bot]` and advance
     /// `bot`. Owner-only; never blocks, never fails except on array
     /// exhaustion.
     pub fn push_bottom(&self, node: T) -> Result<(), PushError<T>> {
         let inner = &*self.inner;
-        // 1: load localBot <- bot  (owner is the only writer of bot).
-        let local_bot = inner.bot.load(Ordering::Relaxed);
+        // 1: load localBot <- bot. Relaxed: the owner is the sole writer
+        // of bot, so coherence alone yields its own latest value
+        // [INV-OWNER].
+        let local_bot = inner.bot.0.load(P::RELAXED);
         if local_bot as usize >= inner.deq.len() {
             return Err(PushError(node));
         }
-        // 2: store node -> deq[localBot].
-        inner.deq[local_bot as usize].store(node.to_word(), Ordering::Relaxed);
-        // 3-4: store localBot + 1 -> bot. Release so a thief that observes
-        // the new bot also observes the slot contents.
-        inner.bot.store(local_bot + 1, Ordering::Release);
+        // 2: store node -> deq[localBot]. Relaxed: published by the
+        // Release store of bot below [INV-PUSH]; a thief that reads the
+        // slot without having acquired that bot has its value rejected by
+        // the tag cas [INV-TAG].
+        inner.deq[local_bot as usize].store(node.to_word(), P::RELAXED);
+        // 3-4: store localBot + 1 -> bot. Release: a thief that
+        // Acquire-loads the advanced bot also observes the slot contents
+        // [INV-PUSH].
+        inner.bot.0.store(local_bot + 1, P::RELEASE);
         Ok(())
     }
 
@@ -191,53 +242,73 @@ impl<T: Word> Worker<T> {
     /// thieves through `age` if the deque looked empty or nearly so.
     pub fn pop_bottom(&self) -> Option<T> {
         let inner = &*self.inner;
-        // 1: load localBot <- bot.
-        let local_bot = inner.bot.load(Ordering::Relaxed);
+        // 1: load localBot <- bot. Relaxed: owner is bot's sole writer
+        // [INV-OWNER].
+        let local_bot = inner.bot.0.load(P::RELAXED);
         // 2-3: empty deque.
         if local_bot == 0 {
             return None;
         }
-        // 4-5: localBot -= 1; store localBot -> bot. SeqCst: the store must
-        // be globally ordered before the subsequent age load (store-load
-        // fence), otherwise a thief and the owner can both take the last
-        // entry.
+        // 4-5: localBot -= 1; store localBot -> bot. Relaxed: the claim
+        // only *decides* anything at the fence below [INV-FENCE], and a
+        // shrinking bot publishes no data [INV-PUSH is about pushes].
         let local_bot = local_bot - 1;
-        inner.bot.store(local_bot, Ordering::SeqCst);
-        // 6: load node <- deq[localBot].
-        let node = T::from_word(inner.deq[local_bot as usize].load(Ordering::Relaxed));
-        // 7: load oldAge <- age.
-        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        inner.bot.0.store(local_bot, P::RELAXED);
+        // The §3.3 owner/thief race window: the claim store must be
+        // globally ordered before the age load, or a thief (whose
+        // symmetric fence sits between its age and bot loads) and the
+        // owner could both observe the pre-race state and take the same
+        // entry — the store-buffering outcome [INV-FENCE]. This is the
+        // one full fence the owner ever pays.
+        P::owner_fence();
+        // 6: load node <- deq[localBot]. Relaxed: the owner wrote this
+        // slot itself [INV-OWNER].
+        let node = T::from_word(inner.deq[local_bot as usize].load(P::RELAXED));
+        // 7: load oldAge <- age. Acquire: ordered after the claim store by
+        // the fence [INV-FENCE]; synchronizes with the Release half of any
+        // observed steal cas, so the slot rewrites that follow a reset
+        // cannot be read by that thief's earlier slot read [INV-STEAL-HB].
+        let old_age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
         // 8-9: plenty of entries left: the claimed one is ours.
         if local_bot > old_age.top as u64 {
             return Some(node);
         }
         // 10: the deque is now empty or we are racing thieves for the last
-        // entry. Reset bot.
-        inner.bot.store(0, Ordering::SeqCst);
+        // entry. Reset bot. Relaxed: published by the Release age reset
+        // below — a thief that observes the new age also observes bot = 0
+        // [INV-RESET].
+        inner.bot.0.store(0, P::RELAXED);
         // 11-12: fresh age: top = 0, bumped tag.
         let new_age = AgeWord {
             tag: old_age.tag.wrapping_add(1),
             top: 0,
         };
-        // 13-16: race for the last entry.
+        // 13-16: race for the last entry. Success AcqRel: Release
+        // publishes the bot reset [INV-RESET] (the last-entry race itself
+        // is arbitrated by per-location cas atomicity on age). Failure
+        // Acquire: the failure load reads the winning thief's Release cas,
+        // and the owner goes on to reset and reuse low slots
+        // [INV-STEAL-HB].
         if local_bot == old_age.top as u64
             && inner
                 .age
+                .0
                 .compare_exchange(
                     old_age.pack(),
                     new_age.pack(),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    P::RESET_CAS,
+                    P::RESET_CAS_FAIL,
                 )
                 .is_ok()
         {
             return Some(node);
         }
         // 17-18: a thief won (or the deque was already empty): publish the
-        // reset age and give up. Only the owner ever *stores* age directly,
-        // so this cannot clobber a concurrent thief update beyond what the
-        // algorithm intends.
-        inner.age.store(new_age.pack(), Ordering::SeqCst);
+        // reset age and give up. Release: publishes bot = 0 [INV-RESET].
+        // Only the owner ever *stores* age directly, so this cannot
+        // clobber a concurrent thief update beyond what the algorithm
+        // intends.
+        inner.age.0.store(new_age.pack(), P::RELEASE);
         None
     }
 
@@ -248,43 +319,59 @@ impl<T: Word> Worker<T> {
     }
 
     /// Creates another stealer handle for this deque.
-    pub fn stealer(&self) -> Stealer<T> {
+    pub fn stealer(&self) -> Stealer<T, P> {
         Stealer {
             inner: Arc::clone(&self.inner),
+            _order: PhantomData,
         }
     }
 }
 
-impl<T: Word> Stealer<T> {
+impl<T: Word, P: OrderProfile> Stealer<T, P> {
     /// `popTop` (Figure 5): read `age` and `bot`, and if the deque is
     /// non-empty try to advance `top` with a `cas` on the whole age word.
     pub fn pop_top(&self) -> Steal<T> {
         let inner = &*self.inner;
-        // 1: load oldAge <- age.
-        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
-        // 2: load localBot <- bot.
-        let local_bot = inner.bot.load(Ordering::SeqCst);
+        // 1: load oldAge <- age. Acquire: a thief that observes a reset
+        // age must also observe bot = 0 (pairs with the owner's Release
+        // reset) instead of acting on a stale large bot [INV-RESET].
+        let old_age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
+        // The thief half of the §3.3 window: the age load must be
+        // globally ordered before the bot load, mirroring the owner's
+        // fence between its claim store and age load [INV-FENCE].
+        P::thief_fence();
+        // 2: load localBot <- bot. Acquire: pairs with pushBottom's
+        // Release so the slot store below bot is visible [INV-PUSH].
+        let local_bot = inner.bot.0.load(P::ACQUIRE);
         // 3-4: empty.
         if local_bot <= old_age.top as u64 {
             return Steal::Empty;
         }
         // 5: read the top entry *before* the cas; a successful cas
         // validates that this read saw the live value (the tag makes a
-        // stale read impossible to validate).
-        let node = T::from_word(inner.deq[old_age.top as usize].load(Ordering::Relaxed));
+        // stale read impossible to validate [INV-TAG]), so Relaxed
+        // suffices here.
+        let node = T::from_word(inner.deq[old_age.top as usize].load(P::RELAXED));
         // 6-7: newAge = oldAge with top + 1.
         let new_age = AgeWord {
             tag: old_age.tag,
             top: old_age.top + 1,
         };
-        // 8-10: the cas; success means we own the entry.
+        // 8-10: the cas; success means we own the entry. SeqCst (not
+        // AcqRel): the successful steal must enter the single total order
+        // so a third agent's fence-separated loads cannot observe it while
+        // the owner's post-fence age load misses it — see the three-agent
+        // argument in [`crate::order`] [INV-FENCE]; its Release half also
+        // keeps the slot read above ordered before the epoch can advance
+        // [INV-STEAL-HB]. Failure Relaxed: the attempt is abandoned.
         if inner
             .age
+            .0
             .compare_exchange(
                 old_age.pack(),
                 new_age.pack(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                P::STEAL_CAS,
+                P::STEAL_CAS_FAIL,
             )
             .is_ok()
         {
@@ -301,14 +388,18 @@ impl<T: Word> Stealer<T> {
 }
 
 fn len_hint<T: Word>(inner: &Inner<T>) -> usize {
-    let age = AgeWord::unpack(inner.age.load(Ordering::Relaxed));
-    let bot = inner.bot.load(Ordering::Relaxed);
+    // Diagnostic only: Relaxed reads of both words; the answer is stale
+    // the instant it is produced regardless of ordering.
+    let age = AgeWord::unpack(inner.age.0.load(std::sync::atomic::Ordering::Relaxed));
+    let bot = inner.bot.0.load(std::sync::atomic::Ordering::Relaxed);
     bot.saturating_sub(age.top as u64) as usize
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::order::{RelaxedProtocol, SeqCstProtocol};
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn age_word_packs_losslessly() {
@@ -316,6 +407,17 @@ mod tests {
             let a = AgeWord { tag, top };
             assert_eq!(AgeWord::unpack(a.pack()), a);
         }
+    }
+
+    #[test]
+    fn age_and_bot_live_on_separate_cache_lines() {
+        let (w, _s) = new::<u64>(4);
+        let inner = &*w.inner;
+        let age = &inner.age.0 as *const _ as usize;
+        let bot = &inner.bot.0 as *const _ as usize;
+        assert_eq!(age % 128, 0);
+        assert_eq!(bot % 128, 0);
+        assert!(age.abs_diff(bot) >= 128);
     }
 
     #[test]
@@ -342,14 +444,13 @@ mod tests {
         assert_eq!(s.pop_top(), Steal::Empty);
     }
 
-    #[test]
-    fn mixed_sequential_matches_spec() {
+    fn mixed_sequential_matches_spec_with<P: OrderProfile>() {
         // Sequentially interleaved owner/thief ops must agree with a
-        // VecDeque specification exactly.
+        // VecDeque specification exactly — under both order profiles.
         use std::collections::VecDeque;
         // bot only resets when the owner drains the deque, so capacity
         // must cover the total number of pushes in the worst case.
-        let (w, s) = new::<u64>(10_001);
+        let (w, s) = new_with_order::<u64, P>(10_001);
         let mut spec: VecDeque<u64> = VecDeque::new();
         let mut x = 0u64;
         let mut rng = 0x12345678u64;
@@ -373,6 +474,12 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_sequential_matches_spec() {
+        mixed_sequential_matches_spec_with::<RelaxedProtocol>();
+        mixed_sequential_matches_spec_with::<SeqCstProtocol>();
     }
 
     #[test]
@@ -431,14 +538,13 @@ mod tests {
         assert_eq!(w.len_hint(), 3);
     }
 
-    #[test]
-    fn concurrent_owner_and_thieves_conserve_items() {
+    fn concurrent_conservation_with<P: OrderProfile>() {
         // Every pushed value is consumed exactly once across the owner and
         // 3 thieves. Runs even on a single core: preemption provides the
         // interleaving.
         use std::sync::atomic::{AtomicBool, AtomicU8};
         const N: usize = 20_000;
-        let (w, s) = new::<u64>(N + 1);
+        let (w, s) = new_with_order::<u64, P>(N + 1);
         let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
         let done = Arc::new(AtomicBool::new(false));
 
@@ -490,5 +596,15 @@ mod tests {
                 "value {i} consumed wrong number of times"
             );
         }
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_conserve_items() {
+        concurrent_conservation_with::<RelaxedProtocol>();
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_conserve_items_seqcst_baseline() {
+        concurrent_conservation_with::<SeqCstProtocol>();
     }
 }

@@ -24,6 +24,14 @@
 //! wait-free, but never blocks on other processes); thieves are
 //! non-blocking exactly as before.
 //!
+//! Memory orderings follow [`crate::atomic`] exactly (same
+//! [`OrderProfile`] constants, same `INV-*` citations — see
+//! [`crate::order`]); the only growable-specific edge is the buffer
+//! pointer, which the owner publishes with a `Release` swap and thieves
+//! read with `Acquire` so the copied slot contents (plain initialization
+//! writes) are visible before the pointer is dereferenced
+//! \[INV-GROW below\].
+//!
 //! Like the fixed-capacity deque's `tag`, the 32-bit `top` field bounds
 //! extreme behaviour: `top` wraps only after 2³² steals occur without the
 //! owner ever draining the deque (every drain resets the indices). A
@@ -32,10 +40,11 @@
 //! empties the deque should use bounded batches.
 
 use crate::atomic::Steal;
+use crate::order::{DefaultProtocol, OrderProfile};
 use crate::word::Word;
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64};
 use std::sync::Arc;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,10 +80,17 @@ impl Buffer {
     }
 }
 
+/// Pads a word onto its own cache line (see [`crate::atomic`]): `age` is
+/// CAS-hammered by thieves while the owner stores `bot` on every
+/// push/pop. The buffer pointer rides with `bot` writes far more rarely
+/// than thieves read it, so it gets its own line too.
+#[repr(align(128))]
+struct Line<T>(T);
+
 struct Inner<T: Word> {
-    age: AtomicU64,
-    bot: AtomicU64,
-    buffer: AtomicPtr<Buffer>,
+    age: Line<AtomicU64>,
+    bot: Line<AtomicU64>,
+    buffer: Line<AtomicPtr<Buffer>>,
     /// Superseded buffers, kept alive so preempted thieves can finish
     /// reading them. Pushed to only by the owner (`GrowableWorker` is
     /// `!Sync`), drained only in `Drop` when no handles remain. The
@@ -92,7 +108,7 @@ impl<T: Word> Drop for Inner<T> {
     fn drop(&mut self) {
         // Sole owner at this point: reclaim the current buffer directly
         // (`retired` drops itself).
-        let ptr = *self.buffer.get_mut();
+        let ptr = *self.buffer.0.get_mut();
         if !ptr.is_null() {
             unsafe {
                 drop(Box::from_raw(ptr));
@@ -102,33 +118,45 @@ impl<T: Word> Drop for Inner<T> {
 }
 
 /// Owner handle of a growable ABP deque.
-pub struct GrowableWorker<T: Word> {
+pub struct GrowableWorker<T: Word, P: OrderProfile = DefaultProtocol> {
     inner: Arc<Inner<T>>,
     _not_sync: PhantomData<std::cell::Cell<()>>,
+    _order: PhantomData<fn() -> P>,
 }
 
-unsafe impl<T: Word> Send for GrowableWorker<T> {}
+unsafe impl<T: Word, P: OrderProfile> Send for GrowableWorker<T, P> {}
 
 /// Thief handle of a growable ABP deque.
-pub struct GrowableStealer<T: Word> {
+pub struct GrowableStealer<T: Word, P: OrderProfile = DefaultProtocol> {
     inner: Arc<Inner<T>>,
+    _order: PhantomData<fn() -> P>,
 }
 
-impl<T: Word> Clone for GrowableStealer<T> {
+impl<T: Word, P: OrderProfile> Clone for GrowableStealer<T, P> {
     fn clone(&self) -> Self {
         GrowableStealer {
             inner: Arc::clone(&self.inner),
+            _order: PhantomData,
         }
     }
 }
 
 /// Creates a growable ABP deque with the given initial capacity.
 pub fn new_growable<T: Word>(initial_capacity: usize) -> (GrowableWorker<T>, GrowableStealer<T>) {
+    new_growable_with_order::<T, DefaultProtocol>(initial_capacity)
+}
+
+/// [`new_growable`], but with an explicit [`OrderProfile`] — used by the
+/// benchmarks to compare the relaxed protocol against the blanket-SeqCst
+/// baseline in the same binary.
+pub fn new_growable_with_order<T: Word, P: OrderProfile>(
+    initial_capacity: usize,
+) -> (GrowableWorker<T, P>, GrowableStealer<T, P>) {
     let cap = initial_capacity.next_power_of_two().max(4);
     let inner = Arc::new(Inner {
-        age: AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack()),
-        bot: AtomicU64::new(0),
-        buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(cap)))),
+        age: Line(AtomicU64::new(AgeWord { tag: 0, top: 0 }.pack())),
+        bot: Line(AtomicU64::new(0)),
+        buffer: Line(AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(cap))))),
         retired: UnsafeCell::new(Vec::new()),
         _marker: PhantomData,
     });
@@ -136,29 +164,41 @@ pub fn new_growable<T: Word>(initial_capacity: usize) -> (GrowableWorker<T>, Gro
         GrowableWorker {
             inner: Arc::clone(&inner),
             _not_sync: PhantomData,
+            _order: PhantomData,
         },
-        GrowableStealer { inner },
+        GrowableStealer {
+            inner,
+            _order: PhantomData,
+        },
     )
 }
 
-impl<T: Word> GrowableWorker<T> {
+impl<T: Word, P: OrderProfile> GrowableWorker<T, P> {
     /// `pushBottom`, growing the backing array when the bottom index
     /// reaches its end. Never fails.
     pub fn push_bottom(&self, node: T) {
         let inner = &*self.inner;
-        let local_bot = inner.bot.load(Ordering::Relaxed);
+        // Relaxed: owner is the sole writer of bot [INV-OWNER].
+        let local_bot = inner.bot.0.load(P::RELAXED);
         // SAFETY: the buffer is live (freed only in Drop); only this owner
-        // replaces it.
-        let mut buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+        // replaces it. Relaxed load: the owner is also the pointer's sole
+        // writer [INV-OWNER].
+        let mut buf = unsafe { &*inner.buffer.0.load(P::RELAXED) };
         if local_bot as usize >= buf.slots.len() {
             // Grow: copy everything (indices are absolute and small — bot
-            // resets to 0 whenever the owner drains the deque).
+            // resets to 0 whenever the owner drains the deque). Relaxed
+            // slot traffic: published by the Release swap below
+            // [INV-GROW], and stale values a thief reads from the old
+            // buffer are rejected by the tag cas [INV-TAG].
             let new = Buffer::new(buf.slots.len() * 2);
             for (i, s) in buf.slots.iter().enumerate() {
-                new.slots[i].store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+                new.slots[i].store(s.load(P::RELAXED), P::RELAXED);
             }
             let new_ptr = Box::into_raw(Box::new(new));
-            let old = inner.buffer.swap(new_ptr, Ordering::Release);
+            // Release: publishes the copied contents (and the buffer's
+            // initialization writes) to any thief that Acquire-loads the
+            // new pointer [INV-GROW].
+            let old = inner.buffer.0.swap(new_ptr, P::RELEASE);
             // SAFETY: `old` is unlinked but thieves may still hold it;
             // retire it until Drop. `retired` is owner-private: this
             // `GrowableWorker` is `!Sync` and nothing else touches it.
@@ -167,91 +207,117 @@ impl<T: Word> GrowableWorker<T> {
             }
             buf = unsafe { &*new_ptr };
         }
-        buf.slots[local_bot as usize].store(node.to_word(), Ordering::Relaxed);
-        inner.bot.store(local_bot + 1, Ordering::Release);
+        // Relaxed slot store, Release bot store: exactly pushBottom in
+        // `crate::atomic` [INV-PUSH].
+        buf.slots[local_bot as usize].store(node.to_word(), P::RELAXED);
+        inner.bot.0.store(local_bot + 1, P::RELEASE);
     }
 
-    /// `popBottom`, identical to the fixed-capacity protocol.
+    /// `popBottom`, identical to the fixed-capacity protocol (orderings
+    /// and invariant citations in [`crate::atomic::Worker::pop_bottom`]).
     pub fn pop_bottom(&self) -> Option<T> {
         let inner = &*self.inner;
-        let local_bot = inner.bot.load(Ordering::Relaxed);
+        // Relaxed: owner is bot's sole writer [INV-OWNER].
+        let local_bot = inner.bot.0.load(P::RELAXED);
         if local_bot == 0 {
             return None;
         }
         let local_bot = local_bot - 1;
-        inner.bot.store(local_bot, Ordering::SeqCst);
-        // SAFETY: live until Drop, as above.
-        let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
-        let node = T::from_word(buf.slots[local_bot as usize].load(Ordering::Relaxed));
-        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
+        // Relaxed claim store; decided at the fence [INV-FENCE].
+        inner.bot.0.store(local_bot, P::RELAXED);
+        // The §3.3 store→load window [INV-FENCE].
+        P::owner_fence();
+        // SAFETY: live until Drop, as above. Relaxed: the owner is the
+        // pointer's sole writer [INV-OWNER].
+        let buf = unsafe { &*inner.buffer.0.load(P::RELAXED) };
+        // Relaxed: the owner wrote this slot itself [INV-OWNER].
+        let node = T::from_word(buf.slots[local_bot as usize].load(P::RELAXED));
+        // Acquire: fence-ordered after the claim [INV-FENCE]; pairs with
+        // observed steal cases before slots are reused [INV-STEAL-HB].
+        let old_age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
         if local_bot > old_age.top as u64 {
             return Some(node);
         }
-        inner.bot.store(0, Ordering::SeqCst);
+        // Relaxed: published by the Release age reset below [INV-RESET].
+        inner.bot.0.store(0, P::RELAXED);
         let new_age = AgeWord {
             tag: old_age.tag.wrapping_add(1),
             top: 0,
         };
+        // AcqRel success / Acquire failure: see `crate::atomic`
+        // [INV-RESET, INV-STEAL-HB].
         if local_bot == old_age.top as u64
             && inner
                 .age
+                .0
                 .compare_exchange(
                     old_age.pack(),
                     new_age.pack(),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    P::RESET_CAS,
+                    P::RESET_CAS_FAIL,
                 )
                 .is_ok()
         {
             return Some(node);
         }
-        inner.age.store(new_age.pack(), Ordering::SeqCst);
+        // Release: publishes bot = 0 [INV-RESET].
+        inner.age.0.store(new_age.pack(), P::RELEASE);
         None
     }
 
     /// Observed size; immediately stale under concurrency.
     pub fn len_hint(&self) -> usize {
-        let age = AgeWord::unpack(self.inner.age.load(Ordering::Relaxed));
+        let age = AgeWord::unpack(self.inner.age.0.load(std::sync::atomic::Ordering::Relaxed));
         self.inner
             .bot
-            .load(Ordering::Relaxed)
+            .0
+            .load(std::sync::atomic::Ordering::Relaxed)
             .saturating_sub(age.top as u64) as usize
     }
 
     /// Current backing-array capacity (for tests/diagnostics).
     pub fn capacity(&self) -> usize {
-        // SAFETY: live until Drop, as above.
-        unsafe { &*self.inner.buffer.load(Ordering::Acquire) }
+        // SAFETY: live until Drop, as above. Relaxed: owner is the
+        // pointer's sole writer [INV-OWNER].
+        unsafe { &*self.inner.buffer.0.load(P::RELAXED) }
             .slots
             .len()
     }
 
     /// Another thief handle.
-    pub fn stealer(&self) -> GrowableStealer<T> {
+    pub fn stealer(&self) -> GrowableStealer<T, P> {
         GrowableStealer {
             inner: Arc::clone(&self.inner),
+            _order: PhantomData,
         }
     }
 }
 
-impl<T: Word> GrowableStealer<T> {
+impl<T: Word, P: OrderProfile> GrowableStealer<T, P> {
     /// `popTop`. The only growable-specific step is re-loading the buffer
     /// if the one observed is too small for the top index — it must then
     /// be stale, because the owner grows before publishing such a `bot`.
     pub fn pop_top(&self) -> Steal<T> {
         let inner = &*self.inner;
-        let old_age = AgeWord::unpack(inner.age.load(Ordering::SeqCst));
-        let local_bot = inner.bot.load(Ordering::SeqCst);
+        // Acquire + fence + Acquire: the same thief-side sequence as
+        // `crate::atomic` [INV-RESET, INV-FENCE, INV-PUSH].
+        let old_age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
+        P::thief_fence();
+        let local_bot = inner.bot.0.load(P::ACQUIRE);
         if local_bot <= old_age.top as u64 {
             return Steal::Empty;
         }
         let mut spins = 0;
         let node = loop {
             // SAFETY: buffers are never freed before `Inner` drops, and
-            // this stealer's `Arc` keeps `Inner` alive.
-            let buf = unsafe { &*inner.buffer.load(Ordering::SeqCst) };
+            // this stealer's `Arc` keeps `Inner` alive. Acquire: must pair
+            // with whichever Release swap published this pointer so the
+            // buffer's (plain) initialization and copied contents are
+            // visible before the dereference [INV-GROW].
+            let buf = unsafe { &*inner.buffer.0.load(P::ACQUIRE) };
             if (old_age.top as usize) < buf.slots.len() {
-                break T::from_word(buf.slots[old_age.top as usize].load(Ordering::Relaxed));
+                // Relaxed: validated by the tag cas [INV-TAG].
+                break T::from_word(buf.slots[old_age.top as usize].load(P::RELAXED));
             }
             // Stale buffer: the owner has already published a bigger one.
             spins += 1;
@@ -266,13 +332,16 @@ impl<T: Word> GrowableStealer<T> {
             tag: old_age.tag,
             top: old_age.top + 1,
         };
+        // SeqCst success (three-agent argument, [INV-FENCE] — see
+        // `crate::order`) / Relaxed failure.
         if inner
             .age
+            .0
             .compare_exchange(
                 old_age.pack(),
                 new_age.pack(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                P::STEAL_CAS,
+                P::STEAL_CAS_FAIL,
             )
             .is_ok()
         {
@@ -284,10 +353,11 @@ impl<T: Word> GrowableStealer<T> {
 
     /// Observed size; immediately stale under concurrency.
     pub fn len_hint(&self) -> usize {
-        let age = AgeWord::unpack(self.inner.age.load(Ordering::Relaxed));
+        let age = AgeWord::unpack(self.inner.age.0.load(std::sync::atomic::Ordering::Relaxed));
         self.inner
             .bot
-            .load(Ordering::Relaxed)
+            .0
+            .load(std::sync::atomic::Ordering::Relaxed)
             .saturating_sub(age.top as u64) as usize
     }
 }
@@ -295,6 +365,8 @@ impl<T: Word> GrowableStealer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::order::{RelaxedProtocol, SeqCstProtocol};
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn grows_transparently() {
@@ -350,11 +422,10 @@ mod tests {
         assert_eq!(w.capacity(), 4);
     }
 
-    #[test]
-    fn concurrent_conservation_with_growth() {
+    fn concurrent_conservation_with<P: OrderProfile>() {
         use std::sync::atomic::{AtomicBool, AtomicU8};
         const N: usize = 30_000;
-        let (w, s) = new_growable::<u64>(8); // tiny: forces many growths
+        let (w, s) = new_growable_with_order::<u64, P>(8); // tiny: forces many growths
         let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
         let done = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
@@ -398,6 +469,16 @@ mod tests {
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "value {i}");
         }
+    }
+
+    #[test]
+    fn concurrent_conservation_with_growth() {
+        concurrent_conservation_with::<RelaxedProtocol>();
+    }
+
+    #[test]
+    fn concurrent_conservation_with_growth_seqcst_baseline() {
+        concurrent_conservation_with::<SeqCstProtocol>();
     }
 
     #[test]

@@ -18,16 +18,25 @@
 //! concurrent threads so the same judge runs over the production
 //! [`atomic`] deque.
 
+//!
+//! [`order`] names the memory-ordering protocol both real deques follow:
+//! the minimal acquire/release scheme with one `SeqCst` fence per side of
+//! the §3.3 window ([`order::RelaxedProtocol`]), or blanket `SeqCst`
+//! ([`order::SeqCstProtocol`] — the benchmark baseline, and the crate
+//! default under the `seqcst-fallback` feature).
+
 pub mod atomic;
 pub mod growable;
 pub mod history;
 pub mod locking;
 pub mod model;
+pub mod order;
 pub mod sim_deque;
 pub mod word;
 
-pub use atomic::{new, PushError, Steal, Stealer, Worker};
-pub use growable::{new_growable, GrowableStealer, GrowableWorker};
+pub use atomic::{new, new_with_order, PushError, Steal, Stealer, Worker};
+pub use growable::{new_growable, new_growable_with_order, GrowableStealer, GrowableWorker};
 pub use locking::LockingDeque;
-pub use sim_deque::{DequeOp, SimAge, SimDeque, SimSteal, StepOutcome, MAX_OP_STEPS};
+pub use order::{DefaultProtocol, OrderProfile, RelaxedProtocol, SeqCstProtocol};
+pub use sim_deque::{DequeOp, MemModel, SimAge, SimDeque, SimSteal, StepOutcome, MAX_OP_STEPS};
 pub use word::Word;

@@ -274,6 +274,75 @@ mod tests {
         Scenario::new(vec![vec![ProgOp::Push(1)], vec![ProgOp::Push(2)]]);
     }
 
+    /// INV-FENCE, owner side: with `popBottom`'s claim store buffered
+    /// past its age load (the store→load reordering the owner's SeqCst
+    /// fence forbids), a thief can observe the stale `bot` and re-steal
+    /// the entry the owner fast-path-popped. The checker must find it —
+    /// and the same scenario must be clean under the in-order model.
+    #[test]
+    fn owner_store_load_reordering_is_caught() {
+        use crate::sim_deque::{MemModel, SimDeque};
+        use ProgOp::*;
+        let sc = Scenario::new(vec![
+            owner(&[Push(1), Push(2), PopBottom]),
+            vec![PopTop, PopTop],
+        ]);
+        let rep = explore_on(
+            &sc,
+            SimDeque::new().with_mem_model(MemModel::OwnerStoreLoadReordered),
+        );
+        assert!(
+            !rep.ok(),
+            "unfenced owner should violate the semantics somewhere in {} histories",
+            rep.histories
+        );
+        let ex = rep.example.unwrap();
+        assert!(
+            ex.reason.contains("consumed twice") || ex.reason.contains("no linearization"),
+            "unexpected reason: {}",
+            ex.reason
+        );
+        let fenced = explore(&sc, true);
+        assert!(
+            fenced.ok(),
+            "fenced: {:?}",
+            fenced.example.as_ref().map(|v| &v.reason)
+        );
+    }
+
+    /// INV-FENCE, thief side: with `popTop` loading `bot` before `age`
+    /// (the load→load reordering the thief-side ordering forbids), a
+    /// stale large `bot` can pair with a *reset* age word — whose fresh
+    /// tag validates the cas — and the thief consumes an entry the owner
+    /// already took through the reset path.
+    #[test]
+    fn thief_load_load_reordering_is_caught() {
+        use crate::sim_deque::{MemModel, SimDeque};
+        use ProgOp::*;
+        let sc = Scenario::new(vec![owner(&[Push(1), PopBottom]), vec![PopTop]]);
+        let rep = explore_on(
+            &sc,
+            SimDeque::new().with_mem_model(MemModel::ThiefLoadLoadReordered),
+        );
+        assert!(
+            !rep.ok(),
+            "reordered thief should violate the semantics somewhere in {} histories",
+            rep.histories
+        );
+        let ex = rep.example.unwrap();
+        assert!(
+            ex.reason.contains("consumed twice") || ex.reason.contains("no linearization"),
+            "unexpected reason: {}",
+            ex.reason
+        );
+        let ordered = explore(&sc, true);
+        assert!(
+            ordered.ok(),
+            "in-order: {:?}",
+            ordered.example.as_ref().map(|v| &v.reason)
+        );
+    }
+
     /// A growth event racing concurrent popTops: with the faithful
     /// copy-on-grow protocol (the one `crate::growable` implements),
     /// every interleaving satisfies the relaxed semantics.

@@ -15,12 +15,48 @@
 //! Setting `tagged = false` builds the *broken* variant the paper warns
 //! about — `popBottom`'s reset does not change the tag — which the model
 //! checker in [`crate::model`] and a directed test below both catch.
+//!
+//! [`MemModel`] extends the same idea to *memory-ordering* bugs: the
+//! default model executes each instruction sequentially consistently, but
+//! the two reordered variants re-introduce, at small scope, exactly the
+//! reorderings the relaxed protocol in [`crate::atomic`] must forbid —
+//! the owner's claim store sinking below its `age` load (what the
+//! `SeqCst` fence in `popBottom` prevents) and the thief loading `bot`
+//! before `age` (what the thief-side ordering prevents). Both broken
+//! variants are caught by the exhaustive checker; see
+//! [`crate::order`]'s INV-FENCE.
 
 /// The `age` structure: `top` plus the uniquifier `tag` (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimAge {
     pub tag: u64,
     pub top: u64,
+}
+
+/// Which instruction-level reordering the stepped execution models.
+///
+/// The default is sequential consistency per instruction. The other two
+/// variants each surface one hardware/compiler reordering that the
+/// relaxed protocol of [`crate::atomic`] must — and does — forbid
+/// (INV-FENCE in [`crate::order`]); running the model checker over them
+/// demonstrates the *necessity* of the fence/ordering, the same way
+/// `tagged = false` demonstrates the necessity of the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemModel {
+    /// Every instruction takes effect in program order (the baseline the
+    /// Figure-5 pseudocode assumes).
+    #[default]
+    SeqCst,
+    /// `popBottom`'s claim store (`bot -= 1`) stays in the owner's store
+    /// buffer until just after its `age` load — the TSO store→load
+    /// reordering that omitting the owner-side `SeqCst` fence would
+    /// allow. (On TSO the buffer must drain at the first RMW, so draining
+    /// immediately after the load is the maximal harmful delay.)
+    OwnerStoreLoadReordered,
+    /// `popTop` loads `bot` *before* `age` — the load→load reordering
+    /// that omitting the thief-side ordering between the two loads would
+    /// allow.
+    ThiefLoadLoadReordered,
 }
 
 /// Shared-memory state of one simulated deque.
@@ -30,6 +66,7 @@ pub struct SimDeque {
     bot: u64,
     deq: Vec<u64>,
     tagged: bool,
+    mem_model: MemModel,
     /// `Some(cap)` models a bounded backing array that the owner grows
     /// (doubles) when `pushBottom` finds it full, like
     /// [`crate::growable`]; `None` (the default) is the paper's
@@ -78,10 +115,23 @@ impl SimDeque {
             bot: 0,
             deq: Vec::new(),
             tagged,
+            mem_model: MemModel::SeqCst,
             cap: None,
             copy_on_grow: true,
             growths: 0,
         }
+    }
+
+    /// Selects the [`MemModel`] the stepped execution follows (builder
+    /// style; the default is [`MemModel::SeqCst`]).
+    pub fn with_mem_model(mut self, mem_model: MemModel) -> Self {
+        self.mem_model = mem_model;
+        self
+    }
+
+    /// The memory model this deque executes under.
+    pub fn mem_model(&self) -> MemModel {
+        self.mem_model
     }
 
     /// An empty deque with a *bounded* backing array of `cap` slots that
@@ -104,6 +154,7 @@ impl SimDeque {
             bot: 0,
             deq: vec![0; cap],
             tagged,
+            mem_model: MemModel::SeqCst,
             cap: Some(cap),
             copy_on_grow,
             growths: 0,
@@ -235,7 +286,12 @@ pub enum DequeOp {
         old_age: SimAge,
     },
     /// Figure 5 `popTop`: up to 4 instructions.
-    PopTop { pc: u8, old_age: SimAge, node: u64 },
+    PopTop {
+        pc: u8,
+        old_age: SimAge,
+        node: u64,
+        local_bot: u64,
+    },
 }
 
 impl DequeOp {
@@ -264,6 +320,7 @@ impl DequeOp {
             pc: 0,
             old_age: SimAge { tag: 0, top: 0 },
             node: 0,
+            local_bot: 0,
         }
     }
 
@@ -294,6 +351,90 @@ impl DequeOp {
                     // store localBot + 1 -> bot
                     d.bot = *local_bot + 1;
                     StepOutcome::PushDone
+                }
+            },
+            DequeOp::PopBottom {
+                pc,
+                local_bot,
+                node,
+                old_age,
+            } if d.mem_model == MemModel::OwnerStoreLoadReordered => match pc {
+                // The claim store (`store localBot -> bot`) sits in the
+                // owner's store buffer and drains only *after* the age
+                // load — the reordering the owner-side SeqCst fence of
+                // the relaxed protocol forbids (INV-FENCE). The local
+                // decrement and both loads proceed in order (the owner
+                // forwards its own buffered store, so its later steps use
+                // `local_bot` directly); thieves observe the stale bot
+                // until the drain step.
+                0 => {
+                    // load localBot <- bot; the zero test is local.
+                    *local_bot = d.bot;
+                    if *local_bot == 0 {
+                        return StepOutcome::PopBottomDone(None);
+                    }
+                    *pc = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    // localBot -= 1 (local); load node <- deq[localBot].
+                    // The claim store is buffered, not yet visible.
+                    *local_bot -= 1;
+                    *node = d.load_slot(*local_bot);
+                    *pc = 2;
+                    StepOutcome::Continue
+                }
+                2 => {
+                    // load oldAge <- age, with the claim store still
+                    // invisible to thieves.
+                    *old_age = d.age;
+                    *pc = 3;
+                    StepOutcome::Continue
+                }
+                3 => {
+                    // The store buffer drains: store localBot -> bot. On
+                    // TSO it must drain before the cas (a locked RMW), so
+                    // this is the maximal harmful delay. The fast-path
+                    // test is local and was decided by the pc-2 load.
+                    d.bot = *local_bot;
+                    if *local_bot > old_age.top {
+                        return StepOutcome::PopBottomDone(Some(*node));
+                    }
+                    *pc = 4;
+                    StepOutcome::Continue
+                }
+                4 => {
+                    // store 0 -> bot
+                    d.bot = 0;
+                    *pc = 5;
+                    StepOutcome::Continue
+                }
+                5 => {
+                    let new_age = SimAge {
+                        tag: if d.tagged {
+                            old_age.tag.wrapping_add(1)
+                        } else {
+                            old_age.tag
+                        },
+                        top: 0,
+                    };
+                    if *local_bot == old_age.top && d.cas_age(*old_age, new_age) {
+                        return StepOutcome::PopBottomDone(Some(*node));
+                    }
+                    *pc = 6;
+                    StepOutcome::Continue
+                }
+                _ => {
+                    let new_age = SimAge {
+                        tag: if d.tagged {
+                            old_age.tag.wrapping_add(1)
+                        } else {
+                            old_age.tag
+                        },
+                        top: 0,
+                    };
+                    d.age = new_age;
+                    StepOutcome::PopBottomDone(None)
                 }
             },
             DequeOp::PopBottom {
@@ -371,7 +512,53 @@ impl DequeOp {
                     StepOutcome::PopBottomDone(None)
                 }
             },
-            DequeOp::PopTop { pc, old_age, node } => match pc {
+            DequeOp::PopTop {
+                pc,
+                old_age,
+                node,
+                local_bot,
+            } if d.mem_model == MemModel::ThiefLoadLoadReordered => match pc {
+                // The thief's two loads swap: bot before age — the
+                // reordering the thief-side ordering of the relaxed
+                // protocol forbids (INV-FENCE). Slot read and cas are
+                // unchanged.
+                0 => {
+                    // load localBot <- bot (hoisted above the age load).
+                    *local_bot = d.bot;
+                    *pc = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    // load oldAge <- age; empty test is local.
+                    *old_age = d.age;
+                    if *local_bot <= old_age.top {
+                        return StepOutcome::PopTopDone(SimSteal::Empty);
+                    }
+                    *pc = 2;
+                    StepOutcome::Continue
+                }
+                2 => {
+                    // load node <- deq[oldAge.top]
+                    *node = d.load_slot(old_age.top);
+                    *pc = 3;
+                    StepOutcome::Continue
+                }
+                _ => {
+                    // cas(age, oldAge, newAge)
+                    let new_age = SimAge {
+                        tag: old_age.tag,
+                        top: old_age.top + 1,
+                    };
+                    if d.cas_age(*old_age, new_age) {
+                        StepOutcome::PopTopDone(SimSteal::Taken(*node))
+                    } else {
+                        StepOutcome::PopTopDone(SimSteal::Abort)
+                    }
+                }
+            },
+            DequeOp::PopTop {
+                pc, old_age, node, ..
+            } => match pc {
                 0 => {
                     // load oldAge <- age
                     *old_age = d.age;
@@ -648,6 +835,94 @@ mod tests {
         assert_eq!(op.step(&mut plain), StepOutcome::Continue);
         assert_eq!(op.step(&mut plain), StepOutcome::PushDone);
         assert_eq!(plain.growths(), 0);
+    }
+
+    /// Directed version of the store→load-reordering race: with the
+    /// owner's claim store buffered past its age load (no fence), two
+    /// thieves drain a 2-entry deque while the owner fast-path-pops —
+    /// the last entry is consumed twice. The fenced (SeqCst) model is
+    /// immune to the same schedule.
+    #[test]
+    fn owner_store_load_reordering_double_take() {
+        // Reordered model: owner claims entry 1 but the store is still
+        // buffered when the thieves read bot.
+        let mut d = SimDeque::new().with_mem_model(MemModel::OwnerStoreLoadReordered);
+        push(&mut d, 10);
+        push(&mut d, 11); // bot = 2, top = 0
+        let mut owner = DequeOp::pop_bottom();
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // load bot = 2
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // load slot[1] (store buffered)
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // load age: top = 0 < 1
+        assert_eq!(d.bot(), 2, "claim store must still be invisible");
+        // Thief 1 steals entry 0; thief 2 sees top=1 and the STALE bot=2,
+        // so it steals entry 1 — the entry the owner has already decided
+        // to keep.
+        assert_eq!(pop_top(&mut d), SimSteal::Taken(10));
+        assert_eq!(pop_top(&mut d), SimSteal::Taken(11));
+        // The buffered store drains and the owner returns entry 1 too.
+        assert_eq!(owner.step(&mut d), StepOutcome::PopBottomDone(Some(11)));
+
+        // Same schedule on the fenced model: the claim store is visible
+        // before any thief can read bot, so thief 2 observes bot = 1 and
+        // reports Empty.
+        let mut d = SimDeque::new();
+        push(&mut d, 10);
+        push(&mut d, 11);
+        let mut owner = DequeOp::pop_bottom();
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // load bot
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // store bot = 1
+        assert_eq!(d.bot(), 1, "fenced model publishes the claim");
+        assert_eq!(owner.step(&mut d), StepOutcome::Continue); // load slot[1]
+        assert_eq!(pop_top(&mut d), SimSteal::Taken(10));
+        assert_eq!(pop_top(&mut d), SimSteal::Empty);
+        // The owner's age load now sees top = 1 == localBot, so it wins
+        // entry 11 through the last-entry cas — exactly once.
+        let res = loop {
+            if let StepOutcome::PopBottomDone(r) = owner.step(&mut d) {
+                break r;
+            }
+        };
+        assert_eq!(res, Some(11));
+    }
+
+    /// Directed version of the thief load→load-reordering race: the
+    /// thief reads `bot` first, the owner pops the only entry through the
+    /// reset path (bumping the tag and rewriting age), and the thief then
+    /// reads the *reset* age — whose fresh tag its cas happily validates
+    /// against the stale bot. The in-order thief is immune: reading age
+    /// first means it either sees the old tag (cas fails) or the new age
+    /// together with bot = 0 (Empty).
+    #[test]
+    fn thief_load_load_reordering_double_take() {
+        let mut d = SimDeque::new().with_mem_model(MemModel::ThiefLoadLoadReordered);
+        push(&mut d, 7); // bot = 1, top = 0
+        let mut thief = DequeOp::pop_top();
+        // First step: load bot = 1 (hoisted).
+        assert_eq!(thief.step(&mut d), StepOutcome::Continue);
+        // Owner takes the entry via the reset path: age becomes
+        // (tag+1, 0), bot becomes 0.
+        assert_eq!(pop_bottom(&mut d), Some(7));
+        // Thief resumes: loads the fresh age, pairs it with the stale
+        // bot = 1, and its cas on the *new* tag succeeds — entry 7 is
+        // consumed a second time.
+        assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load age (fresh tag)
+        assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load slot[0]
+        assert_eq!(
+            thief.step(&mut d),
+            StepOutcome::PopTopDone(SimSteal::Taken(7))
+        );
+
+        // In-order thief under the same schedule: age is read first, so
+        // the preemption window pairs the *old* age with the owner's
+        // reset and the cas fails.
+        let mut d = SimDeque::new();
+        push(&mut d, 7);
+        let mut thief = DequeOp::pop_top();
+        assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load age (old tag)
+        assert_eq!(pop_bottom(&mut d), Some(7));
+        // bot = 0 <= top = 0: the empty test fires — the dangerous
+        // stale-bot/fresh-age pairing is impossible in order.
+        assert_eq!(thief.step(&mut d), StepOutcome::PopTopDone(SimSteal::Empty));
     }
 
     #[test]

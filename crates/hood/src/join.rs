@@ -60,10 +60,13 @@ where
     // Reconcile job_b. This loop must complete before we can return *or*
     // unwind, because job_b lives in this frame. `None` means we popped
     // our own job back un-executed.
+    //
+    // Pop first, probe the latch second: on the never-stolen fast path the
+    // very first pop returns `job_ref` itself, so the common case is one
+    // deque pop with no latch probe, no shared-state writes, and no
+    // telemetry timestamp — the fast path stays exactly push + pop. The
+    // latch only needs probing once the pop has told us `b` is gone.
     let result_b: Option<JobResult<RB>> = loop {
-        if job_b.latch.probe() {
-            break Some(unsafe { job_b.take_result() });
-        }
         match worker.pop() {
             Some(j) if j == job_ref => {
                 // Popped our own job back: nobody else will ever run it.
@@ -75,12 +78,23 @@ where
                 worker.execute_job(j);
             }
             None => {
-                // Deque empty and b still out with a thief: contribute by
-                // stealing elsewhere (includes the configured yield).
+                // Deque empty and b out with a thief. A stolen join
+                // operand usually retires within a few hundred cycles, so
+                // spin briefly on the latch before paying for a steal
+                // scan; the bound preserves the wait-by-working (and
+                // ultimately parking) discipline.
+                if job_b.latch.probe_spin(64) {
+                    break Some(unsafe { job_b.take_result() });
+                }
+                // Contribute by stealing elsewhere (includes the
+                // configured yield).
                 if let Some(j) = worker.find_distant_work() {
                     worker.execute_job(j);
                 }
             }
+        }
+        if job_b.latch.probe() {
+            break Some(unsafe { job_b.take_result() });
         }
     };
 

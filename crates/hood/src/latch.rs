@@ -20,13 +20,37 @@ impl SpinLatch {
         Self::default()
     }
 
-    /// True once set.
+    /// True once set. Acquire: pairs with [`SpinLatch::set`]'s Release so
+    /// the result the latch guards is visible to the prober.
     #[inline]
     pub fn probe(&self) -> bool {
         self.set.load(Ordering::Acquire)
     }
 
-    /// Sets the latch. Idempotent.
+    /// Probes up to `spins` times with cheap Relaxed loads (plus the
+    /// architectural spin hint) before one final Acquire probe. A stolen
+    /// `join` operand usually completes within a few hundred cycles, so a
+    /// short bounded spin here often saves the waiter a full steal scan —
+    /// while the bound keeps the non-blocking discipline: the caller
+    /// falls back to its existing wait-by-working (and ultimately park)
+    /// path. The Relaxed loads only *watch* the flag; whenever the latch
+    /// reports set, the Acquire re-load has established the hand-off
+    /// ordering.
+    #[inline]
+    pub fn probe_spin(&self, spins: u32) -> bool {
+        for _ in 0..spins {
+            if self.set.load(Ordering::Relaxed) {
+                // The flag is monotone, so this Acquire load re-observes
+                // `true` and synchronizes with the setter.
+                return self.set.load(Ordering::Acquire);
+            }
+            std::hint::spin_loop();
+        }
+        self.probe()
+    }
+
+    /// Sets the latch. Idempotent. Release: publishes the guarded result
+    /// to any Acquire probe that observes the flag.
     #[inline]
     pub fn set(&self) {
         self.set.store(true, Ordering::Release);

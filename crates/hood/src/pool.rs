@@ -202,7 +202,10 @@ impl Shared {
     fn submit_ns(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
-            self.registry.as_ref().map(|r| r.now_ns().max(1)).unwrap_or(0)
+            self.registry
+                .as_ref()
+                .map(|r| r.now_ns().max(1))
+                .unwrap_or(0)
         }
         #[cfg(not(feature = "telemetry"))]
         {
@@ -274,9 +277,15 @@ impl WorkerCtx {
 
     /// `pushBottom`. Returns false if the (fixed-capacity) deque is full —
     /// the caller then runs the job inline instead.
+    ///
+    /// The spawn event is coarse-stamped (last clock read, usually the
+    /// enclosing job's `ExecStart`) so the `join` fast path — push, run
+    /// `a`, pop — never touches the clock.
     pub(crate) fn push(&self, job: JobRef) -> bool {
         #[cfg(feature = "telemetry")]
-        self.tele_record(EventKind::Spawn);
+        if let Some(t) = &self.tele {
+            t.record_coarse(EventKind::Spawn);
+        }
         match &self.deque {
             OwnerDeque::Abp(w) => w.push_bottom(job.to_word()).is_ok(),
             OwnerDeque::Growable(w) => {

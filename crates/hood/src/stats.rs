@@ -127,6 +127,17 @@ mod tests {
         assert_eq!(PoolStats::default().steal_success_rate(), 0.0);
     }
 
+    /// Adjacent workers' counters must never share a cache line — the
+    /// `repr(align(128))` padding is load-bearing for the hot path.
+    #[test]
+    fn worker_stats_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<WorkerStats>() % 128, 0);
+        let ws = [WorkerStats::default(), WorkerStats::default()];
+        let a = &ws[0] as *const WorkerStats as usize;
+        let b = &ws[1] as *const WorkerStats as usize;
+        assert!(b.abs_diff(a) >= 128);
+    }
+
     #[test]
     fn attempts_balance_identity() {
         let s = PoolStats {

@@ -88,6 +88,7 @@ impl Registry {
             producer: self.workers[index].ring.producer(),
             registry: Arc::clone(self),
             index,
+            last_now: std::cell::Cell::new(0),
         }
     }
 
@@ -141,6 +142,10 @@ pub struct WorkerTelemetry {
     producer: Producer,
     registry: Arc<Registry>,
     index: usize,
+    /// Most recent timestamp this worker read from the clock, reused by
+    /// [`WorkerTelemetry::record_coarse`] so hot-path events (e.g. a
+    /// `join`'s spawn) cost a ring write but no clock read.
+    last_now: std::cell::Cell<u64>,
 }
 
 impl WorkerTelemetry {
@@ -149,16 +154,29 @@ impl WorkerTelemetry {
         self.index
     }
 
-    /// Nanoseconds since the registry epoch.
+    /// Nanoseconds since the registry epoch. Also refreshes the coarse
+    /// timestamp used by [`WorkerTelemetry::record_coarse`].
     #[inline]
     pub fn now_ns(&self) -> u64 {
-        self.registry.now_ns()
+        let now = self.registry.now_ns();
+        self.last_now.set(now);
+        now
     }
 
     /// Records `kind` stamped with the current time.
     #[inline]
     pub fn record(&self, kind: EventKind) {
         self.record_at(self.now_ns(), kind);
+    }
+
+    /// Records `kind` stamped with the *last* time this worker read the
+    /// clock (0 before any read), skipping the clock call entirely. Meant
+    /// for high-frequency instant events whose exact position inside the
+    /// enclosing job does not matter — ring order still sequences them
+    /// correctly relative to every other event this worker records.
+    #[inline]
+    pub fn record_coarse(&self, kind: EventKind) {
+        self.record_at(self.last_now.get(), kind);
     }
 
     /// Records `kind` at an explicit timestamp (the simulator's logical

@@ -17,15 +17,30 @@
 //!   retries (bounded) on mismatch, so it can never observe half of one
 //!   record spliced with half of another.
 //!
-//! All slot accesses use `SeqCst`; the ring is a diagnostics path and the
-//! single total order makes the seqlock argument straightforward: if a
-//! reader sees the same even sequence word before and after reading the
-//! payload, no writer store to that slot intervened, so the payload words
-//! belong to that record.
+//! The ring is single-producer, so no access needs `SeqCst`; the seqlock
+//! uses the standard acquire/release discipline (Boehm, *Can seqlocks get
+//! along with programming language memory models?*, MSPC 2012):
+//!
+//! * writer: odd `seq` store (Relaxed), **release fence**, payload stores
+//!   (Relaxed), even `seq` store (Release), `head` store (Release);
+//! * reader: `head` load (Acquire), `seq` load s1 (Acquire), payload
+//!   loads (Relaxed), **acquire fence**, `seq` load s2 (Relaxed).
+//!
+//! If the reader's payload loads observed any store from a write in
+//! progress, the release fence forces its odd `seq` store to be visible
+//! to the reader's acquire fence + s2 reload, so `s1 != s2` and the read
+//! retries. A matching even pair therefore brackets an untorn payload,
+//! and the Acquire on s1 (pairing with the previous write's Release on
+//! the even store) makes that payload's values visible. `head`'s
+//! Release/Acquire pair publishes every record below it; the producer's
+//! own `head`/`seq` loads are Relaxed (it is their only writer).
 
 use crate::event::{Event, EventKind};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{
+    fence, AtomicBool, AtomicU64,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
 use std::sync::Arc;
 
 /// Cache-line padding so the producer's hot counters never false-share
@@ -82,18 +97,23 @@ impl EventRing {
 
     /// Total records ever pushed.
     pub fn pushed(&self) -> u64 {
-        self.head.0.load(SeqCst)
+        // Acquire: pairs with the producer's Release store so records
+        // below the returned head are fully published.
+        self.head.0.load(Acquire)
     }
 
     /// Records lost to overflow so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped.0.load(SeqCst)
+        // Monotone counter read standalone; no payload rides on it.
+        self.dropped.0.load(Relaxed)
     }
 
     /// Claims the unique producer handle. Panics on a second claim.
     pub fn producer(self: &Arc<Self>) -> Producer {
         assert!(
-            !self.producer_claimed.swap(true, SeqCst),
+            // AcqRel: the winning claim orders any (pathological) ring
+            // reuse; this is a cold one-shot guard, not a hot-path access.
+            !self.producer_claimed.swap(true, AcqRel),
             "EventRing::producer claimed twice"
         );
         Producer {
@@ -106,7 +126,9 @@ impl EventRing {
     /// together with the drop counter. Never blocks the producer; events
     /// overwritten *while* the snapshot runs are simply absent from it.
     pub fn snapshot(&self) -> RingSnapshot {
-        let head = self.head.0.load(SeqCst);
+        // Acquire: pairs with the producer's Release head store, so every
+        // record below `head` has its even seq + payload visible.
+        let head = self.head.0.load(Acquire);
         let cap = self.slots.len() as u64;
         let start = head.saturating_sub(cap);
         let mut events: Vec<(u64, Event)> = Vec::with_capacity((head - start) as usize);
@@ -115,7 +137,9 @@ impl EventRing {
             // Bounded retry: the producer may lap us; give up on a slot
             // that keeps changing rather than spin unboundedly.
             for _ in 0..64 {
-                let s1 = slot.seq.load(SeqCst);
+                // Acquire: pairs with the writer's Release even store, so
+                // an even s1 makes that record's payload values visible.
+                let s1 = slot.seq.load(Acquire);
                 if s1 % 2 == 1 {
                     // Mid-write; the producer will complete it promptly.
                     std::hint::spin_loop();
@@ -131,9 +155,14 @@ impl EventRing {
                     std::hint::spin_loop();
                     continue;
                 }
-                let ts = slot.ts.load(SeqCst);
-                let kind = slot.kind.load(SeqCst);
-                let s2 = slot.seq.load(SeqCst);
+                let ts = slot.ts.load(Relaxed);
+                let kind = slot.kind.load(Relaxed);
+                // Acquire fence before the seq re-read: if the payload
+                // loads saw any store of an in-progress write, the
+                // writer's release fence makes its odd seq store visible
+                // to this reload, so the tear is detected below.
+                fence(Acquire);
+                let s2 = slot.seq.load(Relaxed);
                 if s1 != s2 {
                     continue; // torn: the producer rewrote the slot under us
                 }
@@ -154,7 +183,10 @@ impl EventRing {
         events.dedup_by_key(|&mut (i, _)| i);
         RingSnapshot {
             events: events.into_iter().map(|(_, e)| e).collect(),
-            dropped: self.dropped.0.load(SeqCst),
+            // Relaxed is enough: drops for records below `head` were
+            // counted before the Release head store this snapshot
+            // acquired, so this read cannot miss them.
+            dropped: self.dropped.0.load(Relaxed),
             pushed: head,
         }
     }
@@ -173,17 +205,25 @@ impl Producer {
     #[inline]
     pub fn record(&self, ev: Event) {
         let ring = &*self.ring;
-        let h = ring.head.0.load(SeqCst);
+        // Relaxed: this producer is head's only writer (coherence).
+        let h = ring.head.0.load(Relaxed);
         let slot = &ring.slots[(h & ring.mask) as usize];
         if h >= ring.slots.len() as u64 {
-            // Overwriting the oldest retained record.
-            ring.dropped.0.fetch_add(1, SeqCst);
+            // Overwriting the oldest retained record. Relaxed: the count
+            // is published by the Release head store below.
+            ring.dropped.0.fetch_add(1, Relaxed);
         }
-        slot.seq.store(2 * h + 1, SeqCst);
-        slot.ts.store(ev.ts_ns, SeqCst);
-        slot.kind.store(ev.kind.pack(), SeqCst);
-        slot.seq.store(2 * (h + 1), SeqCst);
-        ring.head.0.store(h + 1, SeqCst);
+        // Odd marker first; the release fence keeps the payload stores
+        // from becoming visible before it (the seqlock tear-detection
+        // half of the module-level argument).
+        slot.seq.store(2 * h + 1, Relaxed);
+        fence(Release);
+        slot.ts.store(ev.ts_ns, Relaxed);
+        slot.kind.store(ev.kind.pack(), Relaxed);
+        // Release: an even value read with Acquire publishes the payload.
+        slot.seq.store(2 * (h + 1), Release);
+        // Release: publishes record h (and its drop count) to snapshot().
+        ring.head.0.store(h + 1, Release);
     }
 
     /// The ring this producer writes to.
@@ -208,6 +248,7 @@ pub struct RingSnapshot {
 mod tests {
     use super::*;
     use crate::event::StealOutcome;
+    use std::sync::atomic::Ordering::SeqCst;
 
     fn ev(ts: u64) -> Event {
         Event {

@@ -32,12 +32,14 @@ fn main() {
         "serve" => vec![exp::serve(false)],
         "serve-small" => vec![exp::serve(true)],
         "hotpath" => vec![exp::hotpath()],
+        "idle" => vec![exp::idle(false)],
+        "idle-small" => vec![exp::idle(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
-                 policies policies-small serve serve-small hotpath"
+                 policies policies-small serve serve-small hotpath idle idle-small"
             );
             std::process::exit(2);
         }

@@ -1543,6 +1543,10 @@ pub fn serve(small: bool) -> ExpResult {
     let expected = total as u64 + 1;
     let st = &report.stats;
     pass &= st.attempts_balance();
+    pass &= st.parks_balance();
+    if report.sleep_kind == hood::SleepKind::Eventcount {
+        pass &= report.sleep.wakes_sent >= report.sleep.hits_after_unpark;
+    }
     pass &= st.injects == expected;
     let snap = report.telemetry.as_ref().expect("telemetry configured");
     let inj = &snap.injector;
@@ -1772,6 +1776,10 @@ pub fn hotpath() -> ExpResult {
     let report = pool.shutdown();
     let st = &report.stats;
     pass &= st.attempts_balance();
+    pass &= st.parks_balance();
+    if report.sleep_kind == hood::SleepKind::Eventcount {
+        pass &= report.sleep.wakes_sent >= report.sleep.hits_after_unpark;
+    }
     // install roots also enter through the injector.
     pass &= st.injects >= submitted;
     for (i, w) in report.per_worker.iter().enumerate() {
@@ -1826,6 +1834,213 @@ pub fn hotpath() -> ExpResult {
     )
 }
 
+/// ID1 — the sleep/wake subsystem: eventcount wake-one vs the legacy
+/// condvar herd.
+///
+/// Both backends are runtime-selectable (`PoolConfig::with_sleep`), so
+/// one binary measures both. The workload is the cold-submit path the
+/// eventcount exists for: a pool whose workers are ALL parked under the
+/// untimed `ParkUntilWake` policy receives a single external job; the
+/// job stamps its own submit-to-start latency. Between samples the pool
+/// drains back to fully parked, so every sample exercises the
+/// park/announce/commit/wake machinery end to end (the run doubles as a
+/// trickle load for the spurious-wake and accounting counters).
+///
+/// Pass requires, under the eventcount: **zero timed-out parks** (untimed
+/// parks cannot time out — the missed-wakeup race is closed by
+/// construction, not by a bounded nap), `parks == unparks`,
+/// `wakes_sent >= hits_after_unpark`, and a **≥ 20% median cold-submit
+/// latency improvement** over the condvar baseline (which pays a
+/// `notify_all` herd plus serial sleep-mutex reacquisition per wake).
+/// Emits `target/BENCH_idle.json`, validated with the in-repo JSON
+/// parser; a blessed copy is committed at the repo root.
+pub fn idle(small: bool) -> ExpResult {
+    use abp_telemetry::json;
+    use hood::{IdleKind, PolicySet, PoolConfig, PoolStats, SleepKind, SleepStats, ThreadPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let p = 8;
+    let samples: usize = if small { 31 } else { 101 };
+
+    fn wait_parked(pool: &ThreadPool, p: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pool.sleeping_workers() == p {
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        pool.sleeping_workers() == p
+    }
+
+    /// Median cold-submit latencies plus end-of-run accounting for one
+    /// backend. Latency is stamped *inside* the job (`t0.elapsed()` with
+    /// `t0` taken just before `spawn`), so the producer's polite
+    /// sleep-wait while it waits for the stamp never inflates the
+    /// measurement — it only keeps the producer off the woken worker's
+    /// core.
+    ///
+    /// A background **metronome** thread (a 25 µs sleep loop) runs for
+    /// the whole sampling window under *both* backends. Without it the
+    /// comparison is rigged in the condvar's favour: its 100 µs nap
+    /// timers keep the CPU/scheduler out of deep idle as a side effect,
+    /// while the eventcount's untimed parks leave the machine truly
+    /// quiescent — so the eventcount's wakes would be charged several
+    /// extra microseconds of platform idle-exit cost that is not the
+    /// wake path's doing. The metronome pins both backends to the same
+    /// platform state; what remains is the protocol difference
+    /// (one targeted unpark vs a `notify_all` herd with serial
+    /// sleep-mutex reacquisition). The quiescence the metronome masks
+    /// is asserted separately: zero timed-out parks means the
+    /// eventcount itself generates no periodic timer churn at all.
+    fn cold_submit(kind: SleepKind, p: usize, samples: usize) -> (Vec<f64>, SleepStats, PoolStats) {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(p)
+                .with_policies(
+                    PolicySet::paper().with_idle(IdleKind::ParkUntilWake { threshold: 4 }),
+                )
+                .with_sleep(kind),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_c = Arc::clone(&stop);
+        let metronome = std::thread::spawn(move || {
+            while !stop_c.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(25));
+            }
+        });
+        let mut lats = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            // The condvar fallback's sleepers oscillate through 100 µs
+            // naps, so a fully-parked state is transient there; take it
+            // when it shows and fall through after the timeout.
+            let _ = wait_parked(&pool, p, Duration::from_millis(200));
+            let stamp = Arc::new(AtomicU64::new(0));
+            let s = Arc::clone(&stamp);
+            let t0 = Instant::now();
+            pool.spawn(move || {
+                s.store(t0.elapsed().as_nanos().max(1) as u64, Ordering::Release);
+            });
+            while stamp.load(Ordering::Acquire) == 0 {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            lats.push(stamp.load(Ordering::Acquire) as f64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        metronome.join().unwrap();
+        let report = pool.shutdown();
+        (lats, report.sleep, report.stats)
+    }
+
+    fn quantile(sorted: &[f64], q: f64) -> f64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    // Warm both paths once (thread spawn + first park) before timing.
+    let _ = cold_submit(SleepKind::Eventcount, p, 3);
+    let _ = cold_submit(SleepKind::CondvarFallback, p, 3);
+
+    let (mut ec_lat, ec_sleep, ec_stats) = cold_submit(SleepKind::Eventcount, p, samples);
+    let (mut cv_lat, cv_sleep, cv_stats) = cold_submit(SleepKind::CondvarFallback, p, samples);
+    ec_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cv_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ec_med = quantile(&ec_lat, 0.5);
+    let cv_med = quantile(&cv_lat, 0.5);
+    let improvement = 1.0 - ec_med / cv_med;
+
+    let mut pass = true;
+    // Untimed parks cannot time out; any nonzero count means a worker
+    // fell back to a bounded nap, i.e. the race is not closed.
+    pass &= ec_sleep.timed_out_parks == 0;
+    pass &= improvement >= 0.20;
+    pass &= ec_stats.parks_balance();
+    pass &= cv_stats.parks_balance();
+    pass &= ec_sleep.wakes_sent >= ec_sleep.hits_after_unpark;
+
+    let mut t = TextTable::new([
+        "backend",
+        "p50 ns",
+        "p90 ns",
+        "timed-out",
+        "wakes",
+        "spurious",
+    ]);
+    for (name, lat, sl) in [
+        ("eventcount", &ec_lat, &ec_sleep),
+        ("condvar", &cv_lat, &cv_sleep),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.0}", quantile(lat, 0.5)),
+            format!("{:.0}", quantile(lat, 0.9)),
+            sl.timed_out_parks.to_string(),
+            sl.wakes_sent.to_string(),
+            sl.wakes_spurious.to_string(),
+        ]);
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"idle\",\n  \"mode\": \"{}\",\n  \"p\": {},\n  \"samples\": {},\n  \
+         \"cold_submit\": {{\"eventcount_p50_ns\": {:.1}, \"eventcount_p90_ns\": {:.1}, \
+         \"condvar_p50_ns\": {:.1}, \"condvar_p90_ns\": {:.1}, \
+         \"median_improvement\": {:.4}}},\n  \
+         \"eventcount\": {{\"timed_out_parks\": {}, \"wakes_sent\": {}, \"wakes_skipped\": {}, \
+         \"wakes_spurious\": {}, \"hits_after_unpark\": {}, \"parks\": {}, \"unparks\": {}}},\n  \
+         \"condvar\": {{\"timed_out_parks\": {}, \"wakes_sent\": {}, \"parks\": {}, \
+         \"unparks\": {}}}\n}}\n",
+        if small { "small" } else { "full" },
+        p,
+        samples,
+        ec_med,
+        quantile(&ec_lat, 0.9),
+        cv_med,
+        quantile(&cv_lat, 0.9),
+        improvement,
+        ec_sleep.timed_out_parks,
+        ec_sleep.wakes_sent,
+        ec_sleep.wakes_skipped,
+        ec_sleep.wakes_spurious,
+        ec_sleep.hits_after_unpark,
+        ec_stats.parks,
+        ec_stats.unparks,
+        cv_sleep.timed_out_parks,
+        cv_sleep.wakes_sent,
+        cv_stats.parks,
+        cv_stats.unparks,
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_idle.json", &artifact).is_ok();
+
+    let body = format!(
+        "cold submit to a fully parked P={p} pool, {samples} samples per backend\n\
+         median: eventcount {ec_med:.0} ns vs condvar {cv_med:.0} ns \
+         ({:.1}% improvement; bar ≥ 20%)\n\
+         eventcount timed-out parks: {} (bar: exactly 0 — untimed parks cannot time out)\n\
+         accounting: eventcount parks {} == unparks {}; condvar parks {} == unparks {}\n\
+         wrote target/BENCH_idle.json ({} bytes{})\n\n{}",
+        improvement * 100.0,
+        ec_sleep.timed_out_parks,
+        ec_stats.parks,
+        ec_stats.unparks,
+        cv_stats.parks,
+        cv_stats.unparks,
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render()
+    );
+    ExpResult::new(
+        "ID1",
+        "Idle path: eventcount wake-one vs condvar herd",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -1850,5 +2065,6 @@ pub fn all() -> Vec<ExpResult> {
         policies(false),
         serve(false),
         hotpath(),
+        idle(false),
     ]
 }

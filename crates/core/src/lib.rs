@@ -66,7 +66,7 @@ pub use backoff::{
     SpinThenYield,
 };
 pub use engine::{PolicyEngine, PolicySet};
-pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, SpinIdle};
+pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, ParkUntilWakeIdle, SpinIdle};
 pub use inject::{EveryN, EveryScan, InjectKind, InjectPolicy, NeverInject};
 pub use rng::PolicyRng;
 pub use tally::{StealResult, StealTally};

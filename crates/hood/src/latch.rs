@@ -120,6 +120,69 @@ impl LockLatch {
     }
 }
 
+/// One worker's private sleep slot: a wake flag under its own mutex plus
+/// a condvar, padded to a cache line so adjacent workers' parkers never
+/// false-share. Unlike a latch this is reusable: [`Parker::prepare`]
+/// re-arms the slot before each sleep.
+///
+/// The flag makes the pair race-free on its own: an [`Parker::unpark`]
+/// that lands between `prepare` and [`Parker::park`] leaves the flag set,
+/// so the park returns immediately instead of missing the notification.
+/// (Whether an unpark may land at all is the sleep subsystem's eventcount
+/// protocol — see `crate::sleep`.)
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct Parker {
+    wake: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-arms the slot: clears any stale wake left by a cancelled or
+    /// raced unpark. Must be called before the worker announces itself
+    /// wakeable (pushes onto the sleeper stack).
+    pub fn prepare(&self) {
+        *self.wake.lock().unwrap() = false;
+    }
+
+    /// Blocks until an [`Parker::unpark`] (possibly one that already
+    /// happened since the last [`Parker::prepare`]).
+    pub fn park(&self) {
+        let mut wake = self.wake.lock().unwrap();
+        while !*wake {
+            wake = self.cv.wait(wake).unwrap();
+        }
+    }
+
+    /// Blocks until an unpark or until `timeout` elapses. Returns `true`
+    /// if woken by an unpark, `false` on timeout.
+    pub fn park_timeout(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut wake = self.wake.lock().unwrap();
+        while !*wake {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.cv.wait_timeout(wake, deadline - now).unwrap();
+            wake = guard;
+        }
+        true
+    }
+
+    /// Wakes the parked (or about-to-park) owner of this slot.
+    pub fn unpark(&self) {
+        let mut wake = self.wake.lock().unwrap();
+        *wake = true;
+        drop(wake);
+        self.cv.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +208,44 @@ mod tests {
         l.decrement();
         l.decrement();
         assert!(l.probe());
+    }
+
+    #[test]
+    fn parker_unpark_before_park_is_not_lost() {
+        let p = Parker::new();
+        p.prepare();
+        p.unpark();
+        p.park(); // returns immediately: the flag latched the wake
+    }
+
+    #[test]
+    fn parker_timeout_and_rearm() {
+        let p = Parker::new();
+        p.prepare();
+        assert!(!p.park_timeout(std::time::Duration::from_millis(5)));
+        p.unpark();
+        assert!(p.park_timeout(std::time::Duration::from_millis(5)));
+        // prepare clears the stale wake
+        p.prepare();
+        assert!(!p.park_timeout(std::time::Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn parker_cross_thread() {
+        let p = Arc::new(Parker::new());
+        p.prepare();
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            p2.unpark();
+        });
+        p.park();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn parker_is_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<Parker>() % 128, 0);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod latch;
 pub mod parallel;
 pub mod pool;
 pub mod scope;
+pub mod sleep;
 pub mod stats;
 
 pub use abp_core::{BackoffKind, IdleKind, InjectKind, PolicySet, VictimKind};
@@ -62,6 +63,7 @@ pub use join::join;
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
 pub use pool::{Backend, PoolConfig, PoolReport, ThreadPool, WorkerCtx};
 pub use scope::{scope, Scope};
+pub use sleep::{SleepKind, SleepStats};
 pub use stats::{PoolStats, WorkerStats};
 
 #[cfg(feature = "telemetry")]

@@ -10,10 +10,14 @@
 //! backoff (line 15), and what a persistently idle worker does — are
 //! pluggable via [`PoolConfig::policies`] (an [`abp_core::PolicySet`]);
 //! the default is the paper's uniform-random victim and yield, plus
-//! Hood's engineering compromise of parking a completely idle worker on
-//! a timeout so an idle pool does not burn CPU. All inter-worker
-//! synchronization is non-blocking (the deque) except that optional
-//! parking, which never holds locks around work, so it cannot
+//! parking a completely idle worker so an idle pool does not burn CPU.
+//! Parking goes through the [`crate::sleep`] eventcount, whose
+//! announce/re-scan/commit protocol closes the missed-wakeup race by
+//! construction — so the default park is *untimed*
+//! ([`IdleKind::ParkUntilWake`]) and producers wake exactly
+//! `min(jobs, sleepers)` workers instead of the whole pool. All
+//! inter-worker synchronization is non-blocking (the deque) except that
+//! optional parking, which never holds locks around work, so it cannot
 //! reintroduce the preemption pathology the paper's non-blocking design
 //! eliminates.
 //!
@@ -27,6 +31,7 @@
 use crate::injector::Injector;
 use crate::job::JobRef;
 use crate::latch::LockLatch;
+use crate::sleep::{Sleep, SleepKind, SleepOutcome, SleepStats};
 use crate::stats::{PoolStats, WorkerStats};
 use abp_core::{
     BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, StealResult,
@@ -35,7 +40,7 @@ use abp_dag::DetRng;
 use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 #[cfg(feature = "telemetry")]
@@ -83,6 +88,11 @@ pub struct PoolConfig {
     /// Shards in the external-submission injector; `0` (the default)
     /// sizes it to the worker count.
     pub injector_shards: usize,
+    /// Which sleep/wake implementation idle workers park through. The
+    /// default tracks the `sleep-condvar-fallback` feature: the
+    /// eventcount normally, the legacy pool-wide condvar under the
+    /// feature (the measurable baseline for experiment ID1).
+    pub sleep: SleepKind,
     /// Structured tracing: `Some(config)` records events and histograms
     /// into per-worker rings; `None` (the default) records nothing and
     /// leaves only an untaken branch at each instrumentation point.
@@ -91,12 +101,12 @@ pub struct PoolConfig {
 }
 
 impl PoolConfig {
-    /// Hood's default idle policy: park (100 µs timeout) after 64
-    /// consecutive failed steal scans.
-    pub const DEFAULT_IDLE: IdleKind = IdleKind::ParkAfter {
-        threshold: 64,
-        park_len: 100,
-    };
+    /// The default idle policy: park *untimed* after 64 consecutive
+    /// failed steal scans and stay asleep until a producer's wake. Sound
+    /// because the eventcount closes the missed-wakeup race (and the
+    /// condvar fallback substitutes its legacy 100 µs bounded nap for
+    /// the untimed park, so the policy is safe under both backends).
+    pub const DEFAULT_IDLE: IdleKind = IdleKind::ParkUntilWake { threshold: 64 };
 
     /// Replaces the worker count.
     pub fn with_num_procs(mut self, num_procs: usize) -> Self {
@@ -134,6 +144,12 @@ impl PoolConfig {
         self
     }
 
+    /// Replaces the sleep/wake backend.
+    pub fn with_sleep(mut self, sleep: SleepKind) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
     /// Enables structured tracing with the given telemetry configuration.
     #[cfg(feature = "telemetry")]
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
@@ -153,6 +169,7 @@ impl Default for PoolConfig {
             seed: 0xAB9,
             stack_size: 8 * 1024 * 1024,
             injector_shards: 0,
+            sleep: SleepKind::default(),
             #[cfg(feature = "telemetry")]
             telemetry: None,
         }
@@ -179,14 +196,24 @@ impl StealerSide {
             StealerSide::Lock(d) => d.pop_top(),
         }
     }
+
+    /// Best-effort size, used by the pre-sleep re-scan. May be stale,
+    /// but the sleep protocol's epoch CAS covers any job published
+    /// concurrently with the scan.
+    fn len_hint(&self) -> usize {
+        match self {
+            StealerSide::Abp(s) => s.len_hint(),
+            StealerSide::Growable(s) => s.len_hint(),
+            StealerSide::Lock(d) => d.len(),
+        }
+    }
 }
 
 pub(crate) struct Shared {
     stealers: Vec<StealerSide>,
     injector: Injector,
     shutdown: AtomicBool,
-    sleep_mutex: Mutex<()>,
-    sleep_cv: Condvar,
+    sleep: Sleep,
     pub(crate) stats: Vec<WorkerStats>,
     #[cfg(feature = "telemetry")]
     registry: Option<Arc<Registry>>,
@@ -213,20 +240,45 @@ impl Shared {
         }
     }
 
-    /// Submits one external job through the sharded injector and wakes
-    /// parked workers. The wakeup is sent *without* holding the sleep
-    /// lock, so a worker that checked `pending()` before this push and
-    /// parks after the notify can miss it — the bounded park timeout
-    /// (`PoolConfig::DEFAULT_IDLE`) caps that race at one park length.
+    /// Submits one external job through the sharded injector, then wakes
+    /// at most one parked worker. Publish-then-notify order is what the
+    /// sleep protocol requires (INV-EC-PUB): the notify's epoch bump is
+    /// the barrier that makes this push visible to any worker racing
+    /// into a park, so — unlike the old condvar protocol — no wakeup can
+    /// be missed and no park timeout is needed to cap a race.
     fn inject(&self, job: JobRef) {
         self.injector.push(job.to_word(), self.submit_ns());
-        self.sleep_cv.notify_all();
+        self.notify_jobs(1);
     }
 
-    /// Submits a batch under one shard lock, then wakes all workers.
+    /// Submits a batch under one shard lock, then wakes
+    /// `min(batch_len, sleepers)` workers — one per job, never the herd.
     fn inject_batch(&self, words: &[usize]) {
         self.injector.push_batch(words, self.submit_ns());
-        self.sleep_cv.notify_all();
+        self.notify_jobs(words.len());
+    }
+
+    /// Producer-side wake for `n` just-published external jobs.
+    /// External submitters have no worker timeline, so wake events are
+    /// not traced here (the counters still move).
+    fn notify_jobs(&self, n: usize) {
+        match self.sleep.kind() {
+            SleepKind::Eventcount => self.sleep.notify_jobs(n, |_| {}),
+            SleepKind::CondvarFallback => self.sleep.fallback_notify_all(),
+        }
+    }
+
+    /// Stamps the sleep scalar counters into a telemetry snapshot (the
+    /// unpark-to-work histogram is already there; scalars live with the
+    /// pool, like the injector's).
+    #[cfg(feature = "telemetry")]
+    fn stamp_sleep(&self, snap: &mut TelemetrySnapshot) {
+        let s = self.sleep.stats();
+        snap.sleep.wakes_sent = s.wakes_sent;
+        snap.sleep.wakes_skipped = s.wakes_skipped;
+        snap.sleep.wakes_spurious = s.wakes_spurious;
+        snap.sleep.hits_after_unpark = s.hits_after_unpark;
+        snap.sleep.timed_out_parks = s.timed_out_parks;
     }
 }
 
@@ -237,6 +289,14 @@ pub struct WorkerCtx {
     deque: OwnerDeque,
     shared: Arc<Shared>,
     engine: RefCell<PolicyEngine>,
+    /// True between returning from a wake-caused unpark and finding the
+    /// first piece of work. Finding work converts it into a
+    /// `hits_after_unpark`; committing back to sleep with it still set
+    /// converts it into a `wakes_spurious`.
+    woken_pending: Cell<bool>,
+    /// Timestamp of the wake-caused unpark (0 when tracing is off),
+    /// for the unpark-to-work latency histogram.
+    woken_at: Cell<u64>,
     #[cfg(feature = "telemetry")]
     tele: Option<WorkerTelemetry>,
 }
@@ -286,7 +346,7 @@ impl WorkerCtx {
         if let Some(t) = &self.tele {
             t.record_coarse(EventKind::Spawn);
         }
-        match &self.deque {
+        let pushed = match &self.deque {
             OwnerDeque::Abp(w) => w.push_bottom(job.to_word()).is_ok(),
             OwnerDeque::Growable(w) => {
                 w.push_bottom(job.to_word());
@@ -295,6 +355,55 @@ impl WorkerCtx {
             OwnerDeque::Lock(d) => {
                 d.push_bottom(job.to_word());
                 true
+            }
+        };
+        if pushed {
+            self.notify_push();
+        }
+        pushed
+    }
+
+    /// Producer-side wake after a successful `pushBottom`: with the
+    /// eventcount, a relaxed peek at the sleep word (free while the pool
+    /// is busy) and a targeted wake only when idlers are visible. A
+    /// stale peek can miss a worker racing into a park, but this owner
+    /// drains its own deque before idling, so the job still runs — the
+    /// miss costs one scan of parallelism, never liveness (the external
+    /// inject path, which has no such owner, always pays the barrier).
+    /// The legacy condvar protocol never woke anyone here; the fallback
+    /// keeps that behaviour.
+    fn notify_push(&self) {
+        match self.shared.sleep.kind() {
+            SleepKind::Eventcount => {
+                #[cfg(feature = "telemetry")]
+                self.shared.sleep.notify_spawn(|ev| {
+                    self.tele_record(match ev {
+                        Some(target) => EventKind::WakeOne {
+                            target: target as u32,
+                        },
+                        None => EventKind::WakeSkipped,
+                    });
+                });
+                #[cfg(not(feature = "telemetry"))]
+                self.shared.sleep.notify_spawn(|_| {});
+            }
+            SleepKind::CondvarFallback => {}
+        }
+    }
+
+    /// Bookkeeping for work found anywhere (own pop, steal, injector):
+    /// resets the policy engine's failure streak and, if this worker was
+    /// recently woken, credits the wake and records its latency.
+    pub(crate) fn note_found_work(&self) {
+        self.engine.borrow_mut().note_work_found();
+        if self.woken_pending.replace(false) {
+            self.shared.sleep.note_hit_after_unpark();
+            #[cfg(feature = "telemetry")]
+            if let Some(t) = &self.tele {
+                let woken_at = self.woken_at.get();
+                if woken_at > 0 {
+                    t.unpark_to_work_ns(t.now_ns().saturating_sub(woken_at));
+                }
             }
         }
     }
@@ -451,6 +560,88 @@ impl WorkerCtx {
         None
     }
 
+    /// True if any source this worker could take work from looks
+    /// non-empty: the shutdown flag (which also demands wakefulness),
+    /// the injector, or any *other* worker's deque. Our own deque is
+    /// known empty — the caller just failed a `popBottom`.
+    fn work_in_sight(&self) -> bool {
+        let shared = &*self.shared;
+        shared.shutdown.load(Ordering::Acquire)
+            || shared.injector.pending() > 0
+            || shared
+                .stealers
+                .iter()
+                .enumerate()
+                .any(|(v, s)| v != self.index && s.len_hint() > 0)
+    }
+
+    /// Parks this worker until a producer's wake (`timeout == None`, the
+    /// [`IdleAction::ParkUntilWake`] policy) or for a bounded nap
+    /// (`Some`, the legacy [`IdleAction::Park`] policy). May return
+    /// without parking at all when the sleep protocol detects work.
+    ///
+    /// Eventcount path — the three-step protocol from [`crate::sleep`]:
+    /// announce, re-scan every work source, then commit via the
+    /// epoch-checked CAS; a producer that publishes anywhere in between
+    /// either fails the commit or (once committed) is obliged to wake us.
+    /// Park/unpark counters and trace spans move only for *committed*
+    /// parks, so `parks == unparks` holds exactly at shutdown.
+    fn park(&self, timeout: Option<Duration>) {
+        let shared = &*self.shared;
+        match shared.sleep.kind() {
+            SleepKind::Eventcount => {
+                let token = shared.sleep.announce();
+                if self.work_in_sight() {
+                    shared.sleep.cancel_announce();
+                    return;
+                }
+                if !shared.sleep.try_commit(self.index, token) {
+                    // A producer moved the epoch after our re-scan began;
+                    // its work is visible now — resume hunting.
+                    return;
+                }
+                if self.woken_pending.replace(false) {
+                    // Woken last time but found nothing before sleeping
+                    // again: that wake bought no work.
+                    shared.sleep.note_spurious_wake();
+                }
+                self.stats().parks.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                self.tele_record(EventKind::Park);
+                let outcome = shared.sleep.park_committed(self.index, timeout);
+                self.note_unpark(outcome);
+            }
+            SleepKind::CondvarFallback => {
+                if self.woken_pending.replace(false) {
+                    shared.sleep.note_spurious_wake();
+                }
+                self.stats().parks.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                self.tele_record(EventKind::Park);
+                // The legacy protocol: pool-wide lock, re-check under it,
+                // bounded nap (even for the untimed policy — without the
+                // eventcount a wakeup genuinely can be missed, and the
+                // timeout is what caps that race).
+                let outcome = shared.sleep.fallback_park(timeout, || {
+                    shared.injector.pending() > 0 || shared.shutdown.load(Ordering::Acquire)
+                });
+                self.note_unpark(outcome);
+            }
+        }
+    }
+
+    fn note_unpark(&self, outcome: SleepOutcome) {
+        self.stats().unparks.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        self.tele_record(EventKind::Unpark);
+        if outcome == SleepOutcome::Woken {
+            self.woken_pending.set(true);
+            #[cfg(feature = "telemetry")]
+            self.woken_at
+                .set(self.tele.as_ref().map_or(0, |t| t.now_ns()));
+        }
+    }
+
     /// Executes other work (or yields) while waiting for `probe` to become
     /// true; used by `join` when its second operand was stolen, and by
     /// scopes. Never parks: a waiting worker keeps contributing.
@@ -470,7 +661,7 @@ fn worker_main(ctx: WorkerCtx) {
         let job = ctx.pop().or_else(|| ctx.find_distant_work());
         match job {
             Some(job) => {
-                ctx.engine.borrow_mut().note_work_found();
+                ctx.note_found_work();
                 ctx.execute_job(job);
             }
             None => {
@@ -480,7 +671,7 @@ fn worker_main(ctx: WorkerCtx) {
                     // once. Blocking pops: during shutdown a `None`
                     // must really mean empty.
                     if let Some((word, _)) = shared.injector.pop_blocking(ctx.index) {
-                        ctx.engine.borrow_mut().note_work_found();
+                        ctx.note_found_work();
                         ctx.execute_job(JobRef::from_word(word));
                         continue;
                     }
@@ -491,31 +682,24 @@ fn worker_main(ctx: WorkerCtx) {
                     engine.note_failed();
                     engine.idle_action()
                 };
-                if let IdleAction::Park(us) = action {
-                    ctx.stats().parks.fetch_add(1, Ordering::Relaxed);
-                    #[cfg(feature = "telemetry")]
-                    ctx.tele_record(EventKind::Park);
-                    let guard = shared.sleep_mutex.lock().unwrap();
-                    // Re-check for work signals under the lock.
-                    if shared.injector.pending() == 0 && !shared.shutdown.load(Ordering::Acquire) {
-                        let _ = shared
-                            .sleep_cv
-                            .wait_timeout(guard, Duration::from_micros(us as u64));
-                    } else {
-                        // Release the sleep lock before polling: the job
-                        // below runs arbitrary user code, which must never
-                        // execute while holding the pool-wide park lock
-                        // (every other parking worker would block on it).
-                        drop(guard);
+                let parked = match action {
+                    IdleAction::Steal => false,
+                    IdleAction::Park(us) => {
+                        ctx.park(Some(Duration::from_micros(us as u64)));
+                        true
                     }
-                    #[cfg(feature = "telemetry")]
-                    ctx.tele_record(EventKind::Unpark);
+                    IdleAction::ParkUntilWake => {
+                        ctx.park(None);
+                        true
+                    }
+                };
+                if parked {
                     // A wake-up usually means an external submission;
                     // poll unconditionally (counted) so even an
                     // `InjectKind::Never` ablation drains the front
                     // door after parking.
                     if let Some(job) = ctx.poll_injector() {
-                        ctx.engine.borrow_mut().note_work_found();
+                        ctx.note_found_work();
                         ctx.execute_job(job);
                     }
                 }
@@ -534,6 +718,10 @@ pub struct PoolReport {
     pub stats: PoolStats,
     /// The same counters, per worker.
     pub per_worker: Vec<PoolStats>,
+    /// Which sleep/wake backend the pool ran.
+    pub sleep_kind: SleepKind,
+    /// Sleep/wake-subsystem counters over the pool's whole life.
+    pub sleep: SleepStats,
     /// The final telemetry snapshot, if tracing was configured.
     #[cfg(feature = "telemetry")]
     pub telemetry: Option<TelemetrySnapshot>,
@@ -592,8 +780,7 @@ impl ThreadPool {
                 config.injector_shards
             }),
             shutdown: AtomicBool::new(false),
-            sleep_mutex: Mutex::new(()),
-            sleep_cv: Condvar::new(),
+            sleep: Sleep::new(p, config.sleep),
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
             #[cfg(feature = "telemetry")]
             registry,
@@ -611,6 +798,8 @@ impl ThreadPool {
                         &config.policies,
                         PolicyRng::from_det(seed_rng.fork(index as u64)),
                     )),
+                    woken_pending: Cell::new(false),
+                    woken_at: Cell::new(0),
                     #[cfg(feature = "telemetry")]
                     tele: shared.registry.as_ref().map(|r| r.worker(index)),
                 };
@@ -731,6 +920,21 @@ impl ThreadPool {
         self.shared.stats.iter().map(|w| w.snapshot()).collect()
     }
 
+    /// Which sleep/wake backend this pool runs.
+    pub fn sleep_kind(&self) -> SleepKind {
+        self.shared.sleep.kind()
+    }
+
+    /// Workers currently asleep (a live gauge: exact at quiescence).
+    pub fn sleeping_workers(&self) -> usize {
+        self.shared.sleep.sleepers()
+    }
+
+    /// Live sleep/wake-subsystem counters since pool creation.
+    pub fn sleep_stats(&self) -> SleepStats {
+        self.shared.sleep.stats()
+    }
+
     /// A live telemetry snapshot, if tracing was configured. Workers keep
     /// running (and recording) while this executes; for counts that must
     /// be exact, stop the pool with [`ThreadPool::shutdown`] instead.
@@ -739,6 +943,7 @@ impl ThreadPool {
         self.shared.registry.as_ref().map(|r| {
             let mut snap = r.snapshot();
             self.shared.injector.stamp(&mut snap.injector);
+            self.shared.stamp_sleep(&mut snap);
             snap
         })
     }
@@ -749,8 +954,12 @@ impl ThreadPool {
     /// trace, the per-worker counters, and the aggregate are mutually
     /// consistent.
     pub fn shutdown(mut self) -> PoolReport {
+        // Flag first, wake second: `notify_shutdown`'s epoch bump makes
+        // the flag visible to any worker racing into a park (its commit
+        // fails or its wake arrives), so no worker can sleep through
+        // shutdown.
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.sleep_cv.notify_all();
+        self.shared.sleep.notify_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -771,13 +980,31 @@ impl ThreadPool {
             stats.attempts_balance(),
             "steal accounting identity violated: {stats:?}"
         );
+        debug_assert!(
+            stats.parks_balance(),
+            "park accounting identity violated: parks {} != unparks {}",
+            stats.parks,
+            stats.unparks
+        );
+        let sleep = self.shared.sleep.stats();
+        // Every hit-after-unpark is credited to exactly one delivered
+        // wake (the condvar fallback's herd makes the correspondence
+        // approximate, so the invariant is eventcount-only).
+        debug_assert!(
+            self.shared.sleep.kind() != SleepKind::Eventcount
+                || sleep.wakes_sent >= sleep.hits_after_unpark,
+            "wake accounting identity violated: {sleep:?}"
+        );
         PoolReport {
             stats,
             per_worker: self.per_worker_stats(),
+            sleep_kind: self.shared.sleep.kind(),
+            sleep,
             #[cfg(feature = "telemetry")]
             telemetry: self.shared.registry.as_ref().map(|r| {
                 let mut snap = r.snapshot();
                 self.shared.injector.stamp(&mut snap.injector);
+                self.shared.stamp_sleep(&mut snap);
                 snap
             }),
         }
@@ -787,7 +1014,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.sleep_cv.notify_all();
+        self.shared.sleep.notify_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -38,6 +38,10 @@ pub struct WorkerStats {
     pub yields: AtomicU64,
     /// Times this worker parked for lack of work.
     pub parks: AtomicU64,
+    /// Times this worker returned from a park. Every park ends in exactly
+    /// one unpark (wake or timeout), so `parks == unparks` at shutdown —
+    /// the sleep-subsystem analogue of `attempts_balance`.
+    pub unparks: AtomicU64,
 }
 
 impl WorkerStats {
@@ -52,6 +56,7 @@ impl WorkerStats {
             injects: self.injects.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
         }
     }
 }
@@ -68,6 +73,7 @@ pub struct PoolStats {
     pub injects: u64,
     pub yields: u64,
     pub parks: u64,
+    pub unparks: u64,
 }
 
 impl PoolStats {
@@ -83,6 +89,7 @@ impl PoolStats {
             s.injects += w.injects.load(Ordering::Relaxed);
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
+            s.unparks += w.unparks.load(Ordering::Relaxed);
         }
         s
     }
@@ -99,6 +106,13 @@ impl PoolStats {
     /// True iff every attempt is accounted for by exactly one outcome.
     pub fn attempts_balance(&self) -> bool {
         self.steal_attempts == self.steals + self.aborts + self.empties + self.injects
+    }
+
+    /// True iff every park this snapshot saw also returned. Holds at any
+    /// quiescent point (shutdown especially); a live mid-park snapshot
+    /// may legitimately read `parks == unparks + 1` per sleeping worker.
+    pub fn parks_balance(&self) -> bool {
+        self.parks == self.unparks
     }
 }
 
@@ -169,6 +183,22 @@ mod tests {
             ..PoolStats::default()
         }
         .attempts_balance());
+    }
+
+    #[test]
+    fn parks_balance_identity() {
+        let s = PoolStats {
+            parks: 7,
+            unparks: 7,
+            ..PoolStats::default()
+        };
+        assert!(s.parks_balance());
+        assert!(!PoolStats {
+            parks: 7,
+            unparks: 6,
+            ..PoolStats::default()
+        }
+        .parks_balance());
     }
 
     /// Regression for the extended identity on the live pool: external

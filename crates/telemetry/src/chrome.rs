@@ -133,6 +133,24 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
                 EventKind::Unpark => {
                     push_event(&mut out, &mut first, "park", "E", e.ts_ns, w.worker, "")
                 }
+                EventKind::WakeOne { target } => push_event(
+                    &mut out,
+                    &mut first,
+                    "wake",
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    &format!(",\"s\":\"t\",\"args\":{{\"target\":{target}}}"),
+                ),
+                EventKind::WakeSkipped => push_event(
+                    &mut out,
+                    &mut first,
+                    "wake_skipped",
+                    "i",
+                    e.ts_ns,
+                    w.worker,
+                    ",\"s\":\"t\"",
+                ),
             }
         }
     }
@@ -159,8 +177,10 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
         let mut execs = 0u64;
         let mut yields = 0u64;
         let mut parks = 0u64;
+        let mut unparks = 0u64;
         let (mut hits, mut empties, mut aborts) = (0u64, 0u64, 0u64);
         let (mut inj_polls, mut inj_hits) = (0u64, 0u64);
+        let (mut wakes, mut wake_skips) = (0u64, 0u64);
         for e in &w.events {
             match e.kind {
                 EventKind::Spawn => spawns += 1,
@@ -177,7 +197,9 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
                 }
                 EventKind::Yield => yields += 1,
                 EventKind::Park => parks += 1,
-                EventKind::Unpark => {}
+                EventKind::Unpark => unparks += 1,
+                EventKind::WakeOne { .. } => wakes += 1,
+                EventKind::WakeSkipped => wake_skips += 1,
             }
         }
         let sl = &w.steal_latency;
@@ -187,6 +209,7 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
             "{{\"worker\":{},\"events\":{},\"dropped\":{},\"spawns\":{},\"execs\":{},\
              \"steal_hits\":{},\"steal_empties\":{},\"steal_aborts\":{},\
              \"inject_polls\":{},\"inject_hits\":{},\"yields\":{},\"parks\":{},\
+             \"unparks\":{},\"wakes\":{},\"wake_skips\":{},\
              \"steal_latency\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}},\
              \"job_run_time\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}}",
             w.worker,
@@ -201,6 +224,9 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
             inj_hits,
             yields,
             parks,
+            unparks,
+            wakes,
+            wake_skips,
             sl.count(),
             sl.mean(),
             sl.quantile_upper_bound(0.5),
@@ -227,6 +253,23 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
         lat.mean(),
         lat.quantile_upper_bound(0.5),
         lat.quantile_upper_bound(0.99),
+    );
+    let sl = &snap.sleep;
+    let uw = &sl.unpark_to_work;
+    let _ = writeln!(
+        out,
+        "\"sleep\":{{\"wakes_sent\":{},\"wakes_skipped\":{},\"wakes_spurious\":{},\
+         \"hits_after_unpark\":{},\"timed_out_parks\":{},\
+         \"unpark_to_work\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}},",
+        sl.wakes_sent,
+        sl.wakes_skipped,
+        sl.wakes_spurious,
+        sl.hits_after_unpark,
+        sl.timed_out_parks,
+        uw.count(),
+        uw.mean(),
+        uw.quantile_upper_bound(0.5),
+        uw.quantile_upper_bound(0.99),
     );
     out.push_str("\"counters\":{");
     for (i, (name, v)) in snap.counters.iter().enumerate() {
@@ -296,6 +339,7 @@ mod tests {
             workers: vec![w0, w1],
             counters: vec![("rounds".to_string(), 7)],
             injector: Default::default(),
+            sleep: Default::default(),
             policy: String::new(),
         }
     }
@@ -375,6 +419,42 @@ mod tests {
         let w1 = &v.get("workers").unwrap().as_array().unwrap()[1];
         assert_eq!(w1.get("inject_polls").unwrap().as_f64(), Some(2.0));
         assert_eq!(w1.get("inject_hits").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn sleep_metrics_flow_through_both_exporters() {
+        let mut snap = tiny_snapshot();
+        snap.workers[0].events.push(Event {
+            ts_ns: 9_800,
+            kind: EventKind::WakeOne { target: 1 },
+        });
+        snap.workers[0].events.push(Event {
+            ts_ns: 9_900,
+            kind: EventKind::WakeSkipped,
+        });
+        snap.sleep.wakes_sent = 5;
+        snap.sleep.wakes_skipped = 1;
+        snap.sleep.wakes_spurious = 2;
+        snap.sleep.hits_after_unpark = 3;
+        snap.sleep.timed_out_parks = 0;
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"wake\""));
+        assert!(trace.contains("\"args\":{\"target\":1}"));
+        assert!(trace.contains("\"name\":\"wake_skipped\""));
+        assert!(crate::json::parse(&trace).is_ok());
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let sleep = v.get("sleep").expect("sleep section");
+        assert_eq!(sleep.get("wakes_sent").unwrap().as_f64(), Some(5.0));
+        assert_eq!(sleep.get("wakes_spurious").unwrap().as_f64(), Some(2.0));
+        assert_eq!(sleep.get("hits_after_unpark").unwrap().as_f64(), Some(3.0));
+        assert_eq!(sleep.get("timed_out_parks").unwrap().as_f64(), Some(0.0));
+        let w0 = &v.get("workers").unwrap().as_array().unwrap()[0];
+        assert_eq!(w0.get("wakes").unwrap().as_f64(), Some(1.0));
+        assert_eq!(w0.get("wake_skips").unwrap().as_f64(), Some(1.0));
+        let w1 = &v.get("workers").unwrap().as_array().unwrap()[1];
+        assert_eq!(w1.get("parks").unwrap().as_f64(), Some(1.0));
+        assert_eq!(w1.get("unparks").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum EventKind {
     Park,
     /// The worker woke from a park.
     Unpark,
+    /// A producer delivered a targeted wake to sleeping worker `target`
+    /// (recorded on the producer's timeline when the producer is a
+    /// worker; external submitters record nothing).
+    WakeOne { target: u32 },
+    /// A producer budgeted a wake but found the sleeper stack already
+    /// drained (the sleeper count it read was stale by pop time).
+    WakeSkipped,
 }
 
 /// A timestamped event on one worker's timeline. Timestamps are
@@ -73,6 +80,8 @@ const TAG_YIELD: u64 = 5;
 const TAG_PARK: u64 = 6;
 const TAG_UNPARK: u64 = 7;
 const TAG_INJECT: u64 = 8;
+const TAG_WAKE_ONE: u64 = 9;
+const TAG_WAKE_SKIPPED: u64 = 10;
 
 impl EventKind {
     /// Packs the kind into one word for the ring buffer.
@@ -93,6 +102,8 @@ impl EventKind {
             EventKind::Yield => TAG_YIELD,
             EventKind::Park => TAG_PARK,
             EventKind::Unpark => TAG_UNPARK,
+            EventKind::WakeOne { target } => TAG_WAKE_ONE | ((target as u64) << 32),
+            EventKind::WakeSkipped => TAG_WAKE_SKIPPED,
         }
     }
 
@@ -120,6 +131,10 @@ impl EventKind {
             TAG_YIELD => EventKind::Yield,
             TAG_PARK => EventKind::Park,
             TAG_UNPARK => EventKind::Unpark,
+            TAG_WAKE_ONE => EventKind::WakeOne {
+                target: (w >> 32) as u32,
+            },
+            TAG_WAKE_SKIPPED => EventKind::WakeSkipped,
             _ => return None,
         })
     }
@@ -152,6 +167,9 @@ mod tests {
             EventKind::Yield,
             EventKind::Park,
             EventKind::Unpark,
+            EventKind::WakeOne { target: 0 },
+            EventKind::WakeOne { target: u32::MAX },
+            EventKind::WakeSkipped,
         ];
         for k in kinds {
             assert_eq!(EventKind::unpack(k.pack()), Some(k), "{k:?}");

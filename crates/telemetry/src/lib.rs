@@ -51,6 +51,7 @@ pub use chrome::{chrome_trace, metrics_json};
 pub use event::{Event, EventKind, StealOutcome};
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use registry::{
-    InjectorSnapshot, Registry, TelemetryConfig, TelemetrySnapshot, WorkerTelemetry, WorkerTrace,
+    InjectorSnapshot, Registry, SleepSnapshot, TelemetryConfig, TelemetrySnapshot, WorkerTelemetry,
+    WorkerTrace,
 };
 pub use ring::{EventRing, Producer, RingSnapshot};

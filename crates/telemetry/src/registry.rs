@@ -39,6 +39,7 @@ pub struct Registry {
     epoch: Instant,
     workers: Vec<WorkerSlot>,
     inject_latency: Histogram,
+    unpark_to_work: Histogram,
     policy: String,
 }
 
@@ -65,6 +66,7 @@ impl Registry {
                 })
                 .collect(),
             inject_latency: Histogram::new(),
+            unpark_to_work: Histogram::new(),
             policy: policy.into(),
         })
     }
@@ -100,6 +102,15 @@ impl Registry {
         self.inject_latency.record(ns);
     }
 
+    /// Records one unpark-to-work latency sample (nanoseconds from a
+    /// worker returning from a wake-caused park to it finding work).
+    /// Registry-level for the same reason as the inject latency: the
+    /// woken worker records it, whichever worker that is.
+    #[inline]
+    pub fn unpark_to_work_ns(&self, ns: u64) {
+        self.unpark_to_work.record(ns);
+    }
+
     /// Snapshots every ring and histogram. Lock-free with respect to the
     /// producers; safe to call at any time, from any thread.
     ///
@@ -130,6 +141,10 @@ impl Registry {
             injector: InjectorSnapshot {
                 latency: self.inject_latency.snapshot(),
                 ..InjectorSnapshot::default()
+            },
+            sleep: SleepSnapshot {
+                unpark_to_work: self.unpark_to_work.snapshot(),
+                ..SleepSnapshot::default()
             },
             policy: self.policy.clone(),
         }
@@ -205,6 +220,13 @@ impl WorkerTelemetry {
     pub fn inject_latency_ns(&self, ns: u64) {
         self.registry.inject_latency_ns(ns);
     }
+
+    /// Records one unpark-to-work latency sample on the registry-wide
+    /// histogram (the woken worker records it).
+    #[inline]
+    pub fn unpark_to_work_ns(&self, ns: u64) {
+        self.registry.unpark_to_work_ns(ns);
+    }
 }
 
 /// One worker's timeline inside a [`TelemetrySnapshot`].
@@ -277,6 +299,28 @@ pub struct InjectorSnapshot {
     pub latency: HistogramSnapshot,
 }
 
+/// Sleep/wake-subsystem metrics inside a [`TelemetrySnapshot`]. The
+/// latency histogram is filled by [`Registry::snapshot`]; the scalar
+/// counters are stamped by the pool that owns the sleep state (they stay
+/// zero for runs without one, e.g. the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct SleepSnapshot {
+    /// Targeted wakes delivered by producers.
+    pub wakes_sent: u64,
+    /// Wake budget that found the sleeper stack already drained.
+    pub wakes_skipped: u64,
+    /// Wakes whose target found no work before re-committing to sleep.
+    pub wakes_spurious: u64,
+    /// Woken workers that found work on their first post-wake hunt.
+    pub hits_after_unpark: u64,
+    /// Timed parks that elapsed without a wake (zero under the
+    /// eventcount protocol, whose parks are untimed).
+    pub timed_out_parks: u64,
+    /// Unpark-to-work latency (ns from a wake-caused unpark to the woken
+    /// worker finding work).
+    pub unpark_to_work: HistogramSnapshot,
+}
+
 /// A whole-system snapshot: every worker's events and histograms plus
 /// free-form named counters. The real runtime and the simulator both
 /// export through this type, so their traces are directly comparable.
@@ -290,6 +334,9 @@ pub struct TelemetrySnapshot {
     /// External-submission injector metrics (all-zero when the run had
     /// no injector).
     pub injector: InjectorSnapshot,
+    /// Sleep/wake-subsystem metrics (all-zero when the run had no sleep
+    /// subsystem).
+    pub sleep: SleepSnapshot,
     /// Scheduling-policy identity of the run that produced this snapshot
     /// (`"victim+backoff+idle/yield-policy"`; empty when unknown).
     pub policy: String,
@@ -387,6 +434,27 @@ mod tests {
         assert_eq!(snap.injector.shards, 0);
         // Injector polls are not steal attempts.
         assert_eq!(snap.workers[0].steal_attempts(), 0);
+    }
+
+    #[test]
+    fn sleep_latency_and_wake_events_roundtrip() {
+        let reg = Registry::new(1, &TelemetryConfig { ring_capacity: 16 });
+        let w = reg.worker(0);
+        w.record_at(5, EventKind::WakeOne { target: 3 });
+        w.record_at(9, EventKind::WakeSkipped);
+        w.unpark_to_work_ns(1_500);
+        reg.unpark_to_work_ns(2_500);
+        let snap = reg.snapshot();
+        assert_eq!(snap.workers[0].events.len(), 2);
+        assert_eq!(
+            snap.workers[0].events[0].kind,
+            EventKind::WakeOne { target: 3 }
+        );
+        assert_eq!(snap.sleep.unpark_to_work.count(), 2);
+        // Scalar counters are the pool's to stamp; the registry leaves
+        // them zero.
+        assert_eq!(snap.sleep.wakes_sent, 0);
+        assert_eq!(snap.sleep.timed_out_parks, 0);
     }
 
     #[test]

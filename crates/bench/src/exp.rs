@@ -2041,6 +2041,239 @@ pub fn idle(small: bool) -> ExpResult {
     )
 }
 
+/// DP1 — the data-parallel layer: adaptive splitting vs sequential
+/// baselines and vs eager grain recursion.
+///
+/// Three claims, one artifact (`target/BENCH_par.json`, validated with
+/// the in-repo JSON parser):
+///
+/// 1. **Speedup** — `par_sort_unstable` and `par_iter().map().reduce()`
+///    on a P = 8 pool beat their single-thread sequential baselines by
+///    ≥ 3× — enforced only when the machine actually has ≥ 8 cores
+///    (the H2 `cores_scarce` idiom); on smaller hosts the measured
+///    speedups are reported informationally and the bar is waived.
+/// 2. **Task economy** — the adaptive splitter spawns *strictly fewer*
+///    tasks than eager grain recursion on the same workloads (counted by
+///    the same `par_splits` counter on both pools) while matching its
+///    throughput (≤ 1.25× its time; typically well under 1×, since not
+///    forking into a busy pool is pure savings).
+/// 3. **Accounting** — the four-way identity
+///    `steal_attempts == steals + aborts + empties + injects` and
+///    `parks == unparks` hold on every pool at shutdown, and every
+///    split/sequential decision is counted (`par_splits + par_seq > 0`).
+pub fn par(small: bool) -> ExpResult {
+    use abp_dag::DetRng;
+    use abp_telemetry::json;
+    use hood::par::prelude::*;
+    use hood::{par_sort_unstable, PolicySet, PoolConfig, PoolStats, SplitKind, ThreadPool};
+    use std::time::Instant;
+
+    let p = 8;
+    let n_sort: usize = if small { 200_000 } else { 2_000_000 };
+    let n_reduce: usize = if small { 1_000_000 } else { 8_000_000 };
+    let reps: usize = if small { 3 } else { 5 };
+
+    fn median_ms(times: &mut [f64]) -> f64 {
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times[times.len() / 2]
+    }
+
+    fn hash(x: u64) -> u64 {
+        (x ^ (x >> 7)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    let mut rng = DetRng::new(3);
+    let sort_data: Vec<u64> = (0..n_sort).map(|_| rng.below(u64::MAX / 2)).collect();
+    let reduce_data: Vec<u64> = (0..n_reduce).map(|_| rng.below(u64::MAX / 2)).collect();
+    let mut sorted_expect = sort_data.clone();
+    sorted_expect.sort_unstable();
+    let reduce_expect = reduce_data
+        .iter()
+        .map(|&x| hash(x))
+        .fold(0u64, u64::wrapping_add);
+
+    let mut pass = true;
+
+    // -- sequential baselines (no pool at all) ---------------------------
+    let mut times = Vec::new();
+    for _ in 0..reps {
+        let mut v = sort_data.clone();
+        let t0 = Instant::now();
+        v.sort_unstable();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        pass &= v == sorted_expect;
+    }
+    let seq_sort_ms = median_ms(&mut times);
+    let mut times = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let got = reduce_data
+            .iter()
+            .map(|&x| hash(x))
+            .fold(0u64, u64::wrapping_add);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        pass &= got == reduce_expect;
+    }
+    let seq_reduce_ms = median_ms(&mut times);
+
+    // -- one pool per split policy, both workloads on each ---------------
+    // Both pools count fork decisions through the same `par_splits`
+    // counter, so the adaptive-vs-eager task-count comparison is
+    // apples-to-apples.
+    struct PolicyRun {
+        sort_ms: f64,
+        reduce_ms: f64,
+        stats: PoolStats,
+    }
+    let mut measure = |split: SplitKind| -> PolicyRun {
+        let pool = ThreadPool::with_config(PoolConfig {
+            num_procs: p,
+            policies: PolicySet {
+                split,
+                ..PolicySet::default()
+            },
+            ..PoolConfig::default()
+        });
+        // Warm (first-touch wakes, page faults on the clone).
+        let mut warm = sort_data.clone();
+        pool.install(|| par_sort_unstable(&mut warm));
+        let mut times = Vec::new();
+        for _ in 0..reps {
+            let mut v = sort_data.clone();
+            let t0 = Instant::now();
+            pool.install(|| par_sort_unstable(&mut v));
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            pass &= v == sorted_expect;
+        }
+        let sort_ms = median_ms(&mut times);
+        let mut times = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let got = pool.install(|| {
+                reduce_data
+                    .par_iter()
+                    .map(|&x| hash(x))
+                    .reduce(|| 0u64, u64::wrapping_add)
+            });
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            pass &= got == reduce_expect;
+        }
+        let reduce_ms = median_ms(&mut times);
+        let report = pool.shutdown();
+        PolicyRun {
+            sort_ms,
+            reduce_ms,
+            stats: report.stats,
+        }
+    };
+
+    let adaptive = measure(SplitKind::Adaptive);
+    let eager = measure(SplitKind::EagerGrain { grain: 4_096 });
+
+    // -- claim 3: accounting ---------------------------------------------
+    for (name, st) in [("adaptive", &adaptive.stats), ("eager", &eager.stats)] {
+        pass &= st.attempts_balance();
+        pass &= st.parks_balance();
+        pass &= st.par_splits + st.par_seq > 0;
+        let _ = name;
+    }
+
+    // -- claim 2: task economy at equal-or-better throughput -------------
+    let ad_tasks = adaptive.stats.par_splits;
+    let eg_tasks = eager.stats.par_splits;
+    pass &= ad_tasks < eg_tasks;
+    pass &= adaptive.sort_ms <= eager.sort_ms * 1.25;
+    pass &= adaptive.reduce_ms <= eager.reduce_ms * 1.25;
+
+    // -- claim 1: speedup, gated on real cores (H2 idiom) ----------------
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let sort_speedup = seq_sort_ms / adaptive.sort_ms;
+    let reduce_speedup = seq_reduce_ms / adaptive.reduce_ms;
+    let cores_scarce = cores < p;
+    if !cores_scarce {
+        pass &= sort_speedup >= 3.0;
+        pass &= reduce_speedup >= 3.0;
+    }
+
+    let mut t = TextTable::new(["workload", "seq ms", "adaptive ms", "eager ms", "speedup"]);
+    t.row([
+        format!("sort {n_sort}"),
+        f2(seq_sort_ms),
+        f2(adaptive.sort_ms),
+        f2(eager.sort_ms),
+        format!("{sort_speedup:.2}x"),
+    ]);
+    t.row([
+        format!("reduce {n_reduce}"),
+        f2(seq_reduce_ms),
+        f2(adaptive.reduce_ms),
+        f2(eager.reduce_ms),
+        format!("{reduce_speedup:.2}x"),
+    ]);
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"par\",\n  \"mode\": \"{}\",\n  \"p\": {},\n  \"cores\": {},\n  \
+         \"speedup_gate_active\": {},\n  \
+         \"sort\": {{\"n\": {}, \"seq_ms\": {:.3}, \"adaptive_ms\": {:.3}, \"eager_ms\": {:.3}, \
+         \"speedup\": {:.3}}},\n  \
+         \"reduce\": {{\"n\": {}, \"seq_ms\": {:.3}, \"adaptive_ms\": {:.3}, \"eager_ms\": {:.3}, \
+         \"speedup\": {:.3}}},\n  \
+         \"adaptive\": {{\"par_splits\": {}, \"par_seq\": {}, \"steals\": {}, \
+         \"steal_attempts\": {}, \"parks\": {}, \"unparks\": {}}},\n  \
+         \"eager\": {{\"par_splits\": {}, \"par_seq\": {}, \"steals\": {}, \
+         \"steal_attempts\": {}, \"parks\": {}, \"unparks\": {}}}\n}}\n",
+        if small { "small" } else { "full" },
+        p,
+        cores,
+        !cores_scarce,
+        n_sort,
+        seq_sort_ms,
+        adaptive.sort_ms,
+        eager.sort_ms,
+        sort_speedup,
+        n_reduce,
+        seq_reduce_ms,
+        adaptive.reduce_ms,
+        eager.reduce_ms,
+        reduce_speedup,
+        adaptive.stats.par_splits,
+        adaptive.stats.par_seq,
+        adaptive.stats.steals,
+        adaptive.stats.steal_attempts,
+        adaptive.stats.parks,
+        adaptive.stats.unparks,
+        eager.stats.par_splits,
+        eager.stats.par_seq,
+        eager.stats.steals,
+        eager.stats.steal_attempts,
+        eager.stats.parks,
+        eager.stats.unparks,
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_par.json", &artifact).is_ok();
+
+    let body = format!(
+        "data-parallel layer on a P={p} pool, {cores} core(s); \
+         speedup bar (≥ 3.0x){}\n\
+         task economy: adaptive {ad_tasks} splits < eager {eg_tasks} splits \
+         at ≤ 1.25x eager's time (bar)\n\
+         accounting: attempts balance + parks balance on both pools; \
+         every split decision counted\n\
+         wrote target/BENCH_par.json ({} bytes{})\n\n{}",
+        if cores_scarce {
+            " waived: fewer cores than workers — speedups reported informationally"
+        } else {
+            " enforced"
+        },
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render()
+    );
+    ExpResult::new("DP1", "Data-parallel layer: adaptive splitting", body, pass)
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -2066,5 +2299,6 @@ pub fn all() -> Vec<ExpResult> {
         serve(false),
         hotpath(),
         idle(false),
+        par(false),
     ]
 }

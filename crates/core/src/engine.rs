@@ -4,6 +4,7 @@ use crate::backoff::{BackoffAction, BackoffKind, ContentionBackoff};
 use crate::idle::{IdleAction, IdleKind, IdlePolicy};
 use crate::inject::{InjectKind, InjectPolicy};
 use crate::rng::PolicyRng;
+use crate::split::SplitKind;
 use crate::tally::StealResult;
 use crate::victim::{VictimKind, VictimSelector};
 
@@ -24,6 +25,11 @@ pub struct PolicySet {
     /// How often an idle worker polls the external-submission injector
     /// (runtimes without an injector ignore this axis).
     pub inject: InjectKind,
+    /// When a data-parallel computation forks vs. runs sequentially
+    /// (runtimes without a data-parallel layer ignore this axis). Read
+    /// directly by the runtime's splitter, not via the engine: split
+    /// decisions happen inside running jobs, not in the steal loop.
+    pub split: SplitKind,
 }
 
 impl PolicySet {
@@ -56,12 +62,19 @@ impl PolicySet {
         self
     }
 
+    /// Replaces the split cadence.
+    pub fn with_split(mut self, split: SplitKind) -> Self {
+        self.split = split;
+        self
+    }
+
     /// Stable identity string, `"victim+backoff+idle"` — e.g. the
     /// default is `"uniform+yield+spin"`. Stamped on telemetry
     /// snapshots, `RunReport`s, and experiment JSON. A non-default
-    /// injector cadence is appended as a fourth `+` segment; the default
-    /// cadence is omitted so labels (and the golden regression files
-    /// that pin them) are unchanged for the three classic axes.
+    /// injector cadence is appended as a fourth `+` segment and a
+    /// non-default split cadence as a fifth; defaults are omitted so
+    /// labels (and the golden regression files that pin them) are
+    /// unchanged for the three classic axes.
     pub fn label(&self) -> String {
         let mut s = format!(
             "{}+{}+{}",
@@ -72,6 +85,10 @@ impl PolicySet {
         if self.inject != InjectKind::default() {
             s.push('+');
             s.push_str(self.inject.label());
+        }
+        if self.split != SplitKind::default() {
+            s.push('+');
+            s.push_str(self.split.label());
         }
         s
     }
@@ -271,6 +288,18 @@ mod tests {
             assert!(default_eng.injector_due());
             default_eng.note_failed();
         }
+    }
+
+    #[test]
+    fn split_axis_defaults_and_labels() {
+        use crate::split::SplitKind;
+        // The default cadence leaves the classic label untouched.
+        assert_eq!(PolicySet::paper().label(), "uniform+yield+spin");
+        let set = PolicySet::paper().with_split(SplitKind::EagerGrain { grain: 64 });
+        assert_eq!(set.label(), "uniform+yield+spin+split-grain");
+        // Fourth and fifth segments compose.
+        let set = set.with_inject(InjectKind::Never);
+        assert_eq!(set.label(), "uniform+yield+spin+inject-never+split-grain");
     }
 
     #[test]

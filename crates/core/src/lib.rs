@@ -35,6 +35,13 @@
 //!   (every n-th failed hunt), and [`NeverInject`] (the pre-injector
 //!   behavior, for ablation).
 //!
+//! * [`SplitKind`] — when a data-parallel computation forks vs. runs a
+//!   range sequentially, for runtimes with a `par_iter`-style layer.
+//!   Consulted from inside running jobs (not the steal loop), so it is a
+//!   plain spec with no engine hook: `Adaptive` (split while idle
+//!   workers are visible, the default), `EagerGrain` (recurse to an
+//!   explicit grain, the classic baseline), and `Sequential`.
+//!
 //! [`StealTally`] is the shared attempt accounting; it maintains the
 //! identity `attempts == hits + aborts + empties + injects` that both
 //! surfaces assert (`injects` stays zero on surfaces without an
@@ -58,6 +65,7 @@ pub mod engine;
 pub mod idle;
 pub mod inject;
 pub mod rng;
+pub mod split;
 pub mod tally;
 pub mod victim;
 
@@ -69,5 +77,6 @@ pub use engine::{PolicyEngine, PolicySet};
 pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, ParkUntilWakeIdle, SpinIdle};
 pub use inject::{EveryN, EveryScan, InjectKind, InjectPolicy, NeverInject};
 pub use rng::PolicyRng;
+pub use split::SplitKind;
 pub use tally::{StealResult, StealTally};
 pub use victim::{LastVictim, RoundRobinVictim, UniformVictim, VictimKind, VictimSelector};

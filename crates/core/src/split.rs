@@ -1,0 +1,64 @@
+//! Split cadence — how a data-parallel computation decides between
+//! forking and running sequentially.
+//!
+//! The paper's scheduler makes *spawned* work cheap to balance (idle
+//! processors steal from the top of busy deques), but it cannot make
+//! spawning itself free: every fork is a deque push, a possible wake,
+//! and a reconcile on the way back. A data-parallel layer therefore has
+//! its own policy point — *when to stop splitting a range and just run
+//! it* — with the same flavor as victim selection or injector cadence,
+//! so this module makes it a fifth [`crate::PolicySet`] axis.
+//!
+//! Unlike the other four axes this one is consulted from the *job* side
+//! (inside a running computation), not from the steal loop, so there is
+//! no `PolicyEngine` hook: the runtime's splitter reads the [`SplitKind`]
+//! directly. The adaptive default splits while the runtime reports idle
+//! processors (a relaxed load of the sleep subsystem's packed eventcount
+//! word) plus a small depth budget; the eager-grain variant is the
+//! classic recurse-to-the-grain baseline kept for ablation, and
+//! `Sequential` disables splitting entirely.
+
+/// Cloneable spec for the split cadence, the fifth
+/// [`crate::PolicySet`] axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitKind {
+    /// Split while idle workers are visible (sleeper hint) after an
+    /// initial depth budget of ~`4P` leaves — the default. Sequential at
+    /// full speed once every processor is busy.
+    #[default]
+    Adaptive,
+    /// Classic eager recursion down to `grain` elements per leaf,
+    /// regardless of idleness — the pre-adaptive behavior, for ablation
+    /// and for callers that have tuned an explicit grain.
+    EagerGrain {
+        /// Maximum leaf length (clamped to ≥ 1).
+        grain: usize,
+    },
+    /// Never split: every range runs sequentially (ablation baseline,
+    /// and the behavior outside any pool).
+    Sequential,
+}
+
+impl SplitKind {
+    /// Short stable label for policy identity strings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SplitKind::Adaptive => "split-adaptive",
+            SplitKind::EagerGrain { .. } => "split-grain",
+            SplitKind::Sequential => "split-seq",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SplitKind::Adaptive.label(), "split-adaptive");
+        assert_eq!(SplitKind::EagerGrain { grain: 64 }.label(), "split-grain");
+        assert_eq!(SplitKind::Sequential.label(), "split-seq");
+        assert_eq!(SplitKind::default(), SplitKind::Adaptive);
+    }
+}

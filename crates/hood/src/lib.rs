@@ -47,19 +47,30 @@
 //! assert_eq!(hits.load(Ordering::Relaxed), 16);
 //! assert!(report.stats.attempts_balance());
 //! ```
+//!
+//! # Data parallelism
+//!
+//! [`par`] is the rayon-style combinator layer — `par_iter()`, parallel
+//! sort, a FIFO scope — scheduled by *adaptive splitting*: ranges fork
+//! only while the sleep subsystem reports idle workers (one relaxed
+//! load), and run sequentially at full speed once the pool saturates.
+//! The [`SplitKind`] policy axis selects adaptive / eager-grain /
+//! sequential cadence per pool.
 
 mod injector;
 pub mod job;
 pub mod join;
 pub mod latch;
+pub mod par;
 pub mod parallel;
 pub mod pool;
 pub mod scope;
 pub mod sleep;
 pub mod stats;
 
-pub use abp_core::{BackoffKind, IdleKind, InjectKind, PolicySet, VictimKind};
+pub use abp_core::{BackoffKind, IdleKind, InjectKind, PolicySet, SplitKind, VictimKind};
 pub use join::join;
+pub use par::{par_sort_unstable, scope_fifo, ScopeFifo, Splitter};
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};
 pub use pool::{Backend, PoolConfig, PoolReport, ThreadPool, WorkerCtx};
 pub use scope::{scope, Scope};

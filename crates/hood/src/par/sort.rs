@@ -1,0 +1,123 @@
+//! Adaptive parallel unstable sort.
+//!
+//! Three-way quicksort with a deterministic median-of-three pivot: each
+//! level partitions the slice into `< pivot | == pivot | > pivot` and
+//! recurses on the outer two in parallel via `join`. The [`Splitter`]
+//! decides per level whether the recursion forks or stays sequential —
+//! once the pool stops reporting idle workers the remaining sub-ranges
+//! are handed to `std`'s `sort_unstable`, so the sequential leaves run
+//! at full library speed (pattern-defeating quicksort) rather than
+//! hand-rolled loops.
+
+use super::split::Splitter;
+use crate::join::join;
+
+/// Sorts the slice, potentially in parallel, honouring the current
+/// pool's [`abp_core::SplitKind`] policy. Deterministic pivot choice
+/// keeps runs reproducible; outside a pool this is exactly
+/// `slice::sort_unstable`.
+pub fn par_sort_unstable<T: Ord + Send>(v: &mut [T]) {
+    // ~512 elements is where a fork (~16 ns + steal exposure) clearly
+    // beats the sequential sort of the leaf.
+    sort_with(v, Splitter::new().with_min_len(512));
+}
+
+/// Sort with an explicit splitter — the engine behind
+/// [`par_sort_unstable`] and the legacy `hood::sort_unstable`.
+pub(crate) fn sort_with<T: Ord + Send>(v: &mut [T], mut sp: Splitter) {
+    if !sp.should_split(v.len()) {
+        v.sort_unstable();
+        return;
+    }
+    // Median-of-three pivot.
+    let (a, b, c) = (0, v.len() / 2, v.len() - 1);
+    let med = if v[a] < v[b] {
+        if v[b] < v[c] {
+            b
+        } else if v[a] < v[c] {
+            c
+        } else {
+            a
+        }
+    } else if v[a] < v[c] {
+        a
+    } else if v[b] < v[c] {
+        c
+    } else {
+        b
+    };
+    v.swap(med, b);
+    // Three-way partition around v[b]'s value via index juggling.
+    let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
+    let mut pivot_at = b;
+    while i < gt {
+        use std::cmp::Ordering::*;
+        match v[i].cmp(&v[pivot_at]) {
+            Less => {
+                if pivot_at == lt {
+                    pivot_at = i;
+                }
+                v.swap(lt, i);
+                lt += 1;
+                i += 1;
+            }
+            Greater => {
+                gt -= 1;
+                if pivot_at == gt {
+                    pivot_at = i;
+                }
+                v.swap(i, gt);
+            }
+            Equal => i += 1,
+        }
+    }
+    let (lo, rest) = v.split_at_mut(lt);
+    let hi = &mut rest[gt - lt..];
+    join(|| sort_with(lo, sp), || sort_with(hi, sp));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use abp_dag::DetRng;
+
+    #[test]
+    fn sorts_random_input() {
+        let pool = ThreadPool::new(4);
+        let mut rng = DetRng::new(7);
+        let mut v: Vec<u64> = (0..120_000).map(|_| rng.below(10_000)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.install(|| par_sort_unstable(&mut v));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_adversarial_shapes() {
+        let pool = ThreadPool::new(2);
+        pool.install(|| {
+            let mut empty: Vec<u8> = vec![];
+            par_sort_unstable(&mut empty);
+            let mut one = vec![3u8];
+            par_sort_unstable(&mut one);
+            assert_eq!(one, vec![3]);
+            let mut rev: Vec<u32> = (0..30_000).rev().collect();
+            par_sort_unstable(&mut rev);
+            assert!(rev.windows(2).all(|w| w[0] <= w[1]));
+            let mut same = vec![9u16; 20_000];
+            par_sort_unstable(&mut same);
+            assert!(same.iter().all(|&x| x == 9));
+            let mut sorted: Vec<u32> = (0..30_000).collect();
+            par_sort_unstable(&mut sorted);
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        });
+    }
+
+    #[test]
+    fn works_outside_pool() {
+        let mut v = vec![5u32, 1, 4, 2, 3];
+        par_sort_unstable(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+}

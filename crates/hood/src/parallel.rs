@@ -1,16 +1,43 @@
 //! Slice-level parallel helpers built on [`crate::join()`](crate::join::join): the small,
 //! practical API layer a downstream user reaches for before writing
 //! explicit joins (a deliberately minimal analog of data-parallel
-//! libraries' cores).
+//! libraries' cores). The richer combinator surface lives in
+//! [`crate::par`]; these helpers remain as the stable flat-function
+//! entry points and now share its adaptive splitter.
 //!
 //! All helpers are plain recursive divide-and-conquer over `join`, so
 //! they inherit the scheduler's properties: depth-first execution on one
 //! process, breadth-first stealing from many, and graceful degradation
 //! when the kernel takes processors away. Outside a pool they run
-//! sequentially. The `grain` parameter bounds leaf size; pick it so a
-//! leaf is ≥ a few microseconds of work.
+//! sequentially.
+//!
+//! # The `grain` parameter
+//!
+//! * `grain == 0` — **auto** (recommended): leaf size is decided at run
+//!   time by the adaptive [`Splitter`](crate::par::Splitter), which
+//!   consults the pool's idle-worker gauge. Historically `0` was
+//!   silently clamped to `1` — the worst possible grain, forking down
+//!   to single elements — so reusing the old footgun value as the
+//!   "let the runtime decide" switch is strictly an improvement.
+//! * `grain >= 1` — **legacy explicit grain**: classic eager recursion
+//!   down to leaves of at most `grain` elements, regardless of pool
+//!   load. Pick it so a leaf is ≥ a few microseconds of work. Still
+//!   useful for reproducing fixed task-DAG shapes (the experiment
+//!   suites do) or when the workload is known to saturate the pool.
 
 use crate::join::join;
+use crate::par::split::Splitter;
+use std::mem::MaybeUninit;
+
+/// The splitter implementing a helper's `grain` contract: `0` = adaptive
+/// (pool policy), `>= 1` = legacy eager grain.
+fn splitter_for(grain: usize) -> Splitter {
+    if grain == 0 {
+        Splitter::new()
+    } else {
+        Splitter::eager(grain)
+    }
+}
 
 /// Applies `f` to every element, potentially in parallel.
 pub fn for_each_mut<T, F>(slice: &mut [T], grain: usize, f: &F)
@@ -18,16 +45,22 @@ where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
-    let grain = grain.max(1);
-    if slice.len() <= grain {
-        for x in slice {
-            f(x);
+    fn rec<T, F>(v: &mut [T], mut sp: Splitter, f: &F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        if !sp.should_split(v.len()) {
+            for x in v {
+                f(x);
+            }
+            return;
         }
-        return;
+        let mid = v.len() / 2;
+        let (lo, hi) = v.split_at_mut(mid);
+        join(|| rec(lo, sp, f), || rec(hi, sp, f));
     }
-    let mid = slice.len() / 2;
-    let (lo, hi) = slice.split_at_mut(mid);
-    join(|| for_each_mut(lo, grain, f), || for_each_mut(hi, grain, f));
+    rec(slice, splitter_for(grain), f);
 }
 
 /// Maps every element and folds the results with an associative
@@ -41,7 +74,7 @@ where
 /// let pool = ThreadPool::new(4);
 /// let squares = pool.install(|| {
 ///     let v: Vec<u64> = (1..=100).collect();
-///     map_reduce(&v, 8, 0u64, &|&x| x * x, &|a, b| a + b)
+///     map_reduce(&v, 0, 0u64, &|&x| x * x, &|a, b| a + b)
 /// });
 /// assert_eq!(squares, 100 * 101 * 201 / 6);
 /// ```
@@ -52,110 +85,92 @@ where
     M: Fn(&T) -> R + Sync,
     Rd: Fn(R, R) -> R + Sync,
 {
-    let grain = grain.max(1);
-    if slice.len() <= grain {
-        return slice.iter().map(map).fold(identity, reduce);
+    fn rec<T, R, M, Rd>(v: &[T], mut sp: Splitter, identity: R, map: &M, reduce: &Rd) -> R
+    where
+        T: Sync,
+        R: Send + Clone,
+        M: Fn(&T) -> R + Sync,
+        Rd: Fn(R, R) -> R + Sync,
+    {
+        if !sp.should_split(v.len()) {
+            return v.iter().map(map).fold(identity, reduce);
+        }
+        let mid = v.len() / 2;
+        let (lo, hi) = v.split_at(mid);
+        let id_hi = identity.clone();
+        let (a, b) = join(
+            || rec(lo, sp, identity, map, reduce),
+            || rec(hi, sp, id_hi, map, reduce),
+        );
+        reduce(a, b)
     }
-    let mid = slice.len() / 2;
-    let (lo, hi) = slice.split_at(mid);
-    let id_hi = identity.clone();
-    let (a, b) = join(
-        || map_reduce(lo, grain, identity, map, reduce),
-        || map_reduce(hi, grain, id_hi, map, reduce),
-    );
-    reduce(a, b)
+    rec(slice, splitter_for(grain), identity, map, reduce)
 }
 
-/// Parallel unstable sort (three-way quicksort with insertion-sorted
-/// leaves). Deterministic pivot choice keeps runs reproducible.
+/// Parallel unstable sort (three-way quicksort, `std` sequential
+/// leaves). Deterministic pivot choice keeps runs reproducible. This is
+/// [`crate::par::par_sort_unstable`] under its historical flat name: the
+/// fork cadence follows the pool's [`abp_core::SplitKind`] policy.
 pub fn sort_unstable<T: Ord + Send>(slice: &mut [T]) {
-    const GRAIN: usize = 512;
-    fn rec<T: Ord + Send>(v: &mut [T]) {
-        if v.len() <= GRAIN {
-            v.sort_unstable();
-            return;
-        }
-        // Median-of-three pivot.
-        let (a, b, c) = (0, v.len() / 2, v.len() - 1);
-        let med = if v[a] < v[b] {
-            if v[b] < v[c] {
-                b
-            } else if v[a] < v[c] {
-                c
-            } else {
-                a
-            }
-        } else if v[a] < v[c] {
-            a
-        } else if v[b] < v[c] {
-            c
-        } else {
-            b
-        };
-        v.swap(med, b);
-        // Three-way partition around v[b]'s value via index juggling.
-        let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
-        let mut pivot_at = b;
-        while i < gt {
-            use std::cmp::Ordering::*;
-            match v[i].cmp(&v[pivot_at]) {
-                Less => {
-                    if pivot_at == lt {
-                        pivot_at = i;
-                    }
-                    v.swap(lt, i);
-                    lt += 1;
-                    i += 1;
-                }
-                Greater => {
-                    gt -= 1;
-                    if pivot_at == gt {
-                        pivot_at = i;
-                    }
-                    v.swap(i, gt);
-                }
-                Equal => i += 1,
-            }
-        }
-        let (lo, rest) = v.split_at_mut(lt);
-        let hi = &mut rest[gt - lt..];
-        join(|| rec(lo), || rec(hi));
-    }
-    rec(slice);
+    crate::par::sort::sort_with(slice, Splitter::new().with_min_len(512));
 }
 
 /// Parallel map into a fresh `Vec`, preserving element order.
+///
+/// Results are written straight into one pre-sized spine — a single
+/// allocation, no `Default` pre-fill (the `R: Default + Clone` bounds of
+/// earlier versions are gone), no per-leaf buffers. If `map` panics the
+/// spine is abandoned with length zero: already-written elements leak
+/// rather than double-drop.
 pub fn map_collect<T, R, M>(slice: &[T], grain: usize, map: &M) -> Vec<R>
 where
     T: Sync,
-    R: Send + Default + Clone,
+    R: Send,
     M: Fn(&T) -> R + Sync,
 {
-    let mut out = vec![R::default(); slice.len()];
-    fill_map(slice, &mut out, grain.max(1), map);
+    let len = slice.len();
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    let written = fill_map(
+        slice,
+        &mut out.spare_capacity_mut()[..len],
+        splitter_for(grain),
+        map,
+    );
+    assert_eq!(written, len, "fill_map under-filled its spine");
+    // SAFETY: exactly `len` slots were written (checked above), each
+    // exactly once (disjoint `split_at_mut` halves).
+    unsafe { out.set_len(len) };
     out
 }
 
-fn fill_map<T, R, M>(input: &[T], output: &mut [R], grain: usize, map: &M)
+/// Writes `map(input[i])` into `output[i]` for every `i`; returns the
+/// count written.
+fn fill_map<T, R, M>(
+    input: &[T],
+    output: &mut [MaybeUninit<R>],
+    mut sp: Splitter,
+    map: &M,
+) -> usize
 where
     T: Sync,
     R: Send,
     M: Fn(&T) -> R + Sync,
 {
     debug_assert_eq!(input.len(), output.len());
-    if input.len() <= grain {
+    if !sp.should_split(input.len()) {
         for (o, i) in output.iter_mut().zip(input) {
-            *o = map(i);
+            *o = MaybeUninit::new(map(i));
         }
-        return;
+        return input.len();
     }
     let mid = input.len() / 2;
     let (in_lo, in_hi) = input.split_at(mid);
     let (out_lo, out_hi) = output.split_at_mut(mid);
-    join(
-        || fill_map(in_lo, out_lo, grain, map),
-        || fill_map(in_hi, out_hi, grain, map),
+    let (a, b) = join(
+        || fill_map(in_lo, out_lo, sp, map),
+        || fill_map(in_hi, out_hi, sp, map),
     );
+    a + b
 }
 
 #[cfg(test)]
@@ -168,6 +183,16 @@ mod tests {
         let pool = ThreadPool::new(4);
         let mut v: Vec<u64> = (0..10_000).collect();
         pool.install(|| for_each_mut(&mut v, 64, &|x| *x *= 2));
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_auto_grain() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u64> = (0..10_000).collect();
+        pool.install(|| for_each_mut(&mut v, 0, &|x| *x *= 2));
         for (i, &x) in v.iter().enumerate() {
             assert_eq!(x, 2 * i as u64);
         }
@@ -189,6 +214,8 @@ mod tests {
         let v: Vec<u64> = (1..=10_000).collect();
         let s = pool.install(|| map_reduce(&v, 128, 0u64, &|&x| x, &|a, b| a + b));
         assert_eq!(s, 10_000 * 10_001 / 2);
+        let auto = pool.install(|| map_reduce(&v, 0, 0u64, &|&x| x, &|a, b| a + b));
+        assert_eq!(auto, s);
     }
 
     #[test]
@@ -245,11 +272,26 @@ mod tests {
         }
     }
 
+    /// `map_collect` no longer needs `R: Default + Clone` — the spine is
+    /// written in place, so non-defaultable results work.
+    #[test]
+    fn map_collect_non_default_type() {
+        struct NoDefault(u64);
+        let pool = ThreadPool::new(2);
+        let v: Vec<u32> = (0..3_000).collect();
+        let out = pool.install(|| map_collect(&v, 0, &|&x| NoDefault(x as u64 + 1)));
+        for (i, x) in out.iter().enumerate() {
+            assert_eq!(x.0, i as u64 + 1);
+        }
+    }
+
     #[test]
     fn helpers_work_outside_pool_sequentially() {
         let mut v = vec![3u32, 1, 2];
         sort_unstable(&mut v);
         assert_eq!(v, vec![1, 2, 3]);
         assert_eq!(map_reduce(&v, 1, 0u32, &|&x| x, &|a, b| a + b), 6);
+        assert_eq!(map_reduce(&v, 0, 0u32, &|&x| x, &|a, b| a + b), 6);
+        assert_eq!(map_collect(&v, 0, &|&x| x * 2), vec![2, 4, 6]);
     }
 }

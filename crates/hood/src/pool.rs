@@ -34,7 +34,8 @@ use crate::latch::LockLatch;
 use crate::sleep::{Sleep, SleepKind, SleepOutcome, SleepStats};
 use crate::stats::{PoolStats, WorkerStats};
 use abp_core::{
-    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, StealResult,
+    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, SplitKind,
+    StealResult,
 };
 use abp_dag::DetRng;
 use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
@@ -214,6 +215,8 @@ pub(crate) struct Shared {
     injector: Injector,
     shutdown: AtomicBool,
     sleep: Sleep,
+    /// The pool's split cadence, read by [`crate::par`]'s splitter.
+    split: SplitKind,
     pub(crate) stats: Vec<WorkerStats>,
     #[cfg(feature = "telemetry")]
     registry: Option<Arc<Registry>>,
@@ -280,6 +283,17 @@ impl Shared {
         snap.sleep.hits_after_unpark = s.hits_after_unpark;
         snap.sleep.timed_out_parks = s.timed_out_parks;
     }
+
+    /// Stamps the data-parallel splitter counters into a telemetry
+    /// snapshot as named counters, so both JSON exporters (the metrics
+    /// dump and the Chrome trace) carry them.
+    #[cfg(feature = "telemetry")]
+    fn stamp_par(&self, snap: &mut TelemetrySnapshot) {
+        let s = PoolStats::aggregate(&self.stats);
+        snap.counters.push(("par_splits".to_string(), s.par_splits));
+        snap.counters
+            .push(("par_seq_fallbacks".to_string(), s.par_seq));
+    }
 }
 
 /// Worker-thread-local context. A raw pointer to it lives in TLS while the
@@ -325,6 +339,33 @@ impl WorkerCtx {
 
     fn stats(&self) -> &WorkerStats {
         &self.shared.stats[self.index]
+    }
+
+    /// The pool's worker count `P`.
+    pub(crate) fn num_procs(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// The pool's split cadence (the fifth policy axis).
+    pub(crate) fn split_kind(&self) -> SplitKind {
+        self.shared.split
+    }
+
+    /// Relaxed-load idle gauge for the adaptive splitter — see
+    /// [`crate::sleep`]'s `sleepers_hint` for the race-tolerance
+    /// argument.
+    pub(crate) fn sleepers_hint(&self) -> usize {
+        self.shared.sleep.sleepers_hint()
+    }
+
+    /// Counts one adaptive-splitter fork.
+    pub(crate) fn note_par_split(&self) {
+        self.stats().par_splits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one splittable range the splitter ran sequentially.
+    pub(crate) fn note_par_seq(&self) {
+        self.stats().par_seq.fetch_add(1, Ordering::Relaxed);
     }
 
     #[cfg(feature = "telemetry")]
@@ -781,6 +822,7 @@ impl ThreadPool {
             }),
             shutdown: AtomicBool::new(false),
             sleep: Sleep::new(p, config.sleep),
+            split: config.policies.split,
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
             #[cfg(feature = "telemetry")]
             registry,
@@ -930,6 +972,14 @@ impl ThreadPool {
         self.shared.sleep.sleepers()
     }
 
+    /// The adaptive splitter's idle gauge: committed-plus-announcing
+    /// sleepers from one `Relaxed` load of the sleep subsystem's packed
+    /// eventcount word. Cheap enough to poll from hot loops; may lag
+    /// in-flight transitions by a scan (see [`crate::sleep`]).
+    pub fn sleepers_hint(&self) -> usize {
+        self.shared.sleep.sleepers_hint()
+    }
+
     /// Live sleep/wake-subsystem counters since pool creation.
     pub fn sleep_stats(&self) -> SleepStats {
         self.shared.sleep.stats()
@@ -944,6 +994,7 @@ impl ThreadPool {
             let mut snap = r.snapshot();
             self.shared.injector.stamp(&mut snap.injector);
             self.shared.stamp_sleep(&mut snap);
+            self.shared.stamp_par(&mut snap);
             snap
         })
     }
@@ -1005,6 +1056,7 @@ impl ThreadPool {
                 let mut snap = r.snapshot();
                 self.shared.injector.stamp(&mut snap.injector);
                 self.shared.stamp_sleep(&mut snap);
+                self.shared.stamp_par(&mut snap);
                 snap
             }),
         }

@@ -215,6 +215,29 @@ impl Sleep {
         }
     }
 
+    /// Cheapest possible idle gauge, for the data-parallel adaptive
+    /// splitter's hot path: one `Relaxed` load of the packed word, no
+    /// RMW, no fence. Counts committed sleepers *plus* announced
+    /// (mid-protocol) workers — an announcer has already failed a full
+    /// hunt, so it wants work just as much as a committed sleeper.
+    ///
+    /// Race-tolerant by design: a stale read can under-count (a worker
+    /// announced after our load — we skip one split and the next
+    /// consult sees it) or over-count (the sleeper woke after our load
+    /// — we fork one task that gets executed inline or stolen cheaply).
+    /// Both failure modes cost a little parallelism or a little
+    /// overhead, never correctness or liveness, which is what lets the
+    /// splitter consult this on every recursion step.
+    pub(crate) fn sleepers_hint(&self) -> usize {
+        match self.kind {
+            SleepKind::Eventcount => {
+                let word = self.word.load(Ordering::Relaxed);
+                (sleepers_of(word) + announced_of(word)) as usize
+            }
+            SleepKind::CondvarFallback => self.fb_sleepers.load(Ordering::Relaxed) as usize,
+        }
+    }
+
     pub(crate) fn stats(&self) -> SleepStats {
         SleepStats {
             wakes_sent: self.wakes_sent.load(Ordering::Relaxed),
@@ -565,6 +588,26 @@ mod tests {
         for i in 0..2 {
             assert_eq!(s.park_committed(i, None), SleepOutcome::Woken);
         }
+    }
+
+    /// The relaxed hint tracks committed and announced workers without
+    /// any RMW of its own.
+    #[test]
+    fn sleepers_hint_counts_committed_and_announced() {
+        let s = Sleep::new(2, SleepKind::Eventcount);
+        assert_eq!(s.sleepers_hint(), 0);
+        let t0 = s.announce();
+        assert_eq!(s.sleepers_hint(), 1, "announced workers count");
+        assert!(s.try_commit(0, t0));
+        assert_eq!(s.sleepers_hint(), 1, "announce converted to sleeper");
+        let t1 = s.announce();
+        assert_eq!(s.sleepers_hint(), 2);
+        s.cancel_announce();
+        let _ = t1;
+        assert_eq!(s.sleepers_hint(), 1);
+        s.notify_shutdown();
+        assert_eq!(s.park_committed(0, None), SleepOutcome::Woken);
+        assert_eq!(s.sleepers_hint(), 0);
     }
 
     /// The fallback path counts the herd and times out its naps.

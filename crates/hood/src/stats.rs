@@ -42,6 +42,13 @@ pub struct WorkerStats {
     /// one unpark (wake or timeout), so `parks == unparks` at shutdown —
     /// the sleep-subsystem analogue of `attempts_balance`.
     pub unparks: AtomicU64,
+    /// Forks taken by the data-parallel adaptive splitter (each is one
+    /// extra `join` operand pushed to this worker's deque).
+    pub par_splits: AtomicU64,
+    /// Splittable ranges (`len ≥ 2`) the splitter instead ran
+    /// sequentially — the adaptive layer's "everyone is busy, don't
+    /// fork" fast path.
+    pub par_seq: AtomicU64,
 }
 
 impl WorkerStats {
@@ -57,6 +64,8 @@ impl WorkerStats {
             yields: self.yields.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
+            par_splits: self.par_splits.load(Ordering::Relaxed),
+            par_seq: self.par_seq.load(Ordering::Relaxed),
         }
     }
 }
@@ -74,6 +83,8 @@ pub struct PoolStats {
     pub yields: u64,
     pub parks: u64,
     pub unparks: u64,
+    pub par_splits: u64,
+    pub par_seq: u64,
 }
 
 impl PoolStats {
@@ -90,6 +101,8 @@ impl PoolStats {
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
             s.unparks += w.unparks.load(Ordering::Relaxed);
+            s.par_splits += w.par_splits.load(Ordering::Relaxed);
+            s.par_seq += w.par_seq.load(Ordering::Relaxed);
         }
         s
     }

@@ -19,6 +19,15 @@ fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
+/// Looks up a named counter in the snapshot (0 when absent).
+fn named_counter(snap: &TelemetrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
 fn push_event(
     out: &mut String,
     first: &mut bool,
@@ -153,6 +162,24 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
                 ),
             }
         }
+    }
+    // Data-parallel split decisions ride in the snapshot's named
+    // counters; render them as one counter-sample event so par-heavy
+    // traces show the split/sequential balance. Gated on being nonzero:
+    // runs that never touch the par layer (every pinned golden) produce
+    // byte-identical output to before the counters existed.
+    let par_splits = named_counter(snap, "par_splits");
+    let par_seq = named_counter(snap, "par_seq_fallbacks");
+    if par_splits > 0 || par_seq > 0 {
+        push_event(
+            &mut out,
+            &mut first,
+            "par_split_decisions",
+            "C",
+            0,
+            0,
+            &format!(",\"args\":{{\"splits\":{par_splits},\"seq\":{par_seq}}}"),
+        );
     }
     out.push_str("\n]\n");
     out
@@ -455,6 +482,33 @@ mod tests {
         let w1 = &v.get("workers").unwrap().as_array().unwrap()[1];
         assert_eq!(w1.get("parks").unwrap().as_f64(), Some(1.0));
         assert_eq!(w1.get("unparks").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn par_counters_flow_through_both_exporters() {
+        let mut snap = tiny_snapshot();
+        snap.counters.push(("par_splits".to_string(), 9));
+        snap.counters.push(("par_seq_fallbacks".to_string(), 4));
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"par_split_decisions\""));
+        assert!(trace.contains("\"args\":{\"splits\":9,\"seq\":4}"));
+        assert!(crate::json::parse(&trace).is_ok());
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let counters = v.get("counters").expect("counters section");
+        assert_eq!(counters.get("par_splits").unwrap().as_f64(), Some(9.0));
+        assert_eq!(
+            counters.get("par_seq_fallbacks").unwrap().as_f64(),
+            Some(4.0)
+        );
+        // Zero par activity leaves the trace byte-identical (goldens).
+        let zeroed = {
+            let mut s = tiny_snapshot();
+            s.counters.push(("par_splits".to_string(), 0));
+            s.counters.push(("par_seq_fallbacks".to_string(), 0));
+            s
+        };
+        assert_eq!(chrome_trace(&zeroed), chrome_trace(&tiny_snapshot()));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Domain example: parallel breadth-first search with `hood::par`.
+//!
+//! ```sh
+//! cargo run --release --example par_bfs
+//! ```
+//!
+//! Level-synchronous BFS over a deterministic random graph: each round
+//! expands the whole frontier in parallel with `par_iter().for_each(..)`,
+//! claiming vertices through per-vertex atomic flags (the classic
+//! data-race-free frontier handoff), then collects the next frontier.
+//! BFS frontiers are exactly the workload adaptive splitting is for —
+//! they start tiny (1 vertex), balloon to hundreds of thousands, then
+//! shrink again — so any fixed grain is wrong for most of the run, while
+//! the splitter tracks the pool's idle gauge round by round.
+
+use abp_dag::DetRng;
+use hood::par::prelude::*;
+use hood::ThreadPool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic sparse digraph in CSR form.
+struct Graph {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+}
+
+impl Graph {
+    fn random(n: usize, avg_degree: usize, seed: u64) -> Graph {
+        let mut rng = DetRng::new(seed);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(n * avg_degree);
+        offsets.push(0);
+        for v in 0..n {
+            let deg = rng.below(2 * avg_degree as u64) as usize;
+            for _ in 0..deg {
+                // Mix local and long-range edges so BFS levels are broad.
+                let dst = if rng.chance(0.5) {
+                    ((v as u64 + 1 + rng.below(64)) % n as u64) as u32
+                } else {
+                    rng.below(n as u64) as u32
+                };
+                edges.push(dst);
+            }
+            offsets.push(edges.len());
+        }
+        Graph { offsets, edges }
+    }
+
+    fn neighbors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+/// One parallel level-synchronous BFS; returns (reached, depth).
+fn par_bfs(g: &Graph, source: u32) -> (usize, usize) {
+    let n = g.offsets.len() - 1;
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    visited[source as usize].store(true, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut depth = 0;
+    let reached = AtomicUsize::new(1);
+    while !frontier.is_empty() {
+        // Expand the whole frontier in parallel. Each worker appends its
+        // discoveries to a shard of the next frontier; vertices are
+        // claimed by an atomic swap so exactly one parent wins.
+        let next = Mutex::new(Vec::new());
+        frontier.par_iter().for_each(|&v| {
+            let mut local = Vec::new();
+            for &w in g.neighbors(v) {
+                if !visited[w as usize].swap(true, Ordering::Relaxed) {
+                    local.push(w);
+                }
+            }
+            if !local.is_empty() {
+                reached.fetch_add(local.len(), Ordering::Relaxed);
+                next.lock().unwrap().append(&mut local);
+            }
+        });
+        frontier = next.into_inner().unwrap();
+        if !frontier.is_empty() {
+            depth += 1;
+        }
+    }
+    (reached.load(Ordering::Relaxed), depth)
+}
+
+/// Sequential reference BFS.
+fn seq_bfs(g: &Graph, source: u32) -> (usize, usize) {
+    let n = g.offsets.len() - 1;
+    let mut visited = vec![false; n];
+    visited[source as usize] = true;
+    let mut frontier = vec![source];
+    let (mut reached, mut depth) = (1usize, 0usize);
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    reached += 1;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+        if !frontier.is_empty() {
+            depth += 1;
+        }
+    }
+    (reached, depth)
+}
+
+fn main() {
+    let n = 300_000;
+    let g = Graph::random(n, 8, 42);
+    println!("graph: {} vertices, {} edges", n, g.edges.len());
+
+    let (seq_reached, seq_depth) = seq_bfs(&g, 0);
+    println!("sequential: reached {seq_reached} vertices, depth {seq_depth}");
+
+    let pool = ThreadPool::new(std::thread::available_parallelism().map_or(4, |p| p.get()));
+    let t = std::time::Instant::now();
+    let (reached, depth) = pool.install(|| par_bfs(&g, 0));
+    let dt = t.elapsed();
+    println!("parallel:   reached {reached} vertices, depth {depth} in {dt:?}");
+    assert_eq!(reached, seq_reached, "parallel BFS must reach the same set");
+    assert_eq!(depth, seq_depth);
+
+    let report = pool.shutdown();
+    println!(
+        "pool: {} jobs, {} steals, {} par splits, {} sequential fallbacks",
+        report.stats.jobs, report.stats.steals, report.stats.par_splits, report.stats.par_seq
+    );
+}

@@ -1,0 +1,275 @@
+//! Integration tests for the `hood::par` data-parallel layer: combinator
+//! pipelines against their sequential counterparts, edge shapes, panic
+//! propagation through a live pool, policy-driven split cadence, and the
+//! outside-a-pool sequential fallback. Seeded [`DetRng`] loops replace
+//! proptest (the workspace is dependency-free); every case is
+//! reproducible from its seed.
+
+use abp_dag::DetRng;
+use hood::par::prelude::*;
+use hood::par::{par_sort_unstable, scope_fifo, IntoParIter};
+use hood::{PolicySet, PoolConfig, SplitKind, ThreadPool};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn pool_with_split(p: usize, split: SplitKind) -> ThreadPool {
+    ThreadPool::with_config(PoolConfig {
+        num_procs: p,
+        policies: PolicySet {
+            split,
+            ..PolicySet::default()
+        },
+        ..PoolConfig::default()
+    })
+}
+
+#[test]
+fn pipelines_match_sequential_across_seeds() {
+    let pool = ThreadPool::new(4);
+    for seed in 0..8u64 {
+        let mut rng = DetRng::new(seed);
+        let len = rng.below(50_000) as usize;
+        let v: Vec<u64> = (0..len).map(|_| rng.below(1_000_000)).collect();
+
+        let (par_sum, par_odd, par_mapped) = pool.install(|| {
+            let s: u64 = v.par_iter().map(|&x| x / 3 + 1).sum();
+            let odd = v.par_iter().filter(|&&x| x % 2 == 1).count();
+            let mapped: Vec<u64> = v.par_iter().map(|&x| x.rotate_left(7)).map_collect();
+            (s, odd, mapped)
+        });
+
+        let seq_sum: u64 = v.iter().map(|&x| x / 3 + 1).sum();
+        let seq_odd = v.iter().filter(|&&x| x % 2 == 1).count();
+        let seq_mapped: Vec<u64> = v.iter().map(|&x| x.rotate_left(7)).collect();
+        assert_eq!(par_sum, seq_sum, "seed {seed}");
+        assert_eq!(par_odd, seq_odd, "seed {seed}");
+        assert_eq!(par_mapped, seq_mapped, "seed {seed}");
+    }
+}
+
+#[test]
+fn empty_and_singleton_slices() {
+    let pool = ThreadPool::new(2);
+    pool.install(|| {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.par_iter().copied().sum(), 0);
+        assert_eq!(empty.par_iter().count(), 0);
+        assert!(empty.par_iter().copied().map_collect().is_empty());
+        assert!(empty.par_iter().copied().collect_vec().is_empty());
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+
+        let one = vec![41u64];
+        assert_eq!(one.par_iter().copied().sum(), 41);
+        assert_eq!(one.par_iter().count(), 1);
+        assert_eq!(one.par_iter().map(|&x| x + 1).map_collect(), vec![42]);
+        let mut one_mut = vec![41u64];
+        one_mut.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one_mut, vec![42]);
+    });
+}
+
+/// String concatenation is associative but not commutative: the combine
+/// tree must mirror the recursion tree so order survives any steal
+/// interleaving.
+#[test]
+fn non_commutative_reduce_preserves_order() {
+    let pool = ThreadPool::new(4);
+    for _ in 0..16 {
+        let v: Vec<u32> = (0..2_000).collect();
+        let got = pool.install(|| {
+            v.par_iter()
+                .map(|x| format!("{x};"))
+                .reduce(String::new, |a, b| a + &b)
+        });
+        let want: String = (0..2_000).map(|x| format!("{x};")).collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn panic_in_map_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    let v: Vec<u64> = (0..10_000).collect();
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x == 7_777 {
+                        panic!("map panic");
+                    }
+                    x
+                })
+                .sum()
+        })
+    }));
+    assert!(r.is_err(), "panic must surface to the caller");
+    // The pool is intact afterwards.
+    assert_eq!(
+        pool.install(|| v.par_iter().copied().sum()),
+        v.iter().sum::<u64>()
+    );
+}
+
+#[test]
+fn panic_in_reduce_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    let v: Vec<u64> = (0..10_000).collect();
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            v.par_iter().copied().reduce(
+                || 0,
+                |a, b| {
+                    if a.wrapping_add(b) > 40_000_000 {
+                        panic!("reduce panic");
+                    }
+                    a + b
+                },
+            )
+        })
+    }));
+    assert!(r.is_err());
+    assert_eq!(pool.install(|| 1 + 1), 2);
+}
+
+/// `map_collect` abandoning its spine on panic must not double-drop:
+/// run a drop-counting payload through a panicking map many times.
+#[test]
+fn panic_in_map_collect_never_double_drops() {
+    static DROPS: AtomicU64 = AtomicU64::new(0);
+    struct Counted(#[allow(dead_code)] u64);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let pool = ThreadPool::new(4);
+    let v: Vec<u64> = (0..5_000).collect();
+    for _ in 0..8 {
+        let before = DROPS.load(Ordering::Relaxed);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _out: Vec<Counted> = v
+                    .par_iter()
+                    .map(|&x| {
+                        if x == 2_500 {
+                            panic!("collect panic");
+                        }
+                        Counted(x)
+                    })
+                    .map_collect();
+            })
+        }));
+        assert!(r.is_err());
+        let dropped = DROPS.load(Ordering::Relaxed) - before;
+        // Leaking initialized elements is allowed; dropping more than
+        // one Counted per constructed element is not. At most one
+        // element per index can ever exist.
+        assert!(dropped <= v.len() as u64, "double drop: {dropped}");
+    }
+}
+
+/// Every combinator must work (sequentially) with no pool installed.
+#[test]
+fn combinators_outside_any_pool_fall_back_to_sequential() {
+    let v: Vec<u64> = (0..10_000).collect();
+    assert_eq!(v.par_iter().copied().sum(), v.iter().sum());
+    assert_eq!(v.par_iter().filter(|&&x| x % 3 == 0).count(), 3_334);
+    let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).map_collect();
+    assert_eq!(doubled[9_999], 19_998);
+    let s: usize = (0..100usize).into_par_iter().sum();
+    assert_eq!(s, 4950);
+    let mut w = vec![3u8, 1, 2];
+    par_sort_unstable(&mut w);
+    assert_eq!(w, vec![1, 2, 3]);
+    let hits = AtomicU64::new(0);
+    scope_fifo(|s| {
+        for _ in 0..4 {
+            s.spawn_fifo(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn par_sort_matches_std_across_seeds_and_policies() {
+    for split in [
+        SplitKind::Adaptive,
+        SplitKind::EagerGrain { grain: 1_024 },
+        SplitKind::Sequential,
+    ] {
+        let pool = pool_with_split(4, split);
+        for seed in 0..4u64 {
+            let mut rng = DetRng::new(seed);
+            let mut v: Vec<u64> = (0..40_000).map(|_| rng.below(5_000)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            pool.install(|| par_sort_unstable(&mut v));
+            assert_eq!(v, expect, "split {split:?} seed {seed}");
+        }
+        pool.shutdown();
+    }
+}
+
+/// The policy axis actually drives the cadence: a `Sequential` pool
+/// records zero splits, an adaptive pool records some, and both compute
+/// the same answer.
+#[test]
+fn split_policy_axis_controls_forking() {
+    let v: Vec<u64> = (0..200_000).collect();
+    let want: u64 = v.iter().map(|&x| x * 2).sum();
+
+    let seq_pool = pool_with_split(2, SplitKind::Sequential);
+    let got = seq_pool.install(|| v.par_iter().map(|&x| x * 2).sum());
+    assert_eq!(got, want);
+    let report = seq_pool.shutdown();
+    assert_eq!(report.stats.par_splits, 0, "sequential policy must not fork");
+    assert!(report.stats.par_seq > 0, "decisions are still counted");
+
+    let adaptive_pool = pool_with_split(2, SplitKind::Adaptive);
+    let got = adaptive_pool.install(|| v.par_iter().map(|&x| x * 2).sum());
+    assert_eq!(got, want);
+    let report = adaptive_pool.shutdown();
+    assert!(
+        report.stats.par_splits > 0,
+        "adaptive policy on a multi-worker pool should fork at least the depth budget: {:?}",
+        report.stats
+    );
+    assert!(report.stats.attempts_balance());
+}
+
+#[test]
+fn scope_fifo_services_in_spawn_order_on_one_worker() {
+    let pool = ThreadPool::new(1);
+    let order = Mutex::new(Vec::new());
+    pool.install(|| {
+        let order = &order;
+        scope_fifo(|s| {
+            for i in 0..64 {
+                s.spawn_fifo(move |_| {
+                    order.lock().unwrap().push(i);
+                });
+            }
+        });
+    });
+    assert_eq!(*order.lock().unwrap(), (0..64).collect::<Vec<i32>>());
+}
+
+/// Mixed workload: combinators nested inside joins inside scopes, all on
+/// one pool, agreeing with the sequential answer.
+#[test]
+fn combinators_compose_with_join_and_scope() {
+    let pool = ThreadPool::new(4);
+    let a: Vec<u64> = (0..30_000).collect();
+    let b: Vec<u64> = (0..30_000).rev().collect();
+    let (sa, sb) = pool.install(|| {
+        hood::join(
+            || a.par_iter().map(|&x| x + 1).sum(),
+            || b.par_iter().copied().filter(|&x| x % 2 == 0).sum(),
+        )
+    });
+    assert_eq!(sa, a.iter().map(|&x| x + 1).sum());
+    assert_eq!(sb, b.iter().filter(|&&x| x % 2 == 0).sum());
+}

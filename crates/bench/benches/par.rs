@@ -65,20 +65,32 @@ fn bench_par_sort(h: &Harness) {
     let input = data(N);
     let mut g = h.group("par_sort");
     g.sample_size(10).throughput_elems(N as u64);
-    g.bench_with_setup("seq_std", || input.clone(), |mut v| {
-        v.sort_unstable();
-        black_box(v);
-    });
+    g.bench_with_setup(
+        "seq_std",
+        || input.clone(),
+        |mut v| {
+            v.sort_unstable();
+            black_box(v);
+        },
+    );
     let adaptive = pool_with_split(SplitKind::Adaptive);
-    g.bench_with_setup("adaptive", || input.clone(), |mut v| {
-        adaptive.install(|| par_sort_unstable(&mut v));
-        black_box(v);
-    });
+    g.bench_with_setup(
+        "adaptive",
+        || input.clone(),
+        |mut v| {
+            adaptive.install(|| par_sort_unstable(&mut v));
+            black_box(v);
+        },
+    );
     let eager = pool_with_split(SplitKind::EagerGrain { grain: 4_096 });
-    g.bench_with_setup("eager_4096", || input.clone(), |mut v| {
-        eager.install(|| par_sort_unstable(&mut v));
-        black_box(v);
-    });
+    g.bench_with_setup(
+        "eager_4096",
+        || input.clone(),
+        |mut v| {
+            eager.install(|| par_sort_unstable(&mut v));
+            black_box(v);
+        },
+    );
     g.finish();
 }
 
@@ -88,7 +100,11 @@ fn bench_par_reduce(h: &Harness) {
     let mut g = h.group("par_reduce");
     g.sample_size(10).throughput_elems(N as u64);
     g.bench("seq_iter", || {
-        black_box(v.iter().map(|&x| x ^ (x >> 7)).fold(0u64, u64::wrapping_add));
+        black_box(
+            v.iter()
+                .map(|&x| x ^ (x >> 7))
+                .fold(0u64, u64::wrapping_add),
+        );
     });
     let adaptive = pool_with_split(SplitKind::Adaptive);
     g.bench("adaptive", || {
@@ -128,8 +144,11 @@ fn bench_par_map(h: &Harness) {
     });
     let adaptive = pool_with_split(SplitKind::Adaptive);
     g.bench("map_collect", || {
-        let out: Vec<u64> =
-            adaptive.install(|| v.par_iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).map_collect());
+        let out: Vec<u64> = adaptive.install(|| {
+            v.par_iter()
+                .map(|&x| x.wrapping_mul(0x9E37_79B9))
+                .map_collect()
+        });
         black_box(out);
     });
     g.finish();

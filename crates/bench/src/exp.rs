@@ -2274,6 +2274,322 @@ pub fn par(small: bool) -> ExpResult {
     ExpResult::new("DP1", "Data-parallel layer: adaptive splitting", body, pass)
 }
 
+/// DQ1 — the pluggable deque-backend matrix: ABP vs the fence-free
+/// multiplicity deque, head to head through the [`abp_deque::TaskDeque`]
+/// seam.
+///
+/// Two parts, one artifact (`target/BENCH_deque.json`, validated with the
+/// in-repo JSON parser; a blessed copy is committed at the repo root):
+///
+/// 1. **Steal-throughput drain matrix** — a deque pre-filled with N
+///    entries is drained to empty by 1/2/4 thieves through
+///    [`abp_deque::DequeStealer::steal`]; the metric is entries drained
+///    per second (median of S runs after a warmup). The fence-free steal
+///    fast path replaces ABP's contended `cas` on the shared `age` word
+///    with a per-slot claim, so contention spreads instead of
+///    serializing: the acceptance bar is **fence-free ≥ ABP at 2 and 4
+///    thieves** (one thief is reported, not gated — without contention
+///    the protocols cost about the same). Every cell must conserve
+///    entries exactly (the guarded steal is exactly-once even on the
+///    multiplicity backend); ABP must show zero duplicates, fence-free
+///    zero aborts.
+/// 2. **Live-pool identity on all four backends** — fork-join work plus
+///    external submissions per backend; the five-way identity
+///    `attempts == steals + aborts + empties + injects + duplicates`
+///    must hold, with the structural zeros pinned per backend:
+///    `aborts == 0` where the backend cannot abort (fence-free),
+///    `duplicates == 0` where it is exact (ABP, growable, locking).
+///    The pool's shutdown asserts the same — this table is the
+///    human-readable record.
+pub fn deque_backends(small: bool) -> ExpResult {
+    use abp_deque::{AbpBackend, DequeOwner, DequeStealer, FenceFreeBackend, Steal, TaskDeque};
+    use abp_telemetry::json;
+    use hood::{join, Backend, PoolConfig, ThreadPool};
+    use std::sync::{Arc, Barrier};
+    use std::time::Instant;
+
+    let entries: u64 = if small { 1 << 13 } else { 1 << 15 };
+    let samples: usize = if small { 5 } else { 9 };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    let mut pass = true;
+
+    // -- (1) drain matrix -------------------------------------------------
+    struct Cell {
+        backend: &'static str,
+        thieves: usize,
+        meps: f64, // median entries/s, millions
+        takes: u64,
+        duplicates: u64,
+        aborts: u64,
+        conserved: bool,
+    }
+
+    /// One timed drain: pre-fill, release the thieves together, wait for
+    /// all of them to observe `Empty`. Each thief times its own drain
+    /// window (barrier release → `Empty`) and the drain's elapsed time is
+    /// the max across thieves: on a many-core box that is the contended
+    /// wall time, and on a timeslice-starved box it still covers the
+    /// thief that did the work instead of crediting the scheduler's wake
+    /// order to the deque. Returns (elapsed_s, takes, dups, aborts,
+    /// checksum).
+    fn drain_once<B: TaskDeque<u64>>(
+        backend: &B,
+        thieves: usize,
+        n: u64,
+    ) -> (f64, u64, u64, u64, u64) {
+        let (owner, stealer) = backend.new_pair();
+        for i in 0..n {
+            owner.push_bottom(i).unwrap();
+        }
+        let barrier = Arc::new(Barrier::new(thieves));
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let s = stealer.clone();
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    b.wait();
+                    let t0 = Instant::now();
+                    let (mut takes, mut dups, mut aborts, mut sum) = (0u64, 0u64, 0u64, 0u64);
+                    loop {
+                        match s.steal() {
+                            Steal::Taken(v) => {
+                                takes += 1;
+                                sum = sum.wrapping_add(v);
+                            }
+                            Steal::Duplicate => dups += 1,
+                            Steal::Abort => aborts += 1,
+                            // `bot` is fixed during the drain, so Empty is
+                            // definitive for every backend: all n entries
+                            // are out.
+                            Steal::Empty => break,
+                        }
+                    }
+                    (t0.elapsed().as_secs_f64(), takes, dups, aborts, sum)
+                })
+            })
+            .collect();
+        let (mut elapsed, mut takes, mut dups, mut aborts, mut sum) =
+            (0f64, 0u64, 0u64, 0u64, 0u64);
+        for h in handles {
+            let (e, t, d, a, s) = h.join().unwrap();
+            elapsed = elapsed.max(e);
+            takes += t;
+            dups += d;
+            aborts += a;
+            sum = sum.wrapping_add(s);
+        }
+        // The owner must find nothing left behind.
+        assert_eq!(owner.pop_bottom(), None);
+        (elapsed, takes, dups, aborts, sum)
+    }
+
+    fn drain_cell<B: TaskDeque<u64>>(backend: &B, thieves: usize, n: u64, samples: usize) -> Cell {
+        let checksum = n * (n - 1) / 2; // sum 0..n, u64-exact for our sizes
+        let _ = drain_once(backend, thieves, n); // warmup
+        let mut per_run: Vec<f64> = Vec::with_capacity(samples);
+        let (mut takes, mut dups, mut aborts) = (0u64, 0u64, 0u64);
+        let mut conserved = true;
+        for _ in 0..samples {
+            let (elapsed, t, d, a, sum) = drain_once(backend, thieves, n);
+            per_run.push(n as f64 / elapsed / 1e6);
+            conserved &= t == n && sum == checksum;
+            takes += t;
+            dups += d;
+            aborts += a;
+        }
+        per_run.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cell {
+            backend: B::NAME,
+            thieves,
+            meps: per_run[samples / 2],
+            takes,
+            duplicates: dups,
+            aborts,
+            conserved,
+        }
+    }
+
+    let abp = AbpBackend {
+        capacity: entries as usize,
+    };
+    let ff = FenceFreeBackend {
+        capacity: entries as usize,
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for thieves in [1usize, 2, 4] {
+        cells.push(drain_cell(&abp, thieves, entries, samples));
+        cells.push(drain_cell(&ff, thieves, entries, samples));
+    }
+
+    let mut t = TextTable::new([
+        "backend",
+        "thieves",
+        "Mdrains/s",
+        "takes",
+        "dups",
+        "aborts",
+        "conserved",
+    ]);
+    let mut cells_json = String::new();
+    for c in &cells {
+        pass &= c.conserved;
+        match c.backend {
+            "abp" => pass &= c.duplicates == 0, // exact: no once-guard to lose
+            "fence-free" => pass &= c.aborts == 0, // no cas, no lock: nothing to lose
+            _ => {}
+        }
+        t.row([
+            c.backend.to_string(),
+            c.thieves.to_string(),
+            format!("{:.2}", c.meps),
+            c.takes.to_string(),
+            c.duplicates.to_string(),
+            c.aborts.to_string(),
+            if c.conserved { "yes" } else { "LOST" }.to_string(),
+        ]);
+        if !cells_json.is_empty() {
+            cells_json.push_str(",\n");
+        }
+        write!(
+            cells_json,
+            "    {{\"backend\":\"{}\",\"thieves\":{},\"meps\":{:.3},\"takes\":{},\
+             \"duplicates\":{},\"aborts\":{},\"conserved\":{}}}",
+            c.backend, c.thieves, c.meps, c.takes, c.duplicates, c.aborts, c.conserved
+        )
+        .unwrap();
+    }
+
+    // The headline gate: under contention the fence-free deque must not
+    // be slower than ABP.
+    let meps = |name: &str, thieves: usize| {
+        cells
+            .iter()
+            .find(|c| c.backend == name && c.thieves == thieves)
+            .map(|c| c.meps)
+            .unwrap()
+    };
+    let ff_ge_abp_2t = meps("fence-free", 2) >= meps("abp", 2);
+    let ff_ge_abp_4t = meps("fence-free", 4) >= meps("abp", 4);
+    pass &= ff_ge_abp_2t && ff_ge_abp_4t;
+
+    // -- (2) live-pool identity on all four backends ----------------------
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    let backends = [
+        Backend::Abp { capacity: 1 << 13 },
+        Backend::AbpGrowable {
+            initial_capacity: 64,
+        },
+        Backend::Locking,
+        Backend::FenceFree { capacity: 1 << 13 },
+    ];
+    let mut pt = TextTable::new([
+        "backend", "attempts", "steals", "aborts", "empties", "injects", "dups", "identity",
+    ]);
+    let mut pools_json = String::new();
+    for backend in backends {
+        let pool =
+            ThreadPool::with_config(PoolConfig::default().with_num_procs(4).with_deque(backend));
+        pass &= pool.install(|| fib(17)) == 1_597;
+        let submitted = 32u64;
+        let done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for _ in 0..submitted {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        while done.load(std::sync::atomic::Ordering::Relaxed) < submitted {
+            std::thread::yield_now();
+        }
+        // `shutdown` re-asserts the structural zeros internally; this
+        // records them.
+        let report = pool.shutdown();
+        let st = &report.stats;
+        let mut ok = st.attempts_balance() && report.backend == backend.name();
+        if !backend.can_abort() {
+            ok &= st.aborts == 0;
+        }
+        if backend.exact() {
+            ok &= st.duplicates == 0;
+        }
+        pass &= ok;
+        pt.row([
+            report.backend.to_string(),
+            st.steal_attempts.to_string(),
+            st.steals.to_string(),
+            st.aborts.to_string(),
+            st.empties.to_string(),
+            st.injects.to_string(),
+            st.duplicates.to_string(),
+            if ok { "holds" } else { "BROKEN" }.to_string(),
+        ]);
+        if !pools_json.is_empty() {
+            pools_json.push_str(",\n");
+        }
+        write!(
+            pools_json,
+            "    {{\"backend\":\"{}\",\"attempts\":{},\"steals\":{},\"aborts\":{},\
+             \"empties\":{},\"injects\":{},\"duplicates\":{},\"identity\":{}}}",
+            report.backend,
+            st.steal_attempts,
+            st.steals,
+            st.aborts,
+            st.empties,
+            st.injects,
+            st.duplicates,
+            ok
+        )
+        .unwrap();
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"deque\",\n  \"mode\": \"{}\",\n  \"cores\": {},\n  \
+         \"drain\": {{\"entries\": {}, \"samples\": {}, \"cells\": [\n{}\n  ]}},\n  \
+         \"gates\": {{\"ff_ge_abp_2t\": {}, \"ff_ge_abp_4t\": {}}},\n  \
+         \"pools\": [\n{}\n  ]\n}}\n",
+        if small { "small" } else { "full" },
+        cores,
+        entries,
+        samples,
+        cells_json,
+        ff_ge_abp_2t,
+        ff_ge_abp_4t,
+        pools_json,
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_deque.json", &artifact).is_ok();
+
+    let body = format!(
+        "drain matrix: {entries} entries, median of {samples} runs per cell, {cores} core(s)\n\
+         gate: fence-free ≥ ABP at 2 thieves ({}) and 4 thieves ({})\n\
+         wrote target/BENCH_deque.json ({} bytes{})\n\n{}\n\
+         live pools (P=4, fib(17) + 32 submissions), five-way identity per backend:\n{}",
+        if ff_ge_abp_2t { "yes" } else { "NO" },
+        if ff_ge_abp_4t { "yes" } else { "NO" },
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+        t.render(),
+        pt.render()
+    );
+    ExpResult::new(
+        "DQ1",
+        "Deque backends: fence-free multiplicity vs ABP",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -2300,5 +2616,6 @@ pub fn all() -> Vec<ExpResult> {
         hotpath(),
         idle(false),
         par(false),
+        deque_backends(false),
     ]
 }

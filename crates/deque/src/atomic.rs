@@ -115,6 +115,13 @@ pub enum Steal<T> {
     /// The `cas` failed: another process removed the top entry first. The
     /// deque may well be non-empty; the caller may retry.
     Abort,
+    /// The extraction raced an extraction of the *same* item by another
+    /// process and lost the once-guard — only multiplicity-relaxed
+    /// backends ([`crate::fence_free`]) ever report this; the exact
+    /// backends (ABP, growable, locking) never do. The item is owned by
+    /// the winner; the caller must not retry *this* item but may retry
+    /// the steal.
+    Duplicate,
 }
 
 impl<T> Steal<T> {
@@ -129,6 +136,11 @@ impl<T> Steal<T> {
     /// True for [`Steal::Abort`].
     pub fn is_abort(&self) -> bool {
         matches!(self, Steal::Abort)
+    }
+
+    /// True for [`Steal::Duplicate`].
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, Steal::Duplicate)
     }
 }
 
@@ -565,6 +577,7 @@ mod tests {
                         std::thread::yield_now();
                     }
                     Steal::Abort => {}
+                    Steal::Duplicate => unreachable!("ABP is exact: no duplicates"),
                 }
             }));
         }

@@ -445,6 +445,7 @@ mod tests {
                         std::thread::yield_now();
                     }
                     Steal::Abort => {}
+                    Steal::Duplicate => unreachable!("growable ABP is exact: no duplicates"),
                 }
             }));
         }

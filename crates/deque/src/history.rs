@@ -228,6 +228,112 @@ fn lin_search(ops: &[&Invocation], linearized: &mut [bool], spec: &mut VecDeque<
     false
 }
 
+/// Parameters for [`check_multiplicity`]: the relaxed *work stealing
+/// with multiplicity* spec (Castañeda & Piña) that the fence-free deque
+/// of [`crate::fence_free`] meets, in place of the ABP deque's relaxed
+/// linearizability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplicitySpec {
+    /// Maximum extractions per value. For raw (unguarded) fence-free
+    /// histories this is `1 (owner) + number of stealer handles`; for
+    /// guarded histories it is 1 — extraction is exactly-once and the
+    /// spec degenerates to conservation plus completeness.
+    pub k: u32,
+    /// The history ends quiesced and drained: the owner popped until
+    /// `None` after every thief finished. When set, every pushed value
+    /// must have been extracted at least once — the "no task is lost"
+    /// half of the spec.
+    pub drained: bool,
+}
+
+/// Checks one complete history against the multiplicity semantics — the
+/// generalization of [`check`] where extraction is *at least once, at
+/// most `k` times* instead of exactly once, and no total order over a
+/// serial deque is demanded:
+///
+/// 1. **Conservation, generalized** — every consumed value was pushed,
+///    and its push *started* no later than the consumption ended (a
+///    value cannot materialize before its push exists); each value is
+///    consumed at most `spec.k` times.
+/// 2. **Completeness** — with `spec.drained`, every pushed value is
+///    consumed at least once.
+/// 3. **The Duplicate excuse** — a [`SimSteal::Duplicate`] result means
+///    "lost the once-guard to another extraction of the same item", so
+///    some successful removal by another process must have *started*
+///    before the duplicate's response (unlike the Abort excuse of
+///    [`aborts_excused`], the winner need not overlap: a stale `top`
+///    hint can aim a thief at an item extracted long ago).
+/// 4. **No Aborts** — the fence-free protocol has no `cas` to lose and
+///    no lock to miss; an Abort result in one of its histories is a
+///    recording bug.
+///
+/// Values must be unique across pushes (same convention as [`check`];
+/// enforced here since counts are per value).
+pub fn check_multiplicity(history: &[Invocation], spec: &MultiplicitySpec) -> Result<(), String> {
+    use std::collections::HashMap;
+    // Push table: value -> start tick.
+    let mut pushes: HashMap<u64, u64> = HashMap::new();
+    for inv in history {
+        if let (ProgOp::Push(v), OpResult::Pushed) = (inv.kind, inv.result) {
+            if pushes.insert(v, inv.start).is_some() {
+                return Err(format!(
+                    "value {v} pushed twice; histories must use unique values"
+                ));
+            }
+        }
+    }
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for inv in history {
+        let v = match inv.result {
+            OpResult::Popped(Some(v)) => v,
+            OpResult::Stolen(SimSteal::Taken(v)) => v,
+            OpResult::Stolen(SimSteal::Abort) => {
+                return Err("Abort in a multiplicity history: this protocol never aborts".into())
+            }
+            OpResult::Stolen(SimSteal::Duplicate) => {
+                let excused = history.iter().any(|other| {
+                    other.proc != inv.proc
+                        && other.start <= inv.end
+                        && matches!(
+                            other.result,
+                            OpResult::Popped(Some(_)) | OpResult::Stolen(SimSteal::Taken(_))
+                        )
+                });
+                if !excused {
+                    return Err(
+                        "Duplicate with no removal by another process started before it".into(),
+                    );
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        match pushes.get(&v) {
+            None => return Err(format!("value {v} consumed but never pushed")),
+            Some(&push_start) if push_start > inv.end => {
+                return Err(format!("value {v} consumed before its push started"))
+            }
+            Some(_) => {}
+        }
+        let c = counts.entry(v).or_insert(0);
+        *c += 1;
+        if *c > spec.k {
+            return Err(format!(
+                "value {v} extracted {} times; multiplicity bound is {}",
+                *c, spec.k
+            ));
+        }
+    }
+    if spec.drained {
+        for v in pushes.keys() {
+            if !counts.contains_key(v) {
+                return Err(format!("drained history lost value {v}: extracted 0 times"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Records timestamped invoke/response histories from real concurrent
 /// threads, for checking with [`check`].
 ///
@@ -362,6 +468,164 @@ mod tests {
         ];
         assert!(aborts_excused(&excused).is_ok());
         assert!(check(&excused).is_ok());
+    }
+
+    #[test]
+    fn multiplicity_accepts_duplicated_extraction_within_k() {
+        // Owner pops 7 while a thief also takes 7 (raw-mode duplicate),
+        // and a second thief's lost race surfaces as Duplicate.
+        let h = [
+            inv(0, 0, 1, ProgOp::Push(7), OpResult::Pushed),
+            inv(0, 2, 3, ProgOp::PopBottom, OpResult::Popped(Some(7))),
+            inv(
+                1,
+                2,
+                4,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Taken(7)),
+            ),
+            inv(
+                2,
+                3,
+                5,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Duplicate),
+            ),
+        ];
+        let spec = MultiplicitySpec {
+            k: 3,
+            drained: true,
+        };
+        assert!(check_multiplicity(&h, &spec).is_ok());
+        // The same history violates the exact spec of `check`.
+        assert!(check(&h).is_err());
+    }
+
+    #[test]
+    fn multiplicity_rejects_k_plus_one_extractions() {
+        let mut h = vec![inv(0, 0, 1, ProgOp::Push(7), OpResult::Pushed)];
+        for p in 1..=3u64 {
+            h.push(inv(
+                p as usize,
+                2 * p,
+                2 * p + 1,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Taken(7)),
+            ));
+        }
+        let spec = MultiplicitySpec {
+            k: 2,
+            drained: false,
+        };
+        let err = check_multiplicity(&h, &spec).unwrap_err();
+        assert!(err.contains("multiplicity bound"), "{err}");
+    }
+
+    #[test]
+    fn multiplicity_rejects_a_lost_value_when_drained() {
+        let h = [
+            inv(0, 0, 1, ProgOp::Push(7), OpResult::Pushed),
+            inv(0, 2, 3, ProgOp::Push(8), OpResult::Pushed),
+            inv(0, 4, 5, ProgOp::PopBottom, OpResult::Popped(Some(8))),
+        ];
+        let spec = MultiplicitySpec {
+            k: 2,
+            drained: true,
+        };
+        let err = check_multiplicity(&h, &spec).unwrap_err();
+        assert!(err.contains("lost value 7"), "{err}");
+        // Not drained: an unextracted value may legitimately remain.
+        assert!(check_multiplicity(
+            &h,
+            &MultiplicitySpec {
+                k: 2,
+                drained: false
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn multiplicity_rejects_materialized_and_time_traveling_values() {
+        let never_pushed = [inv(
+            1,
+            0,
+            1,
+            ProgOp::PopTop,
+            OpResult::Stolen(SimSteal::Taken(9)),
+        )];
+        let spec = MultiplicitySpec {
+            k: 4,
+            drained: false,
+        };
+        assert!(check_multiplicity(&never_pushed, &spec)
+            .unwrap_err()
+            .contains("never pushed"));
+        // Consumption that *ended* before the push even started.
+        let time_travel = [
+            inv(
+                1,
+                0,
+                1,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Taken(7)),
+            ),
+            inv(0, 5, 6, ProgOp::Push(7), OpResult::Pushed),
+        ];
+        assert!(check_multiplicity(&time_travel, &spec)
+            .unwrap_err()
+            .contains("before its push started"));
+    }
+
+    #[test]
+    fn multiplicity_rejects_aborts_and_unexcused_duplicates() {
+        let spec = MultiplicitySpec {
+            k: 4,
+            drained: false,
+        };
+        let abort = [inv(
+            1,
+            0,
+            1,
+            ProgOp::PopTop,
+            OpResult::Stolen(SimSteal::Abort),
+        )];
+        assert!(check_multiplicity(&abort, &spec)
+            .unwrap_err()
+            .contains("never aborts"));
+        // A Duplicate with no removal anywhere: nothing to have lost to.
+        let lone_dup = [
+            inv(0, 0, 1, ProgOp::Push(7), OpResult::Pushed),
+            inv(
+                1,
+                2,
+                3,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Duplicate),
+            ),
+        ];
+        assert!(check_multiplicity(&lone_dup, &spec)
+            .unwrap_err()
+            .contains("Duplicate with no removal"));
+        // Excused once the winner exists, even without interval overlap.
+        let excused = [
+            inv(0, 0, 1, ProgOp::Push(7), OpResult::Pushed),
+            inv(
+                2,
+                2,
+                3,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Taken(7)),
+            ),
+            inv(
+                1,
+                8,
+                9,
+                ProgOp::PopTop,
+                OpResult::Stolen(SimSteal::Duplicate),
+            ),
+        ];
+        assert!(check_multiplicity(&excused, &spec).is_ok());
     }
 
     #[test]

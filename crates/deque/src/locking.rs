@@ -63,6 +63,16 @@ impl<T> LockingDeque<T> {
         self.inner.lock().unwrap().len()
     }
 
+    /// Snapshot of the contents, bottom (owner end) to top (thief end).
+    /// Diagnostic only — meaningful when no operation is in flight, which
+    /// is exactly the situation in the simulator's structural checks.
+    pub fn contents_bottom_to_top(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.inner.lock().unwrap().iter().rev().cloned().collect()
+    }
+
     /// True if empty.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().unwrap().is_empty()
@@ -116,6 +126,7 @@ mod tests {
                         std::thread::yield_now();
                     }
                     Steal::Abort => {}
+                    Steal::Duplicate => unreachable!("locking deque is exact: no duplicates"),
                 }
             }));
         }

@@ -1,0 +1,614 @@
+//! Exhaustive interleaving checker for the fence-free multiplicity
+//! protocol of [`crate::fence_free`].
+//!
+//! [`crate::model`] plays scripted owner/thief programs against the
+//! stepped ABP deque and judges every interleaving against the paper's
+//! relaxed *linearizable* semantics. The fence-free deque deliberately
+//! is not linearizable to a deque — its spec is *work stealing with
+//! multiplicity* (Castañeda & Piña): an extraction may be duplicated
+//! across processes, bounded per process, and nothing may be lost. This
+//! module is the same style of checker for that spec: the protocol is
+//! re-expressed one shared-memory access per step, a DFS explores every
+//! interleaving of the steps (sequentially consistent step semantics,
+//! with full-state memoization so diamond interleavings are explored
+//! once), and every reachable transition/terminal is judged against:
+//!
+//! * **conservation** — every extracted value was pushed, and each value
+//!   is extracted at most `k` times, where `k = 1 (owner) + #raw
+//!   handles` in raw mode and `k = 1` when all parties use the guard;
+//! * **no loss** — at quiescence every pushed value has either been
+//!   extracted at least once or is still live in the array (its slot's
+//!   claim word is even and holds it).
+//!
+//! Both checks run over scenarios that include slot *reuse* (pop then
+//! push at capacity 1), the regime where a stale-era thief is most
+//! dangerous.
+//!
+//! Non-vacuity is demonstrated twice over: raw-mode scenarios reach
+//! interleavings with a genuine multi-extraction (`saw_multi_extraction`),
+//! and [`GuardMode::BrokenBlindStore`] — claim by plain store instead of
+//! `compare_exchange`, the bug this checker exists to catch — is caught
+//! extracting a value twice in guarded mode.
+
+use std::collections::HashSet;
+
+/// One owner-script instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OwnerOp {
+    /// `put(v)`. Values must be unique and in `1..=64`.
+    Push(u64),
+    /// `take()`: the walk-down pop; the result is whatever the
+    /// interleaving yields.
+    Pop,
+}
+
+/// How a thief claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThiefMode {
+    /// The production steal: claim via `compare_exchange`, exactly-once.
+    Guarded,
+    /// The source paper's unguarded steal: no claim at all; per-handle
+    /// multiplicity bounded by the cursor.
+    Raw,
+}
+
+/// Claim mechanism under test — [`GuardMode::BrokenBlindStore`] exists
+/// only to prove the checker rejects a broken guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardMode {
+    Cas,
+    /// Claim with a plain store of `c + 1` (no compare): two racing
+    /// claimants both "win". The checker must catch the double
+    /// extraction this permits.
+    BrokenBlindStore,
+}
+
+/// A scripted run: one owner, any number of thieves.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub capacity: usize,
+    pub owner_ops: Vec<OwnerOp>,
+    /// One entry per thief handle: (mode, number of steal invocations).
+    pub thieves: Vec<(ThiefMode, usize)>,
+    pub guard: GuardMode,
+}
+
+/// What the exploration saw, if no invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Distinct full states visited (memoization hits excluded).
+    pub states: usize,
+    /// Quiescent states reached.
+    pub terminals: usize,
+    /// Some interleaving produced a `Duplicate` steal result.
+    pub saw_duplicate_result: bool,
+    /// Some interleaving extracted one value more than once (raw mode
+    /// multiplicity actually exercised).
+    pub saw_multi_extraction: bool,
+    /// Largest per-value extraction count seen anywhere.
+    pub max_multiplicity: u32,
+}
+
+// --- stepped machine ---------------------------------------------------
+
+const MAX_VALUE: usize = 64;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Shared {
+    top: u64,
+    bot: u64,
+    claims: Vec<u64>,
+    tasks: Vec<u64>,
+}
+
+/// Owner program counter. Locals ride in the variants; reads of `bot`
+/// are free (the owner is its sole writer, coherence yields its own
+/// value), so only accesses to `claims`/`tasks`/`top` and thief-visible
+/// `bot` stores take a step.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum OwnerPc {
+    Idle,
+    /// push: about to read `claims[slot]`.
+    PushReadClaim {
+        v: u64,
+    },
+    /// push: about to write `tasks[slot] = v`.
+    PushWriteTask {
+        v: u64,
+        c: u64,
+    },
+    /// push: about to write `claims[slot] = c + 1`.
+    PushOpenEra {
+        c: u64,
+    },
+    /// push: about to read `top` for the heal.
+    PushReadTop,
+    /// push: heal needed — about to write `top = bot`.
+    PushHealTop,
+    /// push: about to advance `bot`.
+    PushAdvance,
+    /// pop walk: about to retract `bot` to `b - 1`.
+    PopRetract {
+        b: u64,
+    },
+    /// pop walk: about to read `claims[slot]`.
+    PopReadClaim {
+        b: u64,
+    },
+    /// pop walk: about to claim (CAS) `claims[slot]: c -> c + 1`.
+    PopClaim {
+        b: u64,
+        c: u64,
+    },
+}
+
+/// Thief program counter for one steal invocation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ThiefPc {
+    Idle,
+    /// about to read `top`.
+    ReadTop,
+    /// about to read `bot`.
+    ReadBot {
+        h: u64,
+    },
+    /// guarded: about to read `claims[h]`.
+    ReadClaim {
+        h: u64,
+    },
+    /// about to read `tasks[h]`.
+    ReadTask {
+        h: u64,
+        c: u64,
+    },
+    /// about to write `top = h + 1` (then claim, for the guarded path).
+    AdvanceTop {
+        h: u64,
+        c: u64,
+        v: u64,
+    },
+    /// guarded: about to CAS `claims[h]: c -> c + 1`.
+    Claim {
+        h: u64,
+        c: u64,
+        v: u64,
+    },
+    /// guarded, found slot already odd: about to write `top = h + 1`,
+    /// then report `Duplicate`.
+    AdvanceTopDup {
+        h: u64,
+    },
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Thief {
+    mode: ThiefMode,
+    steals_left: usize,
+    cursor: u64,
+    pc: ThiefPc,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    shared: Shared,
+    owner_ip: usize,
+    owner_pc: OwnerPc,
+    thieves: Vec<Thief>,
+    /// Per-value extraction counts (index = value). Part of the state
+    /// key: two paths only merge when their observable outputs agree.
+    counts: Vec<u32>,
+}
+
+struct Explorer<'a> {
+    scenario: &'a Scenario,
+    seen: HashSet<State>,
+    k: u32,
+    outcome: Outcome,
+}
+
+/// Exhaustively explores every interleaving of the scenario.
+///
+/// Returns the exploration [`Outcome`], or a description of the first
+/// invariant violation found.
+pub fn explore(scenario: &Scenario) -> Result<Outcome, String> {
+    let mut pushed = [false; MAX_VALUE + 1];
+    for op in &scenario.owner_ops {
+        if let OwnerOp::Push(v) = op {
+            assert!(
+                (1..=MAX_VALUE as u64).contains(v) && !pushed[*v as usize],
+                "scenario values must be unique and in 1..=64"
+            );
+            pushed[*v as usize] = true;
+        }
+    }
+    let raw_handles = scenario
+        .thieves
+        .iter()
+        .filter(|(m, _)| *m == ThiefMode::Raw)
+        .count() as u32;
+    let k = 1 + raw_handles;
+    let init = State {
+        shared: Shared {
+            top: 0,
+            bot: 0,
+            claims: vec![1; scenario.capacity],
+            tasks: vec![0; scenario.capacity],
+        },
+        owner_ip: 0,
+        owner_pc: OwnerPc::Idle,
+        thieves: scenario
+            .thieves
+            .iter()
+            .map(|&(mode, n)| Thief {
+                mode,
+                steals_left: n,
+                cursor: 0,
+                pc: ThiefPc::Idle,
+            })
+            .collect(),
+        counts: vec![0; MAX_VALUE + 1],
+    };
+    let mut ex = Explorer {
+        scenario,
+        seen: HashSet::new(),
+        k,
+        outcome: Outcome {
+            states: 0,
+            terminals: 0,
+            saw_duplicate_result: false,
+            saw_multi_extraction: false,
+            max_multiplicity: 0,
+        },
+    };
+    // Iterative DFS (scenario step counts can stack past recursion
+    // comfort on debug builds).
+    let mut stack = vec![init];
+    while let Some(state) = stack.pop() {
+        if !ex.seen.insert(state.clone()) {
+            continue;
+        }
+        ex.outcome.states += 1;
+        let mut quiescent = true;
+        // Owner step.
+        if let Some(next) = ex.step_owner(&state)? {
+            stack.push(next);
+            quiescent = false;
+        }
+        // Each thief step.
+        for t in 0..state.thieves.len() {
+            if let Some(next) = ex.step_thief(&state, t)? {
+                stack.push(next);
+                quiescent = false;
+            }
+        }
+        if quiescent {
+            ex.outcome.terminals += 1;
+            ex.check_no_loss(&state, &pushed)?;
+        }
+    }
+    Ok(ex.outcome)
+}
+
+impl<'a> Explorer<'a> {
+    fn record_extraction(&mut self, s: &mut State, v: u64, who: &str) -> Result<(), String> {
+        let c = &mut s.counts[v as usize];
+        *c += 1;
+        if *c > 1 {
+            self.outcome.saw_multi_extraction = true;
+        }
+        self.outcome.max_multiplicity = self.outcome.max_multiplicity.max(*c);
+        if *c > self.k {
+            return Err(format!(
+                "value {v} extracted {} times by {who}; bound is k = {}",
+                *c, self.k
+            ));
+        }
+        Ok(())
+    }
+
+    /// At quiescence every pushed value is extracted or still live.
+    fn check_no_loss(&self, s: &State, pushed: &[bool; MAX_VALUE + 1]) -> Result<(), String> {
+        for (v, was_pushed) in pushed.iter().enumerate().skip(1) {
+            if !was_pushed || s.counts[v] > 0 {
+                continue;
+            }
+            let live = s
+                .shared
+                .claims
+                .iter()
+                .zip(&s.shared.tasks)
+                .any(|(c, t)| c & 1 == 0 && *t == v as u64);
+            if !live {
+                return Err(format!(
+                    "value {v} lost: never extracted and not live at quiescence"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn claim(&self, shared: &mut Shared, slot: usize, expected: u64) -> bool {
+        match self.scenario.guard {
+            GuardMode::Cas => {
+                if shared.claims[slot] == expected {
+                    shared.claims[slot] = expected + 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            GuardMode::BrokenBlindStore => {
+                // The bug under test: claim unconditionally.
+                shared.claims[slot] = expected + 1;
+                true
+            }
+        }
+    }
+
+    /// Executes the owner's next shared-memory access, if any.
+    fn step_owner(&mut self, s: &State) -> Result<Option<State>, String> {
+        let mut n = s.clone();
+        let cap = n.shared.claims.len() as u64;
+        let pc = match &n.owner_pc {
+            OwnerPc::Idle => match self.scenario.owner_ops.get(n.owner_ip) {
+                None => return Ok(None),
+                Some(OwnerOp::Push(v)) => {
+                    assert!(n.shared.bot < cap, "scenario overflows its capacity");
+                    OwnerPc::PushReadClaim { v: *v }
+                }
+                Some(OwnerOp::Pop) => {
+                    let b = n.shared.bot;
+                    if b == 0 {
+                        // take() observed empty: a local-only transition,
+                        // folded into op completion.
+                        n.owner_ip += 1;
+                        OwnerPc::Idle
+                    } else {
+                        OwnerPc::PopRetract { b }
+                    }
+                }
+            },
+            OwnerPc::PushReadClaim { v } => {
+                let slot = n.shared.bot as usize;
+                let c = n.shared.claims[slot];
+                assert!(c & 1 == 1, "walk-down invariant: slot at bot is reusable");
+                OwnerPc::PushWriteTask { v: *v, c }
+            }
+            OwnerPc::PushWriteTask { v, c } => {
+                let slot = n.shared.bot as usize;
+                n.shared.tasks[slot] = *v;
+                OwnerPc::PushOpenEra { c: *c }
+            }
+            OwnerPc::PushOpenEra { c } => {
+                let slot = n.shared.bot as usize;
+                n.shared.claims[slot] = c + 1;
+                OwnerPc::PushReadTop
+            }
+            OwnerPc::PushReadTop => {
+                if n.shared.top > n.shared.bot {
+                    OwnerPc::PushHealTop
+                } else {
+                    OwnerPc::PushAdvance
+                }
+            }
+            OwnerPc::PushHealTop => {
+                n.shared.top = n.shared.bot;
+                OwnerPc::PushAdvance
+            }
+            OwnerPc::PushAdvance => {
+                n.shared.bot += 1;
+                n.owner_ip += 1;
+                OwnerPc::Idle
+            }
+            OwnerPc::PopRetract { b } => {
+                n.shared.bot = b - 1;
+                OwnerPc::PopReadClaim { b: *b }
+            }
+            OwnerPc::PopReadClaim { b } => {
+                let slot = (b - 1) as usize;
+                let c = n.shared.claims[slot];
+                if c & 1 == 0 {
+                    OwnerPc::PopClaim { b: *b, c }
+                } else if b - 1 == 0 {
+                    // Walked off the bottom: take() returns empty.
+                    n.owner_ip += 1;
+                    OwnerPc::Idle
+                } else {
+                    OwnerPc::PopRetract { b: b - 1 }
+                }
+            }
+            OwnerPc::PopClaim { b, c } => {
+                let slot = (b - 1) as usize;
+                if self.claim(&mut n.shared, slot, *c) {
+                    let v = n.shared.tasks[slot];
+                    self.record_extraction(&mut n, v, "owner")?;
+                    n.owner_ip += 1;
+                    OwnerPc::Idle
+                } else if b - 1 == 0 {
+                    n.owner_ip += 1;
+                    OwnerPc::Idle
+                } else {
+                    OwnerPc::PopRetract { b: b - 1 }
+                }
+            }
+        };
+        n.owner_pc = pc;
+        Ok(Some(n))
+    }
+
+    /// Executes thief `t`'s next shared-memory access, if any.
+    fn step_thief(&mut self, s: &State, t: usize) -> Result<Option<State>, String> {
+        let mut n = s.clone();
+        let mode = n.thieves[t].mode;
+        let pc = match n.thieves[t].pc.clone() {
+            ThiefPc::Idle => {
+                if n.thieves[t].steals_left == 0 {
+                    return Ok(None);
+                }
+                n.thieves[t].steals_left -= 1;
+                ThiefPc::ReadTop
+            }
+            ThiefPc::ReadTop => {
+                let h = n.shared.top.max(match mode {
+                    ThiefMode::Raw => n.thieves[t].cursor,
+                    ThiefMode::Guarded => 0,
+                });
+                ThiefPc::ReadBot { h }
+            }
+            ThiefPc::ReadBot { h } => {
+                if h >= n.shared.bot {
+                    // Empty result; invocation complete.
+                    ThiefPc::Idle
+                } else {
+                    match mode {
+                        ThiefMode::Guarded => ThiefPc::ReadClaim { h },
+                        ThiefMode::Raw => ThiefPc::ReadTask { h, c: 0 },
+                    }
+                }
+            }
+            ThiefPc::ReadClaim { h } => {
+                let c = n.shared.claims[h as usize];
+                if c & 1 == 1 {
+                    ThiefPc::AdvanceTopDup { h }
+                } else {
+                    ThiefPc::ReadTask { h, c }
+                }
+            }
+            ThiefPc::ReadTask { h, c } => {
+                let v = n.shared.tasks[h as usize];
+                ThiefPc::AdvanceTop { h, c, v }
+            }
+            ThiefPc::AdvanceTop { h, c, v } => {
+                n.shared.top = h + 1;
+                match mode {
+                    ThiefMode::Raw => {
+                        n.thieves[t].cursor = h + 1;
+                        self.record_extraction(&mut n, v, "raw thief")?;
+                        ThiefPc::Idle
+                    }
+                    ThiefMode::Guarded => ThiefPc::Claim { h, c, v },
+                }
+            }
+            ThiefPc::Claim { h, c, v } => {
+                if self.claim(&mut n.shared, h as usize, c) {
+                    self.record_extraction(&mut n, v, "guarded thief")?;
+                } else {
+                    self.outcome.saw_duplicate_result = true;
+                }
+                ThiefPc::Idle
+            }
+            ThiefPc::AdvanceTopDup { h } => {
+                n.shared.top = h + 1;
+                self.outcome.saw_duplicate_result = true;
+                ThiefPc::Idle
+            }
+        };
+        n.thieves[t].pc = pc;
+        Ok(Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guarded(
+        capacity: usize,
+        owner_ops: Vec<OwnerOp>,
+        thieves: usize,
+        steals: usize,
+    ) -> Scenario {
+        Scenario {
+            capacity,
+            owner_ops,
+            thieves: vec![(ThiefMode::Guarded, steals); thieves],
+            guard: GuardMode::Cas,
+        }
+    }
+
+    use OwnerOp::{Pop, Push};
+
+    #[test]
+    fn guarded_two_thieves_exactly_once() {
+        let s = guarded(4, vec![Push(1), Push(2), Pop, Pop], 2, 2);
+        let out = explore(&s).expect("guarded protocol must be exactly-once");
+        assert_eq!(out.max_multiplicity, 1, "guard allows no double extraction");
+        assert!(
+            out.saw_duplicate_result,
+            "some interleaving must race two claimants for one item"
+        );
+        assert!(out.terminals > 0);
+    }
+
+    #[test]
+    fn guarded_slot_reuse_at_capacity_one() {
+        // Pop-then-push reuses slot 0 across eras while a thief holds a
+        // stale view — the ABA regime the era counter exists for.
+        let s = guarded(1, vec![Push(1), Pop, Push(2), Pop], 1, 2);
+        let out = explore(&s).expect("era-versioned claims survive slot reuse");
+        assert_eq!(out.max_multiplicity, 1);
+    }
+
+    #[test]
+    fn guarded_heal_window_with_reuse_and_two_thieves() {
+        // Drain via thieves (top runs ahead), owner pops to the floor,
+        // then pushes again — exercising INV-FF-HEAL's top pull-back
+        // interleaved with stale thieves.
+        let s = guarded(2, vec![Push(1), Push(2), Pop, Push(3), Pop, Pop], 2, 2);
+        let out = explore(&s).expect("heal window must stay exactly-once");
+        assert_eq!(out.max_multiplicity, 1);
+    }
+
+    #[test]
+    fn raw_mode_exhibits_multiplicity_within_the_per_process_bound() {
+        let s = Scenario {
+            capacity: 4,
+            owner_ops: vec![Push(1), Push(2), Pop, Pop],
+            thieves: vec![(ThiefMode::Raw, 1), (ThiefMode::Raw, 1)],
+            guard: GuardMode::Cas,
+        };
+        let out = explore(&s).expect("raw multiplicity must stay within k");
+        assert!(
+            out.saw_multi_extraction,
+            "two raw thieves reading top=0 must both extract value 1 in some interleaving"
+        );
+        // k = owner + 2 raw handles.
+        assert!(out.max_multiplicity >= 2 && out.max_multiplicity <= 3);
+    }
+
+    #[test]
+    fn raw_mode_with_slot_reuse_stays_bounded() {
+        let s = Scenario {
+            capacity: 1,
+            owner_ops: vec![Push(1), Pop, Push(2), Pop],
+            thieves: vec![(ThiefMode::Raw, 2)],
+            guard: GuardMode::Cas,
+        };
+        let out = explore(&s).expect("raw mode bounded under reuse");
+        assert!(out.max_multiplicity <= 2);
+    }
+
+    #[test]
+    fn checker_catches_a_broken_once_guard() {
+        // Claim-by-blind-store lets two racing claimants both win; the
+        // checker must reject it (non-vacuity of the k-bound check with
+        // k = 1: no raw handles in this scenario).
+        let s = Scenario {
+            capacity: 4,
+            owner_ops: vec![Push(1), Push(2), Pop, Pop],
+            thieves: vec![(ThiefMode::Guarded, 2), (ThiefMode::Guarded, 2)],
+            guard: GuardMode::BrokenBlindStore,
+        };
+        let err = explore(&s).expect_err("blind-store claim must be caught");
+        assert!(err.contains("bound is k"), "unexpected violation: {err}");
+    }
+
+    #[test]
+    fn exploration_is_actually_exhaustive() {
+        // A sanity floor: the two-thief scenario must visit a nontrivial
+        // state space, not shortcut to a handful of schedules.
+        let s = guarded(4, vec![Push(1), Push(2), Pop, Pop], 2, 2);
+        let out = explore(&s).unwrap();
+        assert!(out.states > 10_000, "suspiciously small: {}", out.states);
+    }
+}

@@ -89,6 +89,10 @@ pub enum SimSteal {
     Empty,
     /// NIL because the `cas` lost a race.
     Abort,
+    /// NIL because the extraction lost a multiplicity once-guard — only
+    /// histories recorded from the guarded fence-free backend carry
+    /// this; the exact ABP protocol never produces it.
+    Duplicate,
 }
 
 impl SimSteal {

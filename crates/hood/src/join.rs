@@ -19,7 +19,7 @@
 //! thief can touch a dead stack frame.
 
 use crate::job::{JobResult, StackJob};
-use crate::pool::{current_worker, WorkerCtx};
+use crate::pool::{current_worker, AnyWorker};
 use std::panic::AssertUnwindSafe;
 
 /// Runs `oper_a` and `oper_b`, potentially in parallel, returning both
@@ -37,7 +37,7 @@ where
     }
 }
 
-fn join_on_worker<A, B, RA, RB>(worker: &WorkerCtx, oper_a: A, oper_b: B) -> (RA, RB)
+fn join_on_worker<A, B, RA, RB>(worker: &dyn AnyWorker, oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
@@ -223,6 +223,28 @@ mod tests {
             ..PoolConfig::default()
         });
         assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    /// The fence-free multiplicity backend, selected through the typed
+    /// `with_deque` descriptor: `join`'s LIFO reconcile fast path works
+    /// unchanged (the owner's `popBottom` is exactly-once), duplicates
+    /// are counted not executed, and the backend structurally cannot
+    /// abort.
+    #[test]
+    fn fence_free_backend_runs_join_and_never_aborts() {
+        let pool = ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(4)
+                .with_deque(abp_deque::FenceFreeBackend { capacity: 1 << 12 }),
+        );
+        assert_eq!(pool.install(|| fib(18)), 2584);
+        let report = pool.shutdown();
+        assert_eq!(report.backend, "fence-free");
+        assert_eq!(
+            report.stats.aborts, 0,
+            "fence-free popTop has no cas to lose"
+        );
+        assert!(report.stats.attempts_balance(), "{:?}", report.stats);
     }
 
     #[test]

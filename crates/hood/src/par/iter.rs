@@ -41,6 +41,7 @@ use std::ops::Range;
 
 /// A splittable cursor over a pipeline's remaining items. Internal: the
 /// public surface is [`ParIterator`].
+#[allow(clippy::len_without_is_empty)] // `len` is a split bound, not a container size
 pub trait Driver: Sized + Send {
     type Item: Send;
 
@@ -177,8 +178,14 @@ where
     fn split(self) -> (Self, Self) {
         let (lo, hi) = self.base.split();
         (
-            MapDriver { base: lo, f: self.f },
-            MapDriver { base: hi, f: self.f },
+            MapDriver {
+                base: lo,
+                f: self.f,
+            },
+            MapDriver {
+                base: hi,
+                f: self.f,
+            },
         )
     }
 
@@ -340,7 +347,13 @@ pub trait ParIterator: Sized + Send {
         F: Fn(Self::Item) + Sync,
     {
         let d = self.driver();
-        drive_fold(d, Splitter::new(), &|| (), &|(), item| f(item), &|(), ()| ());
+        drive_fold(
+            d,
+            Splitter::new(),
+            &|| (),
+            &|(), item| f(item),
+            &|(), ()| (),
+        );
     }
 
     /// Reduces the items with an associative `op`, using `identity` to
@@ -368,9 +381,7 @@ pub trait ParIterator: Sized + Send {
     /// Counts the items (after any filtering), in parallel.
     fn count(mut self) -> usize {
         let d = self.driver();
-        drive_fold(d, Splitter::new(), &|| 0usize, &|a, _| a + 1, &|a, b| {
-            a + b
-        })
+        drive_fold(d, Splitter::new(), &|| 0usize, &|a, _| a + 1, &|a, b| a + b)
     }
 
     /// Collects into a `Vec`, preserving order. Works for any pipeline
@@ -637,11 +648,7 @@ mod tests {
         let v: Vec<u32> = (0..10_000).collect();
         let (n, evens) = pool.install(|| {
             let n = v.par_iter().filter(|&&x| x % 2 == 0).count();
-            let evens: Vec<u32> = v
-                .par_iter()
-                .copied()
-                .filter(|&x| x % 2 == 0)
-                .collect_vec();
+            let evens: Vec<u32> = v.par_iter().copied().filter(|&x| x % 2 == 0).collect_vec();
             (n, evens)
         });
         assert_eq!(n, 5_000);
@@ -705,13 +712,10 @@ mod tests {
             assert_eq!(empty.par_iter().copied().sum(), 0);
             assert_eq!(empty.par_iter().count(), 0);
             assert!(empty.par_iter().copied().map_collect().is_empty());
-            let one = vec![7u32];
+            let one = [7u32];
             assert_eq!(one.par_iter().copied().sum(), 7);
             assert_eq!(one.par_iter().copied().map_collect(), vec![7]);
-            assert_eq!(
-                one.par_iter().map(|&x| x).reduce(|| 0u32, |a, b| a + b),
-                7
-            );
+            assert_eq!(one.par_iter().map(|&x| x).reduce(|| 0u32, |a, b| a + b), 7);
         });
     }
 }

@@ -31,9 +31,7 @@ pub mod scope_fifo;
 pub mod sort;
 pub mod split;
 
-pub use iter::{
-    IndexedParIterator, IntoParIter, ParIter, ParIterMut, ParIterator, ParRange,
-};
+pub use iter::{IndexedParIterator, IntoParIter, ParIter, ParIterMut, ParIterator, ParRange};
 pub use scope_fifo::{scope_fifo, ScopeFifo};
 pub use sort::par_sort_unstable;
 pub use split::Splitter;

@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn nested_spawns_and_borrows() {
         let pool = ThreadPool::new(3);
-        let mut slots = vec![0u64; 16];
+        let mut slots = [0u64; 16];
         pool.install(|| {
             scope_fifo(|s| {
                 for (i, slot) in slots.iter_mut().enumerate() {

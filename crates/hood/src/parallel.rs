@@ -145,12 +145,7 @@ where
 
 /// Writes `map(input[i])` into `output[i]` for every `i`; returns the
 /// count written.
-fn fill_map<T, R, M>(
-    input: &[T],
-    output: &mut [MaybeUninit<R>],
-    mut sp: Splitter,
-    map: &M,
-) -> usize
+fn fill_map<T, R, M>(input: &[T], output: &mut [MaybeUninit<R>], mut sp: Splitter, map: &M) -> usize
 where
     T: Sync,
     R: Send,

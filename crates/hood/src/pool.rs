@@ -1,5 +1,5 @@
 //! The thread pool: `P` worker threads ("processes" in the paper's
-//! vocabulary), one ABP deque each, randomized stealing, and yields
+//! vocabulary), one deque each, randomized stealing, and yields
 //! between steal attempts.
 //!
 //! The scheduling loop follows Figure 3: a worker executes its assigned
@@ -21,6 +21,33 @@
 //! reintroduce the preemption pathology the paper's non-blocking design
 //! eliminates.
 //!
+//! # The deque seam
+//!
+//! Which deque implements `pushBottom`/`popBottom`/`popTop` is the
+//! ablation axis for the paper's "non-blocking data structures are
+//! essential" claim, and it is selected *per pool* through the
+//! [`abp_deque::TaskDeque`] trait: [`ThreadPool::with_config`]
+//! dispatches once on [`PoolConfig::backend`] and spawns worker loops
+//! monomorphized over the chosen backend ([`Shared`]`<B>` /
+//! [`WorkerCtx`]`<B>` / `worker_main::<B>`), so the scheduling hot path
+//! compiles down to direct calls exactly as the old hand-rolled enum
+//! did. Everything backend-independent (injector, sleep subsystem,
+//! stats, telemetry registry, shutdown flag) lives in the non-generic
+//! [`SharedCore`], which is also what the non-generic [`ThreadPool`]
+//! handle holds. Code that runs *on* a worker but cannot name the
+//! backend type (`join`, `scope`, the data-parallel layer) reaches the
+//! current worker through the object-safe [`AnyWorker`] facade in TLS —
+//! one virtual call per operation, off the deque's own fast path.
+//!
+//! Multiplicity-relaxed backends ([`abp_deque::FenceFreeBackend`])
+//! report extraction races as [`Steal::Duplicate`]: the worker counts
+//! the outcome (`duplicates` in [`crate::stats::PoolStats`], a
+//! `steal_duplicate` telemetry event) and treats it like a miss. Exact
+//! backends never produce it, and never-aborting backends never produce
+//! `Abort` — both structural zeros are asserted per backend at
+//! [`ThreadPool::shutdown`], alongside the five-way accounting identity
+//! `attempts == hits + aborts + empties + injects + duplicates`.
+//!
 //! With the `telemetry` feature (on by default) a pool can additionally
 //! record a structured event trace — spawns, job spans, every steal
 //! attempt with its outcome, yields, parks — into per-worker lock-free
@@ -34,11 +61,13 @@ use crate::latch::LockLatch;
 use crate::sleep::{Sleep, SleepKind, SleepOutcome, SleepStats};
 use crate::stats::{PoolStats, WorkerStats};
 use abp_core::{
-    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, SplitKind,
-    StealResult,
+    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, SplitKind, StealResult,
 };
 use abp_dag::DetRng;
-use abp_deque::{GrowableStealer, GrowableWorker, LockingDeque, Steal, Stealer, Worker};
+use abp_deque::{
+    AbpBackend, DequeOwner, DequeStealer, FenceFreeBackend, GrowableBackend, LockingBackend, Steal,
+    TaskDeque,
+};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,7 +79,10 @@ use abp_telemetry::{EventKind, Registry, StealOutcome, WorkerTelemetry};
 pub use abp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 
 /// Which deque implementation backs each worker — the ablation axis for
-/// the paper's "non-blocking data structures are essential" claim.
+/// the paper's "non-blocking data structures are essential" claim, plus
+/// the fence-free relaxation axis. Each variant names one
+/// [`abp_deque::TaskDeque`] descriptor; [`ThreadPool::with_config`]
+/// monomorphizes the worker loops over it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// The non-blocking ABP deque with the given (fixed) array capacity.
@@ -60,11 +92,102 @@ pub enum Backend {
     AbpGrowable { initial_capacity: usize },
     /// A mutex-protected deque.
     Locking,
+    /// The fence-free read/write deque with multiplicity: no `cas` and
+    /// no fence on the steal fast path, at the cost of rare
+    /// [`Steal::Duplicate`] outcomes (counted, never executed twice).
+    FenceFree { capacity: usize },
 }
 
 impl Default for Backend {
+    /// The ABP deque — unless the `HOOD_BACKEND` environment variable
+    /// names another backend (`abp`, `abp-growable`, `locking`,
+    /// `fence-free`). That hook is how CI's backend matrix re-runs the
+    /// unchanged integration suites against each backend: every pool
+    /// built from `PoolConfig::default()` picks up the selection, while
+    /// explicit `with_deque`/`with_backend` calls are unaffected. An
+    /// unrecognized value panics rather than silently testing the wrong
+    /// backend.
     fn default() -> Self {
-        Backend::Abp { capacity: 1 << 15 }
+        match std::env::var("HOOD_BACKEND") {
+            Ok(name) => match name.as_str() {
+                "" | "abp" => Backend::Abp { capacity: 1 << 15 },
+                "abp-growable" => Backend::AbpGrowable {
+                    initial_capacity: 64,
+                },
+                "locking" => Backend::Locking,
+                "fence-free" => Backend::FenceFree { capacity: 1 << 15 },
+                other => panic!(
+                    "HOOD_BACKEND={other:?}: expected abp, abp-growable, locking, or fence-free"
+                ),
+            },
+            Err(_) => Backend::Abp { capacity: 1 << 15 },
+        }
+    }
+}
+
+impl Backend {
+    /// The backend's stable short label ([`TaskDeque::NAME`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Abp { .. } => <AbpBackend as TaskDeque<usize>>::NAME,
+            Backend::AbpGrowable { .. } => <GrowableBackend as TaskDeque<usize>>::NAME,
+            Backend::Locking => <LockingBackend as TaskDeque<usize>>::NAME,
+            Backend::FenceFree { .. } => <FenceFreeBackend as TaskDeque<usize>>::NAME,
+        }
+    }
+
+    /// Whether this backend's `popTop` can return [`Steal::Abort`]
+    /// ([`TaskDeque::CAN_ABORT`]). When false the pool asserts
+    /// `aborts == 0` at shutdown.
+    pub fn can_abort(self) -> bool {
+        match self {
+            Backend::Abp { .. } => <AbpBackend as TaskDeque<usize>>::CAN_ABORT,
+            Backend::AbpGrowable { .. } => <GrowableBackend as TaskDeque<usize>>::CAN_ABORT,
+            Backend::Locking => <LockingBackend as TaskDeque<usize>>::CAN_ABORT,
+            Backend::FenceFree { .. } => <FenceFreeBackend as TaskDeque<usize>>::CAN_ABORT,
+        }
+    }
+
+    /// Whether extraction is exactly-once at the deque interface
+    /// ([`TaskDeque::EXACT`]). When true the pool asserts
+    /// `duplicates == 0` at shutdown.
+    pub fn exact(self) -> bool {
+        match self {
+            Backend::Abp { .. } => <AbpBackend as TaskDeque<usize>>::EXACT,
+            Backend::AbpGrowable { .. } => <GrowableBackend as TaskDeque<usize>>::EXACT,
+            Backend::Locking => <LockingBackend as TaskDeque<usize>>::EXACT,
+            Backend::FenceFree { .. } => <FenceFreeBackend as TaskDeque<usize>>::EXACT,
+        }
+    }
+}
+
+impl From<AbpBackend> for Backend {
+    fn from(b: AbpBackend) -> Backend {
+        Backend::Abp {
+            capacity: b.capacity,
+        }
+    }
+}
+
+impl From<GrowableBackend> for Backend {
+    fn from(b: GrowableBackend) -> Backend {
+        Backend::AbpGrowable {
+            initial_capacity: b.initial_capacity,
+        }
+    }
+}
+
+impl From<LockingBackend> for Backend {
+    fn from(_: LockingBackend) -> Backend {
+        Backend::Locking
+    }
+}
+
+impl From<FenceFreeBackend> for Backend {
+    fn from(b: FenceFreeBackend) -> Backend {
+        Backend::FenceFree {
+            capacity: b.capacity,
+        }
     }
 }
 
@@ -118,6 +241,19 @@ impl PoolConfig {
     /// Replaces the deque backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the deque backend from its [`TaskDeque`] descriptor —
+    /// the typed spelling of [`PoolConfig::with_backend`]:
+    ///
+    /// ```
+    /// use abp_deque::FenceFreeBackend;
+    /// use hood::PoolConfig;
+    /// let cfg = PoolConfig::default().with_deque(FenceFreeBackend { capacity: 1 << 12 });
+    /// ```
+    pub fn with_deque(mut self, deque: impl Into<Backend>) -> Self {
+        self.backend = deque.into();
         self
     }
 
@@ -177,52 +313,27 @@ impl Default for PoolConfig {
     }
 }
 
-enum OwnerDeque {
-    Abp(Worker<usize>),
-    Growable(GrowableWorker<usize>),
-    Lock(LockingDeque<usize>),
-}
-
-enum StealerSide {
-    Abp(Stealer<usize>),
-    Growable(GrowableStealer<usize>),
-    Lock(LockingDeque<usize>),
-}
-
-impl StealerSide {
-    fn steal(&self) -> Steal<usize> {
-        match self {
-            StealerSide::Abp(s) => s.pop_top(),
-            StealerSide::Growable(s) => s.pop_top(),
-            StealerSide::Lock(d) => d.pop_top(),
-        }
-    }
-
-    /// Best-effort size, used by the pre-sleep re-scan. May be stale,
-    /// but the sleep protocol's epoch CAS covers any job published
-    /// concurrently with the scan.
-    fn len_hint(&self) -> usize {
-        match self {
-            StealerSide::Abp(s) => s.len_hint(),
-            StealerSide::Growable(s) => s.len_hint(),
-            StealerSide::Lock(d) => d.len(),
-        }
-    }
-}
-
-pub(crate) struct Shared {
-    stealers: Vec<StealerSide>,
+/// Everything backend-independent that workers and the pool handle
+/// share: the injector, the sleep subsystem, the shutdown flag, the
+/// per-worker stats, and (with tracing on) the telemetry registry. The
+/// non-generic [`ThreadPool`] holds exactly this; the backend-generic
+/// [`Shared`] wraps it together with the stealer handles.
+pub(crate) struct SharedCore {
+    num_procs: usize,
     injector: Injector,
     shutdown: AtomicBool,
     sleep: Sleep,
     /// The pool's split cadence, read by [`crate::par`]'s splitter.
     split: SplitKind,
     pub(crate) stats: Vec<WorkerStats>,
+    /// The selected backend (capability constants drive the per-backend
+    /// shutdown assertions; the name labels reports).
+    backend: Backend,
     #[cfg(feature = "telemetry")]
     registry: Option<Arc<Registry>>,
 }
 
-impl Shared {
+impl SharedCore {
     /// Timestamp for an external submission (0 when tracing is off: the
     /// latency histogram is then skipped on the worker side). With
     /// tracing on, the stamp is clamped to at least 1ns so a submission
@@ -296,12 +407,57 @@ impl Shared {
     }
 }
 
-/// Worker-thread-local context. A raw pointer to it lives in TLS while the
-/// worker runs.
-pub struct WorkerCtx {
+/// The backend-generic shared state: the core plus one stealer handle
+/// per worker. Workers hold an `Arc` of this; the pool handle only
+/// holds the core (it never steals).
+pub(crate) struct Shared<B: TaskDeque<usize>> {
+    core: Arc<SharedCore>,
+    stealers: Vec<B::Stealer>,
+}
+
+/// The object-safe facade over a worker context, for code that runs on
+/// a worker but cannot name the pool's backend type (`join`, `scope`,
+/// and the data-parallel layer reach the current worker through
+/// `current_worker() -> Option<&dyn AnyWorker>`). One virtual call per
+/// scheduler operation; the deque protocol underneath is already
+/// monomorphized.
+pub(crate) trait AnyWorker {
+    fn index(&self) -> usize;
+    fn num_procs(&self) -> usize;
+    fn split_kind(&self) -> SplitKind;
+    fn sleepers_hint(&self) -> usize;
+    fn note_par_split(&self);
+    fn note_par_seq(&self);
+    /// `pushBottom`; false means the deque is full (run the job inline).
+    fn push(&self, job: JobRef) -> bool;
+    /// `popBottom`.
+    fn pop(&self) -> Option<JobRef>;
+    fn execute_job(&self, job: JobRef);
+    fn find_distant_work(&self) -> Option<JobRef>;
+    /// Object-safe spelling of [`WorkerCtx::wait_until`]; call through
+    /// the inherent `wait_until` on `dyn AnyWorker` instead.
+    fn wait_until_probe(&self, probe: &dyn Fn() -> bool);
+    /// Identity of the owning pool, for [`ThreadPool::install`]'s
+    /// same-pool fast path.
+    fn core_ptr(&self) -> *const SharedCore;
+}
+
+impl dyn AnyWorker + '_ {
+    /// Executes other work (or yields) while waiting for `probe` to
+    /// become true. Closure-generic convenience over
+    /// [`AnyWorker::wait_until_probe`].
+    pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
+        self.wait_until_probe(&probe)
+    }
+}
+
+/// Worker-thread-local context, monomorphized over the pool's deque
+/// backend. A type-erased pointer to it lives in TLS (as an
+/// [`AnyWorker`] trait object) while the worker runs.
+pub struct WorkerCtx<B: TaskDeque<usize> = AbpBackend> {
     index: usize,
-    deque: OwnerDeque,
-    shared: Arc<Shared>,
+    deque: B::Owner,
+    shared: Arc<Shared<B>>,
     engine: RefCell<PolicyEngine>,
     /// True between returning from a wake-caused unpark and finding the
     /// first piece of work. Finding work converts it into a
@@ -316,29 +472,28 @@ pub struct WorkerCtx {
 }
 
 thread_local! {
-    static CURRENT: Cell<*const WorkerCtx> = const { Cell::new(std::ptr::null()) };
+    static CURRENT: Cell<Option<*const (dyn AnyWorker + 'static)>> = const { Cell::new(None) };
 }
 
 /// The current worker context, if this thread is a pool worker.
-pub(crate) fn current_worker<'a>() -> Option<&'a WorkerCtx> {
-    let p = CURRENT.with(|c| c.get());
-    if p.is_null() {
-        None
-    } else {
-        // SAFETY: the pointer is set for exactly the lifetime of
-        // worker_main's stack frame on this thread.
-        Some(unsafe { &*p })
-    }
+pub(crate) fn current_worker<'a>() -> Option<&'a dyn AnyWorker> {
+    // SAFETY: the pointer is set for exactly the lifetime of
+    // worker_main's stack frame on this thread.
+    CURRENT.with(|c| c.get()).map(|p| unsafe { &*p })
 }
 
-impl WorkerCtx {
+impl<B: TaskDeque<usize>> WorkerCtx<B> {
     /// Worker index within the pool.
     pub fn index(&self) -> usize {
         self.index
     }
 
+    fn core(&self) -> &SharedCore {
+        &self.shared.core
+    }
+
     fn stats(&self) -> &WorkerStats {
-        &self.shared.stats[self.index]
+        &self.core().stats[self.index]
     }
 
     /// The pool's worker count `P`.
@@ -348,14 +503,14 @@ impl WorkerCtx {
 
     /// The pool's split cadence (the fifth policy axis).
     pub(crate) fn split_kind(&self) -> SplitKind {
-        self.shared.split
+        self.core().split
     }
 
     /// Relaxed-load idle gauge for the adaptive splitter — see
     /// [`crate::sleep`]'s `sleepers_hint` for the race-tolerance
     /// argument.
     pub(crate) fn sleepers_hint(&self) -> usize {
-        self.shared.sleep.sleepers_hint()
+        self.core().sleep.sleepers_hint()
     }
 
     /// Counts one adaptive-splitter fork.
@@ -387,17 +542,7 @@ impl WorkerCtx {
         if let Some(t) = &self.tele {
             t.record_coarse(EventKind::Spawn);
         }
-        let pushed = match &self.deque {
-            OwnerDeque::Abp(w) => w.push_bottom(job.to_word()).is_ok(),
-            OwnerDeque::Growable(w) => {
-                w.push_bottom(job.to_word());
-                true
-            }
-            OwnerDeque::Lock(d) => {
-                d.push_bottom(job.to_word());
-                true
-            }
-        };
+        let pushed = self.deque.push_bottom(job.to_word()).is_ok();
         if pushed {
             self.notify_push();
         }
@@ -414,10 +559,10 @@ impl WorkerCtx {
     /// The legacy condvar protocol never woke anyone here; the fallback
     /// keeps that behaviour.
     fn notify_push(&self) {
-        match self.shared.sleep.kind() {
+        match self.core().sleep.kind() {
             SleepKind::Eventcount => {
                 #[cfg(feature = "telemetry")]
-                self.shared.sleep.notify_spawn(|ev| {
+                self.core().sleep.notify_spawn(|ev| {
                     self.tele_record(match ev {
                         Some(target) => EventKind::WakeOne {
                             target: target as u32,
@@ -426,7 +571,7 @@ impl WorkerCtx {
                     });
                 });
                 #[cfg(not(feature = "telemetry"))]
-                self.shared.sleep.notify_spawn(|_| {});
+                self.core().sleep.notify_spawn(|_| {});
             }
             SleepKind::CondvarFallback => {}
         }
@@ -438,7 +583,7 @@ impl WorkerCtx {
     pub(crate) fn note_found_work(&self) {
         self.engine.borrow_mut().note_work_found();
         if self.woken_pending.replace(false) {
-            self.shared.sleep.note_hit_after_unpark();
+            self.core().sleep.note_hit_after_unpark();
             #[cfg(feature = "telemetry")]
             if let Some(t) = &self.tele {
                 let woken_at = self.woken_at.get();
@@ -451,12 +596,7 @@ impl WorkerCtx {
 
     /// `popBottom`.
     pub(crate) fn pop(&self) -> Option<JobRef> {
-        let w = match &self.deque {
-            OwnerDeque::Abp(w) => w.pop_bottom(),
-            OwnerDeque::Growable(w) => w.pop_bottom(),
-            OwnerDeque::Lock(d) => d.pop_bottom(),
-        };
-        w.map(JobRef::from_word)
+        self.deque.pop_bottom().map(JobRef::from_word)
     }
 
     /// Executes `job` and maintains the job counter, the job-run-time
@@ -489,7 +629,7 @@ impl WorkerCtx {
 
     /// Records one completed steal attempt everywhere it is counted —
     /// stats outcome counter, telemetry event, steal-latency sample, and
-    /// the policy engine's victim feedback. One function so the three
+    /// the policy engine's victim feedback. One function so the four
     /// outcome branches cannot drift apart again.
     fn note_steal(&self, victim: usize, result: StealResult, scan_start_ns: Option<u64>) {
         let stats = self.stats();
@@ -497,6 +637,7 @@ impl WorkerCtx {
             StealResult::Hit => stats.steals.fetch_add(1, Ordering::Relaxed),
             StealResult::Abort => stats.aborts.fetch_add(1, Ordering::Relaxed),
             StealResult::Empty => stats.empties.fetch_add(1, Ordering::Relaxed),
+            StealResult::Duplicate => stats.duplicates.fetch_add(1, Ordering::Relaxed),
         };
         #[cfg(feature = "telemetry")]
         if let Some(t) = self.tele.as_ref() {
@@ -513,6 +654,7 @@ impl WorkerCtx {
                         StealResult::Hit => StealOutcome::Hit,
                         StealResult::Abort => StealOutcome::Abort,
                         StealResult::Empty => StealOutcome::Empty,
+                        StealResult::Duplicate => StealOutcome::Duplicate,
                     },
                 },
             );
@@ -529,7 +671,7 @@ impl WorkerCtx {
     pub(crate) fn poll_injector(&self) -> Option<JobRef> {
         let stats = self.stats();
         stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
-        match self.shared.injector.poll(self.index) {
+        match self.core().injector.poll(self.index) {
             Some((word, submit_ns)) => {
                 stats.injects.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
@@ -556,7 +698,9 @@ impl WorkerCtx {
     /// One full steal scan: backoff (per policy), then try `P − 1`
     /// victims in the selector's order, then — when the inject policy
     /// says the poll is due and the injector is non-empty — the
-    /// injector.
+    /// injector. A [`Steal::Duplicate`] from a multiplicity-relaxed
+    /// backend is a counted miss: the task was already extracted by
+    /// someone else, so the thief simply moves on to the next victim.
     pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
         let shared = &*self.shared;
         match self.engine.borrow_mut().backoff_action() {
@@ -591,11 +735,12 @@ impl WorkerCtx {
                     }
                     Steal::Abort => StealResult::Abort,
                     Steal::Empty => StealResult::Empty,
+                    Steal::Duplicate => StealResult::Duplicate,
                 };
                 self.note_steal(v, result, scan_start);
             }
         }
-        if shared.injector.pending() > 0 && self.engine.borrow_mut().injector_due() {
+        if self.core().injector.pending() > 0 && self.engine.borrow_mut().injector_due() {
             return self.poll_injector();
         }
         None
@@ -606,10 +751,11 @@ impl WorkerCtx {
     /// the injector, or any *other* worker's deque. Our own deque is
     /// known empty — the caller just failed a `popBottom`.
     fn work_in_sight(&self) -> bool {
-        let shared = &*self.shared;
-        shared.shutdown.load(Ordering::Acquire)
-            || shared.injector.pending() > 0
-            || shared
+        let core = self.core();
+        core.shutdown.load(Ordering::Acquire)
+            || core.injector.pending() > 0
+            || self
+                .shared
                 .stealers
                 .iter()
                 .enumerate()
@@ -628,15 +774,15 @@ impl WorkerCtx {
     /// Park/unpark counters and trace spans move only for *committed*
     /// parks, so `parks == unparks` holds exactly at shutdown.
     fn park(&self, timeout: Option<Duration>) {
-        let shared = &*self.shared;
-        match shared.sleep.kind() {
+        let core = self.core();
+        match core.sleep.kind() {
             SleepKind::Eventcount => {
-                let token = shared.sleep.announce();
+                let token = core.sleep.announce();
                 if self.work_in_sight() {
-                    shared.sleep.cancel_announce();
+                    core.sleep.cancel_announce();
                     return;
                 }
-                if !shared.sleep.try_commit(self.index, token) {
+                if !core.sleep.try_commit(self.index, token) {
                     // A producer moved the epoch after our re-scan began;
                     // its work is visible now — resume hunting.
                     return;
@@ -644,17 +790,17 @@ impl WorkerCtx {
                 if self.woken_pending.replace(false) {
                     // Woken last time but found nothing before sleeping
                     // again: that wake bought no work.
-                    shared.sleep.note_spurious_wake();
+                    core.sleep.note_spurious_wake();
                 }
                 self.stats().parks.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
                 self.tele_record(EventKind::Park);
-                let outcome = shared.sleep.park_committed(self.index, timeout);
+                let outcome = core.sleep.park_committed(self.index, timeout);
                 self.note_unpark(outcome);
             }
             SleepKind::CondvarFallback => {
                 if self.woken_pending.replace(false) {
-                    shared.sleep.note_spurious_wake();
+                    core.sleep.note_spurious_wake();
                 }
                 self.stats().parks.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
@@ -663,8 +809,8 @@ impl WorkerCtx {
                 // bounded nap (even for the untimed policy — without the
                 // eventcount a wakeup genuinely can be missed, and the
                 // timeout is what caps that race).
-                let outcome = shared.sleep.fallback_park(timeout, || {
-                    shared.injector.pending() > 0 || shared.shutdown.load(Ordering::Acquire)
+                let outcome = core.sleep.fallback_park(timeout, || {
+                    core.injector.pending() > 0 || core.shutdown.load(Ordering::Acquire)
                 });
                 self.note_unpark(outcome);
             }
@@ -695,9 +841,56 @@ impl WorkerCtx {
     }
 }
 
-fn worker_main(ctx: WorkerCtx) {
-    CURRENT.with(|c| c.set(&ctx as *const WorkerCtx));
-    let shared = Arc::clone(&ctx.shared);
+impl<B: TaskDeque<usize>> AnyWorker for WorkerCtx<B> {
+    fn index(&self) -> usize {
+        WorkerCtx::index(self)
+    }
+    fn num_procs(&self) -> usize {
+        WorkerCtx::num_procs(self)
+    }
+    fn split_kind(&self) -> SplitKind {
+        WorkerCtx::split_kind(self)
+    }
+    fn sleepers_hint(&self) -> usize {
+        WorkerCtx::sleepers_hint(self)
+    }
+    fn note_par_split(&self) {
+        WorkerCtx::note_par_split(self)
+    }
+    fn note_par_seq(&self) {
+        WorkerCtx::note_par_seq(self)
+    }
+    fn push(&self, job: JobRef) -> bool {
+        WorkerCtx::push(self, job)
+    }
+    fn pop(&self) -> Option<JobRef> {
+        WorkerCtx::pop(self)
+    }
+    fn execute_job(&self, job: JobRef) {
+        WorkerCtx::execute_job(self, job)
+    }
+    fn find_distant_work(&self) -> Option<JobRef> {
+        WorkerCtx::find_distant_work(self)
+    }
+    fn wait_until_probe(&self, probe: &dyn Fn() -> bool) {
+        WorkerCtx::wait_until(self, probe)
+    }
+    fn core_ptr(&self) -> *const SharedCore {
+        Arc::as_ptr(&self.shared.core)
+    }
+}
+
+/// The scheduling loop (Figure 3), monomorphized over the deque
+/// backend. The TLS registration erases the backend type so `join`,
+/// `scope`, and the data-parallel layer can reach this context through
+/// [`AnyWorker`].
+fn worker_main<B: TaskDeque<usize>>(ctx: WorkerCtx<B>) {
+    CURRENT.with(|c| {
+        c.set(Some(
+            &ctx as &dyn AnyWorker as *const (dyn AnyWorker + 'static),
+        ))
+    });
+    let core = Arc::clone(&ctx.shared.core);
     loop {
         let job = ctx.pop().or_else(|| ctx.find_distant_work());
         match job {
@@ -706,12 +899,12 @@ fn worker_main(ctx: WorkerCtx) {
                 ctx.execute_job(job);
             }
             None => {
-                if shared.shutdown.load(Ordering::Acquire) {
+                if core.shutdown.load(Ordering::Acquire) {
                     // Drain the front door before exiting so every
                     // accepted external submission still runs exactly
                     // once. Blocking pops: during shutdown a `None`
                     // must really mean empty.
-                    if let Some((word, _)) = shared.injector.pop_blocking(ctx.index) {
+                    if let Some((word, _)) = core.injector.pop_blocking(ctx.index) {
                         ctx.note_found_work();
                         ctx.execute_job(JobRef::from_word(word));
                         continue;
@@ -747,7 +940,51 @@ fn worker_main(ctx: WorkerCtx) {
             }
         }
     }
-    CURRENT.with(|c| c.set(std::ptr::null()));
+    CURRENT.with(|c| c.set(None));
+}
+
+/// Builds each worker's deque from the backend descriptor and spawns
+/// the monomorphized worker threads. One instantiation per backend;
+/// everything after this call is backend-erased.
+fn spawn_workers<B: TaskDeque<usize>>(
+    backend: &B,
+    config: &PoolConfig,
+    core: Arc<SharedCore>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let p = config.num_procs;
+    let mut owners = Vec::with_capacity(p);
+    let mut stealers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (w, s) = backend.new_pair();
+        owners.push(w);
+        stealers.push(s);
+    }
+    let shared = Arc::new(Shared::<B> { core, stealers });
+    let mut seed_rng = DetRng::new(config.seed);
+    owners
+        .into_iter()
+        .enumerate()
+        .map(|(index, deque)| {
+            let ctx = WorkerCtx::<B> {
+                index,
+                deque,
+                shared: Arc::clone(&shared),
+                engine: RefCell::new(PolicyEngine::new(
+                    &config.policies,
+                    PolicyRng::from_det(seed_rng.fork(index as u64)),
+                )),
+                woken_pending: Cell::new(false),
+                woken_at: Cell::new(0),
+                #[cfg(feature = "telemetry")]
+                tele: shared.core.registry.as_ref().map(|r| r.worker(index)),
+            };
+            std::thread::Builder::new()
+                .name(format!("hood-worker-{index}"))
+                .stack_size(config.stack_size)
+                .spawn(move || worker_main::<B>(ctx))
+                .expect("failed to spawn worker thread")
+        })
+        .collect()
 }
 
 /// What [`ThreadPool::shutdown`] returns: final statistics gathered
@@ -759,6 +996,8 @@ pub struct PoolReport {
     pub stats: PoolStats,
     /// The same counters, per worker.
     pub per_worker: Vec<PoolStats>,
+    /// The deque backend the pool ran ([`Backend::name`]).
+    pub backend: &'static str,
     /// Which sleep/wake backend the pool ran.
     pub sleep_kind: SleepKind,
     /// Sleep/wake-subsystem counters over the pool's whole life.
@@ -770,7 +1009,7 @@ pub struct PoolReport {
 
 /// A work-stealing thread pool in the spirit of the authors' Hood library.
 pub struct ThreadPool {
-    shared: Arc<Shared>,
+    core: Arc<SharedCore>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -787,34 +1026,13 @@ impl ThreadPool {
     pub fn with_config(config: PoolConfig) -> Self {
         assert!(config.num_procs >= 1);
         let p = config.num_procs;
-        let mut owners = Vec::with_capacity(p);
-        let mut stealers = Vec::with_capacity(p);
-        for _ in 0..p {
-            match config.backend {
-                Backend::Abp { capacity } => {
-                    let (w, s) = abp_deque::new::<usize>(capacity);
-                    owners.push(OwnerDeque::Abp(w));
-                    stealers.push(StealerSide::Abp(s));
-                }
-                Backend::AbpGrowable { initial_capacity } => {
-                    let (w, s) = abp_deque::new_growable::<usize>(initial_capacity);
-                    owners.push(OwnerDeque::Growable(w));
-                    stealers.push(StealerSide::Growable(s));
-                }
-                Backend::Locking => {
-                    let d = LockingDeque::new();
-                    stealers.push(StealerSide::Lock(d.clone()));
-                    owners.push(OwnerDeque::Lock(d));
-                }
-            }
-        }
         #[cfg(feature = "telemetry")]
         let registry = config
             .telemetry
             .as_ref()
             .map(|tc| Registry::with_policy(p, tc, config.policies.label()));
-        let shared = Arc::new(Shared {
-            stealers,
+        let core = Arc::new(SharedCore {
+            num_procs: p,
             injector: Injector::new(if config.injector_shards == 0 {
                 p
             } else {
@@ -824,40 +1042,37 @@ impl ThreadPool {
             sleep: Sleep::new(p, config.sleep),
             split: config.policies.split,
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
+            backend: config.backend,
             #[cfg(feature = "telemetry")]
             registry,
         });
-        let mut seed_rng = DetRng::new(config.seed);
-        let handles = owners
-            .into_iter()
-            .enumerate()
-            .map(|(index, deque)| {
-                let ctx = WorkerCtx {
-                    index,
-                    deque,
-                    shared: Arc::clone(&shared),
-                    engine: RefCell::new(PolicyEngine::new(
-                        &config.policies,
-                        PolicyRng::from_det(seed_rng.fork(index as u64)),
-                    )),
-                    woken_pending: Cell::new(false),
-                    woken_at: Cell::new(0),
-                    #[cfg(feature = "telemetry")]
-                    tele: shared.registry.as_ref().map(|r| r.worker(index)),
-                };
-                std::thread::Builder::new()
-                    .name(format!("hood-worker-{index}"))
-                    .stack_size(config.stack_size)
-                    .spawn(move || worker_main(ctx))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        ThreadPool { shared, handles }
+        // The single point where the backend type is reified: each arm
+        // instantiates the worker loop for its descriptor.
+        let handles = match config.backend {
+            Backend::Abp { capacity } => {
+                spawn_workers(&AbpBackend { capacity }, &config, Arc::clone(&core))
+            }
+            Backend::AbpGrowable { initial_capacity } => spawn_workers(
+                &GrowableBackend { initial_capacity },
+                &config,
+                Arc::clone(&core),
+            ),
+            Backend::Locking => spawn_workers(&LockingBackend, &config, Arc::clone(&core)),
+            Backend::FenceFree { capacity } => {
+                spawn_workers(&FenceFreeBackend { capacity }, &config, Arc::clone(&core))
+            }
+        };
+        ThreadPool { core, handles }
     }
 
     /// The process count `P`.
     pub fn num_procs(&self) -> usize {
-        self.handles.len()
+        self.core.num_procs
+    }
+
+    /// The deque backend this pool runs.
+    pub fn backend(&self) -> Backend {
+        self.core.backend
     }
 
     /// Runs `f` inside the pool (so that [`crate::join()`](crate::join::join) and
@@ -876,7 +1091,7 @@ impl ThreadPool {
         R: Send,
     {
         if let Some(w) = current_worker() {
-            if Arc::ptr_eq(&w.shared, &self.shared) {
+            if std::ptr::eq(w.core_ptr(), Arc::as_ptr(&self.core)) {
                 return f();
             }
         }
@@ -893,7 +1108,7 @@ impl ThreadPool {
                     latch.set();
                 })
             };
-            self.shared.inject(job);
+            self.core.inject(job);
             latch.wait();
         }
         match result
@@ -923,7 +1138,7 @@ impl ThreadPool {
         // protocol executes each submitted job exactly once (each entry
         // is popped by exactly one worker, and shutdown drains leftovers).
         let job = unsafe { crate::job::HeapJob::into_job_ref(f) };
-        self.shared.inject(job);
+        self.core.inject(job);
     }
 
     /// Submits a batch of jobs under a single injector shard lock — the
@@ -939,37 +1154,37 @@ impl ThreadPool {
             // SAFETY: as in `spawn` — exactly-once execution of each ref.
             .map(|f| unsafe { crate::job::HeapJob::into_job_ref(f) }.to_word())
             .collect();
-        self.shared.inject_batch(&words);
+        self.core.inject_batch(&words);
     }
 
     /// Jobs submitted from outside and not yet picked up by a worker.
     pub fn injector_backlog(&self) -> usize {
-        self.shared.injector.pending()
+        self.core.injector.pending()
     }
 
     /// Number of shards the front-door injector was built with.
     pub fn injector_shards(&self) -> usize {
-        self.shared.injector.shard_count()
+        self.core.injector.shard_count()
     }
 
     /// Aggregate scheduler statistics since pool creation.
     pub fn stats(&self) -> PoolStats {
-        PoolStats::aggregate(&self.shared.stats)
+        PoolStats::aggregate(&self.core.stats)
     }
 
     /// Per-worker scheduler statistics since pool creation.
     pub fn per_worker_stats(&self) -> Vec<PoolStats> {
-        self.shared.stats.iter().map(|w| w.snapshot()).collect()
+        self.core.stats.iter().map(|w| w.snapshot()).collect()
     }
 
     /// Which sleep/wake backend this pool runs.
     pub fn sleep_kind(&self) -> SleepKind {
-        self.shared.sleep.kind()
+        self.core.sleep.kind()
     }
 
     /// Workers currently asleep (a live gauge: exact at quiescence).
     pub fn sleeping_workers(&self) -> usize {
-        self.shared.sleep.sleepers()
+        self.core.sleep.sleepers()
     }
 
     /// The adaptive splitter's idle gauge: committed-plus-announcing
@@ -977,12 +1192,12 @@ impl ThreadPool {
     /// eventcount word. Cheap enough to poll from hot loops; may lag
     /// in-flight transitions by a scan (see [`crate::sleep`]).
     pub fn sleepers_hint(&self) -> usize {
-        self.shared.sleep.sleepers_hint()
+        self.core.sleep.sleepers_hint()
     }
 
     /// Live sleep/wake-subsystem counters since pool creation.
     pub fn sleep_stats(&self) -> SleepStats {
-        self.shared.sleep.stats()
+        self.core.sleep.stats()
     }
 
     /// A live telemetry snapshot, if tracing was configured. Workers keep
@@ -990,11 +1205,11 @@ impl ThreadPool {
     /// be exact, stop the pool with [`ThreadPool::shutdown`] instead.
     #[cfg(feature = "telemetry")]
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
-        self.shared.registry.as_ref().map(|r| {
+        self.core.registry.as_ref().map(|r| {
             let mut snap = r.snapshot();
-            self.shared.injector.stamp(&mut snap.injector);
-            self.shared.stamp_sleep(&mut snap);
-            self.shared.stamp_par(&mut snap);
+            self.core.injector.stamp(&mut snap.injector);
+            self.core.stamp_sleep(&mut snap);
+            self.core.stamp_par(&mut snap);
             snap
         })
     }
@@ -1009,8 +1224,8 @@ impl ThreadPool {
         // the flag visible to any worker racing into a park (its commit
         // fails or its wake arrives), so no worker can sleep through
         // shutdown.
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.sleep.notify_shutdown();
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.sleep.notify_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -1019,7 +1234,7 @@ impl ThreadPool {
         // last worker's final sweep. Run (not leak) any stragglers here
         // — every accepted job executes exactly once. Workers are gone,
         // so this thread is the only consumer.
-        while let Some((word, _)) = self.shared.injector.pop_blocking(0) {
+        while let Some((word, _)) = self.core.injector.pop_blocking(0) {
             // SAFETY: the word came out of the injector exactly once,
             // so this is the job's single execution.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
@@ -1031,32 +1246,52 @@ impl ThreadPool {
             stats.attempts_balance(),
             "steal accounting identity violated: {stats:?}"
         );
+        // Per-backend structural zeros (checked in release builds too —
+        // one comparison each, once, at shutdown): a backend that cannot
+        // abort must show no aborts, and an exactly-once backend must
+        // show no duplicates. Together with `attempts_balance` these pin
+        // the five-way identity down to the four-way form each backend
+        // actually promises.
+        let backend = self.core.backend;
+        assert!(
+            backend.can_abort() || stats.aborts == 0,
+            "backend {} cannot abort, yet aborts = {}",
+            backend.name(),
+            stats.aborts
+        );
+        assert!(
+            !backend.exact() || stats.duplicates == 0,
+            "backend {} is exact, yet duplicates = {}",
+            backend.name(),
+            stats.duplicates
+        );
         debug_assert!(
             stats.parks_balance(),
             "park accounting identity violated: parks {} != unparks {}",
             stats.parks,
             stats.unparks
         );
-        let sleep = self.shared.sleep.stats();
+        let sleep = self.core.sleep.stats();
         // Every hit-after-unpark is credited to exactly one delivered
         // wake (the condvar fallback's herd makes the correspondence
         // approximate, so the invariant is eventcount-only).
         debug_assert!(
-            self.shared.sleep.kind() != SleepKind::Eventcount
+            self.core.sleep.kind() != SleepKind::Eventcount
                 || sleep.wakes_sent >= sleep.hits_after_unpark,
             "wake accounting identity violated: {sleep:?}"
         );
         PoolReport {
             stats,
             per_worker: self.per_worker_stats(),
-            sleep_kind: self.shared.sleep.kind(),
+            backend: backend.name(),
+            sleep_kind: self.core.sleep.kind(),
             sleep,
             #[cfg(feature = "telemetry")]
-            telemetry: self.shared.registry.as_ref().map(|r| {
+            telemetry: self.core.registry.as_ref().map(|r| {
                 let mut snap = r.snapshot();
-                self.shared.injector.stamp(&mut snap.injector);
-                self.shared.stamp_sleep(&mut snap);
-                self.shared.stamp_par(&mut snap);
+                self.core.injector.stamp(&mut snap.injector);
+                self.core.stamp_sleep(&mut snap);
+                self.core.stamp_par(&mut snap);
                 snap
             }),
         }
@@ -1065,8 +1300,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.sleep.notify_shutdown();
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.sleep.notify_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -5,7 +5,7 @@
 //! `steal_attempt` and once under exactly one outcome, so the identity
 //!
 //! ```text
-//! steal_attempts == steals + aborts + empties + injects
+//! steal_attempts == steals + aborts + empties + injects + duplicates
 //! ```
 //!
 //! holds (injector polls land in `injects` on a grab and in `empties`
@@ -34,6 +34,10 @@ pub struct WorkerStats {
     pub empties: AtomicU64,
     /// Counted injector polls that grabbed an externally submitted job.
     pub injects: AtomicU64,
+    /// Steal attempts that reached a task another worker had already
+    /// extracted (a multiplicity-relaxed backend's lost once-guard).
+    /// Structurally zero on exact backends — asserted at shutdown.
+    pub duplicates: AtomicU64,
     /// yield system calls between steal scans.
     pub yields: AtomicU64,
     /// Times this worker parked for lack of work.
@@ -61,6 +65,7 @@ impl WorkerStats {
             aborts: self.aborts.load(Ordering::Relaxed),
             empties: self.empties.load(Ordering::Relaxed),
             injects: self.injects.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
@@ -80,6 +85,7 @@ pub struct PoolStats {
     pub aborts: u64,
     pub empties: u64,
     pub injects: u64,
+    pub duplicates: u64,
     pub yields: u64,
     pub parks: u64,
     pub unparks: u64,
@@ -98,6 +104,7 @@ impl PoolStats {
             s.aborts += w.aborts.load(Ordering::Relaxed);
             s.empties += w.empties.load(Ordering::Relaxed);
             s.injects += w.injects.load(Ordering::Relaxed);
+            s.duplicates += w.duplicates.load(Ordering::Relaxed);
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
             s.unparks += w.unparks.load(Ordering::Relaxed);
@@ -117,8 +124,11 @@ impl PoolStats {
     }
 
     /// True iff every attempt is accounted for by exactly one outcome.
+    /// The `duplicates` term is structurally zero on exact backends, so
+    /// for them this is the familiar four-way identity.
     pub fn attempts_balance(&self) -> bool {
-        self.steal_attempts == self.steals + self.aborts + self.empties + self.injects
+        self.steal_attempts
+            == self.steals + self.aborts + self.empties + self.injects + self.duplicates
     }
 
     /// True iff every park this snapshot saw also returned. Holds at any
@@ -193,6 +203,23 @@ mod tests {
         .attempts_balance());
         assert!(!PoolStats {
             injects: 1,
+            ..PoolStats::default()
+        }
+        .attempts_balance());
+        // The five-way extension: a duplicate outcome consumes an
+        // attempt like any other, and phantom duplicates unbalance.
+        assert!(PoolStats {
+            steal_attempts: 12,
+            steals: 3,
+            aborts: 2,
+            empties: 5,
+            injects: 1,
+            duplicates: 1,
+            ..PoolStats::default()
+        }
+        .attempts_balance());
+        assert!(!PoolStats {
+            duplicates: 1,
             ..PoolStats::default()
         }
         .attempts_balance());

@@ -1,14 +1,27 @@
 //! A *blocking* deque model for the simulator's ablation of the paper's
 //! claim that non-blocking data structures are essential (§1).
 //!
-//! Each operation first spins to acquire a per-deque lock (one instruction
-//! per attempt), performs its body, and releases. Correct and fast on a
-//! dedicated machine — but if the kernel preempts a process that holds a
-//! lock, every process that touches that deque burns its entire quantum
-//! spinning, which is exactly the failure mode the non-blocking deque
-//! exists to avoid.
+//! Each operation first spins to acquire a simulated per-deque lock (one
+//! instruction per attempt), performs its body, and releases. Correct and
+//! fast on a dedicated machine — but if the kernel preempts a process that
+//! holds a lock, every process that touches that deque burns its entire
+//! quantum spinning, which is exactly the failure mode the non-blocking
+//! deque exists to avoid.
+//!
+//! Only the lock *choreography* (who holds it, for how many instructions)
+//! is modelled here; the queue semantics are the real
+//! [`abp_deque::locking::LockingDeque`], reached through the
+//! [`TaskDeque`] trait family so the tree has exactly one locking-deque
+//! implementation. The simulated lock serializes all access within a run,
+//! so the real deque's internal `try_lock` is never contended from the
+//! simulator's point of view: the backend's [`Steal::Abort`] arm is
+//! unreachable here, matching this model's blocking (wait-out-contention)
+//! semantics.
 
-use std::collections::VecDeque;
+use abp_deque::{DequeOwner, DequeStealer, LockingBackend, Steal, TaskDeque};
+
+type Owner = <LockingBackend as TaskDeque<u64>>::Owner;
+type Thief = <LockingBackend as TaskDeque<u64>>::Stealer;
 
 /// Result of a locked `popTop` body. There is no `Abort`: the blocking
 /// implementation waits out contention instead of failing fast.
@@ -18,16 +31,36 @@ pub enum LockedSteal {
     Empty,
 }
 
-/// Shared state: a mutex-protected deque.
-#[derive(Debug, Clone, Default)]
+/// The simulated lock plus handles to the real backing deque.
 pub struct LockedSimDeque {
     holder: Option<u32>,
-    items: VecDeque<u64>,
+    owner: Owner,
+    thief: Thief,
+}
+
+impl std::fmt::Debug for LockedSimDeque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockedSimDeque")
+            .field("holder", &self.holder)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Default for LockedSimDeque {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LockedSimDeque {
     pub fn new() -> Self {
-        Self::default()
+        let (owner, thief) = LockingBackend.new_pair();
+        LockedSimDeque {
+            holder: None,
+            owner,
+            thief,
+        }
     }
 
     /// Who holds the lock, if anyone (for diagnostics).
@@ -37,17 +70,17 @@ impl LockedSimDeque {
 
     /// Current size.
     pub fn len(&self) -> usize {
-        self.items.len()
+        DequeOwner::len_hint(&self.owner) // exact for the locking backend
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
     }
 
     /// Contents bottom→top (only meaningful when the lock is free).
     pub fn contents_bottom_to_top(&self) -> Vec<u64> {
-        self.items.iter().rev().copied().collect()
+        self.owner.contents_bottom_to_top()
     }
 }
 
@@ -129,14 +162,20 @@ impl LockOp {
             }
             let out = match self.kind {
                 LockKind::Push(v) => {
-                    d.items.push_back(v);
+                    DequeOwner::push_bottom(&d.owner, v).expect("locking backend never overflows");
                     LockStepOutcome::PushDone
                 }
-                LockKind::PopBottom => LockStepOutcome::PopBottomDone(d.items.pop_back()),
-                LockKind::PopTop => match d.items.pop_front() {
-                    Some(v) => LockStepOutcome::PopTopDone(LockedSteal::Taken(v)),
-                    None => LockStepOutcome::PopTopDone(LockedSteal::Empty),
-                },
+                LockKind::PopBottom => {
+                    LockStepOutcome::PopBottomDone(DequeOwner::pop_bottom(&d.owner))
+                }
+                LockKind::PopTop => LockStepOutcome::PopTopDone(match d.thief.steal() {
+                    Steal::Taken(v) => LockedSteal::Taken(v),
+                    Steal::Empty => LockedSteal::Empty,
+                    Steal::Abort => {
+                        unreachable!("simulated lock held: real try_lock is uncontended")
+                    }
+                    Steal::Duplicate => unreachable!("locking backend is exact: no duplicates"),
+                }),
             };
             d.holder = None;
             out

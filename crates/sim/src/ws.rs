@@ -479,6 +479,22 @@ impl<'a> WorkStealer<'a> {
             "steal accounting identity violated: {:?}",
             self.tally
         );
+        // Per-backend structural zeros in the five-way identity: every
+        // simulated backend extracts exactly-once, and the blocking deque
+        // waits out contention rather than aborting, so those terms must
+        // be *exactly* zero — not merely balanced.
+        assert_eq!(
+            self.tally.duplicates, 0,
+            "sim backend {:?} is exact, yet duplicates = {}",
+            self.config.backend, self.tally.duplicates
+        );
+        if self.config.backend == DequeBackend::Locking {
+            assert_eq!(
+                self.tally.aborts, 0,
+                "blocking popTop spins out contention, yet aborts = {}",
+                self.tally.aborts
+            );
+        }
         RunReport {
             rounds,
             proc_rounds,
@@ -711,6 +727,9 @@ impl<'a> WorkStealer<'a> {
                 StepOutcome::PopTopDone(SimSteal::Taken(v)) => OpDone::PopTop(Some(v), false),
                 StepOutcome::PopTopDone(SimSteal::Empty) => OpDone::PopTop(None, false),
                 StepOutcome::PopTopDone(SimSteal::Abort) => OpDone::PopTop(None, true),
+                StepOutcome::PopTopDone(SimSteal::Duplicate) => {
+                    unreachable!("stepped ABP deque is exact: no duplicates")
+                }
             },
             (AnyOp::Locked(op), Deques::Locked(dq)) => match op.step(&mut dq[target], me as u32) {
                 LockStepOutcome::Continue => OpDone::NotDone,
@@ -783,6 +802,7 @@ impl<'a> WorkStealer<'a> {
                             StealResult::Hit => StealOutcome::Hit,
                             StealResult::Abort => StealOutcome::Abort,
                             StealResult::Empty => StealOutcome::Empty,
+                            StealResult::Duplicate => StealOutcome::Duplicate,
                         },
                     });
                 }

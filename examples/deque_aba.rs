@@ -10,9 +10,21 @@
 //! against both the correct (tagged) deque and the broken (untagged)
 //! variant, then lets the exhaustive model checker quantify how many of
 //! the scenario's interleavings go wrong without the tag.
+//!
+//! A final act shows the *other* answer to the same race: the fence-free
+//! multiplicity deque doesn't carry a tag (or any `cas` on its steal
+//! fast path) — it lets the race happen and resolves it at the per-slot
+//! once-guard, reporting the loser as `Steal::Duplicate`. A thief storm
+//! hammers one deque to surface real duplicates, and the same backend is
+//! then selected for a whole pool via `PoolConfig::with_deque`, where
+//! duplicates show up as a counted (never executed-twice) column in the
+//! shutdown report.
 
 use abp_deque::model::{explore, ProgOp, Scenario};
-use abp_deque::{DequeOp, SimDeque, SimSteal, StepOutcome};
+use abp_deque::{DequeOp, FenceFreeBackend, SimDeque, SimSteal, Steal, StepOutcome, TaskDeque};
+use hood::{join, Backend, PoolConfig, ThreadPool};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 fn run_scenario(tagged: bool) {
     println!(
@@ -69,6 +81,97 @@ fn run_scenario(tagged: bool) {
     println!();
 }
 
+/// A thief storm against one fence-free deque: N values in, 4 guarded
+/// thieves racing the owner's drain. The once-guard turns every lost
+/// race into a counted `Steal::Duplicate`; each value is still extracted
+/// exactly once, and nothing can abort.
+fn fence_free_storm() {
+    const N: usize = 20_000;
+    const THIEVES: usize = 4;
+    let backend = FenceFreeBackend { capacity: N };
+    let (owner, stealer) = backend.new_pair();
+    for v in 0..N as u64 {
+        owner.push_bottom(v).unwrap();
+    }
+    let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
+    let handles: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let s = stealer.clone();
+            let counts = Arc::clone(&counts);
+            std::thread::spawn(move || {
+                let (mut takes, mut dups) = (0u64, 0u64);
+                loop {
+                    match s.steal() {
+                        Steal::Taken(v) => {
+                            takes += 1;
+                            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Duplicate => dups += 1,
+                        Steal::Empty => break,
+                        Steal::Abort => unreachable!("fence-free popTop has no cas to lose"),
+                    }
+                }
+                (takes, dups)
+            })
+        })
+        .collect();
+    // The owner fights for the bottom end at the same time.
+    let mut owner_takes = 0u64;
+    while let Some(v) = owner.pop_bottom() {
+        owner_takes += 1;
+        counts[v as usize].fetch_add(1, Ordering::Relaxed);
+    }
+    let (mut takes, mut dups) = (owner_takes, 0u64);
+    for h in handles {
+        let (t, d) = h.join().unwrap();
+        takes += t;
+        dups += d;
+    }
+    assert_eq!(takes as usize, N, "every value extracted");
+    assert!(
+        counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+        "…exactly once"
+    );
+    println!(
+        "  {N} values, owner + {THIEVES} thieves: {takes} extractions (exactly once, \
+         checked), {dups} lost claim races counted as Duplicate, 0 aborts"
+    );
+}
+
+/// The same backend driving a whole pool: `with_deque` selects it, the
+/// monomorphized workers run fork-join over it, and the shutdown report
+/// pins the structural zeros (ABP: no duplicates; fence-free: no aborts).
+fn pool_backend_selection() {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    for backend in [
+        Backend::Abp { capacity: 1 << 13 },
+        Backend::FenceFree { capacity: 1 << 13 },
+    ] {
+        let pool =
+            ThreadPool::with_config(PoolConfig::default().with_num_procs(4).with_deque(backend));
+        assert_eq!(pool.install(|| fib(20)), 6_765);
+        let report = pool.shutdown();
+        let st = &report.stats;
+        println!(
+            "  {:<10}  fib(20) on 4 workers: attempts {} = steals {} + aborts {} + \
+             empties {} + injects {} + duplicates {}",
+            report.backend,
+            st.steal_attempts,
+            st.steals,
+            st.aborts,
+            st.empties,
+            st.injects,
+            st.duplicates,
+        );
+    }
+}
+
 fn main() {
     println!("The §3.3 ABA interleaving (deque holds one node, value 100):");
     println!();
@@ -94,4 +197,13 @@ fn main() {
                 .unwrap_or_default()
         );
     }
+
+    println!();
+    println!("The fence-free alternative: no tag, no cas on the steal path —");
+    println!("the race is allowed and the per-slot once-guard counts the losers:");
+    fence_free_storm();
+    println!();
+    println!("Backend selection through PoolConfig::with_deque (five-way identity");
+    println!("at shutdown; exact backends pin duplicates = 0, fence-free pins aborts = 0):");
+    pool_backend_selection();
 }

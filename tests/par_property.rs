@@ -59,7 +59,7 @@ fn empty_and_singleton_slices() {
         assert!(empty.par_iter().copied().collect_vec().is_empty());
         assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
 
-        let one = vec![41u64];
+        let one = [41u64];
         assert_eq!(one.par_iter().copied().sum(), 41);
         assert_eq!(one.par_iter().count(), 1);
         assert_eq!(one.par_iter().map(|&x| x + 1).map_collect(), vec![42]);
@@ -225,7 +225,10 @@ fn split_policy_axis_controls_forking() {
     let got = seq_pool.install(|| v.par_iter().map(|&x| x * 2).sum());
     assert_eq!(got, want);
     let report = seq_pool.shutdown();
-    assert_eq!(report.stats.par_splits, 0, "sequential policy must not fork");
+    assert_eq!(
+        report.stats.par_splits, 0,
+        "sequential policy must not fork"
+    );
     assert!(report.stats.par_seq > 0, "decisions are still counted");
 
     let adaptive_pool = pool_with_split(2, SplitKind::Adaptive);

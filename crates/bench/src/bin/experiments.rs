@@ -38,13 +38,15 @@ fn main() {
         "par-small" => vec![exp::par(true)],
         "deque-backends" => vec![exp::deque_backends(false)],
         "deque-backends-small" => vec![exp::deque_backends(true)],
+        "theory" => vec![exp::theory(false)],
+        "theory-small" => vec![exp::theory(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
                  policies policies-small serve serve-small hotpath idle idle-small \
-                 par par-small deque-backends deque-backends-small"
+                 par par-small deque-backends deque-backends-small theory theory-small"
             );
             std::process::exit(2);
         }

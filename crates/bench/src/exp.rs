@@ -2590,6 +2590,235 @@ pub fn deque_backends(small: bool) -> ExpResult {
     )
 }
 
+/// TH1 — theory validation: machine-check the rooted-tree steal bound
+/// and the work-stealing cache bound against the exact simulator.
+///
+/// (a) Tree topologies from `abp_dag::tree` run through the stepped
+/// work stealer under every victim-selection policy and several P; each
+/// cell asserts the Leiserson–Schardl–Suksompong bound
+/// `steals ≤ Σ_{i=1}^{min(P−1,h)} kⁱ·C(h,i)` applied to the binarized
+/// spawn tree (branching 2, height = `spawn_height()`), capped by the
+/// tree's edge count, and records the observed/bound gap ratio.
+///
+/// (b) Fork-join workloads run with the per-process LRU cache model;
+/// each parallel run is checked against the serial baseline:
+/// `Q_P − Q₁ ≤ κ·M·deviations` (Gu–Napier–Sun / Acar–Blelloch–Blumofe),
+/// with the structural consequence that `P = 1` incurs no deviations.
+pub fn theory(small: bool) -> ExpResult {
+    use abp_dag::tree::{self, RootedTree};
+    use abp_sim::{CacheBoundCheck, CacheConfig, PolicySet, StealBoundCheck, VictimKind};
+    use abp_telemetry::json;
+
+    let mut pass = true;
+
+    // -- (a) steal-bound matrix: topology × victim policy × P ------------
+    let trees: Vec<(&str, RootedTree)> = if small {
+        vec![
+            ("spine(40)", tree::spine(40)),
+            ("kary(2,5)", tree::full_kary(2, 5)),
+            ("kary(3,4)", tree::full_kary(3, 4)),
+            ("random(60)", tree::random_attachment(0xA77, 60)),
+            ("caterpillar(10,3)", tree::caterpillar(10, 3)),
+        ]
+    } else {
+        vec![
+            ("spine(96)", tree::spine(96)),
+            ("kary(2,7)", tree::full_kary(2, 7)),
+            ("kary(3,5)", tree::full_kary(3, 5)),
+            ("random(160)", tree::random_attachment(0xA77, 160)),
+            ("caterpillar(24,5)", tree::caterpillar(24, 5)),
+        ]
+    };
+    let victims: Vec<(&str, VictimKind)> = vec![
+        ("uniform", VictimKind::Uniform),
+        ("round-robin", VictimKind::RoundRobin),
+        ("last-victim", VictimKind::LastVictim),
+    ];
+    let ps_list: Vec<usize> = if small { vec![2, 4] } else { vec![2, 4, 8] };
+    let seeds: Vec<u64> = if small { vec![11] } else { vec![11, 12] };
+
+    let mut st = TextTable::new([
+        "topology", "policy", "P", "h2", "edges", "steals", "bound", "gap", "holds",
+    ]);
+    let mut steal_json = String::new();
+    let mut max_steal_gap = 0.0f64;
+    for (tname, rt) in &trees {
+        rt.check_invariants();
+        let dag = rt.to_dag(2);
+        let h2 = rt.spawn_height();
+        let edges = rt.num_edges() as u64;
+        for (vname, vk) in &victims {
+            for &p in &ps_list {
+                // Max over seeds: the bound is worst-case, so every seed
+                // must hold; the table reports the worst observation.
+                let mut worst = StealBoundCheck::rooted_tree(0, 2, h2, edges, p);
+                for &seed in &seeds {
+                    let mut k = DedicatedKernel::new(p);
+                    let cfg = ws_defaults(seed).with_policies(PolicySet::paper().with_victim(*vk));
+                    let r = run_ws(&dag, p, &mut k, cfg);
+                    pass &= r.completed && r.steal_accounting_balanced();
+                    let check = StealBoundCheck::rooted_tree(r.successful_steals, 2, h2, edges, p);
+                    pass &= check.holds();
+                    if check.observed >= worst.observed {
+                        worst = check;
+                    }
+                }
+                max_steal_gap = max_steal_gap.max(worst.gap_ratio());
+                st.row([
+                    tname.to_string(),
+                    vname.to_string(),
+                    p.to_string(),
+                    h2.to_string(),
+                    edges.to_string(),
+                    worst.observed.to_string(),
+                    format!("{:.0}", worst.bound),
+                    f3(worst.gap_ratio()),
+                    if worst.holds() { "yes" } else { "NO" }.to_string(),
+                ]);
+                if !steal_json.is_empty() {
+                    steal_json.push_str(",\n");
+                }
+                write!(
+                    steal_json,
+                    "    {{\"topology\":\"{}\",\"policy\":\"{}\",\"p\":{},\
+                     \"spawn_height\":{},\"edges\":{},\"steals\":{},\"bound\":{:.1},\
+                     \"gap\":{:.6},\"holds\":{}}}",
+                    tname,
+                    vname,
+                    p,
+                    h2,
+                    edges,
+                    worst.observed,
+                    worst.bound,
+                    worst.gap_ratio(),
+                    worst.holds(),
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    // -- (b) cache-bound matrix: workload × P vs the serial baseline -----
+    let cache_cfg = CacheConfig::default();
+    let cache_dags: Vec<(&str, Dag)> = if small {
+        vec![
+            ("fork-join(5,2)", gen::fork_join_tree(5, 2)),
+            ("kary(2,5)-tree", tree::full_kary(2, 5).to_dag(3)),
+            ("caterpillar(10,3)", tree::caterpillar(10, 3).to_dag(3)),
+        ]
+    } else {
+        vec![
+            ("fork-join(8,2)", gen::fork_join_tree(8, 2)),
+            ("kary(2,7)-tree", tree::full_kary(2, 7).to_dag(3)),
+            ("caterpillar(24,5)", tree::caterpillar(24, 5).to_dag(3)),
+        ]
+    };
+    let mut ct = TextTable::new([
+        "workload", "P", "Q1", "QP", "extra", "devs", "bound", "gap", "holds",
+    ]);
+    let mut cache_json = String::new();
+    let mut max_cache_gap = 0.0f64;
+    for (wname, dag) in &cache_dags {
+        let mut k = DedicatedKernel::new(1);
+        let cfg = ws_defaults(7).with_cache(cache_cfg);
+        let serial = run_ws(dag, 1, &mut k, cfg);
+        pass &= serial.completed;
+        let q1 = serial.cache.as_ref().expect("cache model was enabled");
+        // With one process nothing can deviate, so the serial run *is*
+        // the baseline the bound compares against.
+        pass &= q1.deviations == 0;
+        for &p in &ps_list {
+            let mut k = DedicatedKernel::new(p);
+            let cfg = ws_defaults(7).with_cache(cache_cfg);
+            let r = run_ws(dag, p, &mut k, cfg);
+            pass &= r.completed;
+            let qp = r.cache.as_ref().expect("cache model was enabled");
+            let check = CacheBoundCheck {
+                serial_misses: q1.misses,
+                parallel_misses: qp.misses,
+                deviations: qp.deviations,
+                cache_lines: qp.lines,
+            };
+            pass &= check.holds();
+            max_cache_gap = max_cache_gap.max(check.gap_ratio());
+            ct.row([
+                wname.to_string(),
+                p.to_string(),
+                q1.misses.to_string(),
+                qp.misses.to_string(),
+                check.extra_misses().to_string(),
+                qp.deviations.to_string(),
+                check.bound().to_string(),
+                f3(check.gap_ratio()),
+                if check.holds() { "yes" } else { "NO" }.to_string(),
+            ]);
+            if !cache_json.is_empty() {
+                cache_json.push_str(",\n");
+            }
+            write!(
+                cache_json,
+                "    {{\"workload\":\"{}\",\"p\":{},\"q1\":{},\"qp\":{},\"extra\":{},\
+                 \"deviations\":{},\"bound\":{},\"gap\":{:.6},\"holds\":{}}}",
+                wname,
+                p,
+                q1.misses,
+                qp.misses,
+                check.extra_misses(),
+                qp.deviations,
+                check.bound(),
+                check.gap_ratio(),
+                check.holds(),
+            )
+            .unwrap();
+        }
+    }
+
+    // -- machine-readable artifact ---------------------------------------
+    let artifact = format!(
+        "{{\n  \"bench\": \"theory\",\n  \"mode\": \"{}\",\n  \
+         \"steal\": {{\"branching\": 2, \"seeds\": {}, \"cells\": [\n{}\n  ]}},\n  \
+         \"cache\": {{\"kappa\": {}, \"lines\": {}, \"block\": {}, \"cells\": [\n{}\n  ]}},\n  \
+         \"gates\": {{\"max_steal_gap\": {:.6}, \"max_cache_gap\": {:.6}, \
+         \"all_hold\": {}}}\n}}\n",
+        if small { "small" } else { "full" },
+        seeds.len(),
+        steal_json,
+        abp_sim::CACHE_KAPPA,
+        cache_cfg.lines,
+        cache_cfg.block,
+        cache_json,
+        max_steal_gap,
+        max_cache_gap,
+        pass,
+    );
+    pass &= json::parse(&artifact).is_ok();
+    let _ = std::fs::create_dir_all("target");
+    let wrote = std::fs::write("target/BENCH_theory.json", &artifact).is_ok();
+
+    let body = format!(
+        "steal bound (binarized spawn tree, k=2, capped by edges), worst seed per cell:\n{}\n\
+         max observed/bound gap: {}\n\n\
+         cache bound Q_P − Q₁ ≤ κ·M·deviations (κ={}, M={} lines, block={}):\n{}\n\
+         max extra/bound gap: {}\n\
+         wrote target/BENCH_theory.json ({} bytes{})\n",
+        st.render(),
+        f3(max_steal_gap),
+        abp_sim::CACHE_KAPPA,
+        cache_cfg.lines,
+        cache_cfg.block,
+        ct.render(),
+        f3(max_cache_gap),
+        artifact.len(),
+        if wrote { "" } else { ", WRITE FAILED" },
+    );
+    ExpResult::new(
+        "TH1",
+        "Theory validation: steal bound and cache bound vs the simulator",
+        body,
+        pass,
+    )
+}
+
 /// Runs every experiment, in index order.
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -2617,5 +2846,6 @@ pub fn all() -> Vec<ExpResult> {
         idle(false),
         par(false),
         deque_backends(false),
+        theory(false),
     ]
 }

@@ -42,6 +42,12 @@
 //!   workers are visible, the default), `EagerGrain` (recurse to an
 //!   explicit grain, the classic baseline), and `Sequential`.
 //!
+//! [`bounds`] holds the machine-checkable theory predicates next to the
+//! tally they consume: the Leiserson et al. rooted-tree steal bound
+//! ([`StealBoundCheck`]) and the work-stealing cache bound
+//! ([`CacheBoundCheck`]), both reporting gap ratios rather than bare
+//! pass/fail.
+//!
 //! [`StealTally`] is the shared attempt accounting; it maintains the
 //! identity `attempts == hits + aborts + empties + injects` that both
 //! surfaces assert (`injects` stays zero on surfaces without an
@@ -61,6 +67,7 @@
 //! ```
 
 pub mod backoff;
+pub mod bounds;
 pub mod engine;
 pub mod idle;
 pub mod inject;
@@ -72,6 +79,9 @@ pub mod victim;
 pub use backoff::{
     BackoffAction, BackoffKind, ContentionBackoff, ExpJitterBackoff, NoBackoff, PlainYield,
     SpinThenYield,
+};
+pub use bounds::{
+    cache_extra_miss_bound, rooted_tree_steal_bound, CacheBoundCheck, StealBoundCheck, CACHE_KAPPA,
 };
 pub use engine::{PolicyEngine, PolicySet};
 pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, ParkUntilWakeIdle, SpinIdle};

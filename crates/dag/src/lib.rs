@@ -14,6 +14,9 @@
 //! * [`gen`] — deterministic workload generators (serial chains, fork-join
 //!   trees, Fibonacci recursion, random series-parallel, semaphore
 //!   pipelines);
+//! * [`tree`] — rooted-tree workloads (spine, full k-ary, random
+//!   attachment, caterpillar) and their ABP-dag encoding, for the
+//!   steal-bound theory suite;
 //! * [`examples::figure1`] — the paper's running example;
 //! * [`EnablingTree`] — designated parents, depths, and the node weights
 //!   `w(u) = T∞ − d(u)` that drive the potential-function analysis;
@@ -28,6 +31,7 @@ pub mod export;
 pub mod gen;
 pub mod ids;
 pub mod rng;
+pub mod tree;
 
 pub use builder::DagBuilder;
 pub use dag::{Dag, DagError, Edge, EdgeKind};
@@ -35,3 +39,4 @@ pub use enabling::EnablingTree;
 pub use export::{stats, to_dot, DagStats};
 pub use ids::{NodeId, ProcId, ThreadId};
 pub use rng::DetRng;
+pub use tree::RootedTree;

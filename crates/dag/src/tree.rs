@@ -1,0 +1,414 @@
+//! Rooted-tree workloads for the steal-bound theory suite.
+//!
+//! Leiserson, Schardl, and Suksompong (*Upper Bounds on Number of Steals
+//! in Rooted Trees*) bound the number of successful steals any
+//! work-stealing execution of a rooted tree can perform. To check that
+//! bound against the instruction-stepped simulator, this module provides:
+//!
+//! * [`RootedTree`] — an explicit rooted tree with structural accessors
+//!   ([`RootedTree::height`], [`RootedTree::max_degree`]) and the
+//!   *spawn height* of its ABP encoding (see below);
+//! * seeded, deterministic generators for the four shapes the TH1
+//!   experiment sweeps: [`spine`], [`full_kary`], [`random_attachment`],
+//!   and [`caterpillar`];
+//! * [`RootedTree::to_dag`] — the encoding of a tree as a valid ABP
+//!   computation dag (out-degree ≤ 2, unique root and final node).
+//!
+//! # Encoding
+//!
+//! Each tree node becomes one thread: `body` nodes of straight-line
+//! work, then one spawn instruction per child (spawning the child's
+//! thread), then one join rung per child. Because the simulator's deques
+//! hold only the continuations pushed at spawn instructions, a steal in
+//! the encoded execution corresponds exactly to a steal of a pending
+//! subtree in the rooted-tree model. The encoding serializes a node's
+//! `k` spawns into a chain of `k` binary branch points, so the tree the
+//! steal bound applies to is the *binarized* spawn tree: branching
+//! factor 2 and height [`RootedTree::spawn_height`] (the maximum number
+//! of branch points on any root-to-leaf path of the encoding).
+
+use crate::builder::DagBuilder;
+use crate::dag::Dag;
+use crate::ids::{NodeId, ThreadId};
+use crate::rng::DetRng;
+
+/// An explicit rooted tree. Node 0 is the root; every other node has
+/// exactly one parent with a smaller construction-time index is *not*
+/// required, but all generators here produce parent-before-child order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    children: Vec<Vec<usize>>,
+    parent: Vec<Option<usize>>,
+}
+
+impl RootedTree {
+    /// A tree with `n` nodes and no edges yet (all nodes roots until
+    /// attached). Generators attach every node except 0.
+    fn with_nodes(n: usize) -> Self {
+        assert!(n >= 1, "a rooted tree has at least its root");
+        RootedTree {
+            children: vec![Vec::new(); n],
+            parent: vec![None; n],
+        }
+    }
+
+    /// Attaches `child` under `parent`. Panics if `child` already has a
+    /// parent or the attachment would make `child` its own ancestor
+    /// (generators only attach fresh nodes, so a cheap check suffices).
+    fn attach(&mut self, parent: usize, child: usize) {
+        assert!(child != 0, "the root cannot be attached");
+        assert!(self.parent[child].is_none(), "node {child} attached twice");
+        self.parent[child] = Some(parent);
+        self.children[parent].push(child);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of edges (`num_nodes − 1` for a connected tree).
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Children of `v`, in spawn order.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Number of leaves (nodes with no children).
+    pub fn num_leaves(&self) -> usize {
+        self.children.iter().filter(|c| c.is_empty()).count()
+    }
+
+    /// Height in edges: the longest root-to-leaf path. 0 for a single
+    /// node.
+    pub fn height(&self) -> u64 {
+        let mut depth = vec![0u64; self.num_nodes()];
+        let mut max = 0;
+        // Generators produce parent-before-child indices, but compute
+        // via an explicit traversal so the accessor never depends on it.
+        for v in self.topo_order() {
+            if let Some(p) = self.parent[v] {
+                depth[v] = depth[p] + 1;
+                max = max.max(depth[v]);
+            }
+        }
+        max
+    }
+
+    /// Maximum number of children of any node (the branching factor `k`
+    /// of the rooted-tree steal bound). 0 for a single node.
+    pub fn max_degree(&self) -> u64 {
+        self.children.iter().map(Vec::len).max().unwrap_or(0) as u64
+    }
+
+    /// Height of the *binarized spawn tree* of the ABP encoding: the
+    /// maximum number of spawn instructions (binary branch points) on
+    /// any root-to-leaf path of [`RootedTree::to_dag`]'s output. A node
+    /// reaches its `j`-th child (1-based) after `j` of its own spawns,
+    /// so `sh(v) = max_j (j + sh(child_j))`, 0 at leaves. This is the
+    /// height to feed the Leiserson et al. bound with branching 2.
+    pub fn spawn_height(&self) -> u64 {
+        let mut sh = vec![0u64; self.num_nodes()];
+        for v in self.topo_order().into_iter().rev() {
+            sh[v] = self.children[v]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as u64 + 1) + sh[c])
+                .max()
+                .unwrap_or(0);
+        }
+        sh[0]
+    }
+
+    /// Nodes in root-first (parent before child) order. Panics if the
+    /// parent links are cyclic or disconnected — the structural
+    /// invariant every generator must maintain.
+    fn topo_order(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Reverse so children pop in spawn order (cosmetic only).
+            stack.extend(self.children[v].iter().rev());
+        }
+        assert_eq!(order.len(), n, "tree is disconnected or cyclic");
+        order
+    }
+
+    /// Checks the structural invariants the generators promise: node 0
+    /// is the unique root, parent/children links agree, and every node
+    /// is reachable from the root (no cycles, no orphans).
+    pub fn check_invariants(&self) {
+        assert_eq!(self.parent[0], None, "root has a parent");
+        for v in 1..self.num_nodes() {
+            let p = self.parent[v].unwrap_or_else(|| panic!("node {v} is an orphan"));
+            assert!(
+                self.children[p].contains(&v),
+                "parent link {v}→{p} missing from children list"
+            );
+        }
+        assert_eq!(self.num_edges(), self.num_nodes() - 1, "edge count");
+        let _ = self.topo_order(); // panics on cycles/disconnection
+    }
+
+    /// Encodes the tree as an ABP computation dag: one thread per tree
+    /// node, `body ≥ 1` straight-line nodes, then one spawn instruction
+    /// per child and one join rung per child. Construction is
+    /// depth-first, so node indices follow the `P = 1` execution order
+    /// (good sequential locality for the cache model).
+    pub fn to_dag(&self, body: usize) -> Dag {
+        assert!(body >= 1, "each task needs at least one body node");
+        let mut b = DagBuilder::new();
+        let root = b.thread();
+        self.build_thread(&mut b, root, 0, body, None);
+        b.finish().expect("tree encoding is valid by construction")
+    }
+
+    /// Builds node `v`'s thread; returns the thread's last dag node.
+    /// Non-root threads already carry their spawn-target `entry` node,
+    /// so they get `body − 1` further body nodes (every task costs the
+    /// same `body` nodes of straight-line work).
+    fn build_thread(
+        &self,
+        b: &mut DagBuilder,
+        t: ThreadId,
+        v: usize,
+        body: usize,
+        entry: Option<NodeId>,
+    ) -> NodeId {
+        let mut last = match entry {
+            None => b.nodes(t, body),
+            Some(e) if body == 1 => e,
+            Some(_) => b.nodes(t, body - 1),
+        };
+        let mut child_lasts = Vec::with_capacity(self.children[v].len());
+        for &c in &self.children[v] {
+            let s = b.node(t);
+            let (ct, centry) = b.spawn_thread(s);
+            child_lasts.push(self.build_thread(b, ct, c, body, Some(centry)));
+        }
+        for cl in child_lasts {
+            let rung = b.node(t);
+            b.sync(cl, rung);
+            last = rung;
+        }
+        last
+    }
+}
+
+/// A path: node `i`'s only child is `i + 1`. Height `n − 1`, degree 1 —
+/// the tree with the tallest binarized spawn height per node.
+pub fn spine(n: usize) -> RootedTree {
+    let mut t = RootedTree::with_nodes(n);
+    for i in 1..n {
+        t.attach(i - 1, i);
+    }
+    t.check_invariants();
+    t
+}
+
+/// The complete `k`-ary tree of height `h` (edges): `(k^(h+1) − 1)/(k − 1)`
+/// nodes, the exact shape Leiserson et al. state their bound for.
+pub fn full_kary(k: usize, h: u32) -> RootedTree {
+    assert!(k >= 1, "branching factor must be at least 1");
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..h {
+        level = level.checked_mul(k).expect("tree too large");
+        n = n.checked_add(level).expect("tree too large");
+    }
+    let mut t = RootedTree::with_nodes(n);
+    // BFS order: children of node v are contiguous after the frontier.
+    let mut next = 1usize;
+    let mut frontier = vec![0usize];
+    for _ in 0..h {
+        let mut new_frontier = Vec::with_capacity(frontier.len() * k);
+        for &v in &frontier {
+            for _ in 0..k {
+                t.attach(v, next);
+                new_frontier.push(next);
+                next += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    t.check_invariants();
+    t
+}
+
+/// A random recursive tree: node `i` attaches to a uniformly random
+/// earlier node. Deterministic given `seed`; expected height `Θ(log n)`
+/// with occasional high-degree hubs — the "irregular" point of the
+/// sweep.
+pub fn random_attachment(seed: u64, n: usize) -> RootedTree {
+    let mut rng = DetRng::new(seed);
+    let mut t = RootedTree::with_nodes(n);
+    for i in 1..n {
+        let p = rng.below_usize(i);
+        t.attach(p, i);
+    }
+    t.check_invariants();
+    t
+}
+
+/// A caterpillar: a spine of `spine_len` nodes where every spine node
+/// grows `legs` leaf children (legs spawn before the next spine
+/// segment). Interpolates between [`spine`] (`legs = 0`) and a broom.
+pub fn caterpillar(spine_len: usize, legs: usize) -> RootedTree {
+    assert!(spine_len >= 1);
+    let n = spine_len * (legs + 1);
+    let mut t = RootedTree::with_nodes(n);
+    let mut next = 1usize;
+    let mut prev_spine = 0usize;
+    for s in 0..spine_len {
+        for _ in 0..legs {
+            t.attach(prev_spine, next);
+            next += 1;
+        }
+        if s + 1 < spine_len {
+            t.attach(prev_spine, next);
+            prev_spine = next;
+            next += 1;
+        }
+    }
+    t.check_invariants();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_shape() {
+        for n in [1, 2, 17, 100] {
+            let t = spine(n);
+            assert_eq!(t.num_nodes(), n);
+            assert_eq!(t.num_edges(), n - 1);
+            assert_eq!(t.height(), n as u64 - 1);
+            assert_eq!(t.max_degree(), if n > 1 { 1 } else { 0 });
+            assert_eq!(t.num_leaves(), 1);
+            // One child per node: spawn height equals ordinary height.
+            assert_eq!(t.spawn_height(), n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn full_kary_shape() {
+        for (k, h, nodes) in [(2, 0, 1), (2, 3, 15), (3, 3, 40), (4, 2, 21), (1, 5, 6)] {
+            let t = full_kary(k, h);
+            assert_eq!(t.num_nodes(), nodes, "k={k} h={h}");
+            assert_eq!(t.height(), h as u64);
+            assert_eq!(t.max_degree(), if h > 0 { k as u64 } else { 0 });
+            assert_eq!(t.num_leaves(), k.pow(h));
+            // Serializing k spawns per level: spawn height is k·h.
+            assert_eq!(t.spawn_height(), k as u64 * h as u64);
+        }
+    }
+
+    #[test]
+    fn random_attachment_is_deterministic_and_recursive() {
+        let a = random_attachment(7, 300);
+        let b = random_attachment(7, 300);
+        assert_eq!(a, b, "same seed must give the same tree");
+        let c = random_attachment(8, 300);
+        assert_ne!(a, c, "different seeds almost surely differ");
+        // Recursive-tree property: every parent index is smaller.
+        for v in 1..a.num_nodes() {
+            assert!(a.parent(v).unwrap() < v);
+        }
+        // Height is well below n (Θ(log n) in expectation).
+        assert!(a.height() < 60, "height {} suspicious", a.height());
+        assert!(a.max_degree() >= 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(10, 3);
+        assert_eq!(t.num_nodes(), 40);
+        // Legs hang off every spine node; the deepest is a leg of the
+        // last spine node.
+        assert_eq!(t.height(), 10);
+        // Interior spine nodes: legs + the next spine segment.
+        assert_eq!(t.max_degree(), 4);
+        // Every spine node carries 3 leaf legs; spine nodes are internal.
+        assert_eq!(t.num_leaves(), 30);
+        // legs = 0 degenerates to a spine.
+        assert_eq!(caterpillar(5, 0), spine(5));
+    }
+
+    #[test]
+    fn spawn_height_counts_branch_points() {
+        // A 2-node spine: one spawn. A root with 3 children: the third
+        // child sits behind 3 spawns.
+        assert_eq!(spine(2).spawn_height(), 1);
+        assert_eq!(full_kary(3, 1).spawn_height(), 3);
+        // Caterpillar: legs spawn first, so each spine step costs
+        // legs + 1 branch points.
+        let t = caterpillar(4, 2);
+        assert_eq!(t.spawn_height(), 3 * 3 + 2);
+    }
+
+    #[test]
+    fn to_dag_encodes_threads_and_work() {
+        for (tree, label) in [
+            (spine(12), "spine"),
+            (full_kary(2, 4), "kary"),
+            (random_attachment(3, 64), "rand"),
+            (caterpillar(6, 2), "caterpillar"),
+        ] {
+            for body in [1, 3] {
+                let d = tree.to_dag(body);
+                let n = tree.num_nodes() as u64;
+                // One thread per tree node.
+                assert_eq!(d.num_threads(), tree.num_nodes(), "{label}");
+                // Work: body per task + one spawn and one rung per edge.
+                assert_eq!(
+                    d.work(),
+                    n * body as u64 + 2 * (n - 1),
+                    "{label} body={body}"
+                );
+                assert_eq!(d.in_degree(d.root()), 0);
+                assert_eq!(d.out_degree(d.final_node()), 0);
+                for i in 0..d.num_nodes() {
+                    assert!(d.out_degree(NodeId(i as u32)) <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_dag_single_node_is_a_chain() {
+        let d = spine(1).to_dag(4);
+        assert_eq!(d.work(), 4);
+        assert_eq!(d.critical_path(), 4);
+        assert_eq!(d.num_threads(), 1);
+    }
+
+    #[test]
+    fn to_dag_depth_first_indices_follow_serial_order() {
+        // Depth-first construction: the subtree spawned at s occupies a
+        // contiguous index range right after s (sequential locality for
+        // the cache model's data blocks).
+        let tree = full_kary(2, 3);
+        let d = tree.to_dag(2);
+        let mut spawn_targets = Vec::new();
+        for e in d.edges() {
+            if e.kind == crate::dag::EdgeKind::Spawn {
+                spawn_targets.push((e.from, e.to));
+            }
+        }
+        for (from, to) in spawn_targets {
+            assert_eq!(to.index(), from.index() + 1, "spawn target not adjacent");
+        }
+    }
+}

@@ -218,6 +218,7 @@ pub fn run_central(
         potential_violations: 0,
         milestone_violations: 0,
         phases: None,
+        cache: None,
         trace: None,
     }
 }

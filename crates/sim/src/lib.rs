@@ -9,12 +9,15 @@
 //!   the Figure-2 reproduction, and Theorem 1/2 bound checks;
 //! * [`invariants`] — live verification of the structural lemma (Lemma 3 /
 //!   Corollary 4) and the potential function Φ (Section 4.2);
+//! * [`cache`] — a per-process LRU cache model whose miss and deviation
+//!   counts feed the work-stealing cache-complexity bound check;
 //! * [`metrics`] — the per-run [`RunReport`] with the paper's bound
 //!   ratios;
 //! * [`telemetry`] — adapter from a recorded [`Trace`] to the shared
 //!   [`abp_telemetry`] schema, so simulated and real runs export the
 //!   same Chrome-trace/metrics formats.
 
+pub mod cache;
 pub mod central;
 pub mod invariants;
 pub mod locked_deque;
@@ -24,7 +27,11 @@ pub mod telemetry;
 pub mod trace;
 pub mod ws;
 
-pub use abp_core::{BackoffKind, IdleKind, PolicySet, StealTally, VictimKind};
+pub use abp_core::{
+    cache_extra_miss_bound, rooted_tree_steal_bound, BackoffKind, CacheBoundCheck, IdleKind,
+    PolicySet, StealBoundCheck, StealTally, VictimKind, CACHE_KAPPA,
+};
+pub use cache::{CacheConfig, CacheStats, LruCache};
 pub use central::{run_central, CentralConfig};
 pub use metrics::{PhaseStats, RunReport};
 pub use offline::{brent, figure2_execution, greedy, optimal_length, ExecutionSchedule};

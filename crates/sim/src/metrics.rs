@@ -54,6 +54,8 @@ pub struct RunReport {
     pub milestone_violations: u64,
     /// Potential-function phase statistics (Lemma 8), if tracked.
     pub phases: Option<PhaseStats>,
+    /// Cache-model counters, if the LRU model was enabled.
+    pub cache: Option<crate::cache::CacheStats>,
     /// Full per-round activity trace, if requested.
     pub trace: Option<crate::trace::Trace>,
 }
@@ -163,6 +165,7 @@ mod tests {
             potential_violations: 0,
             milestone_violations: 0,
             phases: None,
+            cache: None,
             trace: None,
         }
     }

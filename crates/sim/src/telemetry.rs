@@ -147,6 +147,17 @@ pub fn telemetry_from_trace(trace: &Trace) -> TelemetrySnapshot {
         ("procs".to_string(), p as u64),
         ("steal_attempts".to_string(), trace.steals.len() as u64),
     ];
+    // Cache-model counters are gated on the model having run at all, so
+    // untraced-cache runs export byte-identical snapshots.
+    if let Some(cache) = &trace.cache {
+        snap.counters
+            .push(("cache_accesses".to_string(), cache.accesses));
+        snap.counters.push(("cache_hits".to_string(), cache.hits));
+        snap.counters
+            .push(("cache_misses".to_string(), cache.misses));
+        snap.counters
+            .push(("cache_deviations".to_string(), cache.deviations));
+    }
     snap
 }
 
@@ -203,8 +214,7 @@ mod tests {
                 &[Working, Unscheduled],
                 &[Thieving, Working],
             ]),
-            steals: vec![],
-            deque_depths: vec![],
+            ..Trace::default()
         };
         let snap = telemetry_from_trace(&trace);
         assert_eq!(snap.workers.len(), 2);
@@ -254,7 +264,7 @@ mod tests {
                     outcome: StealOutcome::Hit,
                 },
             ],
-            deque_depths: vec![],
+            ..Trace::default()
         };
         let snap = telemetry_from_trace(&trace);
         assert_eq!(snap.steal_attempts_per_worker(), vec![3, 0]);
@@ -270,6 +280,52 @@ mod tests {
         // Exports parse.
         let json = abp_telemetry::chrome_trace(&snap);
         assert!(abp_telemetry::json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn cache_counters_are_gated_on_the_model() {
+        let dag = abp_dag::gen::fork_join_tree(5, 2);
+        // Without the cache model: no cache counters at all.
+        let mut k = abp_kernel::DedicatedKernel::new(4);
+        let plain = crate::ws::run_ws(
+            &dag,
+            4,
+            &mut k,
+            crate::ws::WsConfig::default().with_trace(true),
+        );
+        let snap = telemetry_from_run(&plain).unwrap();
+        assert!(snap.counters.iter().all(|(n, _)| !n.starts_with("cache_")));
+        // With it: counters present and consistent with the report.
+        let mut k = abp_kernel::DedicatedKernel::new(4);
+        let cfg = crate::ws::WsConfig::default()
+            .with_trace(true)
+            .with_cache(crate::cache::CacheConfig::default());
+        let run = crate::ws::run_ws(&dag, 4, &mut k, cfg);
+        let snap = telemetry_from_run(&run).unwrap();
+        let stats = run.cache.unwrap();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("cache_accesses"), Some(stats.accesses));
+        assert_eq!(get("cache_hits"), Some(stats.hits));
+        assert_eq!(get("cache_misses"), Some(stats.misses));
+        assert_eq!(get("cache_deviations"), Some(stats.deviations));
+        // And they surface through both exporters.
+        let trace_json = abp_telemetry::chrome_trace(&snap);
+        assert!(trace_json.contains("\"name\":\"cache_model\""));
+        let metrics = abp_telemetry::metrics_json(&snap);
+        let v = abp_telemetry::json::parse(&metrics).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("cache_misses")
+                .unwrap()
+                .as_f64(),
+            Some(stats.misses as f64)
+        );
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub struct Trace {
     pub steals: Vec<StealRecord>,
     /// Deque length of each process sampled at each round start.
     pub deque_depths: Vec<Vec<usize>>,
+    /// Cache-model counters, present iff the run modelled caches
+    /// (absent entries keep the telemetry exporters byte-stable).
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 impl Trace {
@@ -225,8 +228,7 @@ mod tests {
     fn mk(rounds: Vec<Vec<RoundActivity>>) -> Trace {
         Trace {
             rounds,
-            steals: vec![],
-            deque_depths: vec![],
+            ..Trace::default()
         }
     }
 

@@ -18,6 +18,7 @@
 //! process's *second* milestone of a round is a **throw** — the quantity
 //! the analysis of Section 4 counts.
 
+use crate::cache::{CacheConfig, CacheStats, LruCache};
 use crate::invariants::{check_structural_lemma, PotentialTracker, ReadyState};
 use crate::locked_deque::{LockKind, LockOp, LockStepOutcome, LockedSimDeque, LockedSteal};
 use crate::metrics::{PhaseStats, RunReport};
@@ -85,6 +86,10 @@ pub struct WsConfig {
     /// Record a full per-round activity [`Trace`] (adds O(P) per round
     /// plus one entry per steal attempt).
     pub trace: bool,
+    /// Model per-process LRU caches of the given shape, counting hits,
+    /// misses, and deviations per executed node (`None` = no model, and
+    /// all cache counters stay structurally zero).
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for WsConfig {
@@ -100,6 +105,7 @@ impl Default for WsConfig {
             check_potential: false,
             track_phases: false,
             trace: false,
+            cache: None,
         }
     }
 }
@@ -162,6 +168,12 @@ impl WsConfig {
     /// Enables/disables full per-round tracing.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enables the per-process LRU cache model.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -270,6 +282,10 @@ pub struct WorkStealer<'a> {
     phase_stats: PhaseStats,
     ledger: YieldLedger,
     quantum_rng: DetRng,
+    // Cache model (empty/zero when `config.cache` is None).
+    caches: Vec<LruCache>,
+    executed_on: Vec<u32>,
+    cache_stats: CacheStats,
     trace: Trace,
     round_executed: Vec<bool>,
     round_attempted: Vec<bool>,
@@ -329,6 +345,18 @@ impl<'a> WorkStealer<'a> {
             phase_stats: PhaseStats::default(),
             ledger: YieldLedger::new(p),
             quantum_rng: DetRng::new(config.seed ^ 0x9E3779B97F4A7C15),
+            caches: match &config.cache {
+                Some(c) => (0..p).map(|_| LruCache::new(c.lines)).collect(),
+                None => Vec::new(),
+            },
+            executed_on: match &config.cache {
+                Some(_) => vec![u32::MAX; dag.num_nodes()],
+                None => Vec::new(),
+            },
+            cache_stats: match &config.cache {
+                Some(c) => CacheStats::new(p, c),
+                None => CacheStats::default(),
+            },
             trace: Trace::default(),
             round_executed: vec![false; p],
             round_attempted: vec![false; p],
@@ -495,6 +523,22 @@ impl<'a> WorkStealer<'a> {
                 self.tally.aborts
             );
         }
+        // Structural zero: with the cache model disabled, no code path
+        // may touch the cache counters — telemetry goldens rely on it.
+        if self.config.cache.is_none() {
+            assert_eq!(
+                (
+                    self.cache_stats.hits,
+                    self.cache_stats.misses,
+                    self.cache_stats.accesses
+                ),
+                (0, 0, 0),
+                "cache counters moved with the model disabled"
+            );
+        }
+        if self.config.trace {
+            self.trace.cache = self.config.cache.map(|_| self.cache_stats.clone());
+        }
         RunReport {
             rounds,
             proc_rounds,
@@ -518,6 +562,11 @@ impl<'a> WorkStealer<'a> {
             milestone_violations: self.milestone_violations,
             phases: if self.config.track_phases {
                 Some(self.phase_stats.clone())
+            } else {
+                None
+            },
+            cache: if self.config.cache.is_some() {
+                Some(std::mem::take(&mut self.cache_stats))
             } else {
                 None
             },
@@ -642,6 +691,21 @@ impl<'a> WorkStealer<'a> {
         );
         self.executed[u.index()] = true;
         self.executed_count += 1;
+        if let Some(cache_cfg) = self.config.cache {
+            // A node run on a different process than its designated
+            // parent is a deviation — the migration count of the
+            // Gu/Napier/Sun extra-miss bound.
+            self.executed_on[u.index()] = i as u32;
+            if let Some(par) = self.tree.designated_parent(u) {
+                if self.executed_on[par.index()] != i as u32 {
+                    self.cache_stats.deviations += 1;
+                }
+            }
+            let frame_hit = self.caches[i].access(cache_cfg.frame_line(self.dag.thread_of(u)));
+            self.cache_stats.record(i, frame_hit);
+            let data_hit = self.caches[i].access(cache_cfg.data_line(u));
+            self.cache_stats.record(i, data_hit);
+        }
         if self.config.trace {
             self.round_executed[i] = true;
         }
@@ -1114,6 +1178,93 @@ mod tests {
         // Half the process-rounds are unscheduled under Constant(2) of 4.
         assert!(b.unscheduled > 0);
         assert_eq!(b.scheduled(), r.proc_rounds);
+    }
+
+    #[test]
+    fn cache_model_disabled_is_structurally_zero() {
+        let d = gen::fork_join_tree(5, 2);
+        let mut k = DedicatedKernel::new(4);
+        let r = run_ws(&d, 4, &mut k, checked_config());
+        assert_clean(&r);
+        // run() asserts the zero internally; the report must carry no
+        // cache block at all.
+        assert!(r.cache.is_none());
+    }
+
+    #[test]
+    fn cache_model_counts_two_accesses_per_node() {
+        let d = gen::fork_join_tree(5, 2);
+        let mut k = DedicatedKernel::new(4);
+        let cfg = WsConfig::default().with_cache(crate::cache::CacheConfig::default());
+        let r = run_ws(&d, 4, &mut k, cfg);
+        assert!(r.completed);
+        let c = r.cache.expect("cache model was enabled");
+        assert_eq!(c.accesses, 2 * r.executed);
+        assert_eq!(c.accesses, c.hits + c.misses);
+        assert_eq!(c.misses, c.per_proc_misses.iter().sum::<u64>());
+        assert!(c.misses > 0, "a real run must miss at least once");
+        assert!(c.hits > 0, "thread frames must produce hits");
+    }
+
+    #[test]
+    fn cache_model_serial_run_has_no_deviations() {
+        let d = gen::fork_join_tree(6, 2);
+        let run = || {
+            let mut k = DedicatedKernel::new(1);
+            let cfg = WsConfig::default().with_cache(crate::cache::CacheConfig::default());
+            run_ws(&d, 1, &mut k, cfg)
+        };
+        let a = run().cache.unwrap();
+        let b = run().cache.unwrap();
+        // P = 1: no steals, no deviations, and bit-identical counters.
+        assert_eq!(a.deviations, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_stats_flow_into_trace() {
+        let d = gen::fork_join_tree(4, 2);
+        let mut k = DedicatedKernel::new(2);
+        let cfg = WsConfig::default()
+            .with_trace(true)
+            .with_cache(crate::cache::CacheConfig::default());
+        let r = run_ws(&d, 2, &mut k, cfg);
+        let from_trace = r.trace.as_ref().unwrap().cache.clone().unwrap();
+        assert_eq!(from_trace, r.cache.unwrap());
+        // Traced runs without the model carry no block.
+        let mut k = DedicatedKernel::new(2);
+        let r = run_ws(&d, 2, &mut k, WsConfig::default().with_trace(true));
+        assert!(r.trace.unwrap().cache.is_none());
+    }
+
+    #[test]
+    fn tree_workload_steals_respect_rooted_tree_bound() {
+        // The encoded tree is a binary spawn tree of height
+        // spawn_height(); Leiserson et al.'s bound with k = 2 must hold
+        // for every policy and seed.
+        let tree = abp_dag::tree::full_kary(3, 4);
+        let d = tree.to_dag(2);
+        for p in [2, 4, 8] {
+            for seed in [1, 2, 3] {
+                let mut k = DedicatedKernel::new(p);
+                let cfg = WsConfig::default().with_seed(seed);
+                let r = run_ws(&d, p, &mut k, cfg);
+                assert!(r.completed);
+                let check = abp_core::StealBoundCheck::rooted_tree(
+                    r.successful_steals,
+                    2,
+                    tree.spawn_height(),
+                    tree.num_edges() as u64,
+                    p,
+                );
+                assert!(
+                    check.holds(),
+                    "P={p} seed={seed}: {} steals > bound {}",
+                    check.observed,
+                    check.bound
+                );
+            }
+        }
     }
 
     #[test]

@@ -181,6 +181,26 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
             &format!(",\"args\":{{\"splits\":{par_splits},\"seq\":{par_seq}}}"),
         );
     }
+    // Cache-model counters (simulator LRU model) ride the same gated
+    // path: a run without the model performs zero accesses and produces
+    // byte-identical output, preserving every pinned golden.
+    let cache_accesses = named_counter(snap, "cache_accesses");
+    if cache_accesses > 0 {
+        let hits = named_counter(snap, "cache_hits");
+        let misses = named_counter(snap, "cache_misses");
+        let deviations = named_counter(snap, "cache_deviations");
+        push_event(
+            &mut out,
+            &mut first,
+            "cache_model",
+            "C",
+            0,
+            0,
+            &format!(
+                ",\"args\":{{\"hits\":{hits},\"misses\":{misses},\"deviations\":{deviations}}}"
+            ),
+        );
+    }
     out.push_str("\n]\n");
     out
 }
@@ -545,6 +565,37 @@ mod tests {
             let mut s = tiny_snapshot();
             s.counters.push(("par_splits".to_string(), 0));
             s.counters.push(("par_seq_fallbacks".to_string(), 0));
+            s
+        };
+        assert_eq!(chrome_trace(&zeroed), chrome_trace(&tiny_snapshot()));
+    }
+
+    #[test]
+    fn cache_counters_flow_through_both_exporters() {
+        let mut snap = tiny_snapshot();
+        snap.counters.push(("cache_accesses".to_string(), 200));
+        snap.counters.push(("cache_hits".to_string(), 150));
+        snap.counters.push(("cache_misses".to_string(), 50));
+        snap.counters.push(("cache_deviations".to_string(), 3));
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"cache_model\""));
+        assert!(trace.contains("\"args\":{\"hits\":150,\"misses\":50,\"deviations\":3}"));
+        assert!(crate::json::parse(&trace).is_ok());
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let counters = v.get("counters").expect("counters section");
+        assert_eq!(counters.get("cache_hits").unwrap().as_f64(), Some(150.0));
+        assert_eq!(counters.get("cache_misses").unwrap().as_f64(), Some(50.0));
+        assert_eq!(
+            counters.get("cache_deviations").unwrap().as_f64(),
+            Some(3.0)
+        );
+        // A model that never ran leaves the trace byte-identical.
+        let zeroed = {
+            let mut s = tiny_snapshot();
+            s.counters.push(("cache_accesses".to_string(), 0));
+            s.counters.push(("cache_hits".to_string(), 0));
+            s.counters.push(("cache_misses".to_string(), 0));
             s
         };
         assert_eq!(chrome_trace(&zeroed), chrome_trace(&tiny_snapshot()));

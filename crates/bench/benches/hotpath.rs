@@ -13,6 +13,10 @@
 //!   multiplicity deque (experiment DQ1's matrix): the fence-free steal
 //!   fast path has no `cas` on the shared `top`, so its advantage grows
 //!   with the thief count;
+//! * `federation_steal` — the FD1 micro-shape: work in one of 8 deques
+//!   labeled as 2 pools; a local (4-victim) scan vs a flat (8-victim)
+//!   scan, 1/2/4 thieves — the wasted-probe cost hierarchical victim
+//!   selection removes;
 //! * `join_overhead` — full-granularity fork-join fib vs the sequential
 //!   function, isolating per-`join` cost on the never-stolen fast path;
 //! * `injector_submit` — external-submission latency through
@@ -184,6 +188,77 @@ fn bench_backend_steal(h: &Harness) {
     g.finish();
 }
 
+/// The FD1 micro-shape: 8 worker deques labeled as 2 pools of 4, with
+/// work sitting in exactly one deque (the common sparse case a scanning
+/// thief actually faces). A "local" thief scans only the loaded deque's
+/// pool — 4 candidate victims; a "flat" thief scans all 8. The measured
+/// difference is the wasted-probe cost hierarchical victim selection
+/// removes, and it compounds as 1/2/4 thieves contend on the scan.
+fn federation_steal_with(g: &mut Group<'_>, local: bool, thieves: usize) {
+    const DEQUES: usize = 8;
+    const POOL: usize = 4; // deques per pool
+    const ITEMS: u64 = 256;
+    let label = format!("{}/{thieves}_thieves", if local { "local" } else { "flat" });
+    g.bench_with_setup(
+        &label,
+        || {
+            let backend = AbpBackend { capacity: 1 << 12 };
+            let (owners, stealers): (Vec<_>, Vec<_>) =
+                (0..DEQUES).map(|_| backend.new_pair()).unzip();
+            // The loaded deque is the last of pool 0, so a local scan
+            // still probes empties before the hit.
+            for i in 0..ITEMS {
+                owners[POOL - 1].push_bottom(i).unwrap();
+            }
+            let taken = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..thieves)
+                .map(|t| {
+                    let window: Vec<_> = if local {
+                        stealers[..POOL].to_vec()
+                    } else {
+                        stealers.to_vec()
+                    };
+                    let taken = Arc::clone(&taken);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut v = t % window.len();
+                        while !stop.load(Ordering::Acquire) {
+                            if let Steal::Taken(x) = window[v].steal() {
+                                black_box(x);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                            v = (v + 1) % window.len();
+                        }
+                    })
+                })
+                .collect();
+            (owners, taken, stop, handles)
+        },
+        |(owners, taken, stop, handles)| {
+            while taken.load(Ordering::Relaxed) < ITEMS {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Release);
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(owners);
+        },
+    );
+}
+
+fn bench_federation_steal(h: &Harness) {
+    let mut g = h.group("federation_steal");
+    g.throughput_elems(256);
+    g.sample_size(15);
+    for thieves in [1usize, 2, 4] {
+        federation_steal_with(&mut g, true, thieves);
+        federation_steal_with(&mut g, false, thieves);
+    }
+    g.finish();
+}
+
 fn fib_seq(n: u64) -> u64 {
     if n < 2 {
         n
@@ -346,6 +421,7 @@ fn main() {
     bench_steal_throughput(&h);
     bench_backend_pingpong(&h);
     bench_backend_steal(&h);
+    bench_federation_steal(&h);
     bench_join_overhead(&h);
     bench_injector_submit(&h);
     bench_wake_latency(&h);

@@ -40,13 +40,16 @@ fn main() {
         "deque-backends-small" => vec![exp::deque_backends(true)],
         "theory" => vec![exp::theory(false)],
         "theory-small" => vec![exp::theory(true)],
+        "federation" => vec![exp::federation(false)],
+        "federation-small" => vec![exp::federation(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
                  thm9-tail thm10 thm11 thm12 hood-constant ablate-lock ablate-yield \
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
                  policies policies-small serve serve-small hotpath idle idle-small \
-                 par par-small deque-backends deque-backends-small theory theory-small"
+                 par par-small deque-backends deque-backends-small theory theory-small \
+                 federation federation-small"
             );
             std::process::exit(2);
         }

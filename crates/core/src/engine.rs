@@ -154,6 +154,13 @@ impl PolicyEngine {
         self.victim.observe(victim, result);
     }
 
+    /// Feeds the locality hint: the process that enabled the node/job
+    /// this worker just executed. Consumes no randomness; selectors
+    /// without a locality notion ignore it.
+    pub fn note_enabler(&mut self, enabler: usize) {
+        self.victim.note_enabler(enabler);
+    }
+
     /// Action before the next steal attempt.
     pub fn backoff_action(&mut self) -> BackoffAction {
         self.backoff.on_fail(self.fails, &mut self.rng)
@@ -190,6 +197,34 @@ impl PolicyEngine {
     /// share it (the kernel's `ToRandom` yield target).
     pub fn uniform_other(&mut self, me: usize, p: usize) -> usize {
         self.rng.other_than(me, p)
+    }
+
+    /// A Bernoulli draw from this worker's stream against a fixed
+    /// 64-bit threshold (`threshold == 0` never fires, `u64::MAX`
+    /// virtually always) — the cross-pool steal coin of the federated
+    /// topology. Exactly one `next_u64` per call, and never called on a
+    /// flat K = 1 topology, so default streams stay byte-identical.
+    pub fn coin(&mut self, threshold: u64) -> bool {
+        self.rng.next_u64() < threshold
+    }
+
+    /// A uniform draw in `[0, n)` from this worker's stream — for
+    /// topology decisions outside the victim selector (picking which
+    /// remote pool/worker a cross-pool attempt targets).
+    pub fn draw_below(&mut self, n: usize) -> usize {
+        self.rng.below_usize(n)
+    }
+}
+
+/// Converts a cross-pool steal probability in `[0, 1]` to the fixed
+/// threshold [`PolicyEngine::coin`] compares one `next_u64` draw
+/// against.
+pub fn coin_threshold(prob: f64) -> u64 {
+    let p = prob.clamp(0.0, 1.0);
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * u64::MAX as f64) as u64
     }
 }
 

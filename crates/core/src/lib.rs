@@ -10,8 +10,9 @@
 //! instruction-level simulator) into pluggable traits:
 //!
 //! * [`VictimSelector`] — who to rob (Figure 3, line 16). Implementations:
-//!   [`UniformVictim`] (the paper), [`RoundRobinVictim`], and the
-//!   affinity-flavoured [`LastVictim`] leapfrog.
+//!   [`UniformVictim`] (the paper), [`RoundRobinVictim`], the
+//!   affinity-flavoured [`LastVictim`] leapfrog, and the enabling-tree
+//!   driven [`LastEnabler`] (fed by the cache model's deviation signal).
 //! * [`ContentionBackoff`] — what to do between failed steal attempts
 //!   (Figure 3, line 15). Implementations: [`PlainYield`] (the paper),
 //!   [`NoBackoff`] (line 15 removed), [`ExpJitterBackoff`] (truncated
@@ -83,10 +84,12 @@ pub use backoff::{
 pub use bounds::{
     cache_extra_miss_bound, rooted_tree_steal_bound, CacheBoundCheck, StealBoundCheck, CACHE_KAPPA,
 };
-pub use engine::{PolicyEngine, PolicySet};
+pub use engine::{coin_threshold, PolicyEngine, PolicySet};
 pub use idle::{IdleAction, IdleKind, IdlePolicy, ParkAfter, ParkUntilWakeIdle, SpinIdle};
 pub use inject::{EveryN, EveryScan, InjectKind, InjectPolicy, NeverInject};
 pub use rng::PolicyRng;
 pub use split::SplitKind;
 pub use tally::{StealResult, StealTally};
-pub use victim::{LastVictim, RoundRobinVictim, UniformVictim, VictimKind, VictimSelector};
+pub use victim::{
+    LastEnabler, LastVictim, RoundRobinVictim, UniformVictim, VictimKind, VictimSelector,
+};

@@ -16,6 +16,13 @@
 //! fence-free deque backend ever produces them, so every exact backend
 //! carries the identity with a structurally-zero `duplicates` term (and
 //! asserts the zero at shutdown).
+//!
+//! With the pool-federation topology, hits additionally split by
+//! *locality*: `remote_hits` counts hits landed on a victim outside the
+//! thief's pool, so `hits == local_hits() + remote_hits` without
+//! touching the five-way identity. A flat (K = 1) surface never records
+//! a remote hit, so the split carries a structural zero there — asserted
+//! at shutdown just like `duplicates`.
 
 /// Outcome of one completed steal attempt (`popTop` against a victim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +62,10 @@ pub struct StealTally {
     /// Attempts that lost a multiplicity once-guard race (fence-free
     /// backend only; structurally zero on exact backends).
     pub duplicates: u64,
+    /// Hits whose victim lives in a different pool than the thief
+    /// (sub-count of `hits`, outside the identity; structurally zero on
+    /// a flat K = 1 topology).
+    pub remote_hits: u64,
 }
 
 impl StealTally {
@@ -68,6 +79,28 @@ impl StealTally {
             StealResult::Empty => self.empties += 1,
             StealResult::Duplicate => self.duplicates += 1,
         }
+    }
+
+    /// Records one completed attempt like [`StealTally::record`], also
+    /// noting whether the victim lives outside the thief's pool. Only a
+    /// [`StealResult::Hit`] contributes to `remote_hits`; misses carry
+    /// no locality.
+    #[inline]
+    pub fn record_located(&mut self, result: StealResult, remote: bool) {
+        self.record(result);
+        if remote && result.is_hit() {
+            self.remote_hits += 1;
+        }
+    }
+
+    /// Hits whose victim shared the thief's pool.
+    pub fn local_hits(&self) -> u64 {
+        self.hits - self.remote_hits
+    }
+
+    /// The locality split invariant: `remote_hits` never exceeds `hits`.
+    pub fn locality_consistent(&self) -> bool {
+        self.remote_hits <= self.hits
     }
 
     /// Records one completed injector poll that found a job. (A poll
@@ -93,6 +126,7 @@ impl StealTally {
         self.empties += other.empties;
         self.injects += other.injects;
         self.duplicates += other.duplicates;
+        self.remote_hits += other.remote_hits;
     }
 }
 
@@ -167,5 +201,29 @@ mod tests {
         exact.merge(&ff);
         assert!(exact.balanced());
         assert_eq!(exact.duplicates, 1);
+    }
+
+    #[test]
+    fn remote_hits_split_rides_outside_the_identity() {
+        let mut t = StealTally::default();
+        t.record_located(StealResult::Hit, false);
+        t.record_located(StealResult::Hit, true);
+        t.record_located(StealResult::Empty, true); // misses carry no locality
+        t.record_located(StealResult::Abort, true);
+        assert!(t.balanced());
+        assert!(t.locality_consistent());
+        assert_eq!(t.hits, 2);
+        assert_eq!(t.remote_hits, 1);
+        assert_eq!(t.local_hits(), 1);
+        // A flat surface that only ever calls `record` keeps the
+        // structural zero.
+        let mut flat = StealTally::default();
+        flat.record(StealResult::Hit);
+        assert_eq!(flat.remote_hits, 0);
+        // Merge carries the split.
+        flat.merge(&t);
+        assert!(flat.balanced());
+        assert_eq!(flat.remote_hits, 1);
+        assert_eq!(flat.local_hits(), 2);
     }
 }

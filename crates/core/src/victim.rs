@@ -26,6 +26,14 @@ pub trait VictimSelector: Send {
     /// Feedback after an attempt on `victim` completed.
     fn observe(&mut self, _victim: usize, _result: StealResult) {}
 
+    /// Locality hint: the surface learned that the node/job it just
+    /// executed was *enabled* by `enabler` (the process that executed
+    /// its enabling-tree parent — the cache model's deviation signal).
+    /// Selectors that don't exploit locality ignore it; it must never
+    /// consume randomness, so feeding the hint cannot perturb the
+    /// byte-identical default streams.
+    fn note_enabler(&mut self, _enabler: usize) {}
+
     /// Short identity label, e.g. `"uniform"`.
     fn name(&self) -> &'static str;
 }
@@ -40,6 +48,9 @@ pub enum VictimKind {
     RoundRobin,
     /// Leapfrog/affinity: return to the last victim that yielded work.
     LastVictim,
+    /// Locality-aware: rob the process that last *enabled* work this
+    /// thief executed (fed by the cache model's deviation signal).
+    LastEnabler,
 }
 
 impl VictimKind {
@@ -49,6 +60,7 @@ impl VictimKind {
             VictimKind::Uniform => Box::new(UniformVictim::new()),
             VictimKind::RoundRobin => Box::new(RoundRobinVictim::new()),
             VictimKind::LastVictim => Box::new(LastVictim::new()),
+            VictimKind::LastEnabler => Box::new(LastEnabler::new()),
         }
     }
 
@@ -58,6 +70,7 @@ impl VictimKind {
             VictimKind::Uniform => "uniform",
             VictimKind::RoundRobin => "round-robin",
             VictimKind::LastVictim => "last-victim",
+            VictimKind::LastEnabler => "last-enabler",
         }
     }
 }
@@ -194,6 +207,65 @@ impl VictimSelector for LastVictim {
     }
 }
 
+/// Locality-aware selection driven by the enabling tree: rob the process
+/// that executed the enabling-tree parent of the node this thief last
+/// ran. The Gu/Napier/Sun cache bound charges extra misses per
+/// *deviation* (a node run away from its designated parent's process),
+/// so the process that enabled our current work is exactly where the
+/// adjacent, cache-warm nodes live. The surface feeds the hint through
+/// [`VictimSelector::note_enabler`] (the simulator derives it from the
+/// PR-8 cache model's `executed_on` table); scans with no hint — or
+/// whose hinted victim came up empty — fall back to the paper's uniform
+/// draw, so the ABP throw analysis still covers the fallback path.
+#[derive(Debug, Clone, Default)]
+pub struct LastEnabler {
+    enabler: Option<usize>,
+    fresh_scan: bool,
+}
+
+impl LastEnabler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl VictimSelector for LastEnabler {
+    fn begin_scan(&mut self, _me: usize, _p: usize, _rng: &mut PolicyRng) {
+        self.fresh_scan = true;
+    }
+
+    fn next_victim(&mut self, me: usize, p: usize, rng: &mut PolicyRng) -> usize {
+        if p <= 1 {
+            return 0;
+        }
+        if self.fresh_scan {
+            self.fresh_scan = false;
+            if let Some(v) = self.enabler {
+                if v != me && v < p {
+                    return v;
+                }
+            }
+        }
+        rng.other_than(me, p)
+    }
+
+    fn observe(&mut self, victim: usize, result: StealResult) {
+        // Keep hammering an enabler only while it yields; an empty or
+        // lost race forgets the hint so we return to uniform hunting.
+        if !result.is_hit() && self.enabler == Some(victim) {
+            self.enabler = None;
+        }
+    }
+
+    fn note_enabler(&mut self, enabler: usize) {
+        self.enabler = Some(enabler);
+    }
+
+    fn name(&self) -> &'static str {
+        "last-enabler"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,12 +369,41 @@ mod tests {
     }
 
     #[test]
+    fn last_enabler_follows_hints_and_forgets_on_miss() {
+        let p = 6;
+        let me = 0;
+        let mut sel = LastEnabler::new();
+        let mut rng = PolicyRng::new(7);
+        // With a hint, a fresh scan robs the enabler without drawing.
+        sel.note_enabler(4);
+        let before = rng.clone();
+        sel.begin_scan(me, p, &mut rng);
+        assert_eq!(sel.next_victim(me, p, &mut rng), 4);
+        assert_eq!(rng, before, "hinted attempt must not consume randomness");
+        // A hit keeps the hint alive for the next scan.
+        sel.observe(4, StealResult::Hit);
+        sel.begin_scan(me, p, &mut rng);
+        assert_eq!(sel.next_victim(me, p, &mut rng), 4);
+        // An empty forgets it; the next scan draws uniform.
+        sel.observe(4, StealResult::Empty);
+        sel.begin_scan(me, p, &mut rng);
+        let w = sel.next_victim(me, p, &mut rng);
+        assert!(w != me && w < p);
+        // A self or out-of-range hint is ignored on the next scan.
+        sel.note_enabler(me);
+        sel.begin_scan(me, p, &mut rng);
+        let v = sel.next_victim(me, p, &mut rng);
+        assert!(v != me && v < p);
+    }
+
+    #[test]
     fn degenerate_single_process() {
         let mut rng = PolicyRng::new(1);
         for mut sel in [
             Box::new(UniformVictim::new()) as Box<dyn VictimSelector>,
             VictimKind::RoundRobin.build(),
             VictimKind::LastVictim.build(),
+            VictimKind::LastEnabler.build(),
         ] {
             sel.begin_scan(0, 1, &mut rng);
             assert_eq!(sel.next_victim(0, 1, &mut rng), 0);

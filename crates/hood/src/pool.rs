@@ -48,6 +48,31 @@
 //! [`ThreadPool::shutdown`], alongside the five-way accounting identity
 //! `attempts == hits + aborts + empties + injects + duplicates`.
 //!
+//! # Federation (the topology layer)
+//!
+//! [`PoolConfig::pools`] partitions the `P` workers into `K` pools
+//! ("sockets"): contiguous index blocks, each with its **own** sharded
+//! injector, its own sleep subsystem, and a steal-back hint
+//! ([`PoolShard`]). Victim selection becomes hierarchical in the sense
+//! of localized work stealing (Suksompong/Leiserson/Schardl): a thief
+//! scans its pool-mates first (the policy engine runs in pool-local
+//! coordinates, so any [`abp_core::VictimKind`] composes), then — with
+//! probability [`PoolConfig::cross_steal`] per empty-handed scan — makes
+//! one cross-pool attempt, preferring the *steal-back* target (the
+//! remote worker that most recently took this pool's work) over a
+//! uniformly random remote victim. External submissions route to a pool
+//! by sticky client affinity (the PR-3 round-robin shard cursor, lifted
+//! one level), and each pool's own workers drain their own front door
+//! before ever going remote, so a pool's externally submitted work is
+//! served — stolen back — by the pool that owns it. Cross-pool hits are
+//! counted as `remote_steals` (`steals = local + remote`, outside the
+//! five-way identity, structurally zero at `K = 1` and asserted so at
+//! shutdown). With `K == 1` every one of these paths collapses to the
+//! flat pool byte-for-byte: same draws, same scan order, same wakes.
+//! [`PoolConfig::flat_scan`] keeps the `K > 1` topology but scans all
+//! `P − 1` victims globally — the measured baseline federation is
+//! compared against (experiment FD1).
+//!
 //! With the `telemetry` feature (on by default) a pool can additionally
 //! record a structured event trace — spawns, job spans, every steal
 //! attempt with its outcome, yields, parks — into per-worker lock-free
@@ -69,7 +94,7 @@ use abp_deque::{
     TaskDeque,
 };
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -108,24 +133,41 @@ impl Default for Backend {
     /// unrecognized value panics rather than silently testing the wrong
     /// backend.
     fn default() -> Self {
-        match std::env::var("HOOD_BACKEND") {
-            Ok(name) => match name.as_str() {
-                "" | "abp" => Backend::Abp { capacity: 1 << 15 },
-                "abp-growable" => Backend::AbpGrowable {
-                    initial_capacity: 64,
-                },
-                "locking" => Backend::Locking,
-                "fence-free" => Backend::FenceFree { capacity: 1 << 15 },
-                other => panic!(
-                    "HOOD_BACKEND={other:?}: expected abp, abp-growable, locking, or fence-free"
+        match std::env::var_os("HOOD_BACKEND") {
+            Some(name) => match name.to_str() {
+                Some(name) => Backend::parse(name),
+                // A non-unicode value is as much a matrix typo as an
+                // unknown name — refuse it too instead of silently
+                // testing ABP.
+                None => panic!(
+                    "HOOD_BACKEND={name:?} is not valid unicode: expected abp, abp-growable, \
+                     locking, or fence-free"
                 ),
             },
-            Err(_) => Backend::Abp { capacity: 1 << 15 },
+            None => Backend::Abp { capacity: 1 << 15 },
         }
     }
 }
 
 impl Backend {
+    /// Resolves a backend from its `HOOD_BACKEND` spelling (`abp`,
+    /// `abp-growable`, `locking`, `fence-free`; empty means the
+    /// default). Panics on anything else, listing the valid names — a CI
+    /// matrix typo must fail loudly, never silently test the wrong
+    /// backend.
+    pub fn parse(name: &str) -> Backend {
+        match name {
+            "" | "abp" => Backend::Abp { capacity: 1 << 15 },
+            "abp-growable" => Backend::AbpGrowable {
+                initial_capacity: 64,
+            },
+            "locking" => Backend::Locking,
+            "fence-free" => Backend::FenceFree { capacity: 1 << 15 },
+            other => {
+                panic!("HOOD_BACKEND={other:?}: expected abp, abp-growable, locking, or fence-free")
+            }
+        }
+    }
     /// The backend's stable short label ([`TaskDeque::NAME`]).
     pub fn name(self) -> &'static str {
         match self {
@@ -209,9 +251,26 @@ pub struct PoolConfig {
     /// jobs on the thief's stack ("leapfrogging"), so deep recursive
     /// workloads need headroom beyond the platform default.
     pub stack_size: usize,
-    /// Shards in the external-submission injector; `0` (the default)
-    /// sizes it to the worker count.
+    /// Shards in each pool's external-submission injector; `0` (the
+    /// default) sizes each to its pool's worker count.
     pub injector_shards: usize,
+    /// Number of pools ("sockets") the workers are partitioned into —
+    /// the topology layer. `1` (the default) is the classic flat pool;
+    /// `K > 1` splits the workers into `K` contiguous blocks, each with
+    /// its own injector shard-set, sleep subsystem, and local-first
+    /// victim scans. Must satisfy `1 ≤ pools ≤ num_procs`.
+    pub pools: usize,
+    /// Probability that an empty-handed hierarchical steal scan follows
+    /// its local pass with one cross-pool attempt. Only consulted when
+    /// `pools > 1` and `flat_scan` is off, so the flat pool draws no
+    /// extra randomness.
+    pub cross_steal: f64,
+    /// Baseline switch for experiments: keep the `K > 1` topology
+    /// (per-pool injectors, sleep, accounting) but scan all `P − 1`
+    /// victims globally, exactly like the flat pool. Remote steals are
+    /// still *counted*, just not avoided — the control FD1 measures
+    /// hierarchical stealing against.
+    pub flat_scan: bool,
     /// Which sleep/wake implementation idle workers park through. The
     /// default tracks the `sleep-condvar-fallback` feature: the
     /// eventcount normally, the legacy pool-wide condvar under the
@@ -281,6 +340,25 @@ impl PoolConfig {
         self
     }
 
+    /// Partitions the workers into `pools` pools ("sockets").
+    pub fn with_pools(mut self, pools: usize) -> Self {
+        self.pools = pools;
+        self
+    }
+
+    /// Replaces the cross-pool steal probability.
+    pub fn with_cross_steal(mut self, cross_steal: f64) -> Self {
+        self.cross_steal = cross_steal;
+        self
+    }
+
+    /// Enables the flat-scan baseline (global victim scans on a `K > 1`
+    /// topology).
+    pub fn with_flat_scan(mut self, flat_scan: bool) -> Self {
+        self.flat_scan = flat_scan;
+        self
+    }
+
     /// Replaces the sleep/wake backend.
     pub fn with_sleep(mut self, sleep: SleepKind) -> Self {
         self.sleep = sleep;
@@ -306,6 +384,9 @@ impl Default for PoolConfig {
             seed: 0xAB9,
             stack_size: 8 * 1024 * 1024,
             injector_shards: 0,
+            pools: 1,
+            cross_steal: 0.125,
+            flat_scan: false,
             sleep: SleepKind::default(),
             #[cfg(feature = "telemetry")]
             telemetry: None,
@@ -313,16 +394,72 @@ impl Default for PoolConfig {
     }
 }
 
+/// One pool ("socket") of the federated topology: a contiguous block of
+/// workers with a private front door, a private sleep subsystem, and
+/// the steal-back hint of the localized-work-stealing model. A flat
+/// pool is exactly one of these spanning every worker.
+pub(crate) struct PoolShard {
+    /// Global worker indices `[start, end)` belong to this pool.
+    start: usize,
+    end: usize,
+    /// This pool's sharded external-submission injector.
+    injector: Injector,
+    /// This pool's sleep subsystem (parker slots are pool-local:
+    /// worker `i` parks as slot `i - start`).
+    sleep: Sleep,
+    /// Global index of the most recent cross-pool thief that took work
+    /// from this pool (`usize::MAX` = none). Pool members try it first
+    /// when they go remote — it plausibly still holds this pool's work
+    /// (Suksompong et al.'s steal-back).
+    last_thief: AtomicUsize,
+}
+
+/// Monotonic client ids for pool affinity, Weyl-spread so consecutive
+/// client threads land on different pools — the injector's shard cursor
+/// lifted one level up the topology.
+static NEXT_AFFINITY: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static AFFINITY_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's sticky affinity token: assigned once, on the thread's
+/// first external submission, and reused for every pool thereafter —
+/// one client's submissions always land in one pool of any given pool's
+/// topology.
+fn client_affinity() -> usize {
+    AFFINITY_ID.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let id = NEXT_AFFINITY
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9);
+        c.set(id);
+        id
+    })
+}
+
 /// Everything backend-independent that workers and the pool handle
-/// share: the injector, the sleep subsystem, the shutdown flag, the
-/// per-worker stats, and (with tracing on) the telemetry registry. The
-/// non-generic [`ThreadPool`] holds exactly this; the backend-generic
-/// [`Shared`] wraps it together with the stealer handles.
+/// share: the pool shards (injector + sleep + steal-back hint each),
+/// the topology tables, the shutdown flag, the per-worker stats, and
+/// (with tracing on) the telemetry registry. The non-generic
+/// [`ThreadPool`] holds exactly this; the backend-generic [`Shared`]
+/// wraps it together with the stealer handles.
 pub(crate) struct SharedCore {
     num_procs: usize,
-    injector: Injector,
+    /// The `K ≥ 1` pools. `shards.len() == 1` is the classic flat pool.
+    shards: Vec<PoolShard>,
+    /// Pool index of each worker (precomputed: the blocks are uneven
+    /// when `K ∤ P`, so this is a table, not arithmetic).
+    pool_of: Vec<u32>,
+    /// Fixed threshold the cross-pool coin compares one `next_u64`
+    /// draw against ([`abp_core::coin_threshold`] of
+    /// [`PoolConfig::cross_steal`]).
+    cross_coin: u64,
+    /// Baseline mode: global victim scans despite `K > 1`.
+    flat_scan: bool,
     shutdown: AtomicBool,
-    sleep: Sleep,
     /// The pool's split cadence, read by [`crate::par`]'s splitter.
     split: SplitKind,
     pub(crate) stats: Vec<WorkerStats>,
@@ -334,6 +471,35 @@ pub(crate) struct SharedCore {
 }
 
 impl SharedCore {
+    /// The pool this client thread's submissions route to: sticky
+    /// per-thread affinity modulo the pool count.
+    fn client_pool(&self) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            client_affinity() % self.shards.len()
+        }
+    }
+
+    /// Jobs submitted from outside and not yet picked up, over every
+    /// pool's front door.
+    fn injector_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.injector.pending()).sum()
+    }
+
+    /// Merged sleep counters over every pool's sleep subsystem.
+    fn sleep_stats(&self) -> SleepStats {
+        let mut out = SleepStats::default();
+        for s in &self.shards {
+            let st = s.sleep.stats();
+            out.wakes_sent += st.wakes_sent;
+            out.wakes_skipped += st.wakes_skipped;
+            out.wakes_spurious += st.wakes_spurious;
+            out.hits_after_unpark += st.hits_after_unpark;
+            out.timed_out_parks += st.timed_out_parks;
+        }
+        out
+    }
     /// Timestamp for an external submission (0 when tracing is off: the
     /// latency histogram is then skipped on the worker side). With
     /// tracing on, the stamp is clamped to at least 1ns so a submission
@@ -354,45 +520,93 @@ impl SharedCore {
         }
     }
 
-    /// Submits one external job through the sharded injector, then wakes
-    /// at most one parked worker. Publish-then-notify order is what the
-    /// sleep protocol requires (INV-EC-PUB): the notify's epoch bump is
-    /// the barrier that makes this push visible to any worker racing
-    /// into a park, so — unlike the old condvar protocol — no wakeup can
-    /// be missed and no park timeout is needed to cap a race.
+    /// Submits one external job through the client's affinity pool's
+    /// sharded injector, then wakes at most one parked worker *of that
+    /// pool*. Publish-then-notify order is what the sleep protocol
+    /// requires (INV-EC-PUB): the notify's epoch bump is the barrier
+    /// that makes this push visible to any pool member racing into a
+    /// park, so — unlike the old condvar protocol — no wakeup can be
+    /// missed and no park timeout is needed to cap a race.
     fn inject(&self, job: JobRef) {
-        self.injector.push(job.to_word(), self.submit_ns());
-        self.notify_jobs(1);
+        let shard = &self.shards[self.client_pool()];
+        shard.injector.push(job.to_word(), self.submit_ns());
+        self.notify_shard(shard, 1);
     }
 
-    /// Submits a batch under one shard lock, then wakes
-    /// `min(batch_len, sleepers)` workers — one per job, never the herd.
+    /// Submits a batch under one shard lock of the client's affinity
+    /// pool, then wakes `min(batch_len, sleepers)` of that pool's
+    /// workers — one per job, never the herd.
     fn inject_batch(&self, words: &[usize]) {
-        self.injector.push_batch(words, self.submit_ns());
-        self.notify_jobs(words.len());
+        let shard = &self.shards[self.client_pool()];
+        shard.injector.push_batch(words, self.submit_ns());
+        self.notify_shard(shard, words.len());
     }
 
-    /// Producer-side wake for `n` just-published external jobs.
-    /// External submitters have no worker timeline, so wake events are
-    /// not traced here (the counters still move).
-    fn notify_jobs(&self, n: usize) {
-        match self.sleep.kind() {
-            SleepKind::Eventcount => self.sleep.notify_jobs(n, |_| {}),
-            SleepKind::CondvarFallback => self.sleep.fallback_notify_all(),
+    /// Producer-side wake for `n` just-published external jobs in
+    /// `shard`'s injector. External submitters have no worker timeline,
+    /// so wake events are not traced here (the counters still move).
+    fn notify_shard(&self, shard: &PoolShard, n: usize) {
+        match shard.sleep.kind() {
+            SleepKind::Eventcount => shard.sleep.notify_jobs(n, |_| {}),
+            SleepKind::CondvarFallback => shard.sleep.fallback_notify_all(),
         }
     }
 
-    /// Stamps the sleep scalar counters into a telemetry snapshot (the
-    /// unpark-to-work histogram is already there; scalars live with the
-    /// pool, like the injector's).
+    /// Stamps the (pool-merged) sleep scalar counters into a telemetry
+    /// snapshot (the unpark-to-work histogram is already there; scalars
+    /// live with the pool, like the injector's).
     #[cfg(feature = "telemetry")]
     fn stamp_sleep(&self, snap: &mut TelemetrySnapshot) {
-        let s = self.sleep.stats();
+        let s = self.sleep_stats();
         snap.sleep.wakes_sent = s.wakes_sent;
         snap.sleep.wakes_skipped = s.wakes_skipped;
         snap.sleep.wakes_spurious = s.wakes_spurious;
         snap.sleep.hits_after_unpark = s.hits_after_unpark;
         snap.sleep.timed_out_parks = s.timed_out_parks;
+    }
+
+    /// Stamps the injector counters, summed over every pool's front
+    /// door, into a telemetry snapshot.
+    #[cfg(feature = "telemetry")]
+    fn stamp_injectors(&self, snap: &mut TelemetrySnapshot) {
+        // Accumulate only the counter fields: the snapshot's injector
+        // section also carries the registry's inject-to-start latency
+        // histogram, which must survive the stamp.
+        let out = &mut snap.injector;
+        out.shards = 0;
+        out.submissions = 0;
+        out.contention = 0;
+        out.polls = 0;
+        out.hits = 0;
+        for s in &self.shards {
+            let mut one = abp_telemetry::InjectorSnapshot::default();
+            s.injector.stamp(&mut one);
+            out.shards += one.shards;
+            out.submissions += one.submissions;
+            out.contention += one.contention;
+            out.polls += one.polls;
+            out.hits += one.hits;
+        }
+    }
+
+    /// Stamps the topology counters — pool count, remote/local steal
+    /// split — into a telemetry snapshot as named counters, so both
+    /// JSON exporters carry the new accounting axis. Only on a `K > 1`
+    /// topology: flat snapshots stay byte-identical.
+    #[cfg(feature = "telemetry")]
+    fn stamp_topology(&self, snap: &mut TelemetrySnapshot) {
+        if self.shards.len() == 1 {
+            return;
+        }
+        let s = PoolStats::aggregate(&self.stats);
+        snap.counters
+            .push(("pools".to_string(), self.shards.len() as u64));
+        snap.counters
+            .push(("remote_steals".to_string(), s.remote_steals));
+        snap.counters
+            .push(("local_steals".to_string(), s.local_steals()));
+        snap.counters
+            .push(("remote_attempts".to_string(), s.remote_attempts));
     }
 
     /// Stamps the data-parallel splitter counters into a telemetry
@@ -456,6 +670,11 @@ impl dyn AnyWorker + '_ {
 /// [`AnyWorker`] trait object) while the worker runs.
 pub struct WorkerCtx<B: TaskDeque<usize> = AbpBackend> {
     index: usize,
+    /// This worker's pool and its global index range, cached off
+    /// [`SharedCore`]'s topology tables (hot-path reads).
+    pool: usize,
+    pool_start: usize,
+    pool_end: usize,
     deque: B::Owner,
     shared: Arc<Shared<B>>,
     engine: RefCell<PolicyEngine>,
@@ -496,6 +715,17 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         &self.core().stats[self.index]
     }
 
+    /// This worker's pool shard (its injector, sleep subsystem, and
+    /// steal-back hint).
+    fn shard(&self) -> &PoolShard {
+        &self.core().shards[self.pool]
+    }
+
+    /// This worker's parker slot within its pool's sleep subsystem.
+    fn local_index(&self) -> usize {
+        self.index - self.pool_start
+    }
+
     /// The pool's worker count `P`.
     pub(crate) fn num_procs(&self) -> usize {
         self.shared.stealers.len()
@@ -506,11 +736,12 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         self.core().split
     }
 
-    /// Relaxed-load idle gauge for the adaptive splitter — see
+    /// Relaxed-load idle gauge for the adaptive splitter — this pool's
+    /// sleepers (splits feed local thieves first under federation). See
     /// [`crate::sleep`]'s `sleepers_hint` for the race-tolerance
     /// argument.
     pub(crate) fn sleepers_hint(&self) -> usize {
-        self.core().sleep.sleepers_hint()
+        self.shard().sleep.sleepers_hint()
     }
 
     /// Counts one adaptive-splitter fork.
@@ -559,19 +790,20 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     /// The legacy condvar protocol never woke anyone here; the fallback
     /// keeps that behaviour.
     fn notify_push(&self) {
-        match self.core().sleep.kind() {
+        let sleep = &self.shard().sleep;
+        match sleep.kind() {
             SleepKind::Eventcount => {
                 #[cfg(feature = "telemetry")]
-                self.core().sleep.notify_spawn(|ev| {
+                sleep.notify_spawn(|ev| {
                     self.tele_record(match ev {
                         Some(target) => EventKind::WakeOne {
-                            target: target as u32,
+                            target: (self.pool_start + target) as u32,
                         },
                         None => EventKind::WakeSkipped,
                     });
                 });
                 #[cfg(not(feature = "telemetry"))]
-                self.core().sleep.notify_spawn(|_| {});
+                sleep.notify_spawn(|_| {});
             }
             SleepKind::CondvarFallback => {}
         }
@@ -583,7 +815,7 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     pub(crate) fn note_found_work(&self) {
         self.engine.borrow_mut().note_work_found();
         if self.woken_pending.replace(false) {
-            self.core().sleep.note_hit_after_unpark();
+            self.shard().sleep.note_hit_after_unpark();
             #[cfg(feature = "telemetry")]
             if let Some(t) = &self.tele {
                 let woken_at = self.woken_at.get();
@@ -628,10 +860,20 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     }
 
     /// Records one completed steal attempt everywhere it is counted —
-    /// stats outcome counter, telemetry event, steal-latency sample, and
-    /// the policy engine's victim feedback. One function so the four
-    /// outcome branches cannot drift apart again.
-    fn note_steal(&self, victim: usize, result: StealResult, scan_start_ns: Option<u64>) {
+    /// stats outcome counter (including the locality split), telemetry
+    /// event, steal-latency sample, the steal-back hint, and the policy
+    /// engine's victim feedback. One function so the outcome branches
+    /// cannot drift apart again. `observe_as` is the coordinate the
+    /// policy engine saw the victim under — pool-local in hierarchical
+    /// scans, global in flat scans, `None` for topology-driven cross
+    /// attempts that bypass the selector.
+    fn note_steal(
+        &self,
+        victim: usize,
+        result: StealResult,
+        scan_start_ns: Option<u64>,
+        observe_as: Option<usize>,
+    ) {
         let stats = self.stats();
         match result {
             StealResult::Hit => stats.steals.fetch_add(1, Ordering::Relaxed),
@@ -639,6 +881,25 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
             StealResult::Empty => stats.empties.fetch_add(1, Ordering::Relaxed),
             StealResult::Duplicate => stats.duplicates.fetch_add(1, Ordering::Relaxed),
         };
+        let core = self.core();
+        if core.pool_of[victim] as usize != self.pool {
+            stats.remote_attempts.fetch_add(1, Ordering::Relaxed);
+            if result == StealResult::Hit {
+                stats.remote_steals.fetch_add(1, Ordering::Relaxed);
+                // We took the victim's pool's work: leave our card so
+                // its members can steal it back.
+                core.shards[core.pool_of[victim] as usize]
+                    .last_thief
+                    .store(self.index, Ordering::Relaxed);
+            } else {
+                // A missed remote attempt on our own steal-back hint
+                // retires the hint — it no longer holds our work.
+                let hint = &self.shard().last_thief;
+                if hint.load(Ordering::Relaxed) == victim {
+                    hint.store(usize::MAX, Ordering::Relaxed);
+                }
+            }
+        }
         #[cfg(feature = "telemetry")]
         if let Some(t) = self.tele.as_ref() {
             let now = t.now_ns();
@@ -661,7 +922,9 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = scan_start_ns;
-        self.engine.borrow_mut().observe(victim, result);
+        if let Some(seen) = observe_as {
+            self.engine.borrow_mut().observe(seen, result);
+        }
     }
 
     /// One counted, non-blocking poll of the external-submission
@@ -671,7 +934,7 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     pub(crate) fn poll_injector(&self) -> Option<JobRef> {
         let stats = self.stats();
         stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
-        match self.core().injector.poll(self.index) {
+        match self.shard().injector.poll(self.local_index()) {
             Some((word, submit_ns)) => {
                 stats.injects.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
@@ -695,14 +958,74 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         }
     }
 
-    /// One full steal scan: backoff (per policy), then try `P − 1`
-    /// victims in the selector's order, then — when the inject policy
-    /// says the poll is due and the injector is non-empty — the
-    /// injector. A [`Steal::Duplicate`] from a multiplicity-relaxed
-    /// backend is a counted miss: the task was already extracted by
-    /// someone else, so the thief simply moves on to the next victim.
+    /// One counted `popTop` against global worker `v`. A
+    /// [`Steal::Duplicate`] from a multiplicity-relaxed backend is a
+    /// counted miss: the task was already extracted by someone else, so
+    /// the thief simply moves on.
+    fn try_rob(
+        &self,
+        v: usize,
+        scan_start: Option<u64>,
+        observe_as: Option<usize>,
+    ) -> Option<JobRef> {
+        self.stats().steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let result = match self.shared.stealers[v].steal() {
+            Steal::Taken(w) => {
+                self.note_steal(v, StealResult::Hit, scan_start, observe_as);
+                return Some(JobRef::from_word(w));
+            }
+            Steal::Abort => StealResult::Abort,
+            Steal::Empty => StealResult::Empty,
+            Steal::Duplicate => StealResult::Duplicate,
+        };
+        self.note_steal(v, result, scan_start, observe_as);
+        None
+    }
+
+    /// One counted injector poll, when the inject policy says it is due
+    /// and this pool's front door is non-empty.
+    fn maybe_poll_injector(&self) -> Option<JobRef> {
+        if self.shard().injector.pending() > 0 && self.engine.borrow_mut().injector_due() {
+            return self.poll_injector();
+        }
+        None
+    }
+
+    /// The target of one cross-pool attempt: the steal-back hint (the
+    /// remote worker that most recently took this pool's work — per the
+    /// localized model it plausibly still holds it) when set, else a
+    /// uniformly random worker outside this pool.
+    fn remote_victim(&self) -> usize {
+        let hint = self.shard().last_thief.load(Ordering::Relaxed);
+        if hint != usize::MAX {
+            return hint;
+        }
+        let n_local = self.pool_end - self.pool_start;
+        let r = self
+            .engine
+            .borrow_mut()
+            .draw_below(self.core().num_procs - n_local);
+        if r < self.pool_start {
+            r
+        } else {
+            r + n_local
+        }
+    }
+
+    /// One full steal scan: backoff (per policy), then the victims in
+    /// the selector's order, then — when the inject policy says the
+    /// poll is due and this pool's injector is non-empty — the
+    /// injector.
+    ///
+    /// On a flat topology (`K == 1`, or the [`PoolConfig::flat_scan`]
+    /// baseline) the scan tries all `P − 1` workers, byte-identically
+    /// to the pre-topology pool. On a hierarchical topology the scan is
+    /// local-first: the `n − 1` pool-mates (the selector runs in
+    /// pool-local coordinates), then this pool's own front door — its
+    /// externally submitted work, which affinity routing keeps at home
+    /// — and only then, with probability [`PoolConfig::cross_steal`],
+    /// one cross-pool attempt at the [`WorkerCtx::remote_victim`].
     pub(crate) fn find_distant_work(&self) -> Option<JobRef> {
-        let shared = &*self.shared;
         match self.engine.borrow_mut().backoff_action() {
             BackoffAction::Proceed => {}
             BackoffAction::Yield => self.do_yield(),
@@ -722,44 +1045,67 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         let scan_start = self.tele.as_ref().map(|t| t.now_ns());
         #[cfg(not(feature = "telemetry"))]
         let scan_start = None;
-        let n = shared.stealers.len();
-        if n > 1 {
-            self.engine.borrow_mut().begin_scan(self.index, n);
-            for _ in 0..n - 1 {
-                let v = self.engine.borrow_mut().next_victim(self.index, n);
-                self.stats().steal_attempts.fetch_add(1, Ordering::Relaxed);
-                let result = match shared.stealers[v].steal() {
-                    Steal::Taken(w) => {
-                        self.note_steal(v, StealResult::Hit, scan_start);
-                        return Some(JobRef::from_word(w));
+        let core = self.core();
+        if core.shards.len() == 1 || core.flat_scan {
+            let n = self.shared.stealers.len();
+            if n > 1 {
+                self.engine.borrow_mut().begin_scan(self.index, n);
+                for _ in 0..n - 1 {
+                    let v = self.engine.borrow_mut().next_victim(self.index, n);
+                    if let Some(job) = self.try_rob(v, scan_start, Some(v)) {
+                        return Some(job);
                     }
-                    Steal::Abort => StealResult::Abort,
-                    Steal::Empty => StealResult::Empty,
-                    Steal::Duplicate => StealResult::Duplicate,
-                };
-                self.note_steal(v, result, scan_start);
+                }
+            }
+            return self.maybe_poll_injector();
+        }
+        let n_local = self.pool_end - self.pool_start;
+        if n_local > 1 {
+            let me = self.local_index();
+            self.engine.borrow_mut().begin_scan(me, n_local);
+            for _ in 0..n_local - 1 {
+                let v_local = self.engine.borrow_mut().next_victim(me, n_local);
+                if let Some(job) =
+                    self.try_rob(self.pool_start + v_local, scan_start, Some(v_local))
+                {
+                    return Some(job);
+                }
             }
         }
-        if self.core().injector.pending() > 0 && self.engine.borrow_mut().injector_due() {
-            return self.poll_injector();
+        if let Some(job) = self.maybe_poll_injector() {
+            return Some(job);
+        }
+        if self.engine.borrow_mut().coin(core.cross_coin) {
+            let v = self.remote_victim();
+            if let Some(job) = self.try_rob(v, scan_start, None) {
+                return Some(job);
+            }
         }
         None
     }
 
     /// True if any source this worker could take work from looks
     /// non-empty: the shutdown flag (which also demands wakefulness),
-    /// the injector, or any *other* worker's deque. Our own deque is
-    /// known empty — the caller just failed a `popBottom`.
+    /// this pool's injector, or the deques this worker's scan covers —
+    /// all other workers on a flat scan, the pool-mates on a
+    /// hierarchical one (a hierarchical thief is woken only by its own
+    /// pool, so it only stays up for its own pool; remote work is its
+    /// owners' responsibility). Our own deque is known empty — the
+    /// caller just failed a `popBottom`.
     fn work_in_sight(&self) -> bool {
         let core = self.core();
-        core.shutdown.load(Ordering::Acquire)
-            || core.injector.pending() > 0
-            || self
-                .shared
-                .stealers
-                .iter()
-                .enumerate()
-                .any(|(v, s)| v != self.index && s.len_hint() > 0)
+        if core.shutdown.load(Ordering::Acquire) || self.shard().injector.pending() > 0 {
+            return true;
+        }
+        let (lo, hi) = if core.shards.len() == 1 || core.flat_scan {
+            (0, core.num_procs)
+        } else {
+            (self.pool_start, self.pool_end)
+        };
+        self.shared.stealers[lo..hi]
+            .iter()
+            .enumerate()
+            .any(|(j, s)| lo + j != self.index && s.len_hint() > 0)
     }
 
     /// Parks this worker until a producer's wake (`timeout == None`, the
@@ -775,14 +1121,16 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     /// parks, so `parks == unparks` holds exactly at shutdown.
     fn park(&self, timeout: Option<Duration>) {
         let core = self.core();
-        match core.sleep.kind() {
+        let shard = self.shard();
+        let sleep = &shard.sleep;
+        match sleep.kind() {
             SleepKind::Eventcount => {
-                let token = core.sleep.announce();
+                let token = sleep.announce();
                 if self.work_in_sight() {
-                    core.sleep.cancel_announce();
+                    sleep.cancel_announce();
                     return;
                 }
-                if !core.sleep.try_commit(self.index, token) {
+                if !sleep.try_commit(self.local_index(), token) {
                     // A producer moved the epoch after our re-scan began;
                     // its work is visible now — resume hunting.
                     return;
@@ -790,17 +1138,17 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
                 if self.woken_pending.replace(false) {
                     // Woken last time but found nothing before sleeping
                     // again: that wake bought no work.
-                    core.sleep.note_spurious_wake();
+                    sleep.note_spurious_wake();
                 }
                 self.stats().parks.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
                 self.tele_record(EventKind::Park);
-                let outcome = core.sleep.park_committed(self.index, timeout);
+                let outcome = sleep.park_committed(self.local_index(), timeout);
                 self.note_unpark(outcome);
             }
             SleepKind::CondvarFallback => {
                 if self.woken_pending.replace(false) {
-                    core.sleep.note_spurious_wake();
+                    sleep.note_spurious_wake();
                 }
                 self.stats().parks.fetch_add(1, Ordering::Relaxed);
                 #[cfg(feature = "telemetry")]
@@ -809,8 +1157,8 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
                 // bounded nap (even for the untimed policy — without the
                 // eventcount a wakeup genuinely can be missed, and the
                 // timeout is what caps that race).
-                let outcome = core.sleep.fallback_park(timeout, || {
-                    core.injector.pending() > 0 || core.shutdown.load(Ordering::Acquire)
+                let outcome = sleep.fallback_park(timeout, || {
+                    shard.injector.pending() > 0 || core.shutdown.load(Ordering::Acquire)
                 });
                 self.note_unpark(outcome);
             }
@@ -900,11 +1248,13 @@ fn worker_main<B: TaskDeque<usize>>(ctx: WorkerCtx<B>) {
             }
             None => {
                 if core.shutdown.load(Ordering::Acquire) {
-                    // Drain the front door before exiting so every
-                    // accepted external submission still runs exactly
-                    // once. Blocking pops: during shutdown a `None`
-                    // must really mean empty.
-                    if let Some((word, _)) = core.injector.pop_blocking(ctx.index) {
+                    // Drain this pool's front door before exiting so
+                    // every accepted external submission still runs
+                    // exactly once. Blocking pops: during shutdown a
+                    // `None` must really mean empty. (A shard whose
+                    // workers all exited already is drained by
+                    // `ThreadPool::shutdown` itself.)
+                    if let Some((word, _)) = ctx.shard().injector.pop_blocking(ctx.local_index()) {
                         ctx.note_found_work();
                         ctx.execute_job(JobRef::from_word(word));
                         continue;
@@ -965,8 +1315,14 @@ fn spawn_workers<B: TaskDeque<usize>>(
         .into_iter()
         .enumerate()
         .map(|(index, deque)| {
+            let pool = shared.core.pool_of[index] as usize;
+            let (pool_start, pool_end) =
+                (shared.core.shards[pool].start, shared.core.shards[pool].end);
             let ctx = WorkerCtx::<B> {
                 index,
+                pool,
+                pool_start,
+                pool_end,
                 deque,
                 shared: Arc::clone(&shared),
                 engine: RefCell::new(PolicyEngine::new(
@@ -996,6 +1352,11 @@ pub struct PoolReport {
     pub stats: PoolStats,
     /// The same counters, per worker.
     pub per_worker: Vec<PoolStats>,
+    /// The same counters, aggregated per pool of the topology
+    /// (`pools` entries; one spanning everything on a flat pool).
+    pub per_pool: Vec<PoolStats>,
+    /// Pool count `K` of the topology the pool ran.
+    pub pools: usize,
     /// The deque backend the pool ran ([`Backend::name`]).
     pub backend: &'static str,
     /// Which sleep/wake backend the pool ran.
@@ -1026,20 +1387,47 @@ impl ThreadPool {
     pub fn with_config(config: PoolConfig) -> Self {
         assert!(config.num_procs >= 1);
         let p = config.num_procs;
+        let k = config.pools;
+        assert!(
+            (1..=p).contains(&k),
+            "pools must satisfy 1 <= pools ({k}) <= num_procs ({p})"
+        );
         #[cfg(feature = "telemetry")]
         let registry = config
             .telemetry
             .as_ref()
             .map(|tc| Registry::with_policy(p, tc, config.policies.label()));
+        // Contiguous near-even blocks: pool j owns [j·P/K, (j+1)·P/K).
+        let shards: Vec<PoolShard> = (0..k)
+            .map(|j| {
+                let start = j * p / k;
+                let end = (j + 1) * p / k;
+                PoolShard {
+                    start,
+                    end,
+                    injector: Injector::new(if config.injector_shards == 0 {
+                        end - start
+                    } else {
+                        config.injector_shards
+                    }),
+                    sleep: Sleep::new(end - start, config.sleep),
+                    last_thief: AtomicUsize::new(usize::MAX),
+                }
+            })
+            .collect();
+        let mut pool_of = vec![0u32; p];
+        for (j, s) in shards.iter().enumerate() {
+            for slot in &mut pool_of[s.start..s.end] {
+                *slot = j as u32;
+            }
+        }
         let core = Arc::new(SharedCore {
             num_procs: p,
-            injector: Injector::new(if config.injector_shards == 0 {
-                p
-            } else {
-                config.injector_shards
-            }),
+            shards,
+            pool_of,
+            cross_coin: abp_core::coin_threshold(config.cross_steal),
+            flat_scan: config.flat_scan,
             shutdown: AtomicBool::new(false),
-            sleep: Sleep::new(p, config.sleep),
             split: config.policies.split,
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
             backend: config.backend,
@@ -1157,14 +1545,33 @@ impl ThreadPool {
         self.core.inject_batch(&words);
     }
 
-    /// Jobs submitted from outside and not yet picked up by a worker.
+    /// Jobs submitted from outside and not yet picked up by a worker,
+    /// over every pool's front door.
     pub fn injector_backlog(&self) -> usize {
-        self.core.injector.pending()
+        self.core.injector_pending()
     }
 
-    /// Number of shards the front-door injector was built with.
+    /// Total shards across every pool's front-door injector.
     pub fn injector_shards(&self) -> usize {
-        self.core.injector.shard_count()
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.injector.shard_count())
+            .sum()
+    }
+
+    /// Pool count `K` of the topology ([`PoolConfig::pools`]).
+    pub fn pool_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// Aggregate statistics per pool of the topology.
+    pub fn per_pool_stats(&self) -> Vec<PoolStats> {
+        self.core
+            .shards
+            .iter()
+            .map(|s| PoolStats::aggregate(&self.core.stats[s.start..s.end]))
+            .collect()
     }
 
     /// Aggregate scheduler statistics since pool creation.
@@ -1179,25 +1586,32 @@ impl ThreadPool {
 
     /// Which sleep/wake backend this pool runs.
     pub fn sleep_kind(&self) -> SleepKind {
-        self.core.sleep.kind()
+        self.core.shards[0].sleep.kind()
     }
 
-    /// Workers currently asleep (a live gauge: exact at quiescence).
+    /// Workers currently asleep across every pool (a live gauge: exact
+    /// at quiescence).
     pub fn sleeping_workers(&self) -> usize {
-        self.core.sleep.sleepers()
+        self.core.shards.iter().map(|s| s.sleep.sleepers()).sum()
     }
 
     /// The adaptive splitter's idle gauge: committed-plus-announcing
-    /// sleepers from one `Relaxed` load of the sleep subsystem's packed
-    /// eventcount word. Cheap enough to poll from hot loops; may lag
-    /// in-flight transitions by a scan (see [`crate::sleep`]).
+    /// sleepers from one `Relaxed` load per pool of the sleep
+    /// subsystem's packed eventcount word. Cheap enough to poll from
+    /// hot loops; may lag in-flight transitions by a scan (see
+    /// [`crate::sleep`]).
     pub fn sleepers_hint(&self) -> usize {
-        self.core.sleep.sleepers_hint()
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.sleep.sleepers_hint())
+            .sum()
     }
 
-    /// Live sleep/wake-subsystem counters since pool creation.
+    /// Live sleep/wake-subsystem counters since pool creation, merged
+    /// over every pool's sleep subsystem.
     pub fn sleep_stats(&self) -> SleepStats {
-        self.core.sleep.stats()
+        self.core.sleep_stats()
     }
 
     /// A live telemetry snapshot, if tracing was configured. Workers keep
@@ -1207,9 +1621,10 @@ impl ThreadPool {
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
         self.core.registry.as_ref().map(|r| {
             let mut snap = r.snapshot();
-            self.core.injector.stamp(&mut snap.injector);
+            self.core.stamp_injectors(&mut snap);
             self.core.stamp_sleep(&mut snap);
             self.core.stamp_par(&mut snap);
+            self.core.stamp_topology(&mut snap);
             snap
         })
     }
@@ -1225,21 +1640,25 @@ impl ThreadPool {
         // fails or its wake arrives), so no worker can sleep through
         // shutdown.
         self.core.shutdown.store(true, Ordering::Release);
-        self.core.sleep.notify_shutdown();
+        for shard in &self.core.shards {
+            shard.sleep.notify_shutdown();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        // Workers drain the injector before exiting, but a submission
-        // racing the shutdown flag could in principle land after the
-        // last worker's final sweep. Run (not leak) any stragglers here
-        // — every accepted job executes exactly once. Workers are gone,
-        // so this thread is the only consumer.
-        while let Some((word, _)) = self.core.injector.pop_blocking(0) {
-            // SAFETY: the word came out of the injector exactly once,
-            // so this is the job's single execution.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                JobRef::from_word(word).execute()
-            }));
+        // Workers drain their own pool's injector before exiting, but a
+        // submission racing the shutdown flag could in principle land
+        // after the last worker's final sweep. Run (not leak) any
+        // stragglers here — every accepted job executes exactly once.
+        // Workers are gone, so this thread is the only consumer.
+        for shard in &self.core.shards {
+            while let Some((word, _)) = shard.injector.pop_blocking(0) {
+                // SAFETY: the word came out of the injector exactly once,
+                // so this is the job's single execution.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                    JobRef::from_word(word).execute()
+                }));
+            }
         }
         let stats = self.stats();
         debug_assert!(
@@ -1271,27 +1690,43 @@ impl ThreadPool {
             stats.parks,
             stats.unparks
         );
-        let sleep = self.core.sleep.stats();
+        // The locality split rides outside the identity but must stay a
+        // sub-count of hits, and a flat topology must show the
+        // structural zero (both checked in release builds too — they
+        // pin the `steals = local + remote` decomposition).
+        assert!(
+            stats.locality_consistent(),
+            "remote steals exceed steals: {stats:?}"
+        );
+        assert!(
+            self.core.shards.len() > 1 || stats.remote_attempts == 0,
+            "flat pool recorded remote attempts: {}",
+            stats.remote_attempts
+        );
+        let sleep = self.core.sleep_stats();
         // Every hit-after-unpark is credited to exactly one delivered
         // wake (the condvar fallback's herd makes the correspondence
         // approximate, so the invariant is eventcount-only).
         debug_assert!(
-            self.core.sleep.kind() != SleepKind::Eventcount
+            self.sleep_kind() != SleepKind::Eventcount
                 || sleep.wakes_sent >= sleep.hits_after_unpark,
             "wake accounting identity violated: {sleep:?}"
         );
         PoolReport {
             stats,
             per_worker: self.per_worker_stats(),
+            per_pool: self.per_pool_stats(),
+            pools: self.core.shards.len(),
             backend: backend.name(),
-            sleep_kind: self.core.sleep.kind(),
+            sleep_kind: self.sleep_kind(),
             sleep,
             #[cfg(feature = "telemetry")]
             telemetry: self.core.registry.as_ref().map(|r| {
                 let mut snap = r.snapshot();
-                self.core.injector.stamp(&mut snap.injector);
+                self.core.stamp_injectors(&mut snap);
                 self.core.stamp_sleep(&mut snap);
                 self.core.stamp_par(&mut snap);
+                self.core.stamp_topology(&mut snap);
                 snap
             }),
         }
@@ -1301,7 +1736,9 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::Release);
-        self.core.sleep.notify_shutdown();
+        for shard in &self.core.shards {
+            shard.sleep.notify_shutdown();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -13,6 +13,12 @@
 //! it holds for each worker and for the aggregate (checked in the tests
 //! and relied on by the telemetry integration tests, which reconcile
 //! these counters against the event trace).
+//!
+//! Under the federated topology, `remote_steals` additionally splits
+//! `steals` by locality (`steals == local + remote`) without entering
+//! the identity: it counts hits whose victim lives in a different pool
+//! than the thief, and is structurally zero on a flat single-pool
+//! configuration (asserted at shutdown).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -29,6 +35,15 @@ pub struct WorkerStats {
     pub steals: AtomicU64,
     /// Steal attempts that lost a `cas` race.
     pub aborts: AtomicU64,
+    /// Successful steals whose victim belonged to a different pool than
+    /// this worker (sub-count of `steals`; structurally zero when the
+    /// topology is a single flat pool).
+    pub remote_steals: AtomicU64,
+    /// Completed steal attempts (any outcome) whose victim belonged to
+    /// a different pool — the scan policy's own property, independent of
+    /// whether the victim happened to hold work. Sub-count of
+    /// `steal_attempts`; structurally zero on a flat topology.
+    pub remote_attempts: AtomicU64,
     /// Steal attempts that found the victim's deque empty, plus
     /// injector polls that found the injector empty (or contended).
     pub empties: AtomicU64,
@@ -63,6 +78,8 @@ impl WorkerStats {
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
+            remote_steals: self.remote_steals.load(Ordering::Relaxed),
+            remote_attempts: self.remote_attempts.load(Ordering::Relaxed),
             empties: self.empties.load(Ordering::Relaxed),
             injects: self.injects.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
@@ -83,6 +100,12 @@ pub struct PoolStats {
     pub steal_attempts: u64,
     pub steals: u64,
     pub aborts: u64,
+    /// Hits on victims outside the thief's pool (`steals = local +
+    /// remote`; outside the attempts identity).
+    pub remote_steals: u64,
+    /// Completed attempts on victims outside the thief's pool
+    /// (sub-count of `steal_attempts`, outside the identity).
+    pub remote_attempts: u64,
     pub empties: u64,
     pub injects: u64,
     pub duplicates: u64,
@@ -102,6 +125,8 @@ impl PoolStats {
             s.steal_attempts += w.steal_attempts.load(Ordering::Relaxed);
             s.steals += w.steals.load(Ordering::Relaxed);
             s.aborts += w.aborts.load(Ordering::Relaxed);
+            s.remote_steals += w.remote_steals.load(Ordering::Relaxed);
+            s.remote_attempts += w.remote_attempts.load(Ordering::Relaxed);
             s.empties += w.empties.load(Ordering::Relaxed);
             s.injects += w.injects.load(Ordering::Relaxed);
             s.duplicates += w.duplicates.load(Ordering::Relaxed);
@@ -129,6 +154,38 @@ impl PoolStats {
     pub fn attempts_balance(&self) -> bool {
         self.steal_attempts
             == self.steals + self.aborts + self.empties + self.injects + self.duplicates
+    }
+
+    /// Steals whose victim shared the thief's pool.
+    pub fn local_steals(&self) -> u64 {
+        self.steals - self.remote_steals
+    }
+
+    /// True iff the locality split is consistent: each remote counter is
+    /// a sub-count of its total, and a remote hit is a remote attempt.
+    pub fn locality_consistent(&self) -> bool {
+        self.remote_steals <= self.steals
+            && self.remote_steals <= self.remote_attempts
+            && self.remote_attempts <= self.steal_attempts
+    }
+
+    /// Fraction of successful steals that crossed a pool boundary.
+    pub fn remote_steal_fraction(&self) -> f64 {
+        if self.steals == 0 {
+            0.0
+        } else {
+            self.remote_steals as f64 / self.steals as f64
+        }
+    }
+
+    /// Fraction of completed attempts that targeted another pool — the
+    /// scan policy's property, robust even when victims are empty.
+    pub fn remote_attempt_fraction(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.remote_attempts as f64 / self.steal_attempts as f64
+        }
     }
 
     /// True iff every park this snapshot saw also returned. Holds at any
@@ -223,6 +280,53 @@ mod tests {
             ..PoolStats::default()
         }
         .attempts_balance());
+    }
+
+    #[test]
+    fn locality_split_rides_outside_the_identity() {
+        // remote_steals sub-counts steals without entering the attempts
+        // identity: the same five-way balance holds with or without it.
+        let s = PoolStats {
+            steal_attempts: 10,
+            steals: 4,
+            remote_steals: 3,
+            remote_attempts: 6,
+            aborts: 1,
+            empties: 5,
+            ..PoolStats::default()
+        };
+        assert!(s.attempts_balance());
+        assert!(s.locality_consistent());
+        assert_eq!(s.local_steals(), 1);
+        assert!((s.remote_steal_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.remote_attempt_fraction() - 0.6).abs() < 1e-12);
+        assert!(!PoolStats {
+            steals: 1,
+            remote_steals: 2,
+            remote_attempts: 2,
+            steal_attempts: 2,
+            ..PoolStats::default()
+        }
+        .locality_consistent());
+        // A remote hit must also have been counted as a remote attempt.
+        assert!(!PoolStats {
+            steal_attempts: 5,
+            steals: 2,
+            remote_steals: 1,
+            remote_attempts: 0,
+            ..PoolStats::default()
+        }
+        .locality_consistent());
+        assert_eq!(PoolStats::default().remote_steal_fraction(), 0.0);
+        assert_eq!(PoolStats::default().remote_attempt_fraction(), 0.0);
+        // Aggregation carries the split.
+        let ws = [WorkerStats::default(), WorkerStats::default()];
+        ws[0].steals.store(2, Ordering::Relaxed);
+        ws[0].remote_steals.store(1, Ordering::Relaxed);
+        ws[1].steals.store(3, Ordering::Relaxed);
+        let agg = PoolStats::aggregate(&ws);
+        assert_eq!(agg.remote_steals, 1);
+        assert_eq!(agg.local_steals(), 4);
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub struct RunReport {
     pub steal_aborts: u64,
     /// Steal attempts that found the victim's deque empty.
     pub steal_empties: u64,
+    /// Pool count `K` of the topology the run used (1 = flat).
+    pub pools: usize,
+    /// Successful steals whose victim lived in a different pool than the
+    /// thief. A sub-count of `successful_steals`, *outside* the
+    /// accounting identity (`steals = local + remote`); structurally
+    /// zero on a flat (`pools == 1`) run.
+    pub remote_steals: u64,
+    /// Completed steal attempts (hit or miss) whose victim lived in a
+    /// different pool — the scan-policy property itself, independent of
+    /// where the workload happens to put the work. Sub-count of
+    /// `steal_attempts`; structurally zero on a flat run.
+    pub remote_attempts: u64,
     /// Steal attempts that were *throws*: completed at their process's
     /// second milestone in a round (§4.1).
     pub throws: u64,
@@ -97,6 +109,32 @@ impl RunReport {
     pub fn steal_accounting_balanced(&self) -> bool {
         self.steal_attempts == self.successful_steals + self.steal_aborts + self.steal_empties
     }
+
+    /// Fraction of successful steals that crossed a pool boundary
+    /// (0.0 when no steals landed — and structurally on a flat run).
+    pub fn remote_steal_fraction(&self) -> f64 {
+        if self.successful_steals == 0 {
+            return 0.0;
+        }
+        self.remote_steals as f64 / self.successful_steals as f64
+    }
+
+    /// Fraction of completed attempts that targeted another pool.
+    pub fn remote_attempt_fraction(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            return 0.0;
+        }
+        self.remote_attempts as f64 / self.steal_attempts as f64
+    }
+
+    /// The locality split invariant: remote counters are sub-counts of
+    /// their totals (and of each other — a remote hit is a remote
+    /// attempt), and a flat run records none at all.
+    pub fn locality_consistent(&self) -> bool {
+        self.remote_steals <= self.remote_attempts
+            && self.remote_attempts <= self.steal_attempts
+            && (self.pools > 1 || self.remote_attempts == 0)
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -157,6 +195,9 @@ mod tests {
             successful_steals: 30,
             steal_aborts: 10,
             steal_empties: 20,
+            pools: 1,
+            remote_steals: 0,
+            remote_attempts: 0,
             throws: 55,
             yields: 60,
             policy: "uniform+yield+spin/to-all".to_string(),
@@ -203,5 +244,29 @@ mod tests {
         assert!(r.steal_accounting_balanced());
         r.steal_aborts += 1;
         assert!(!r.steal_accounting_balanced());
+    }
+
+    #[test]
+    fn locality_split_rides_outside_the_identity() {
+        let mut r = dummy();
+        assert!(r.locality_consistent());
+        assert_eq!(r.remote_steal_fraction(), 0.0);
+        // A flat run may not record remote steals at all.
+        r.remote_steals = 1;
+        assert!(!r.locality_consistent());
+        // On a topology, remote is a sub-count of successful steals —
+        // splitting it off leaves the identity untouched.
+        r.pools = 4;
+        r.remote_steals = 6;
+        r.remote_attempts = 12;
+        assert!(r.locality_consistent());
+        assert!(
+            r.steal_accounting_balanced(),
+            "split leaves identity untouched"
+        );
+        assert!((r.remote_steal_fraction() - 0.2).abs() < 1e-9);
+        assert!((r.remote_attempt_fraction() - 0.2).abs() < 1e-9);
+        r.remote_steals = r.remote_attempts + 1;
+        assert!(!r.locality_consistent(), "a remote hit is a remote attempt");
     }
 }

@@ -90,6 +90,21 @@ pub struct WsConfig {
     /// misses, and deviations per executed node (`None` = no model, and
     /// all cache counters stay structurally zero).
     pub cache: Option<CacheConfig>,
+    /// Pool count `K` of the topology: processes partition into `K`
+    /// contiguous pools and thieves scan their own pool first, crossing
+    /// only with probability [`WsConfig::cross_steal`] (the federation
+    /// model the `hood` runtime mirrors). `1` (the default) is the flat
+    /// paper scheduler, bit-identical to the pre-topology simulator.
+    pub pools: usize,
+    /// Probability that a hierarchical victim draw goes *outside* the
+    /// thief's pool. Only consulted when `pools > 1` and `flat_scan` is
+    /// off; a thief alone in its pool always crosses.
+    pub cross_steal: f64,
+    /// Keep `pools > 1` accounting labels but scan all `P − 1` victims
+    /// uniformly, like the flat scheduler — the control arm that
+    /// isolates the victim-selection axis (remote-steal fractions stay
+    /// at their topology-blind baseline).
+    pub flat_scan: bool,
 }
 
 impl Default for WsConfig {
@@ -106,6 +121,9 @@ impl Default for WsConfig {
             track_phases: false,
             trace: false,
             cache: None,
+            pools: 1,
+            cross_steal: 0.125,
+            flat_scan: false,
         }
     }
 }
@@ -177,6 +195,24 @@ impl WsConfig {
         self
     }
 
+    /// Replaces the pool count of the topology.
+    pub fn with_pools(mut self, pools: usize) -> Self {
+        self.pools = pools;
+        self
+    }
+
+    /// Replaces the cross-pool steal probability.
+    pub fn with_cross_steal(mut self, cross_steal: f64) -> Self {
+        self.cross_steal = cross_steal;
+        self
+    }
+
+    /// Enables/disables the topology-blind flat-scan control arm.
+    pub fn with_flat_scan(mut self, on: bool) -> Self {
+        self.flat_scan = on;
+        self
+    }
+
     /// The policy identity stamped on reports and telemetry:
     /// `"victim+backoff+idle/yield-policy"`.
     pub fn policy_label(&self) -> String {
@@ -211,8 +247,16 @@ enum Phase {
     Yielding,
     /// About to pick a victim.
     PickingVictim,
-    /// `popTop` on the victim's deque in progress.
-    Stealing { victim: usize, op: AnyOp },
+    /// `popTop` on the victim's deque in progress. `observe_as` is the
+    /// coordinate the policy engine sees the outcome under — the global
+    /// index on a flat scan, the pool-local index on a hierarchical one,
+    /// and `None` for cross-pool attempts, which bypass the victim
+    /// selector entirely (its state lives in pool-local coordinates).
+    Stealing {
+        victim: usize,
+        observe_as: Option<usize>,
+        op: AnyOp,
+    },
     /// Spinning in a contention backoff: `left` more milestone-free
     /// instructions, then yield (if `then_yield`) or attempt directly.
     Backing { left: u64, then_yield: bool },
@@ -268,9 +312,21 @@ pub struct WorkStealer<'a> {
     /// Whether the configured policy set keeps Lemma 7's milestone
     /// accounting valid (no spinning backoff, no parking).
     milestone_safe: bool,
+    // Topology: pool of each process, [start, end) of each pool, the
+    // pre-scaled cross-steal coin, and per-pool steal-back hints (the
+    // global index of the last cross-pool thief that robbed the pool;
+    // `usize::MAX` = none).
+    pool_of: Vec<u32>,
+    pool_bounds: Vec<(usize, usize)>,
+    cross_coin: u64,
+    last_thief: Vec<usize>,
     // measurement
     executed_count: u64,
     tally: StealTally,
+    remote_attempts: u64,
+    /// Per-pool attempt accounting (thief's pool) — each must balance
+    /// on its own, and they sum to `tally`.
+    pool_tallies: Vec<StealTally>,
     throws: u64,
     yields: u64,
     structural_violations: u64,
@@ -296,6 +352,19 @@ impl<'a> WorkStealer<'a> {
     /// Prepares a run of `dag` on `p` processes.
     pub fn new(dag: &'a Dag, p: usize, config: WsConfig) -> Self {
         assert!(p >= 1);
+        let k = config.pools;
+        assert!(
+            (1..=p).contains(&k),
+            "pools must satisfy 1 <= pools ({k}) <= procs ({p})"
+        );
+        let pool_bounds: Vec<(usize, usize)> =
+            (0..k).map(|j| (j * p / k, (j + 1) * p / k)).collect();
+        let mut pool_of = vec![0u32; p];
+        for (j, &(start, end)) in pool_bounds.iter().enumerate() {
+            for slot in &mut pool_of[start..end] {
+                *slot = j as u32;
+            }
+        }
         let mut seed_rng = DetRng::new(config.seed);
         let procs = (0..p)
             .map(|i| Proc {
@@ -333,8 +402,14 @@ impl<'a> WorkStealer<'a> {
             potential,
             done: false,
             milestone_safe: config.policies.preserves_milestones(),
+            pool_of,
+            pool_bounds,
+            cross_coin: abp_core::coin_threshold(config.cross_steal),
+            last_thief: vec![usize::MAX; k],
             executed_count: 0,
             tally: StealTally::default(),
+            remote_attempts: 0,
+            pool_tallies: vec![StealTally::default(); k],
             throws: 0,
             yields: 0,
             structural_violations: 0,
@@ -523,6 +598,42 @@ impl<'a> WorkStealer<'a> {
                 self.tally.aborts
             );
         }
+        // Topology accounting: the locality split is a sub-count of hits
+        // (outside the identity), flat runs carry its structural zero,
+        // each pool's tally balances on its own, and the pools sum to
+        // the global tally.
+        assert!(
+            self.tally.locality_consistent(),
+            "remote hits exceed hits: {:?}",
+            self.tally
+        );
+        assert!(
+            self.pool_bounds.len() > 1 || self.tally.remote_hits == 0,
+            "flat run recorded remote steals: {}",
+            self.tally.remote_hits
+        );
+        let mut sum = StealTally::default();
+        for (j, t) in self.pool_tallies.iter().enumerate() {
+            assert!(t.balanced(), "pool {j} tally unbalanced: {t:?}");
+            sum.merge(t);
+        }
+        assert_eq!(
+            (
+                sum.attempts,
+                sum.hits,
+                sum.aborts,
+                sum.empties,
+                sum.remote_hits
+            ),
+            (
+                self.tally.attempts,
+                self.tally.hits,
+                self.tally.aborts,
+                self.tally.empties,
+                self.tally.remote_hits
+            ),
+            "per-pool tallies do not sum to the global tally"
+        );
         // Structural zero: with the cache model disabled, no code path
         // may touch the cache counters — telemetry goldens rely on it.
         if self.config.cache.is_none() {
@@ -553,6 +664,9 @@ impl<'a> WorkStealer<'a> {
             successful_steals: self.tally.hits,
             steal_aborts: self.tally.aborts,
             steal_empties: self.tally.empties,
+            pools: self.pool_bounds.len(),
+            remote_steals: self.tally.remote_hits,
+            remote_attempts: self.remote_attempts,
             throws: self.throws,
             yields: self.yields,
             policy: self.config.policy_label(),
@@ -601,7 +715,11 @@ impl<'a> WorkStealer<'a> {
                 Phase::PickingVictim
             }
             Phase::PickingVictim => self.pick_and_steal(i),
-            Phase::Stealing { victim, op } => self.step_steal(i, victim, op),
+            Phase::Stealing {
+                victim,
+                observe_as,
+                op,
+            } => self.step_steal(i, victim, observe_as, op),
             Phase::Backing { left, then_yield } => {
                 // One milestone-free spin instruction.
                 if left > 1 {
@@ -670,13 +788,56 @@ impl<'a> WorkStealer<'a> {
 
     /// Picks the next victim (one scan of one attempt — the thief yields
     /// between attempts) and starts the `popTop`.
+    ///
+    /// On a flat run (`pools == 1`, or the flat-scan control arm) the
+    /// engine draws over all `P − 1` others, consuming exactly the
+    /// pre-topology rng stream. On a hierarchical run the engine runs in
+    /// pool-local coordinates over the thief's own pool; a cross-steal
+    /// coin (or being alone in the pool) sends the attempt outside,
+    /// where the pool's steal-back hint is tried first and the victim
+    /// selector is bypassed (`observe_as: None`).
     fn pick_and_steal(&mut self, i: usize) -> Phase {
         let p = self.procs.len();
+        if self.pool_bounds.len() == 1 || self.config.flat_scan {
+            let eng = &mut self.procs[i].engine;
+            eng.begin_scan(i, p);
+            let victim = eng.next_victim(i, p);
+            return Phase::Stealing {
+                victim,
+                observe_as: Some(victim),
+                op: self.new_op(LockKind::PopTop),
+            };
+        }
+        let my_pool = self.pool_of[i] as usize;
+        let (start, end) = self.pool_bounds[my_pool];
+        let n_local = end - start;
         let eng = &mut self.procs[i].engine;
-        eng.begin_scan(i, p);
-        let victim = eng.next_victim(i, p);
+        if n_local > 1 && !eng.coin(self.cross_coin) {
+            let me_local = i - start;
+            eng.begin_scan(me_local, n_local);
+            let v_local = eng.next_victim(me_local, n_local);
+            return Phase::Stealing {
+                victim: start + v_local,
+                observe_as: Some(v_local),
+                op: self.new_op(LockKind::PopTop),
+            };
+        }
+        // Cross-pool: steal back from the last thief on record to have
+        // robbed this pool, else draw uniformly over the other pools.
+        let hint = self.last_thief[my_pool];
+        let victim = if hint != usize::MAX {
+            hint
+        } else {
+            let r = eng.draw_below(p - n_local);
+            if r < start {
+                r
+            } else {
+                r + n_local
+            }
+        };
         Phase::Stealing {
             victim,
+            observe_as: None,
             op: self.new_op(LockKind::PopTop),
         }
     }
@@ -697,8 +858,24 @@ impl<'a> WorkStealer<'a> {
             // Gu/Napier/Sun extra-miss bound.
             self.executed_on[u.index()] = i as u32;
             if let Some(par) = self.tree.designated_parent(u) {
-                if self.executed_on[par.index()] != i as u32 {
+                let enabler = self.executed_on[par.index()];
+                if enabler != i as u32 {
                     self.cache_stats.deviations += 1;
+                    // The deviation signal doubles as the locality hint:
+                    // the enabling processor plausibly still holds the
+                    // rest of this subcomputation, so the `LastEnabler`
+                    // victim policy targets it on the next scan — in the
+                    // coordinate space that scan will run in. Cross-pool
+                    // enablers are unreachable from a local scan and are
+                    // dropped. `note_enabler` consumes no randomness, so
+                    // other victim policies stay bit-identical.
+                    let e = enabler as usize;
+                    if self.pool_bounds.len() == 1 || self.config.flat_scan {
+                        self.procs[i].engine.note_enabler(e);
+                    } else if self.pool_of[e] == self.pool_of[i] {
+                        let start = self.pool_bounds[self.pool_of[i] as usize].0;
+                        self.procs[i].engine.note_enabler(e - start);
+                    }
                 }
             }
             let frame_hit = self.caches[i].access(cache_cfg.frame_line(self.dag.thread_of(u)));
@@ -838,9 +1015,19 @@ impl<'a> WorkStealer<'a> {
         }
     }
 
-    fn step_steal(&mut self, i: usize, victim: usize, mut op: AnyOp) -> Phase {
+    fn step_steal(
+        &mut self,
+        i: usize,
+        victim: usize,
+        observe_as: Option<usize>,
+        mut op: AnyOp,
+    ) -> Phase {
         match self.step_op(i, victim, &mut op) {
-            OpDone::NotDone => Phase::Stealing { victim, op },
+            OpDone::NotDone => Phase::Stealing {
+                victim,
+                observe_as,
+                op,
+            },
             OpDone::PopTop(result, aborted) => {
                 let res = if result.is_some() {
                     StealResult::Hit
@@ -849,7 +1036,22 @@ impl<'a> WorkStealer<'a> {
                 } else {
                     StealResult::Empty
                 };
-                self.tally.record(res);
+                let my_pool = self.pool_of[i] as usize;
+                let victim_pool = self.pool_of[victim] as usize;
+                let remote = victim_pool != my_pool;
+                self.tally.record_located(res, remote);
+                self.pool_tallies[my_pool].record_located(res, remote);
+                if remote {
+                    self.remote_attempts += 1;
+                    if result.is_some() {
+                        // The victim's pool remembers its robber, so its
+                        // members can steal their work back.
+                        self.last_thief[victim_pool] = i;
+                    } else if self.last_thief[my_pool] == victim {
+                        // A dry steal-back hint is stale: retire it.
+                        self.last_thief[my_pool] = usize::MAX;
+                    }
+                }
                 self.milestone(i, true);
                 if self.config.trace {
                     self.round_attempted[i] = true;
@@ -870,7 +1072,9 @@ impl<'a> WorkStealer<'a> {
                         },
                     });
                 }
-                self.procs[i].engine.observe(victim, res);
+                if let Some(seen) = observe_as {
+                    self.procs[i].engine.observe(seen, res);
+                }
                 if let Some(v) = result {
                     self.procs[i].engine.note_work_found();
                     let u = NodeId(v as u32);
@@ -1265,6 +1469,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn explicit_flat_topology_is_byte_identical() {
+        // `pools: 1` must consume exactly the pre-topology rng stream:
+        // the whole run, not just the outcome, is bit-identical.
+        let d = gen::fib(13, 3);
+        let run = |cfg: WsConfig| {
+            let mut k = BenignKernel::new(6, CountSource::UniformBetween(1, 6), 7);
+            run_ws(&d, 6, &mut k, cfg)
+        };
+        let a = run(WsConfig::default());
+        let b = run(WsConfig::default().with_pools(1).with_cross_steal(0.9));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.throws, b.throws);
+        assert_eq!(a.steal_attempts, b.steal_attempts);
+        assert_eq!(a.successful_steals, b.successful_steals);
+        assert_eq!((a.pools, a.remote_steals), (1, 0));
+        // The flat-scan control arm with pool labels also replays the
+        // flat stream — only the accounting axis moves.
+        let c = run(WsConfig::default().with_pools(2).with_flat_scan(true));
+        assert_eq!(a.rounds, c.rounds);
+        assert_eq!(a.instructions, c.instructions);
+        assert_eq!(a.steal_attempts, c.steal_attempts);
+        assert_eq!(c.pools, 2);
+        assert!(c.locality_consistent());
+    }
+
+    #[test]
+    fn hierarchical_topology_completes_clean() {
+        let d = gen::fib(13, 3);
+        for k_pools in [2, 4] {
+            let mut k = DedicatedKernel::new(8);
+            let cfg = WsConfig {
+                pools: k_pools,
+                ..checked_config()
+            };
+            let r = run_ws(&d, 8, &mut k, cfg);
+            assert_clean(&r);
+            assert_eq!(r.pools, k_pools);
+            assert!(r.locality_consistent());
+            assert!(
+                r.remote_steals > 0,
+                "fib on a dedicated K={k_pools} topology must cross pools sometimes"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_scans_keep_remote_fraction_low() {
+        // The whole point of the topology: hierarchical victim selection
+        // crosses pools far less often than a topology-blind flat scan
+        // over the same pool labels. The *attempt* fraction is the scan
+        // policy's own property (the hit fraction also depends on where
+        // the workload puts the work): a flat scan over K=4 pools of 2
+        // crosses 6/7 ≈ 0.86 of the time, the hierarchical scan at the
+        // cross-steal coin's rate (default 1/8).
+        let d = gen::fib(15, 3);
+        let run = |flat: bool| {
+            let mut k = DedicatedKernel::new(8);
+            let cfg = WsConfig::default().with_pools(4).with_flat_scan(flat);
+            run_ws(&d, 8, &mut k, cfg)
+        };
+        let hier = run(false);
+        let flat = run(true);
+        assert!(hier.completed && flat.completed);
+        assert!(
+            flat.remote_attempt_fraction() > 5.0 * hier.remote_attempt_fraction(),
+            "flat {:.3} vs hierarchical {:.3}",
+            flat.remote_attempt_fraction(),
+            hier.remote_attempt_fraction()
+        );
+        // Hits follow the same direction, if less sharply (work spreads
+        // out of the root's pool only via remote hits).
+        assert!(
+            flat.remote_steal_fraction() > hier.remote_steal_fraction(),
+            "flat {:.3} vs hierarchical {:.3}",
+            flat.remote_steal_fraction(),
+            hier.remote_steal_fraction()
+        );
+    }
+
+    #[test]
+    fn solo_pools_always_cross() {
+        // P pools of one process each: every steal is remote, and the
+        // run still completes (the steal-back hint keeps rotating).
+        let d = gen::fork_join_tree(6, 2);
+        let mut k = DedicatedKernel::new(4);
+        let cfg = WsConfig::default().with_pools(4);
+        let r = run_ws(&d, 4, &mut k, cfg);
+        assert!(r.completed);
+        assert_eq!(r.remote_steals, r.successful_steals);
+        assert_eq!(r.remote_attempts, r.steal_attempts);
+        assert!(r.successful_steals > 0);
+    }
+
+    #[test]
+    fn last_enabler_policy_runs_clean_with_cache() {
+        use abp_core::VictimKind;
+        let d = gen::fib(13, 3);
+        let mut policies = PolicySet::paper();
+        policies.victim = VictimKind::LastEnabler;
+        let mut k = DedicatedKernel::new(8);
+        let cfg = WsConfig {
+            policies,
+            ..checked_config()
+        }
+        .with_cache(crate::cache::CacheConfig::default());
+        let r = run_ws(&d, 8, &mut k, cfg);
+        assert_clean(&r);
+        let c = r.cache.expect("cache model enabled");
+        assert!(c.deviations > 0, "a parallel run must deviate somewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "pools must satisfy")]
+    fn more_pools_than_procs_rejected() {
+        let d = gen::chain(4);
+        let mut k = DedicatedKernel::new(2);
+        let _ = run_ws(&d, 2, &mut k, WsConfig::default().with_pools(3));
     }
 
     #[test]

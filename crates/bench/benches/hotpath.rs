@@ -13,6 +13,9 @@
 //!   multiplicity deque (experiment DQ1's matrix): the fence-free steal
 //!   fast path has no `cas` on the shared `top`, so its advantage grows
 //!   with the thief count;
+//! * `backend_steal_batch` — the `backend_steal` traffic drained with
+//!   `steal_batch_into(16)` and a reused buffer (experiment SB1's
+//!   micro-shape): one fence per grab instead of one per task;
 //! * `federation_steal` — the FD1 micro-shape: work in one of 8 deques
 //!   labeled as 2 pools; a local (4-victim) scan vs a flat (8-victim)
 //!   scan, 1/2/4 thieves — the wasted-probe cost hierarchical victim
@@ -184,6 +187,65 @@ fn bench_backend_steal(h: &Harness) {
     for thieves in [1usize, 2, 4] {
         backend_steal_with(&mut g, &AbpBackend { capacity: 1 << 16 }, thieves);
         backend_steal_with(&mut g, &FenceFreeBackend { capacity: 1 << 16 }, thieves);
+    }
+    g.finish();
+}
+
+/// The SB1 companion to `backend_steal`: identical streaming traffic,
+/// but each thief drains through [`DequeStealer::steal_batch_into`]
+/// with a reused buffer (cap 16), so the measured delta against the
+/// single-steal group is the per-grab cost batching amortizes — the
+/// `thief_fence` on ABP, nothing but the buffer on fence-free.
+fn backend_steal_batch_with<B: TaskDeque<u64>>(g: &mut Group<'_>, backend: &B, thieves: usize) {
+    const CAP: usize = 16;
+    g.bench_with_setup(
+        &format!("{}/{thieves}_thieves", B::NAME),
+        || {
+            let (w, s) = backend.new_pair();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let s = s.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut taken = 0u64;
+                        let mut buf = abp_deque::StolenBatch::empty();
+                        while !stop.load(Ordering::Acquire) {
+                            s.steal_batch_into(CAP, &mut buf);
+                            if buf.tasks.is_empty() {
+                                std::thread::yield_now();
+                            } else {
+                                for &v in &buf.tasks {
+                                    taken = taken.wrapping_add(v);
+                                }
+                            }
+                        }
+                        taken
+                    })
+                })
+                .collect();
+            (w, stop, handles)
+        },
+        |(w, stop, handles)| {
+            for i in 0..256u64 {
+                w.push_bottom(i).unwrap();
+            }
+            while w.pop_bottom().is_some() {}
+            stop.store(true, Ordering::Release);
+            for h in handles {
+                black_box(h.join().unwrap());
+            }
+        },
+    );
+}
+
+fn bench_backend_steal_batch(h: &Harness) {
+    let mut g = h.group("backend_steal_batch");
+    g.throughput_elems(256);
+    g.sample_size(15);
+    for thieves in [1usize, 2, 4] {
+        backend_steal_batch_with(&mut g, &AbpBackend { capacity: 1 << 16 }, thieves);
+        backend_steal_batch_with(&mut g, &FenceFreeBackend { capacity: 1 << 16 }, thieves);
     }
     g.finish();
 }
@@ -421,6 +483,7 @@ fn main() {
     bench_steal_throughput(&h);
     bench_backend_pingpong(&h);
     bench_backend_steal(&h);
+    bench_backend_steal_batch(&h);
     bench_federation_steal(&h);
     bench_join_overhead(&h);
     bench_injector_submit(&h);

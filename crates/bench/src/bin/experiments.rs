@@ -42,6 +42,8 @@ fn main() {
         "theory-small" => vec![exp::theory(true)],
         "federation" => vec![exp::federation(false)],
         "federation-small" => vec![exp::federation(true)],
+        "steal-batch" => vec![exp::steal_batch(false)],
+        "steal-batch-small" => vec![exp::steal_batch(true)],
         other => {
             eprintln!(
                 "unknown experiment `{other}`; one of: all fig1 fig2 thm1 thm2 thm9 \
@@ -49,7 +51,7 @@ fn main() {
                  lemma3 deque-check ws-vs-sharing assign-policy hood-wallclock telemetry \
                  policies policies-small serve serve-small hotpath idle idle-small \
                  par par-small deque-backends deque-backends-small theory theory-small \
-                 federation federation-small"
+                 federation federation-small steal-batch steal-batch-small"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,79 @@
+//! Steal batching — how many tasks one successful cross-pool steal
+//! migrates.
+//!
+//! The paper's thief loop (Figure 3, line 17) moves exactly one thread
+//! per successful `popTop`, so every migration pays a full
+//! synchronization round-trip: fence, victim cache line, wake. When a
+//! whole *pool* is starved (the federated topology of DESIGN.md §13),
+//! that cost repeats once per repatriated task, which is exactly the
+//! overhead the amortized-synchronization line of work attacks: claim
+//! a batch under one synchronization episode, keep one task, and seed
+//! the local pool with the rest.
+//!
+//! Like [`crate::SplitKind`], this axis is consulted directly by the
+//! runtime's steal path rather than through a `PolicyEngine` hook — the
+//! batch size is a property of the grab, not a per-attempt random
+//! decision, so it draws no randomness and the default keeps every rng
+//! stream byte-identical to the single-steal scheduler.
+
+/// Cloneable spec for the steal batch size, the sixth
+/// [`crate::PolicySet`] axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchKind {
+    /// One task per successful steal — the paper's semantics and the
+    /// default, byte-identical to the pre-batching scheduler.
+    #[default]
+    Single,
+    /// Claim up to half the victim's visible backlog in one grab,
+    /// bounded by `cap` tasks: the thief keeps one and pushes the rest
+    /// to its own deque bottom, waking sleepers in its own pool.
+    Half {
+        /// Maximum tasks per grab (clamped to ≥ 1).
+        cap: usize,
+    },
+}
+
+impl BatchKind {
+    /// Short stable label for policy identity strings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchKind::Single => "batch-single",
+            BatchKind::Half { .. } => "batch-half",
+        }
+    }
+
+    /// The per-grab task bound: 1 under [`BatchKind::Single`], `cap`
+    /// (clamped to ≥ 1) under [`BatchKind::Half`].
+    pub fn cap(&self) -> usize {
+        match self {
+            BatchKind::Single => 1,
+            BatchKind::Half { cap } => (*cap).max(1),
+        }
+    }
+
+    /// True when steals move more than one task at a time.
+    pub fn is_batched(&self) -> bool {
+        !matches!(self, BatchKind::Single)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BatchKind::Single.label(), "batch-single");
+        assert_eq!(BatchKind::Half { cap: 8 }.label(), "batch-half");
+        assert_eq!(BatchKind::default(), BatchKind::Single);
+    }
+
+    #[test]
+    fn cap_clamps_to_one() {
+        assert_eq!(BatchKind::Single.cap(), 1);
+        assert_eq!(BatchKind::Half { cap: 0 }.cap(), 1);
+        assert_eq!(BatchKind::Half { cap: 8 }.cap(), 8);
+        assert!(!BatchKind::Single.is_batched());
+        assert!(BatchKind::Half { cap: 8 }.is_batched());
+    }
+}

@@ -1,6 +1,7 @@
 //! The per-worker policy engine and its cloneable spec.
 
 use crate::backoff::{BackoffAction, BackoffKind, ContentionBackoff};
+use crate::batch::BatchKind;
 use crate::idle::{IdleAction, IdleKind, IdlePolicy};
 use crate::inject::{InjectKind, InjectPolicy};
 use crate::rng::PolicyRng;
@@ -30,6 +31,12 @@ pub struct PolicySet {
     /// directly by the runtime's splitter, not via the engine: split
     /// decisions happen inside running jobs, not in the steal loop.
     pub split: SplitKind,
+    /// How many tasks one successful cross-pool steal migrates
+    /// (runtimes without a federated topology ignore this axis). Read
+    /// directly by the runtime's steal path, not via the engine: the
+    /// batch size draws no randomness, so the `Single` default keeps
+    /// rng streams byte-identical to the one-task scheduler.
+    pub batch: BatchKind,
 }
 
 impl PolicySet {
@@ -68,13 +75,20 @@ impl PolicySet {
         self
     }
 
+    /// Replaces the steal batch size.
+    pub fn with_batch(mut self, batch: BatchKind) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Stable identity string, `"victim+backoff+idle"` — e.g. the
     /// default is `"uniform+yield+spin"`. Stamped on telemetry
     /// snapshots, `RunReport`s, and experiment JSON. A non-default
-    /// injector cadence is appended as a fourth `+` segment and a
-    /// non-default split cadence as a fifth; defaults are omitted so
-    /// labels (and the golden regression files that pin them) are
-    /// unchanged for the three classic axes.
+    /// injector cadence is appended as a fourth `+` segment, a
+    /// non-default split cadence as a fifth, and a non-default steal
+    /// batch as a sixth; defaults are omitted so labels (and the golden
+    /// regression files that pin them) are unchanged for the three
+    /// classic axes.
     pub fn label(&self) -> String {
         let mut s = format!(
             "{}+{}+{}",
@@ -89,6 +103,10 @@ impl PolicySet {
         if self.split != SplitKind::default() {
             s.push('+');
             s.push_str(self.split.label());
+        }
+        if self.batch != BatchKind::default() {
+            s.push('+');
+            s.push_str(self.batch.label());
         }
         s
     }
@@ -335,6 +353,24 @@ mod tests {
         // Fourth and fifth segments compose.
         let set = set.with_inject(InjectKind::Never);
         assert_eq!(set.label(), "uniform+yield+spin+inject-never+split-grain");
+    }
+
+    #[test]
+    fn batch_axis_defaults_and_labels() {
+        use crate::batch::BatchKind;
+        // The default batch leaves the classic label untouched (the
+        // policy_regression goldens depend on that).
+        assert_eq!(PolicySet::paper().label(), "uniform+yield+spin");
+        let set = PolicySet::paper().with_batch(BatchKind::Half { cap: 8 });
+        assert_eq!(set.label(), "uniform+yield+spin+batch-half");
+        // The sixth segment composes after inject and split.
+        let set = set
+            .with_inject(InjectKind::Never)
+            .with_split(SplitKind::Sequential);
+        assert_eq!(
+            set.label(),
+            "uniform+yield+spin+inject-never+split-seq+batch-half"
+        );
     }
 
     #[test]

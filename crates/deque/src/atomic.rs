@@ -144,6 +144,63 @@ impl<T> Steal<T> {
     }
 }
 
+/// Result of a batched steal ([`Stealer::pop_top_batch`] and the
+/// [`crate::task_deque::DequeStealer::steal_batch`] seam): up to `max`
+/// tasks claimed under one synchronization episode, biased toward half
+/// the victim's visible backlog.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StolenBatch<T> {
+    /// Claimed tasks in top order (oldest first).
+    pub tasks: Vec<T>,
+    /// Extraction attempts inside the scanned range that lost a
+    /// once-guard race (fence-free backend only; exact backends always
+    /// report zero).
+    pub duplicates: u64,
+    /// True when the grab claimed nothing because it lost a race — the
+    /// first `cas` of the ABP/growable claim chain failed, or the
+    /// locking deque's `try_lock` was contended. The batch analogue of
+    /// [`Steal::Abort`]; never set once any task was claimed.
+    pub aborted: bool,
+}
+
+impl<T> StolenBatch<T> {
+    /// An empty, non-aborted batch (the [`Steal::Empty`] analogue).
+    pub fn empty() -> Self {
+        StolenBatch {
+            tasks: Vec::new(),
+            duplicates: 0,
+            aborted: false,
+        }
+    }
+
+    /// Number of tasks claimed.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task was claimed.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Resets the batch to empty while keeping the task buffer's
+    /// allocation — the caller-side half of the amortization story: a
+    /// thief that reuses one `StolenBatch` across grabs pays zero
+    /// allocations in steady state.
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+        self.duplicates = 0;
+        self.aborted = false;
+    }
+}
+
+/// The per-grab claim target: up to `max` tasks, biased toward half the
+/// visible backlog (`hint` tasks), never less than one. Shared by every
+/// backend so the "steal half" bias is identical across the seam.
+pub(crate) fn batch_want(hint: usize, max: usize) -> usize {
+    max.min(hint.div_ceil(2)).max(1)
+}
+
 /// The owner handle: `pushBottom` and `popBottom`.
 pub struct Worker<T: Word, P: OrderProfile = DefaultProtocol> {
     inner: Arc<Inner<T>>,
@@ -393,6 +450,75 @@ impl<T: Word, P: OrderProfile> Stealer<T, P> {
         Steal::Abort
     }
 
+    /// Batched `popTop`: claim up to `max` entries (biased toward half
+    /// the visible backlog) under **one** thief fence and **one** `bot`
+    /// load, as a chain of single-slot `cas`es on `age`.
+    ///
+    /// Why a chain and not one `cas` of `{tag, top} -> {tag, top + k}`
+    /// (INV-SB-CHAIN): the owner's `popBottom` keep path removes entries
+    /// at indices *strictly above* `top` without ever touching `age`, so
+    /// a range claim could succeed after the owner has already taken
+    /// entries inside `[top + 1, top + k)` — a double take the age word
+    /// cannot detect. Only the entry *at* `top` is arbitrated (the
+    /// owner's last-entry reset bumps the tag), so each claim must
+    /// advance `top` by exactly one. The chain keeps every single-steal
+    /// invariant per slot — the slot read is validated by the full-word
+    /// `cas` [INV-TAG], and the stale `bot` bound is safe because every
+    /// claimed index lies below the Acquire-loaded `bot` [INV-PUSH] and
+    /// any interleaved owner reset or rival steal fails the next `cas`.
+    /// What the batch amortizes is the fence, the `bot` coherence miss,
+    /// and (in the runtime) the scan and wake round-trips.
+    pub fn pop_top_batch(&self, max: usize) -> StolenBatch<T> {
+        let mut out = StolenBatch::empty();
+        self.pop_top_batch_into(max, &mut out);
+        out
+    }
+
+    /// [`pop_top_batch`](Stealer::pop_top_batch) into a caller-owned
+    /// buffer: `out` is cleared and refilled, so a reused buffer makes
+    /// the grab allocation-free in steady state.
+    pub fn pop_top_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        out.clear();
+        let inner = &*self.inner;
+        // Entry sequence of `pop_top`, paid once for the whole grab
+        // [INV-RESET, INV-FENCE, INV-PUSH].
+        let mut age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
+        P::thief_fence();
+        let bot = inner.bot.0.load(P::ACQUIRE);
+        if bot <= age.top as u64 {
+            return;
+        }
+        let avail = (bot - age.top as u64) as usize;
+        let want = batch_want(avail, max);
+        out.tasks.reserve(want);
+        for _ in 0..want {
+            // Slot read before the cas, validated by it [INV-TAG].
+            let node = T::from_word(inner.deq[age.top as usize].load(P::RELAXED));
+            let new_age = AgeWord {
+                tag: age.tag,
+                top: age.top + 1,
+            };
+            // Same orderings as the single steal [INV-FENCE,
+            // INV-STEAL-HB]; the first failure aborts the grab, later
+            // failures just end it (the claimed prefix is ours).
+            match inner.age.0.compare_exchange(
+                age.pack(),
+                new_age.pack(),
+                P::STEAL_CAS,
+                P::STEAL_CAS_FAIL,
+            ) {
+                Ok(_) => {
+                    out.tasks.push(node);
+                    age = new_age;
+                }
+                Err(_) => {
+                    out.aborted = out.tasks.is_empty();
+                    break;
+                }
+            }
+        }
+    }
+
     /// Observed size; immediately stale under concurrency.
     pub fn len_hint(&self) -> usize {
         len_hint(&self.inner)
@@ -548,6 +674,63 @@ mod tests {
         assert_eq!(s.len_hint(), 4);
         w.pop_bottom();
         assert_eq!(w.len_hint(), 3);
+    }
+
+    #[test]
+    fn batch_claims_half_the_backlog_in_top_order() {
+        let (w, s) = new::<u64>(64);
+        for i in 0..8 {
+            w.push_bottom(i).unwrap();
+        }
+        // Half of 8 visible entries, capped by max.
+        let b = s.pop_top_batch(16);
+        assert_eq!(b.tasks, vec![0, 1, 2, 3]);
+        assert_eq!(b.duplicates, 0);
+        assert!(!b.aborted);
+        // max caps below the half-backlog bias.
+        let b = s.pop_top_batch(2);
+        assert_eq!(b.tasks, vec![4, 5]);
+        // Remaining entries drain; an empty deque yields an empty,
+        // non-aborted batch.
+        assert_eq!(s.pop_top_batch(16).tasks, vec![6]);
+        assert_eq!(s.pop_top_batch(16).tasks, vec![7]);
+        let b = s.pop_top_batch(16);
+        assert!(b.is_empty() && !b.aborted);
+    }
+
+    #[test]
+    fn batch_interleaves_with_owner_pops_without_loss() {
+        // Seeded sequential mix of owner ops and batched steals must
+        // conserve every value exactly once.
+        let (w, s) = new::<u64>(4096);
+        let mut rng = 0xBA7C4u64;
+        let mut next = 0u64;
+        let mut seen = vec![];
+        for _ in 0..4000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match rng >> 62 {
+                0 | 1 => {
+                    if w.push_bottom(next).is_ok() {
+                        next += 1;
+                    }
+                }
+                2 => {
+                    if let Some(v) = w.pop_bottom() {
+                        seen.push(v);
+                    }
+                }
+                _ => {
+                    let b = s.pop_top_batch(1 + (rng % 7) as usize);
+                    assert_eq!(b.duplicates, 0, "ABP is exact");
+                    seen.extend(b.tasks);
+                }
+            }
+        }
+        while let Some(v) = w.pop_bottom() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..next).collect::<Vec<_>>());
     }
 
     fn concurrent_conservation_with<P: OrderProfile>() {

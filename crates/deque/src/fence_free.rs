@@ -83,7 +83,7 @@
 //! `1 (owner) + #handles` extractions per task — the per-process
 //! multiplicity bound of the source paper. The runtime never calls it.
 
-use crate::atomic::{PushError, Steal};
+use crate::atomic::{batch_want, PushError, Steal, StolenBatch};
 use crate::word::Word;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -327,6 +327,65 @@ impl<T: Word> FenceFreeStealer<T> {
         }
     }
 
+    /// Batched guarded steal: run the once-guard claim over a top range
+    /// `[top, top + want)` under **one** `bot` Acquire and **one** final
+    /// `top` hint store.
+    ///
+    /// Range claims are safe here by construction (INV-SB-GUARD): the
+    /// per-slot claim word is the ground truth for extraction, so
+    /// claiming a range is just `want` independent slot claims — there
+    /// is no shared word whose stale read could hand two processes the
+    /// same task. A slot inside the range that is already odd (or whose
+    /// exchange loses) counts as a duplicate exactly as in
+    /// [`steal`](FenceFreeStealer::steal); the batch never aborts. The
+    /// single trailing hint store replaces `want` per-steal stores —
+    /// legal because `top` is only a hint [INV-FF-HINT].
+    pub fn steal_batch(&self, max: usize) -> StolenBatch<T> {
+        let mut out = StolenBatch::empty();
+        self.steal_batch_into(max, &mut out);
+        out
+    }
+
+    /// [`steal_batch`](FenceFreeStealer::steal_batch) into a
+    /// caller-owned buffer: `out` is cleared and refilled, so a reused
+    /// buffer makes the grab allocation-free in steady state. The range
+    /// is borrowed as two slices up front, paying the bounds checks
+    /// once per grab instead of once per slot.
+    pub fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        out.clear();
+        let inner = &*self.inner;
+        // Hints, exactly as in `steal`: `h < b` publishes every era word
+        // below `b` [INV-FF-PUB].
+        let h = inner.top.0.load(Ordering::Relaxed);
+        let b = inner.bot.0.load(Ordering::Acquire);
+        if h >= b {
+            return;
+        }
+        let avail = (b - h) as usize;
+        let want = batch_want(avail, max);
+        let end = h + want as u64;
+        out.tasks.reserve(want);
+        let claims = &inner.claims[h as usize..end as usize];
+        let tasks = &inner.tasks[h as usize..end as usize];
+        for (claim, task) in claims.iter().zip(tasks) {
+            // INV-FF-VAL per slot, unchanged from the single steal.
+            let c = claim.load(Ordering::Acquire);
+            if c & 1 == 1 {
+                out.duplicates += 1;
+                continue;
+            }
+            let v = task.load(Ordering::Relaxed);
+            match claim.compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => out.tasks.push(T::from_word(v)),
+                Err(_) => out.duplicates += 1,
+            }
+        }
+        // One plain hint store for the whole range [INV-FF-HINT]; a
+        // racing thief's stale store can regress it, which the next
+        // grab re-pays as duplicates — a counted non-event.
+        inner.top.0.store(end, Ordering::Relaxed);
+    }
+
     /// The source paper's unguarded steal: reads plus a plain `top`
     /// advance, **no claim** — the same item can be extracted by several
     /// handles (multiplicity). Test-only surface for the multiplicity
@@ -521,6 +580,35 @@ mod tests {
         for (task, n) in counts {
             assert_eq!(n, 1, "task {task} extracted {n} times");
         }
+    }
+
+    #[test]
+    fn batch_claims_half_and_reports_claimed_slots_as_duplicates() {
+        let (w, s) = new_fence_free::<u64>(16);
+        for v in 0..8 {
+            w.push_bottom(v).unwrap();
+        }
+        // An uncontended batch takes half the backlog in top order.
+        let b = s.steal_batch(16);
+        assert_eq!(b.tasks, vec![0, 1, 2, 3]);
+        assert_eq!(b.duplicates, 0);
+        assert!(!b.aborted, "fence-free never aborts");
+        // Rewind the hint so the next batch rescans claimed slots: the
+        // range walk surfaces them as duplicates, never a second Taken.
+        w.inner.top.0.store(0, Ordering::Relaxed);
+        let b = s.steal_batch(16);
+        assert_eq!(b.tasks, Vec::<u64>::new());
+        assert_eq!(b.duplicates, 4);
+        // The trailing hint store healed top past the claimed prefix.
+        let b = s.steal_batch(16);
+        assert_eq!(b.tasks, vec![4, 5]);
+        // Owner drains the rest exactly once.
+        let mut rest = vec![];
+        while let Some(v) = w.pop_bottom() {
+            rest.push(v);
+        }
+        rest.sort_unstable();
+        assert_eq!(rest, vec![6, 7]);
     }
 
     #[test]

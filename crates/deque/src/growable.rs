@@ -39,7 +39,7 @@
 //! practice, but a pathological producer/consumer pipeline that never
 //! empties the deque should use bounded batches.
 
-use crate::atomic::Steal;
+use crate::atomic::{batch_want, Steal, StolenBatch};
 use crate::order::{DefaultProtocol, OrderProfile};
 use crate::word::Word;
 use std::cell::UnsafeCell;
@@ -351,6 +351,71 @@ impl<T: Word, P: OrderProfile> GrowableStealer<T, P> {
         }
     }
 
+    /// Batched `popTop`: the same single-slot `cas` chain as
+    /// [`crate::atomic::Stealer::pop_top_batch`] (one range `cas` would
+    /// race the owner's keep-path pops — INV-SB-CHAIN there), with the
+    /// growable-specific buffer reload per slot read [INV-GROW].
+    pub fn pop_top_batch(&self, max: usize) -> StolenBatch<T> {
+        let mut out = StolenBatch::empty();
+        self.pop_top_batch_into(max, &mut out);
+        out
+    }
+
+    /// [`pop_top_batch`](GrowableStealer::pop_top_batch) into a
+    /// caller-owned buffer (cleared and refilled): a reused buffer
+    /// makes the grab allocation-free in steady state.
+    pub fn pop_top_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        out.clear();
+        let inner = &*self.inner;
+        let mut age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
+        P::thief_fence();
+        let bot = inner.bot.0.load(P::ACQUIRE);
+        if bot <= age.top as u64 {
+            return;
+        }
+        let avail = (bot - age.top as u64) as usize;
+        let want = batch_want(avail, max);
+        out.tasks.reserve(want);
+        for _ in 0..want {
+            let mut spins = 0;
+            let node = loop {
+                // SAFETY: buffers live until `Inner` drops; Acquire pairs
+                // with the Release publication swap [INV-GROW].
+                let buf = unsafe { &*inner.buffer.0.load(P::ACQUIRE) };
+                if (age.top as usize) < buf.slots.len() {
+                    break T::from_word(buf.slots[age.top as usize].load(P::RELAXED));
+                }
+                spins += 1;
+                if spins > 64 {
+                    // Pathological buffer staleness: end the grab rather
+                    // than spin (non-blocking discipline, as in pop_top).
+                    out.aborted = out.tasks.is_empty();
+                    return;
+                }
+                std::hint::spin_loop();
+            };
+            let new_age = AgeWord {
+                tag: age.tag,
+                top: age.top + 1,
+            };
+            match inner.age.0.compare_exchange(
+                age.pack(),
+                new_age.pack(),
+                P::STEAL_CAS,
+                P::STEAL_CAS_FAIL,
+            ) {
+                Ok(_) => {
+                    out.tasks.push(node);
+                    age = new_age;
+                }
+                Err(_) => {
+                    out.aborted = out.tasks.is_empty();
+                    break;
+                }
+            }
+        }
+    }
+
     /// Observed size; immediately stale under concurrency.
     pub fn len_hint(&self) -> usize {
         let age = AgeWord::unpack(self.inner.age.0.load(std::sync::atomic::Ordering::Relaxed));
@@ -406,6 +471,27 @@ mod tests {
             }
             assert_eq!(w.len_hint(), spec.len());
         }
+    }
+
+    #[test]
+    fn batch_spans_growth_boundaries() {
+        let (w, s) = new_growable::<u64>(4);
+        for i in 0..100 {
+            w.push_bottom(i);
+        }
+        // Batches drain in top order across the grown buffer.
+        let mut got = vec![];
+        loop {
+            let b = s.pop_top_batch(8);
+            assert!(!b.aborted, "uncontended grab");
+            assert_eq!(b.duplicates, 0);
+            if b.is_empty() {
+                break;
+            }
+            got.extend(b.tasks);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(w.pop_bottom(), None);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod sim_deque;
 pub mod task_deque;
 pub mod word;
 
-pub use atomic::{new, new_with_order, PushError, Steal, Stealer, Worker};
+pub use atomic::{new, new_with_order, PushError, Steal, Stealer, StolenBatch, Worker};
 pub use fence_free::{new_fence_free, FenceFreeStealer, FenceFreeWorker};
 pub use growable::{new_growable, new_growable_with_order, GrowableStealer, GrowableWorker};
 pub use locking::LockingDeque;

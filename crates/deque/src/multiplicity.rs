@@ -29,6 +29,13 @@
 //! and [`GuardMode::BrokenBlindStore`] — claim by plain store instead of
 //! `compare_exchange`, the bug this checker exists to catch — is caught
 //! extracting a value twice in guarded mode.
+//!
+//! [`ThiefMode::BatchGuarded`] steps the *batched* steal
+//! (`steal_batch`): one invocation resolves a whole range of slots by
+//! per-slot guard CAS with a single trailing `top = end` store. The same
+//! judges apply — exactly-once under the CAS guard, no value lost in a
+//! claimed range at quiescence — machine-checking INV-SB-GUARD against
+//! every interleaving with owner pops, slot reuse, and rival thieves.
 
 use std::collections::HashSet;
 
@@ -50,6 +57,13 @@ pub enum ThiefMode {
     /// The source paper's unguarded steal: no claim at all; per-handle
     /// multiplicity bounded by the cursor.
     Raw,
+    /// The production *batched* steal (`steal_batch`): one invocation
+    /// claims up to `max` slots (biased to half the visible backlog) by
+    /// per-slot guard CAS, with a single trailing `top = end` store —
+    /// the stepped mirror of `FenceFreeStealer::steal_batch` and its
+    /// INV-SB-GUARD argument that range claims are safe because the
+    /// claim words, not `top`, are ground truth.
+    BatchGuarded { max: usize },
 }
 
 /// Claim mechanism under test — [`GuardMode::BrokenBlindStore`] exists
@@ -177,6 +191,29 @@ enum ThiefPc {
     /// then report `Duplicate`.
     AdvanceTopDup {
         h: u64,
+    },
+    /// batch: about to read `claims[i]`, claiming slots `[i, end)`.
+    BatchReadClaim {
+        i: u64,
+        end: u64,
+    },
+    /// batch: about to read `tasks[i]`.
+    BatchReadTask {
+        i: u64,
+        end: u64,
+        c: u64,
+    },
+    /// batch: about to CAS `claims[i]: c -> c + 1`.
+    BatchClaim {
+        i: u64,
+        end: u64,
+        c: u64,
+        v: u64,
+    },
+    /// batch: every slot in the range resolved; about to publish the
+    /// single trailing hint `top = end`.
+    BatchAdvanceTop {
+        end: u64,
     },
 }
 
@@ -451,7 +488,7 @@ impl<'a> Explorer<'a> {
             ThiefPc::ReadTop => {
                 let h = n.shared.top.max(match mode {
                     ThiefMode::Raw => n.thieves[t].cursor,
-                    ThiefMode::Guarded => 0,
+                    ThiefMode::Guarded | ThiefMode::BatchGuarded { .. } => 0,
                 });
                 ThiefPc::ReadBot { h }
             }
@@ -463,6 +500,11 @@ impl<'a> Explorer<'a> {
                     match mode {
                         ThiefMode::Guarded => ThiefPc::ReadClaim { h },
                         ThiefMode::Raw => ThiefPc::ReadTask { h, c: 0 },
+                        ThiefMode::BatchGuarded { max } => {
+                            let avail = (n.shared.bot - h) as usize;
+                            let end = h + crate::atomic::batch_want(avail, max) as u64;
+                            ThiefPc::BatchReadClaim { i: h, end }
+                        }
                     }
                 }
             }
@@ -487,6 +529,9 @@ impl<'a> Explorer<'a> {
                         ThiefPc::Idle
                     }
                     ThiefMode::Guarded => ThiefPc::Claim { h, c, v },
+                    ThiefMode::BatchGuarded { .. } => {
+                        unreachable!("batch thieves use the Batch* states")
+                    }
                 }
             }
             ThiefPc::Claim { h, c, v } => {
@@ -500,6 +545,40 @@ impl<'a> Explorer<'a> {
             ThiefPc::AdvanceTopDup { h } => {
                 n.shared.top = h + 1;
                 self.outcome.saw_duplicate_result = true;
+                ThiefPc::Idle
+            }
+            ThiefPc::BatchReadClaim { i, end } => {
+                let c = n.shared.claims[i as usize];
+                if c & 1 == 1 {
+                    // Claimed-slot duplicate inside the range: skip it.
+                    self.outcome.saw_duplicate_result = true;
+                    if i + 1 < end {
+                        ThiefPc::BatchReadClaim { i: i + 1, end }
+                    } else {
+                        ThiefPc::BatchAdvanceTop { end }
+                    }
+                } else {
+                    ThiefPc::BatchReadTask { i, end, c }
+                }
+            }
+            ThiefPc::BatchReadTask { i, end, c } => {
+                let v = n.shared.tasks[i as usize];
+                ThiefPc::BatchClaim { i, end, c, v }
+            }
+            ThiefPc::BatchClaim { i, end, c, v } => {
+                if self.claim(&mut n.shared, i as usize, c) {
+                    self.record_extraction(&mut n, v, "batch thief")?;
+                } else {
+                    self.outcome.saw_duplicate_result = true;
+                }
+                if i + 1 < end {
+                    ThiefPc::BatchReadClaim { i: i + 1, end }
+                } else {
+                    ThiefPc::BatchAdvanceTop { end }
+                }
+            }
+            ThiefPc::BatchAdvanceTop { end } => {
+                n.shared.top = end;
                 ThiefPc::Idle
             }
         };
@@ -600,6 +679,60 @@ mod tests {
             guard: GuardMode::BrokenBlindStore,
         };
         let err = explore(&s).expect_err("blind-store claim must be caught");
+        assert!(err.contains("bound is k"), "unexpected violation: {err}");
+    }
+
+    #[test]
+    fn batch_thief_is_exactly_once_against_owner_pops() {
+        // One batch invocation racing the owner's walk-down pops across
+        // a 3-deep backlog: no value may be extracted twice, and no
+        // value may vanish inside the claimed range.
+        let s = Scenario {
+            capacity: 4,
+            owner_ops: vec![Push(1), Push(2), Push(3), Pop, Pop, Pop],
+            thieves: vec![(ThiefMode::BatchGuarded { max: 4 }, 1)],
+            guard: GuardMode::Cas,
+        };
+        let out = explore(&s).expect("batched range claims must stay exactly-once");
+        assert_eq!(out.max_multiplicity, 1);
+        assert!(
+            out.saw_duplicate_result,
+            "some interleaving must race the batch against an owner claim"
+        );
+        assert!(out.terminals > 0);
+    }
+
+    #[test]
+    fn batch_thief_against_single_rival_and_slot_reuse() {
+        // A batch thief and a single-steal rival over a capacity-2 array
+        // with slot reuse: the era-versioned claim words must keep the
+        // range claim exactly-once even when a slot is recycled under a
+        // stale batch bound.
+        let s = Scenario {
+            capacity: 2,
+            owner_ops: vec![Push(1), Push(2), Pop, Push(3), Pop, Pop],
+            thieves: vec![
+                (ThiefMode::BatchGuarded { max: 2 }, 1),
+                (ThiefMode::Guarded, 1),
+            ],
+            guard: GuardMode::Cas,
+        };
+        let out = explore(&s).expect("batch + rival + reuse must stay exactly-once");
+        assert_eq!(out.max_multiplicity, 1);
+    }
+
+    #[test]
+    fn batch_checker_catches_a_broken_once_guard() {
+        // Non-vacuity for the batch path: with blind-store claims, a
+        // batch slot claim and the owner's pop both "win" the same slot
+        // and the k = 1 bound must trip.
+        let s = Scenario {
+            capacity: 4,
+            owner_ops: vec![Push(1), Push(2), Pop, Pop],
+            thieves: vec![(ThiefMode::BatchGuarded { max: 4 }, 1)],
+            guard: GuardMode::BrokenBlindStore,
+        };
+        let err = explore(&s).expect_err("blind-store batch claim must be caught");
         assert!(err.contains("bound is k"), "unexpected violation: {err}");
     }
 

@@ -31,7 +31,7 @@
 //! the simulator's locking model delegates its queue state to the real
 //! [`LockingDeque`] through these same traits.
 
-use crate::atomic::{PushError, Steal, Stealer, Worker};
+use crate::atomic::{batch_want, PushError, Steal, Stealer, StolenBatch, Worker};
 use crate::fence_free::{FenceFreeStealer, FenceFreeWorker};
 use crate::growable::{GrowableStealer, GrowableWorker};
 use crate::locking::LockingDeque;
@@ -56,6 +56,45 @@ pub trait DequeStealer<T: Word>: Clone + Send + Sync {
     fn steal(&self) -> Steal<T>;
     /// Best-effort size (may be stale).
     fn len_hint(&self) -> usize;
+
+    /// Batched `popTop`: claim up to `max` tasks, biased toward half
+    /// the victim's visible backlog, under as little synchronization as
+    /// the backend allows. Every backend overrides this with a native
+    /// grab (one fence + `cas` chain for ABP/growable, one range of
+    /// once-guard claims for fence-free, one `try_lock` for locking);
+    /// the default is a single-steal loop so third-party backends get
+    /// correct — if unamortized — batch semantics for free.
+    ///
+    /// Outcome mapping mirrors [`Steal`]: an empty non-aborted batch is
+    /// the `Empty` observation, `aborted` is the batch `Abort` (nothing
+    /// claimed and a race lost), and `duplicates` counts lost
+    /// once-guard races inside the scanned range.
+    fn steal_batch(&self, max: usize) -> StolenBatch<T> {
+        let mut out = StolenBatch::empty();
+        self.steal_batch_into(max, &mut out);
+        out
+    }
+
+    /// [`steal_batch`](DequeStealer::steal_batch) into a caller-owned
+    /// buffer: `out` is cleared and refilled. Reusing one buffer across
+    /// grabs makes the seam allocation-free in steady state — the other
+    /// half of the amortization (one synchronization episode *and* zero
+    /// allocations per multi-task grab). Backends override this with
+    /// their native grabs; `steal_batch` always delegates here.
+    fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        out.clear();
+        for _ in 0..batch_want(self.len_hint(), max) {
+            match self.steal() {
+                Steal::Taken(v) => out.tasks.push(v),
+                Steal::Duplicate => out.duplicates += 1,
+                Steal::Abort => {
+                    out.aborted = out.tasks.is_empty() && out.duplicates == 0;
+                    break;
+                }
+                Steal::Empty => break,
+            }
+        }
+    }
 }
 
 /// A deque backend descriptor: names the algorithm, carries its sizing
@@ -113,6 +152,9 @@ impl<T: Word + Send + Sync + 'static> DequeStealer<T> for Stealer<T> {
     fn len_hint(&self) -> usize {
         Stealer::len_hint(self)
     }
+    fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        self.pop_top_batch_into(max, out)
+    }
 }
 
 impl<T: Word + Send + Sync + 'static> TaskDeque<T> for AbpBackend {
@@ -165,6 +207,9 @@ impl<T: Word + Send + Sync + 'static> DequeStealer<T> for GrowableStealer<T> {
     fn len_hint(&self) -> usize {
         GrowableStealer::len_hint(self)
     }
+    fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        self.pop_top_batch_into(max, out)
+    }
 }
 
 impl<T: Word + Send + Sync + 'static> TaskDeque<T> for GrowableBackend {
@@ -208,6 +253,9 @@ impl<T: Word + Send + Sync + 'static> DequeStealer<T> for LockingDeque<T> {
     }
     fn len_hint(&self) -> usize {
         self.len()
+    }
+    fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        self.pop_top_batch_into(max, out)
     }
 }
 
@@ -264,6 +312,9 @@ impl<T: Word + Send + Sync + 'static> DequeStealer<T> for FenceFreeStealer<T> {
     fn len_hint(&self) -> usize {
         FenceFreeStealer::len_hint(self)
     }
+    fn steal_batch_into(&self, max: usize, out: &mut StolenBatch<T>) {
+        FenceFreeStealer::steal_batch_into(self, max, out)
+    }
 }
 
 impl<T: Word + Send + Sync + 'static> TaskDeque<T> for FenceFreeBackend {
@@ -301,6 +352,65 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
         assert_eq!(stealer.steal().taken(), None);
+    }
+
+    /// Batched steals through the trait seam: half-backlog bias, top
+    /// order, exact conservation against owner pops.
+    fn batch_smoke<B: TaskDeque<u64>>(backend: B) {
+        let (owner, stealer) = backend.new_pair();
+        let b = stealer.steal_batch(8);
+        assert!(b.is_empty() && !b.aborted, "{}: empty deque", B::NAME);
+        for v in 0..10u64 {
+            owner.push_bottom(v).unwrap();
+        }
+        let b = stealer.steal_batch(64);
+        assert_eq!(b.tasks, (0..5).collect::<Vec<_>>(), "{}", B::NAME);
+        assert_eq!(b.duplicates, 0);
+        let b = stealer.steal_batch(2);
+        assert_eq!(b.tasks, vec![5, 6], "{}: max caps the grab", B::NAME);
+        let mut got: Vec<u64> = (0..7).collect();
+        while let Some(v) = owner.pop_bottom() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "{}", B::NAME);
+    }
+
+    #[test]
+    fn all_backends_batch_through_the_trait() {
+        batch_smoke(AbpBackend { capacity: 32 });
+        batch_smoke(GrowableBackend {
+            initial_capacity: 2,
+        });
+        batch_smoke(LockingBackend);
+        batch_smoke(FenceFreeBackend { capacity: 32 });
+    }
+
+    /// The default single-steal-loop fallback (a stealer type that does
+    /// not override `steal_batch`) honors the same semantics.
+    #[test]
+    fn default_steal_batch_fallback_loops_singles() {
+        #[derive(Clone)]
+        struct PlainStealer(Stealer<u64>);
+        impl DequeStealer<u64> for PlainStealer {
+            fn steal(&self) -> Steal<u64> {
+                self.0.pop_top()
+            }
+            fn len_hint(&self) -> usize {
+                self.0.len_hint()
+            }
+            // No steal_batch override: exercises the trait default.
+        }
+        let (owner, stealer) = crate::atomic::new::<u64>(32);
+        let plain = PlainStealer(stealer);
+        for v in 0..8u64 {
+            owner.push_bottom(v).unwrap();
+        }
+        let b = plain.steal_batch(64);
+        assert_eq!(b.tasks, vec![0, 1, 2, 3]);
+        assert!(!b.aborted);
+        let b = plain.steal_batch(1);
+        assert_eq!(b.tasks, vec![4]);
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub mod scope;
 pub mod sleep;
 pub mod stats;
 
-pub use abp_core::{BackoffKind, IdleKind, InjectKind, PolicySet, SplitKind, VictimKind};
+pub use abp_core::{
+    BackoffKind, BatchKind, IdleKind, InjectKind, PolicySet, SplitKind, VictimKind,
+};
 pub use join::join;
 pub use par::{par_sort_unstable, scope_fifo, ScopeFifo, Splitter};
 pub use parallel::{for_each_mut, map_collect, map_reduce, sort_unstable};

@@ -86,12 +86,13 @@ use crate::latch::LockLatch;
 use crate::sleep::{Sleep, SleepKind, SleepOutcome, SleepStats};
 use crate::stats::{PoolStats, WorkerStats};
 use abp_core::{
-    BackoffAction, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, SplitKind, StealResult,
+    BackoffAction, BatchKind, IdleAction, IdleKind, PolicyEngine, PolicyRng, PolicySet, SplitKind,
+    StealResult,
 };
 use abp_dag::DetRng;
 use abp_deque::{
-    AbpBackend, DequeOwner, DequeStealer, FenceFreeBackend, GrowableBackend, LockingBackend, Steal,
-    TaskDeque,
+    AbpBackend, DequeOwner, DequeStealer, FenceFreeBackend, GrowableBackend, LockingBackend,
+    PushError, Steal, StolenBatch, TaskDeque,
 };
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -347,7 +348,17 @@ impl PoolConfig {
     }
 
     /// Replaces the cross-pool steal probability.
+    ///
+    /// # Panics
+    ///
+    /// If `cross_steal` is NaN or outside `[0.0, 1.0]` — a coin with a
+    /// probability outside the unit interval is always a caller bug,
+    /// and the policy coin would otherwise silently clamp it.
     pub fn with_cross_steal(mut self, cross_steal: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cross_steal),
+            "cross_steal must be a probability in [0.0, 1.0], got {cross_steal}"
+        );
         self.cross_steal = cross_steal;
         self
     }
@@ -462,6 +473,11 @@ pub(crate) struct SharedCore {
     shutdown: AtomicBool,
     /// The pool's split cadence, read by [`crate::par`]'s splitter.
     split: SplitKind,
+    /// The pool's steal-batching policy. `Single` keeps every steal and
+    /// injector poll a one-task transfer (the PR-9 hot paths, verbatim);
+    /// `Half { cap }` lets cross-pool steals and injector polls claim up
+    /// to `cap` tasks per round trip.
+    batch: BatchKind,
     pub(crate) stats: Vec<WorkerStats>,
     /// The selected backend (capability constants drive the per-backend
     /// shutdown assertions; the name labels reports).
@@ -578,6 +594,7 @@ impl SharedCore {
         out.contention = 0;
         out.polls = 0;
         out.hits = 0;
+        out.empty_fast = 0;
         for s in &self.shards {
             let mut one = abp_telemetry::InjectorSnapshot::default();
             s.injector.stamp(&mut one);
@@ -586,7 +603,24 @@ impl SharedCore {
             out.contention += one.contention;
             out.polls += one.polls;
             out.hits += one.hits;
+            out.empty_fast += one.empty_fast;
         }
+    }
+
+    /// Stamps the steal-batching counters into a telemetry snapshot as
+    /// named counters. Only when a batch actually happened: `Single`
+    /// runs (and batched runs that never multi-claimed) leave both
+    /// exporters byte-identical.
+    #[cfg(feature = "telemetry")]
+    fn stamp_batch(&self, snap: &mut TelemetrySnapshot) {
+        let s = PoolStats::aggregate(&self.stats);
+        if s.batch_steals == 0 {
+            return;
+        }
+        snap.counters
+            .push(("batch_steals".to_string(), s.batch_steals));
+        snap.counters
+            .push(("batched_tasks".to_string(), s.batched_tasks));
     }
 
     /// Stamps the topology counters — pool count, remote/local steal
@@ -686,6 +720,10 @@ pub struct WorkerCtx<B: TaskDeque<usize> = AbpBackend> {
     /// Timestamp of the wake-caused unpark (0 when tracing is off),
     /// for the unpark-to-work latency histogram.
     woken_at: Cell<u64>,
+    /// Reused scratch for batched cross-pool robs: after the first few
+    /// trips the capacity sticks at the batch cap and the steady state
+    /// allocates nothing.
+    batch_buf: RefCell<StolenBatch<usize>>,
     #[cfg(feature = "telemetry")]
     tele: Option<WorkerTelemetry>,
 }
@@ -932,6 +970,10 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
     /// contended) counts as an `empty` — either way exactly one outcome
     /// per attempt, so the accounting identity extends to the new path.
     pub(crate) fn poll_injector(&self) -> Option<JobRef> {
+        let cap = self.core().batch.cap();
+        if cap > 1 {
+            return self.poll_injector_batch(cap);
+        }
         let stats = self.stats();
         stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
         match self.shard().injector.poll(self.local_index()) {
@@ -958,6 +1000,63 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         }
     }
 
+    /// Batched spelling of [`WorkerCtx::poll_injector`], taken when the
+    /// batch policy is [`BatchKind::Half`]: up to `cap` jobs leave this
+    /// pool's front door under one shard lock ([`Injector::poll_batch`]
+    /// counts it as one poll with `n` hits). The first job is returned
+    /// to run now; the rest land on our own deque bottom — visible to
+    /// pool-mates — and wake `min(rest, sleepers)` of them. Worker-side
+    /// accounting stays per-job (`n` attempts, `n` injects, one
+    /// inject-to-pickup latency sample per stamped job), so the five-way
+    /// identity and the SV1 histograms see exactly the jobs that moved.
+    /// Injector batches do *not* feed the `batch_steals` counters —
+    /// those measure steal round trips, and `batch_consistent()` bounds
+    /// them by `steals`.
+    fn poll_injector_batch(&self, cap: usize) -> Option<JobRef> {
+        let stats = self.stats();
+        let got = self.shard().injector.poll_batch(self.local_index(), cap);
+        if got.is_empty() {
+            stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            stats.empties.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            self.tele_record(EventKind::InjectorPoll { hit: false });
+            return None;
+        }
+        let n = got.len();
+        stats.steal_attempts.fetch_add(n as u64, Ordering::Relaxed);
+        stats.injects.fetch_add(n as u64, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &self.tele {
+            let now = t.now_ns();
+            for &(_, submit_ns) in &got {
+                if submit_ns > 0 {
+                    t.inject_latency_ns(now.saturating_sub(submit_ns));
+                }
+                t.record_at(now, EventKind::InjectorPoll { hit: true });
+            }
+        }
+        let mut jobs = got.into_iter();
+        let (first, _) = jobs.next().expect("non-empty injector batch");
+        let mut parked_here = 0usize;
+        for (word, submit_ns) in jobs {
+            match self.deque.push_bottom(word) {
+                Ok(()) => parked_here += 1,
+                // A full fixed-capacity deque (practically impossible at
+                // the default 1 << 15 slots) sends the job back through
+                // our own front door, original stamp preserved — a task
+                // is never dropped.
+                Err(PushError(w)) => {
+                    self.shard().injector.push(w, submit_ns);
+                    parked_here += 1;
+                }
+            }
+        }
+        if parked_here > 0 {
+            self.core().notify_shard(self.shard(), parked_here);
+        }
+        Some(JobRef::from_word(first))
+    }
+
     /// One counted `popTop` against global worker `v`. A
     /// [`Steal::Duplicate`] from a multiplicity-relaxed backend is a
     /// counted miss: the task was already extracted by someone else, so
@@ -980,6 +1079,79 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         };
         self.note_steal(v, result, scan_start, observe_as);
         None
+    }
+
+    /// One *batched* cross-pool round trip against global worker `v`,
+    /// taken when the batch policy is [`BatchKind::Half`]: claim up to
+    /// `cap` tasks (biased to half the victim's visible backlog by the
+    /// backend's `steal_batch_into`, refilling a per-worker scratch
+    /// buffer), keep the first to run now, push the
+    /// rest onto our own deque bottom, and wake `min(rest, sleepers)`
+    /// pool-mates so one migration fans work out locally instead of
+    /// costing one remote round trip per task.
+    ///
+    /// Accounting stays per-task — each claimed task is one attempt and
+    /// one [`StealResult::Hit`] through [`WorkerCtx::note_steal`], so
+    /// the five-way identity, the remote/local locality split, and the
+    /// steal-back hint are all maintained exactly as if the tasks had
+    /// been stolen one by one. Only the round-trip shape is new:
+    /// `batch_steals`/`batched_tasks` record it, outside the identity,
+    /// whenever a trip moved `n ≥ 2` tasks.
+    fn try_rob_batch(&self, v: usize, scan_start: Option<u64>, cap: usize) -> Option<JobRef> {
+        let stats = self.stats();
+        let mut batch = self.batch_buf.borrow_mut();
+        self.shared.stealers[v].steal_batch_into(cap, &mut batch);
+        // Lost once-guard races inside the scanned range (multiplicity
+        // backends only): counted misses, one attempt each, exactly as
+        // single steals count a `Steal::Duplicate`.
+        for _ in 0..batch.duplicates {
+            stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            self.note_steal(v, StealResult::Duplicate, scan_start, None);
+        }
+        if batch.tasks.is_empty() {
+            // Nothing claimed: when the whole range was lost to
+            // duplicates those misses above were the outcome; otherwise
+            // the trip is one counted Abort or Empty, as for `try_rob`.
+            if batch.duplicates == 0 {
+                stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+                let result = if batch.aborted {
+                    StealResult::Abort
+                } else {
+                    StealResult::Empty
+                };
+                self.note_steal(v, result, scan_start, None);
+            }
+            return None;
+        }
+        let n = batch.tasks.len();
+        stats.steal_attempts.fetch_add(n as u64, Ordering::Relaxed);
+        for _ in 0..n {
+            self.note_steal(v, StealResult::Hit, scan_start, None);
+        }
+        if n >= 2 {
+            stats.batch_steals.fetch_add(1, Ordering::Relaxed);
+            stats.batched_tasks.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        let mut tasks = batch.tasks.drain(..);
+        let first = tasks.next().expect("non-empty batch");
+        let mut parked_here = 0usize;
+        for word in tasks {
+            match self.deque.push_bottom(word) {
+                Ok(()) => parked_here += 1,
+                // A full fixed-capacity deque (practically impossible at
+                // the default 1 << 15 slots) reroutes the task through
+                // our own front door — unstamped, like internal work —
+                // rather than dropping it.
+                Err(PushError(w)) => {
+                    self.shard().injector.push(w, 0);
+                    parked_here += 1;
+                }
+            }
+        }
+        if parked_here > 0 {
+            self.core().notify_shard(self.shard(), parked_here);
+        }
+        Some(JobRef::from_word(first))
     }
 
     /// One counted injector poll, when the inject policy says it is due
@@ -1077,7 +1249,16 @@ impl<B: TaskDeque<usize>> WorkerCtx<B> {
         }
         if self.engine.borrow_mut().coin(core.cross_coin) {
             let v = self.remote_victim();
-            if let Some(job) = self.try_rob(v, scan_start, None) {
+            // `Single` takes the PR-9 single-steal path verbatim; the
+            // batched trip draws no extra randomness, so the policy rng
+            // streams stay aligned either way.
+            let cap = core.batch.cap();
+            let job = if cap > 1 {
+                self.try_rob_batch(v, scan_start, cap)
+            } else {
+                self.try_rob(v, scan_start, None)
+            };
+            if let Some(job) = job {
                 return Some(job);
             }
         }
@@ -1331,6 +1512,7 @@ fn spawn_workers<B: TaskDeque<usize>>(
                 )),
                 woken_pending: Cell::new(false),
                 woken_at: Cell::new(0),
+                batch_buf: RefCell::new(StolenBatch::empty()),
                 #[cfg(feature = "telemetry")]
                 tele: shared.core.registry.as_ref().map(|r| r.worker(index)),
             };
@@ -1429,6 +1611,7 @@ impl ThreadPool {
             flat_scan: config.flat_scan,
             shutdown: AtomicBool::new(false),
             split: config.policies.split,
+            batch: config.policies.batch,
             stats: (0..p).map(|_| WorkerStats::default()).collect(),
             backend: config.backend,
             #[cfg(feature = "telemetry")]
@@ -1625,6 +1808,7 @@ impl ThreadPool {
             self.core.stamp_sleep(&mut snap);
             self.core.stamp_par(&mut snap);
             self.core.stamp_topology(&mut snap);
+            self.core.stamp_batch(&mut snap);
             snap
         })
     }
@@ -1703,6 +1887,20 @@ impl ThreadPool {
             "flat pool recorded remote attempts: {}",
             stats.remote_attempts
         );
+        // Batching rides outside the identity the same way the locality
+        // split does: every batched task is already a counted steal, a
+        // batch moves at least two of them, and under the single-steal
+        // default no batch can form at all (structural zeros).
+        assert!(
+            stats.batch_consistent(),
+            "batch accounting inconsistent: {stats:?}"
+        );
+        assert!(
+            self.core.batch.is_batched() || (stats.batch_steals == 0 && stats.batched_tasks == 0),
+            "single-steal pool recorded steal batches: batch_steals = {}, batched_tasks = {}",
+            stats.batch_steals,
+            stats.batched_tasks
+        );
         let sleep = self.core.sleep_stats();
         // Every hit-after-unpark is credited to exactly one delivered
         // wake (the condvar fallback's herd makes the correspondence
@@ -1727,6 +1925,7 @@ impl ThreadPool {
                 self.core.stamp_sleep(&mut snap);
                 self.core.stamp_par(&mut snap);
                 self.core.stamp_topology(&mut snap);
+                self.core.stamp_batch(&mut snap);
                 snap
             }),
         }

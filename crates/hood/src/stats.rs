@@ -19,6 +19,14 @@
 //! the identity: it counts hits whose victim lives in a different pool
 //! than the thief, and is structurally zero on a flat single-pool
 //! configuration (asserted at shutdown).
+//!
+//! Batched stealing (the `BatchKind::Half` policy) adds a second
+//! outside-the-identity split: a batched grab of `n` tasks records `n`
+//! attempts and `n` steals — so the five-way identity and the locality
+//! split are untouched — plus one `batch_steals` and `n`
+//! `batched_tasks` alongside ([`PoolStats::batch_consistent`]). Under
+//! the single-steal default both are structurally zero (asserted at
+//! shutdown).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -61,6 +69,15 @@ pub struct WorkerStats {
     /// one unpark (wake or timeout), so `parks == unparks` at shutdown —
     /// the sleep-subsystem analogue of `attempts_balance`.
     pub unparks: AtomicU64,
+    /// Multi-task batched grabs this worker performed (a `steal_batch`
+    /// that returned n >= 2 tasks counts one batch). Rides outside the
+    /// attempts identity — each task in the batch is still recorded as
+    /// one attempt and one steal. Structurally zero under the
+    /// single-steal default policy (asserted at shutdown).
+    pub batch_steals: AtomicU64,
+    /// Tasks obtained through those batched grabs (sub-count of
+    /// `steals`; at least `2 * batch_steals` by definition of a batch).
+    pub batched_tasks: AtomicU64,
     /// Forks taken by the data-parallel adaptive splitter (each is one
     /// extra `join` operand pushed to this worker's deque).
     pub par_splits: AtomicU64,
@@ -86,6 +103,8 @@ impl WorkerStats {
             yields: self.yields.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
+            batch_steals: self.batch_steals.load(Ordering::Relaxed),
+            batched_tasks: self.batched_tasks.load(Ordering::Relaxed),
             par_splits: self.par_splits.load(Ordering::Relaxed),
             par_seq: self.par_seq.load(Ordering::Relaxed),
         }
@@ -112,6 +131,11 @@ pub struct PoolStats {
     pub yields: u64,
     pub parks: u64,
     pub unparks: u64,
+    /// Multi-task batched grabs (outside the attempts identity; zero
+    /// under the single-steal default).
+    pub batch_steals: u64,
+    /// Tasks obtained via batched grabs (sub-count of `steals`).
+    pub batched_tasks: u64,
     pub par_splits: u64,
     pub par_seq: u64,
 }
@@ -133,6 +157,8 @@ impl PoolStats {
             s.yields += w.yields.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
             s.unparks += w.unparks.load(Ordering::Relaxed);
+            s.batch_steals += w.batch_steals.load(Ordering::Relaxed);
+            s.batched_tasks += w.batched_tasks.load(Ordering::Relaxed);
             s.par_splits += w.par_splits.load(Ordering::Relaxed);
             s.par_seq += w.par_seq.load(Ordering::Relaxed);
         }
@@ -186,6 +212,15 @@ impl PoolStats {
         } else {
             self.remote_attempts as f64 / self.steal_attempts as f64
         }
+    }
+
+    /// True iff the batch accounting is consistent: every batched task
+    /// is also a counted steal (the batch counters ride *outside* the
+    /// attempts identity), and every batch grabbed at least two tasks.
+    /// Under the single-steal default both counters are structurally
+    /// zero and this holds trivially.
+    pub fn batch_consistent(&self) -> bool {
+        self.batched_tasks <= self.steals && self.batched_tasks >= 2 * self.batch_steals
     }
 
     /// True iff every park this snapshot saw also returned. Holds at any
@@ -327,6 +362,49 @@ mod tests {
         let agg = PoolStats::aggregate(&ws);
         assert_eq!(agg.remote_steals, 1);
         assert_eq!(agg.local_steals(), 4);
+    }
+
+    #[test]
+    fn batch_counters_ride_outside_the_identity() {
+        // A batch of 3 records 3 attempts + 3 steals (identity intact)
+        // plus one batch_steals and 3 batched_tasks alongside.
+        let s = PoolStats {
+            steal_attempts: 10,
+            steals: 5,
+            empties: 5,
+            batch_steals: 1,
+            batched_tasks: 3,
+            ..PoolStats::default()
+        };
+        assert!(s.attempts_balance());
+        assert!(s.batch_consistent());
+        // More batched tasks than steals: inconsistent.
+        assert!(!PoolStats {
+            steals: 2,
+            batch_steals: 1,
+            batched_tasks: 3,
+            ..PoolStats::default()
+        }
+        .batch_consistent());
+        // A "batch" of one task is not a batch.
+        assert!(!PoolStats {
+            steals: 5,
+            batch_steals: 1,
+            batched_tasks: 1,
+            ..PoolStats::default()
+        }
+        .batch_consistent());
+        // Structural zero under the single-steal default.
+        assert!(PoolStats::default().batch_consistent());
+        // Aggregation carries the batch counters.
+        let ws = [WorkerStats::default(), WorkerStats::default()];
+        ws[0].batch_steals.store(2, Ordering::Relaxed);
+        ws[0].batched_tasks.store(5, Ordering::Relaxed);
+        ws[1].batched_tasks.store(2, Ordering::Relaxed);
+        ws[1].batch_steals.store(1, Ordering::Relaxed);
+        let agg = PoolStats::aggregate(&ws);
+        assert_eq!(agg.batch_steals, 3);
+        assert_eq!(agg.batched_tasks, 7);
     }
 
     #[test]

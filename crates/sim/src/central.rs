@@ -213,6 +213,8 @@ pub fn run_central(
         pools: 1,
         remote_steals: 0,
         remote_attempts: 0,
+        batch_steals: 0,
+        batched_tasks: 0,
         throws: 0,
         yields: 0,
         policy: "central-queue".to_string(),

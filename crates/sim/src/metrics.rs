@@ -45,6 +45,14 @@ pub struct RunReport {
     /// where the workload happens to put the work. Sub-count of
     /// `steal_attempts`; structurally zero on a flat run.
     pub remote_attempts: u64,
+    /// Multi-task steal episodes: cross-pool round trips that claimed
+    /// ≥ 2 tasks at once. Outside the accounting identity (each claimed
+    /// task is still its own attempt and hit); structurally zero under
+    /// the single-steal default batch policy.
+    pub batch_steals: u64,
+    /// Tasks moved by those episodes, the first kept task included.
+    /// Outside the identity; structurally zero under single-steal.
+    pub batched_tasks: u64,
     /// Steal attempts that were *throws*: completed at their process's
     /// second milestone in a round (§4.1).
     pub throws: u64,
@@ -135,6 +143,45 @@ impl RunReport {
             && self.remote_attempts <= self.steal_attempts
             && (self.pools > 1 || self.remote_attempts == 0)
     }
+
+    /// The batch split invariant: every batched task is a counted
+    /// successful steal, and every batch moved at least two tasks.
+    pub fn batch_consistent(&self) -> bool {
+        self.batched_tasks <= self.successful_steals && self.batched_tasks >= 2 * self.batch_steals
+    }
+
+    /// Remote attempts per migrated (remote-stolen) task. Every batched
+    /// extra counts as its own attempt *and* hit (the identity is
+    /// per-task), so this ratio understates the amortization — see
+    /// [`remote_trips_per_migrated_task`](RunReport::remote_trips_per_migrated_task)
+    /// for the round-trip view. `f64::INFINITY` when attempts were made
+    /// but nothing migrated; 0.0 when no remote attempts happened.
+    pub fn remote_attempts_per_migrated_task(&self) -> f64 {
+        if self.remote_attempts == 0 {
+            return 0.0;
+        }
+        self.remote_attempts as f64 / self.remote_steals as f64
+    }
+
+    /// Cross-pool synchronization round trips per migrated task — the
+    /// overhead batching amortizes, and the SB1 gate metric. A batched
+    /// grab is **one** trip no matter how many tasks it moves, so the
+    /// free riders (`batched_tasks - batch_steals`, the tasks beyond
+    /// each batch's first) are subtracted from the per-task attempt
+    /// count to recover the trip count. `f64::INFINITY` when trips were
+    /// paid but nothing migrated; 0.0 when no remote attempts happened.
+    pub fn remote_trips_per_migrated_task(&self) -> f64 {
+        if self.remote_attempts == 0 {
+            return 0.0;
+        }
+        let trips = self
+            .remote_attempts
+            .saturating_sub(self.batched_tasks - self.batch_steals);
+        if self.remote_steals == 0 {
+            return f64::INFINITY;
+        }
+        trips as f64 / self.remote_steals as f64
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -198,6 +245,8 @@ mod tests {
             pools: 1,
             remote_steals: 0,
             remote_attempts: 0,
+            batch_steals: 0,
+            batched_tasks: 0,
             throws: 55,
             yields: 60,
             policy: "uniform+yield+spin/to-all".to_string(),
@@ -268,5 +317,68 @@ mod tests {
         assert!((r.remote_attempt_fraction() - 0.2).abs() < 1e-9);
         r.remote_steals = r.remote_attempts + 1;
         assert!(!r.locality_consistent(), "a remote hit is a remote attempt");
+    }
+
+    #[test]
+    fn batch_split_rides_outside_the_identity() {
+        let mut r = dummy();
+        assert!(r.batch_consistent(), "zeros are consistent");
+        // A 3-task and a 2-task episode: 5 batched tasks over 2 batches,
+        // all sub-counts of the 30 successful steals — the identity
+        // never learns about them.
+        r.pools = 4;
+        r.batch_steals = 2;
+        r.batched_tasks = 5;
+        assert!(r.batch_consistent());
+        assert!(r.steal_accounting_balanced());
+        // A "batch" of one task is not a batch.
+        r.batched_tasks = 3;
+        assert!(!r.batch_consistent());
+        // More batched tasks than successful steals is inconsistent.
+        r.batch_steals = 2;
+        r.batched_tasks = r.successful_steals + 1;
+        assert!(!r.batch_consistent());
+    }
+
+    #[test]
+    fn remote_attempts_per_migrated_task_edges() {
+        let mut r = dummy();
+        assert_eq!(r.remote_attempts_per_migrated_task(), 0.0);
+        r.pools = 2;
+        r.remote_attempts = 12;
+        r.remote_steals = 4;
+        assert!((r.remote_attempts_per_migrated_task() - 3.0).abs() < 1e-9);
+        r.remote_steals = 0;
+        assert!(r.remote_attempts_per_migrated_task().is_infinite());
+    }
+
+    #[test]
+    fn remote_trips_per_migrated_task_subtracts_free_riders() {
+        let mut r = dummy();
+        assert_eq!(r.remote_trips_per_migrated_task(), 0.0);
+        r.pools = 2;
+        // 12 attempts landed 6 migrated tasks, but 2 batches carried
+        // 5 of them: the 3 extras rode already-paid trips, so only
+        // 12 - 3 = 9 round trips were actually made for 6 tasks.
+        r.remote_attempts = 12;
+        r.remote_steals = 6;
+        r.batch_steals = 2;
+        r.batched_tasks = 5;
+        assert!((r.remote_trips_per_migrated_task() - 1.5).abs() < 1e-9);
+        // With no batching the two metrics agree.
+        r.batch_steals = 0;
+        r.batched_tasks = 0;
+        assert!(
+            (r.remote_trips_per_migrated_task() - r.remote_attempts_per_migrated_task()).abs()
+                < 1e-9
+        );
+        // Free riders can at most cancel the attempt count, never
+        // drive it negative.
+        r.batch_steals = 2;
+        r.batched_tasks = 20;
+        assert_eq!(r.remote_trips_per_migrated_task(), 0.0);
+        r.remote_steals = 0;
+        r.batched_tasks = 5;
+        assert!(r.remote_trips_per_migrated_task().is_infinite());
     }
 }

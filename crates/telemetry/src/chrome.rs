@@ -201,6 +201,35 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
             ),
         );
     }
+    // Batched-steal counters ride the same gated path: under the
+    // single-steal default no batch ever forms (structural zero), so
+    // every pinned golden stays byte-identical.
+    let batch_steals = named_counter(snap, "batch_steals");
+    if batch_steals > 0 {
+        let batched_tasks = named_counter(snap, "batched_tasks");
+        push_event(
+            &mut out,
+            &mut first,
+            "steal_batches",
+            "C",
+            0,
+            0,
+            &format!(",\"args\":{{\"batches\":{batch_steals},\"tasks\":{batched_tasks}}}"),
+        );
+    }
+    // Injector fast-path counter, gated for the same reason: pinned
+    // goldens predate the counter and must not grow an event.
+    if snap.injector.empty_fast > 0 {
+        push_event(
+            &mut out,
+            &mut first,
+            "injector_fast_path",
+            "C",
+            0,
+            0,
+            &format!(",\"args\":{{\"empty_fast\":{}}}", snap.injector.empty_fast),
+        );
+    }
     out.push_str("\n]\n");
     out
 }
@@ -296,16 +325,25 @@ pub fn metrics_json(snap: &TelemetrySnapshot) -> String {
     }
     let inj = &snap.injector;
     let lat = &inj.latency;
+    // Gated on nonzero like the per-worker duplicates field: golden
+    // dumps recorded before the fast-path counter existed stay
+    // byte-identical.
+    let fast_field = if inj.empty_fast > 0 {
+        format!(",\"empty_fast\":{}", inj.empty_fast)
+    } else {
+        String::new()
+    };
     let _ = write!(
         out,
         "\n],\n\"injector\":{{\"shards\":{},\"submissions\":{},\"contention\":{},\
-         \"polls\":{},\"hits\":{},\
+         \"polls\":{},\"hits\":{}{},\
          \"latency\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}}},\n",
         inj.shards,
         inj.submissions,
         inj.contention,
         inj.polls,
         inj.hits,
+        fast_field,
         lat.count(),
         lat.mean(),
         lat.quantile_upper_bound(0.5),
@@ -596,6 +634,50 @@ mod tests {
             s.counters.push(("cache_accesses".to_string(), 0));
             s.counters.push(("cache_hits".to_string(), 0));
             s.counters.push(("cache_misses".to_string(), 0));
+            s
+        };
+        assert_eq!(chrome_trace(&zeroed), chrome_trace(&tiny_snapshot()));
+    }
+
+    #[test]
+    fn empty_fast_is_gated_on_nonzero() {
+        // Zero fast-path polls: both exporters byte-identical to before
+        // the counter existed.
+        let base_metrics = metrics_json(&tiny_snapshot());
+        assert!(!base_metrics.contains("empty_fast"));
+        assert!(!chrome_trace(&tiny_snapshot()).contains("injector_fast_path"));
+        let mut snap = tiny_snapshot();
+        snap.injector.empty_fast = 17;
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let inj = v.get("injector").expect("injector section");
+        assert_eq!(inj.get("empty_fast").unwrap().as_f64(), Some(17.0));
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"injector_fast_path\""));
+        assert!(trace.contains("\"args\":{\"empty_fast\":17}"));
+        assert!(crate::json::parse(&trace).is_ok());
+    }
+
+    #[test]
+    fn batch_counters_flow_through_both_exporters() {
+        let mut snap = tiny_snapshot();
+        snap.counters.push(("batch_steals".to_string(), 6));
+        snap.counters.push(("batched_tasks".to_string(), 19));
+        let trace = chrome_trace(&snap);
+        assert!(trace.contains("\"name\":\"steal_batches\""));
+        assert!(trace.contains("\"args\":{\"batches\":6,\"tasks\":19}"));
+        assert!(crate::json::parse(&trace).is_ok());
+        let metrics = metrics_json(&snap);
+        let v = crate::json::parse(&metrics).expect("valid JSON");
+        let counters = v.get("counters").expect("counters section");
+        assert_eq!(counters.get("batch_steals").unwrap().as_f64(), Some(6.0));
+        assert_eq!(counters.get("batched_tasks").unwrap().as_f64(), Some(19.0));
+        // The structural zero under single-steal policies leaves the
+        // trace byte-identical (goldens).
+        let zeroed = {
+            let mut s = tiny_snapshot();
+            s.counters.push(("batch_steals".to_string(), 0));
+            s.counters.push(("batched_tasks".to_string(), 0));
             s
         };
         assert_eq!(chrome_trace(&zeroed), chrome_trace(&tiny_snapshot()));

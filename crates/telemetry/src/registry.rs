@@ -291,8 +291,11 @@ pub struct InjectorSnapshot {
     pub contention: u64,
     /// Injector polls by workers (hits + misses).
     pub polls: u64,
-    /// Polls that grabbed a job.
+    /// Jobs grabbed by polls (a batched poll counts one poll, n hits).
     pub hits: u64,
+    /// Polls resolved by the `pending == 0` fast path without touching
+    /// a shard lock.
+    pub empty_fast: u64,
     /// Number of shards the injector was built with.
     pub shards: u64,
     /// Inject-to-start latency (ns from submission to job start).

@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use multiprog_ws::dag::DetRng;
-use multiprog_ws::runtime::{join, Backend, PoolConfig, PoolReport, ThreadPool};
+use multiprog_ws::runtime::{
+    join, Backend, BatchKind, PolicySet, PoolConfig, PoolReport, ThreadPool,
+};
 
 /// One seeded churn episode against a `pools`-way federated topology:
 /// `submitters` external threads push `jobs_per_submitter` jobs each
@@ -32,11 +34,34 @@ fn federated_episode(
     jobs_per_submitter: usize,
     drain_on_shutdown: bool,
 ) -> PoolReport {
+    federated_episode_with(
+        seed,
+        workers,
+        pools,
+        submitters,
+        jobs_per_submitter,
+        drain_on_shutdown,
+        PolicySet::default(),
+    )
+}
+
+/// [`federated_episode`] with an explicit policy set (the batched-steal
+/// episodes flip the sixth axis; everything else keeps the default).
+fn federated_episode_with(
+    seed: u64,
+    workers: usize,
+    pools: usize,
+    submitters: usize,
+    jobs_per_submitter: usize,
+    drain_on_shutdown: bool,
+    policies: PolicySet,
+) -> PoolReport {
     let total = submitters * jobs_per_submitter;
     let pool = Arc::new(ThreadPool::with_config(
         PoolConfig::default()
             .with_num_procs(workers)
-            .with_pools(pools),
+            .with_pools(pools)
+            .with_policies(policies),
     ));
     let counts: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
 
@@ -137,6 +162,8 @@ fn federated_episode(
         |s: &multiprog_ws::runtime::PoolStats| s.remote_steals,
         |s: &multiprog_ws::runtime::PoolStats| s.remote_attempts,
         |s: &multiprog_ws::runtime::PoolStats| s.injects,
+        |s: &multiprog_ws::runtime::PoolStats| s.batch_steals,
+        |s: &multiprog_ws::runtime::PoolStats| s.batched_tasks,
     ] {
         let sum: u64 = report.per_pool.iter().map(field).sum();
         let agg = field(&report.stats);
@@ -189,6 +216,35 @@ fn flat_topology_reports_structural_zero() {
     assert_eq!(report.stats.remote_attempts, 0);
     assert_eq!(report.stats.remote_steal_fraction(), 0.0);
     assert_eq!(report.per_pool[0], report.stats);
+    // Single-steal default: no batch can ever form (the shutdown
+    // asserts enforce the same; this pins the report surface).
+    assert_eq!(report.stats.batch_steals, 0);
+    assert_eq!(report.stats.batched_tasks, 0);
+}
+
+/// Exactly-once survives batched stealing: with `BatchKind::Half` the
+/// cross-pool thieves move multi-task batches and the injector drains
+/// under one lock per poll, and still no job is lost or duplicated.
+/// Batch accounting must stay consistent (every batched task is a
+/// counted steal; a batch moves at least two tasks).
+#[test]
+fn batched_federation_is_exactly_once_and_batch_consistent() {
+    for (seed, pools, cap) in [(0u64, 2, 4), (1, 4, 8), (2, 4, 2)] {
+        let report = federated_episode_with(
+            0xBA7C_0000 + seed,
+            4,
+            pools,
+            4,
+            150,
+            seed == 1,
+            PolicySet::default().with_batch(BatchKind::Half { cap }),
+        );
+        assert!(
+            report.stats.batch_consistent(),
+            "seed {seed:#x} K={pools} cap={cap}: batch accounting broken: {:?}",
+            report.stats
+        );
+    }
 }
 
 /// `Backend::parse` accepts exactly the documented names (the empty
@@ -215,4 +271,41 @@ fn backend_parse_accepts_documented_names() {
 #[should_panic(expected = "expected abp, abp-growable, locking, or fence-free")]
 fn backend_parse_rejects_unknown_names() {
     let _ = Backend::parse("wavefront");
+}
+
+/// `PoolConfig::with_cross_steal` accepts exactly the unit interval —
+/// a probability — and names the argument when it panics.
+#[test]
+fn cross_steal_accepts_the_unit_interval() {
+    for p in [0.0, 0.125, 0.5, 1.0] {
+        // Building the config must not panic; a tiny pool proves the
+        // value also survives construction.
+        let pool =
+            ThreadPool::with_config(PoolConfig::default().with_num_procs(1).with_cross_steal(p));
+        pool.shutdown();
+    }
+}
+
+#[test]
+#[should_panic(expected = "cross_steal must be a probability in [0.0, 1.0], got -0.1")]
+fn cross_steal_rejects_negative() {
+    let _ = PoolConfig::default().with_cross_steal(-0.1);
+}
+
+#[test]
+#[should_panic(expected = "cross_steal must be a probability in [0.0, 1.0], got 1.5")]
+fn cross_steal_rejects_above_one() {
+    let _ = PoolConfig::default().with_cross_steal(1.5);
+}
+
+#[test]
+#[should_panic(expected = "cross_steal must be a probability in [0.0, 1.0], got NaN")]
+fn cross_steal_rejects_nan() {
+    let _ = PoolConfig::default().with_cross_steal(f64::NAN);
+}
+
+#[test]
+#[should_panic(expected = "cross_steal must be a probability in [0.0, 1.0], got inf")]
+fn cross_steal_rejects_infinity() {
+    let _ = PoolConfig::default().with_cross_steal(f64::INFINITY);
 }

@@ -13,11 +13,11 @@
 //! [`ThreadPool::spawn`]: multiprog_ws::runtime::ThreadPool::spawn
 //! [`ThreadPool::spawn_batch`]: multiprog_ws::runtime::ThreadPool::spawn_batch
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use multiprog_ws::dag::DetRng;
-use multiprog_ws::runtime::{join, PoolConfig, ThreadPool};
+use multiprog_ws::runtime::{join, BatchKind, PolicySet, PoolConfig, ThreadPool};
 
 /// Runs one seeded churn episode: `submitters` external threads push
 /// `jobs_per_submitter` jobs each (singly or in seeded batches) into a
@@ -164,6 +164,111 @@ fn shutdown_drains_pending_submissions() {
         }
         assert_eq!(report.stats.jobs, total as u64);
         assert!(report.stats.attempts_balance(), "{:?}", report.stats);
+    }
+}
+
+/// The `pending` gauge stays sane under concurrent *batched* draining:
+/// workers pull up to 8 jobs per shard lock (one `fetch_sub` of the
+/// whole batch size), so a double-subtraction bug would underflow the
+/// unsigned gauge and wrap it to an absurd value. Seeded submitters
+/// hammer the injector while a monitor thread samples the gauge the
+/// whole time; every sample must stay bounded by the jobs actually
+/// submitted so far, and the gauge must read exactly zero after the
+/// shutdown `pop_blocking` drain.
+#[test]
+fn backlog_gauge_never_underflows_under_batched_drain() {
+    for seed in 0..4u64 {
+        let submitters = 4usize;
+        let per = 250usize;
+        let total = submitters * per;
+        let pool = Arc::new(ThreadPool::with_config(
+            PoolConfig::default()
+                .with_num_procs(4)
+                .with_injector_shards(if seed.is_multiple_of(2) { 0 } else { 1 })
+                .with_policies(PolicySet::default().with_batch(BatchKind::Half { cap: 8 })),
+        ));
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
+        let submitted = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // The gauge monitor: an underflow wraps `pending` past the
+        // number of jobs ever submitted, which no honest backlog can do.
+        let monitor = {
+            let pool = Arc::clone(&pool);
+            let submitted = Arc::clone(&submitted);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    // Read the gauge *before* the submission counter: a
+                    // job counted in the gauge is always counted in
+                    // `submitted` first, so backlog <= submitted holds
+                    // for any interleaving unless the gauge underflowed.
+                    let backlog = pool.injector_backlog();
+                    let ceiling = submitted.load(Ordering::Acquire);
+                    assert!(
+                        backlog as u64 <= ceiling,
+                        "pending gauge underflow: backlog {backlog} with only {ceiling} submitted"
+                    );
+                    samples += 1;
+                    std::thread::yield_now();
+                }
+                samples
+            })
+        };
+
+        let mut handles = Vec::new();
+        for s in 0..submitters {
+            let pool = Arc::clone(&pool);
+            let counts = Arc::clone(&counts);
+            let submitted = Arc::clone(&submitted);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = DetRng::new(seed ^ (0xBA7C_5000 + s as u64));
+                let mut next = s * per;
+                let end = next + per;
+                while next < end {
+                    let len = 1 + rng.below_usize((end - next).min(6));
+                    // Count the jobs as submitted before they can appear
+                    // in the gauge, keeping the monitor's bound exact.
+                    submitted.fetch_add(len as u64, Ordering::Release);
+                    let jobs: Vec<_> = (next..next + len)
+                        .map(|id| {
+                            let counts = Arc::clone(&counts);
+                            move || {
+                                counts[id].fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                        .collect();
+                    pool.spawn_batch(jobs);
+                    next += len;
+                    if rng.chance(0.2) {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        while counts.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        let samples = monitor.join().unwrap();
+        assert!(samples > 0, "monitor never sampled the gauge");
+
+        // After the drain the gauge must read exactly zero — not "small".
+        while pool.injector_backlog() != 0 {
+            std::thread::yield_now();
+        }
+        let pool = Arc::try_unwrap(pool).unwrap_or_else(|_| panic!("all clones joined"));
+        assert_eq!(pool.injector_backlog(), 0);
+        let report = pool.shutdown();
+        for (id, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "seed {seed}: job {id}");
+        }
+        assert!(report.stats.attempts_balance(), "{:?}", report.stats);
+        assert!(report.stats.batch_consistent(), "{:?}", report.stats);
     }
 }
 

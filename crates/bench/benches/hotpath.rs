@@ -15,7 +15,8 @@
 //!   with the thief count;
 //! * `backend_steal_batch` — the `backend_steal` traffic drained with
 //!   `steal_batch_into(16)` and a reused buffer (experiment SB1's
-//!   micro-shape): one fence per grab instead of one per task;
+//!   micro-shape): one age observation and zero allocations per grab
+//!   (the fence itself is paid per claim — INV-SB-REVAL);
 //! * `federation_steal` — the FD1 micro-shape: work in one of 8 deques
 //!   labeled as 2 pools; a local (4-victim) scan vs a flat (8-victim)
 //!   scan, 1/2/4 thieves — the wasted-probe cost hierarchical victim

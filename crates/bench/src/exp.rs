@@ -3227,15 +3227,23 @@ pub fn federation(small: bool) -> ExpResult {
 /// envelope with batching switched on.
 ///
 /// Gates:
-/// 1. ABP and growable `steal_batch` drains are ≥ 1.5× their
+/// 1. ABP and growable `steal_batch` drains are ≥ 1.05× their
 ///    single-steal baselines at 2 and 4 thieves, and the fence-free
 ///    drain is ≥ parity (every cell conserves tasks exactly). The
-///    fence-free bar is parity by design: its single steal has no
-///    fence to amortize — the per-slot claim CAS is the cost floor
-///    either way — so batching there buys an allocation-free buffer
-///    and one hint store, not a fence elision. On the ABP and
-///    growable backends the batch pays one `thief_fence` for up to
-///    `cap` tasks, which is where the ≥ 1.5× comes from;
+///    bars are modest by design: the re-validated claim chain
+///    (INV-SB-REVAL — the owner's keep-path pops can invalidate a
+///    grab-start `bot` mid-chain, so each claim re-runs the fence +
+///    `bot` reload preamble) pays the `thief_fence` per *claim*, like
+///    single steals, so the drain-level win is the amortized `age`
+///    observation (each claim's CAS doubles as the next one's `age`
+///    load) plus the allocation-free reused buffer — ≥ 1.05× demands
+///    that win is real without claiming the old fence elision, which
+///    was measured at ≥ 1.5× before the chain was found unsound. The
+///    fence-free bar is parity: its single steal has no fence to
+///    amortize — the per-slot claim CAS is the cost floor either way.
+///    The dominant batching win is gate 2's round-trip amortization
+///    at the runtime layer (scan, wake, migration), which the chain
+///    fix does not touch;
 /// 2. in the K = 4 simulator, remote round trips per migrated task
 ///    (attempts minus batch free-riders, over migrated tasks —
 ///    [`RunReport::remote_trips_per_migrated_task`]) drop ≥ 2× when
@@ -3499,8 +3507,11 @@ pub fn steal_batch(small: bool) -> ExpResult {
             .map(|(_, _, r)| *r)
             .unwrap()
     };
-    let gate_abp = speedup("abp", 2) >= 1.5 && speedup("abp", 4) >= 1.5;
-    let gate_growable = speedup("abp-growable", 2) >= 1.5 && speedup("abp-growable", 4) >= 1.5;
+    // 1.05: the re-validated chain pays the fence per claim (see the
+    // doc comment), so the bar is the amortized-age + reused-buffer
+    // win, not the old fence elision.
+    let gate_abp = speedup("abp", 2) >= 1.05 && speedup("abp", 4) >= 1.05;
+    let gate_growable = speedup("abp-growable", 2) >= 1.05 && speedup("abp-growable", 4) >= 1.05;
     // Parity bar: the fence-free single steal already skips the seqcst
     // fence, so there is nothing for the batch to amortize beyond the
     // buffer reuse and the single trailing hint store (see doc above).
@@ -3780,7 +3791,8 @@ pub fn steal_batch(small: bool) -> ExpResult {
     let body = format!(
         "drain matrix: {entries} entries, {samples} single+batch sample pairs per cell, \
          cap {batch_cap}, {cores} core(s)\n{}\n\
-         gate (median of per-pair ratios): batch ≥ 1.5× single at 2 and 4 thieves — abp {:.2}×/{:.2}× ({}), \
+         gate (median of per-pair ratios): batch ≥ 1.05× single at 2 and 4 thieves \
+         (amortized age + reused buffer; the fence is per claim, INV-SB-REVAL) — abp {:.2}×/{:.2}× ({}), \
          growable {:.2}×/{:.2}× ({}); fence-free ≥ parity (no fence to \
          amortize) {:.2}×/{:.2}× ({})\n\n\
          sim federation (K=4, P=8, cross-steal 0.125):\n{}\n\

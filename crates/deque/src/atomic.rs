@@ -195,9 +195,14 @@ impl<T> StolenBatch<T> {
 }
 
 /// The per-grab claim target: up to `max` tasks, biased toward half the
-/// visible backlog (`hint` tasks), never less than one. Shared by every
-/// backend so the "steal half" bias is identical across the seam.
+/// visible backlog (`hint` tasks), never less than one — except that a
+/// zero cap claims nothing at all (a `max == 0` grab must not be able to
+/// remove work). Shared by every backend so the "steal half" bias is
+/// identical across the seam.
 pub(crate) fn batch_want(hint: usize, max: usize) -> usize {
+    if max == 0 {
+        return 0;
+    }
     max.min(hint.div_ceil(2)).max(1)
 }
 
@@ -451,8 +456,8 @@ impl<T: Word, P: OrderProfile> Stealer<T, P> {
     }
 
     /// Batched `popTop`: claim up to `max` entries (biased toward half
-    /// the visible backlog) under **one** thief fence and **one** `bot`
-    /// load, as a chain of single-slot `cas`es on `age`.
+    /// the visible backlog) as a chain of single-slot `cas`es on `age`,
+    /// re-running the steal preamble between claims.
     ///
     /// Why a chain and not one `cas` of `{tag, top} -> {tag, top + k}`
     /// (INV-SB-CHAIN): the owner's `popBottom` keep path removes entries
@@ -461,13 +466,34 @@ impl<T: Word, P: OrderProfile> Stealer<T, P> {
     /// entries inside `[top + 1, top + k)` — a double take the age word
     /// cannot detect. Only the entry *at* `top` is arbitrated (the
     /// owner's last-entry reset bumps the tag), so each claim must
-    /// advance `top` by exactly one. The chain keeps every single-steal
-    /// invariant per slot — the slot read is validated by the full-word
-    /// `cas` [INV-TAG], and the stale `bot` bound is safe because every
-    /// claimed index lies below the Acquire-loaded `bot` [INV-PUSH] and
-    /// any interleaved owner reset or rival steal fails the next `cas`.
-    /// What the batch amortizes is the fence, the `bot` coherence miss,
-    /// and (in the runtime) the scan and wake round-trips.
+    /// advance `top` by exactly one.
+    ///
+    /// Why the preamble must be re-run per claim (INV-SB-REVAL): the
+    /// same keep path makes a `bot` bound loaded once at grab start go
+    /// stale *mid-chain*. With `top = 0`, `bot = 4`, a thief that loads
+    /// `bot = 4` and plans two claims races an owner that keep-pops
+    /// indices 3, 2, 1 (never touching `age`): the thief's second `cas`
+    /// `{g,1} -> {g,2}` still succeeds — `age` never changed — and index
+    /// 1 runs twice. The single steal is immune because every episode
+    /// reloads `bot` after observing `age`, with the thief fence in
+    /// between [INV-FENCE]; so after every successful claim `cas` (a
+    /// SeqCst rmw, which is this claim's `age` observation) the chain
+    /// re-runs exactly that preamble — `thief_fence()` then an Acquire
+    /// reload of `bot` — and stops when `bot <= top`. The store-buffering
+    /// argument then applies per claim: either the owner's post-fence
+    /// `age` load sees our `cas` and backs off through the reset path,
+    /// or our `bot` reload sees the owner's claim and the chain stops.
+    /// Each claim keeps the single-steal invariants — the slot read is
+    /// validated by the full-word `cas` [INV-TAG], and every claimed
+    /// index lies below a `bot` bound loaded *after* the `age` value the
+    /// `cas` validated [INV-PUSH].
+    ///
+    /// The fence is therefore *not* amortized — a grab of `k` pays `k`
+    /// fences and `k` `bot` loads, like `k` single steals. What the
+    /// batch still amortizes: the `age` load (each claim's `cas` doubles
+    /// as the next claim's `age` observation), the per-task allocation
+    /// (one reused buffer), and — the dominant term in the runtime — the
+    /// victim scan, sleeper wake, and cross-pool migration round-trips.
     pub fn pop_top_batch(&self, max: usize) -> StolenBatch<T> {
         let mut out = StolenBatch::empty();
         self.pop_top_batch_into(max, &mut out);
@@ -484,14 +510,14 @@ impl<T: Word, P: OrderProfile> Stealer<T, P> {
         // [INV-RESET, INV-FENCE, INV-PUSH].
         let mut age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
         P::thief_fence();
-        let bot = inner.bot.0.load(P::ACQUIRE);
+        let mut bot = inner.bot.0.load(P::ACQUIRE);
         if bot <= age.top as u64 {
             return;
         }
         let avail = (bot - age.top as u64) as usize;
         let want = batch_want(avail, max);
         out.tasks.reserve(want);
-        for _ in 0..want {
+        while out.tasks.len() < want {
             // Slot read before the cas, validated by it [INV-TAG].
             let node = T::from_word(inner.deq[age.top as usize].load(P::RELAXED));
             let new_age = AgeWord {
@@ -510,6 +536,17 @@ impl<T: Word, P: OrderProfile> Stealer<T, P> {
                 Ok(_) => {
                     out.tasks.push(node);
                     age = new_age;
+                    if out.tasks.len() == want {
+                        break;
+                    }
+                    // INV-SB-REVAL: re-run the steal preamble before the
+                    // next claim — the owner's keep path may have drained
+                    // past our stale bound without touching `age`.
+                    P::thief_fence();
+                    bot = inner.bot.0.load(P::ACQUIRE);
+                    if bot <= age.top as u64 {
+                        break;
+                    }
                 }
                 Err(_) => {
                     out.aborted = out.tasks.is_empty();
@@ -699,6 +736,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_with_zero_cap_claims_nothing() {
+        // A zero-cap grab must not be able to remove work: batch_want's
+        // `.max(1)` floor only applies once max >= 1.
+        assert_eq!(batch_want(5, 0), 0);
+        assert_eq!(batch_want(0, 0), 0);
+        assert_eq!(batch_want(1, 1), 1);
+        let (w, s) = new::<u64>(8);
+        w.push_bottom(7).unwrap();
+        let b = s.pop_top_batch(0);
+        assert!(b.is_empty() && !b.aborted);
+        assert_eq!(w.pop_bottom(), Some(7));
+    }
+
+    #[test]
     fn batch_interleaves_with_owner_pops_without_loss() {
         // Seeded sequential mix of owner ops and batched steals must
         // conserve every value exactly once.
@@ -797,6 +848,83 @@ mod tests {
     #[test]
     fn concurrent_owner_and_thieves_conserve_items() {
         concurrent_conservation_with::<RelaxedProtocol>();
+    }
+
+    fn batch_chain_vs_owner_keep_path_conserves_with<P: OrderProfile>() {
+        // Regression for the stale-`bot` chain race: a thief whose batch
+        // grab reused the `bot` loaded at the start of the chain could
+        // claim an index the owner's keep-path `pop_bottom` (which never
+        // touches `age`) had already returned — a double take. The owner
+        // churns shallow bursts (push 2–7, drain flat out), so its
+        // keep-path pops constantly overlap thieves' chains with the
+        // backlog inside the claimed range — the window the deep-burst
+        // tests almost never open.
+        use std::sync::atomic::{AtomicBool, AtomicU8};
+        const N: usize = 300_000;
+        let (w, s) = new_with_order::<u64, P>(64);
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..N).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for t in 0..2u64 {
+            let s = s.clone();
+            let counts = Arc::clone(&counts);
+            let done = Arc::clone(&done);
+            thieves.push(std::thread::spawn(move || {
+                let mut buf = StolenBatch::empty();
+                let mut max = 2 + t as usize;
+                loop {
+                    s.pop_top_batch_into(max, &mut buf);
+                    // Grab sizes 2..=6, cycling so chains of every length
+                    // race the owner's drains.
+                    max = 2 + (max + t as usize) % 5;
+                    assert_eq!(buf.duplicates, 0, "ABP is exact");
+                    for &v in &buf.tasks {
+                        counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                    if buf.is_empty() && !buf.aborted {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        let mut next = 0u64;
+        let mut rng = 0x6EE9_F00Du64;
+        while (next as usize) < N {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let burst = (2 + rng % 6).min(N as u64 - next);
+            for _ in 0..burst {
+                w.push_bottom(next).unwrap();
+                next += 1;
+            }
+            // Keep-path pops racing the thieves' chains.
+            while let Some(v) = w.pop_bottom() {
+                counts[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        done.store(true, Ordering::Release);
+        for th in thieves {
+            th.join().unwrap();
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "value {i} consumed wrong number of times"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_chain_vs_owner_keep_path_conserves() {
+        batch_chain_vs_owner_keep_path_conserves_with::<RelaxedProtocol>();
+    }
+
+    #[test]
+    fn batch_chain_vs_owner_keep_path_conserves_seqcst_baseline() {
+        batch_chain_vs_owner_keep_path_conserves_with::<SeqCstProtocol>();
     }
 
     #[test]

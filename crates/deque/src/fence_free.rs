@@ -363,6 +363,11 @@ impl<T: Word> FenceFreeStealer<T> {
         }
         let avail = (b - h) as usize;
         let want = batch_want(avail, max);
+        if want == 0 {
+            // Zero-cap grab: touch nothing, not even the `top` hint — a
+            // regressed hint would make rivals re-pay duplicates.
+            return;
+        }
         let end = h + want as u64;
         out.tasks.reserve(want);
         let claims = &inner.claims[h as usize..end as usize];

@@ -354,7 +354,9 @@ impl<T: Word, P: OrderProfile> GrowableStealer<T, P> {
     /// Batched `popTop`: the same single-slot `cas` chain as
     /// [`crate::atomic::Stealer::pop_top_batch`] (one range `cas` would
     /// race the owner's keep-path pops — INV-SB-CHAIN there), with the
-    /// growable-specific buffer reload per slot read [INV-GROW].
+    /// same per-claim preamble re-run — thief fence + Acquire `bot`
+    /// reload, stopping when `bot <= top` [INV-SB-REVAL there] — and
+    /// the growable-specific buffer reload per slot read [INV-GROW].
     pub fn pop_top_batch(&self, max: usize) -> StolenBatch<T> {
         let mut out = StolenBatch::empty();
         self.pop_top_batch_into(max, &mut out);
@@ -369,14 +371,14 @@ impl<T: Word, P: OrderProfile> GrowableStealer<T, P> {
         let inner = &*self.inner;
         let mut age = AgeWord::unpack(inner.age.0.load(P::ACQUIRE));
         P::thief_fence();
-        let bot = inner.bot.0.load(P::ACQUIRE);
+        let mut bot = inner.bot.0.load(P::ACQUIRE);
         if bot <= age.top as u64 {
             return;
         }
         let avail = (bot - age.top as u64) as usize;
         let want = batch_want(avail, max);
         out.tasks.reserve(want);
-        for _ in 0..want {
+        while out.tasks.len() < want {
             let mut spins = 0;
             let node = loop {
                 // SAFETY: buffers live until `Inner` drops; Acquire pairs
@@ -407,6 +409,16 @@ impl<T: Word, P: OrderProfile> GrowableStealer<T, P> {
                 Ok(_) => {
                     out.tasks.push(node);
                     age = new_age;
+                    if out.tasks.len() == want {
+                        break;
+                    }
+                    // INV-SB-REVAL (see atomic.rs): the owner's keep path
+                    // can drain past a stale `bot` without touching `age`.
+                    P::thief_fence();
+                    bot = inner.bot.0.load(P::ACQUIRE);
+                    if bot <= age.top as u64 {
+                        break;
+                    }
                 }
                 Err(_) => {
                     out.aborted = out.tasks.is_empty();

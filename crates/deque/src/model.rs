@@ -16,7 +16,9 @@
 
 use crate::sim_deque::{DequeOp, SimDeque, StepOutcome};
 
-pub use crate::history::{check, Invocation, OpResult, ProgOp, Violation};
+pub use crate::history::{
+    check, check_with_batches, BatchInvocation, Invocation, OpResult, ProgOp, Violation,
+};
 
 /// A scenario: `programs[0]` is the owner (may push/pop bottom), the rest
 /// are thieves (must only `PopTop`) — the "good invocation sets" of §3.2.
@@ -149,6 +151,220 @@ fn dfs(
     }
 }
 
+/// One step of a thief program in a [`BatchScenario`]: a plain `popTop`
+/// or a batched grab of up to `max` tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThiefOp {
+    PopTop,
+    Batch(usize),
+}
+
+/// A scenario whose thieves may issue *batched* grabs, judged by
+/// [`check_with_batches`] (INV-SB-1/INV-SB-2 plus the single-op
+/// semantics over the batch-expanded history). This is the exhaustive
+/// counterpart of the concurrent batch histories recorded from the real
+/// deque — small enough programs that every interleaving of the
+/// instruction-stepped [`DequeOp::PopTopBatch`] against the owner can
+/// be enumerated, including the keep-path overlap a wall-clock test
+/// practically never schedules.
+#[derive(Debug, Clone)]
+pub struct BatchScenario {
+    /// The owner's program (push/pop bottom).
+    pub owner: Vec<ProgOp>,
+    /// Thief programs; each step is a single or batched steal.
+    pub thieves: Vec<Vec<ThiefOp>>,
+}
+
+#[derive(Clone)]
+enum BCurrent {
+    Single(DequeOp, ProgOp, u64),
+    Batch(DequeOp, u64),
+}
+
+#[derive(Clone)]
+struct BProc {
+    owner_prog: Vec<ProgOp>,
+    thief_prog: Vec<ThiefOp>,
+    next_op: usize,
+    current: Option<BCurrent>,
+}
+
+impl BProc {
+    fn done(&self) -> bool {
+        let len = self.owner_prog.len().max(self.thief_prog.len());
+        self.current.is_none() && self.next_op >= len
+    }
+}
+
+/// What a batch-scenario step appended, so the DFS can backtrack.
+enum Logged {
+    Nothing,
+    History,
+    Batch,
+}
+
+/// Explores every interleaving of `scenario` starting from `initial`.
+/// `revalidate` selects the batched chain variant: `true` is the
+/// shipped per-claim preamble re-run (INV-SB-REVAL), `false` the broken
+/// stale-`bot` chain — exploring the latter must produce a violation
+/// (see the tests), which is the non-vacuity check for the former.
+pub fn explore_batches(scenario: &BatchScenario, initial: SimDeque, revalidate: bool) -> Report {
+    let mut procs = vec![BProc {
+        owner_prog: scenario.owner.clone(),
+        thief_prog: Vec::new(),
+        next_op: 0,
+        current: None,
+    }];
+    for t in &scenario.thieves {
+        procs.push(BProc {
+            owner_prog: Vec::new(),
+            thief_prog: t.clone(),
+            next_op: 0,
+            current: None,
+        });
+    }
+    let mut report = Report {
+        histories: 0,
+        violating: 0,
+        example: None,
+    };
+    let mut history = Vec::new();
+    let mut batches = Vec::new();
+    let mut deque = initial;
+    dfs_batches(
+        &mut deque,
+        procs,
+        revalidate,
+        0,
+        &mut history,
+        &mut batches,
+        &mut report,
+    );
+    report
+}
+
+fn dfs_batches(
+    deque: &mut SimDeque,
+    procs: Vec<BProc>,
+    revalidate: bool,
+    step: u64,
+    history: &mut Vec<Invocation>,
+    batches: &mut Vec<BatchInvocation>,
+    report: &mut Report,
+) {
+    if procs.iter().all(|p| p.done()) {
+        report.histories += 1;
+        if let Err(reason) = check_with_batches(history, batches, false) {
+            report.violating += 1;
+            if report.example.is_none() {
+                report.example = Some(Violation {
+                    reason,
+                    history: history.clone(),
+                });
+            }
+        }
+        return;
+    }
+    for i in 0..procs.len() {
+        if procs[i].done() {
+            continue;
+        }
+        let mut d2 = deque.clone();
+        let mut p2 = procs.clone();
+        let logged = step_bproc(&mut d2, &mut p2[i], i, revalidate, step, history, batches);
+        dfs_batches(&mut d2, p2, revalidate, step + 1, history, batches, report);
+        match logged {
+            Logged::Nothing => {}
+            Logged::History => {
+                history.pop();
+            }
+            Logged::Batch => {
+                batches.pop();
+            }
+        }
+    }
+}
+
+/// Advances one instruction of batch-scenario process `i`.
+fn step_bproc(
+    deque: &mut SimDeque,
+    p: &mut BProc,
+    proc_idx: usize,
+    revalidate: bool,
+    step: u64,
+    history: &mut Vec<Invocation>,
+    batches: &mut Vec<BatchInvocation>,
+) -> Logged {
+    if p.current.is_none() {
+        let cur = if p.owner_prog.is_empty() {
+            match p.thief_prog[p.next_op] {
+                ThiefOp::PopTop => BCurrent::Single(DequeOp::pop_top(), ProgOp::PopTop, step),
+                ThiefOp::Batch(max) => {
+                    BCurrent::Batch(DequeOp::pop_top_batch(max, revalidate), step)
+                }
+            }
+        } else {
+            let kind = p.owner_prog[p.next_op];
+            let op = match kind {
+                ProgOp::Push(v) => DequeOp::push_bottom(v),
+                ProgOp::PopBottom => DequeOp::pop_bottom(),
+                ProgOp::PopTop => DequeOp::pop_top(),
+            };
+            BCurrent::Single(op, kind, step)
+        };
+        p.next_op += 1;
+        p.current = Some(cur);
+    }
+    match p.current.as_mut().unwrap() {
+        BCurrent::Single(op, kind, start) => {
+            let outcome = op.step(deque);
+            let (kind, start) = (*kind, *start);
+            match outcome {
+                StepOutcome::Continue => Logged::Nothing,
+                done => {
+                    let result = match done {
+                        StepOutcome::PushDone => OpResult::Pushed,
+                        StepOutcome::PopBottomDone(r) => OpResult::Popped(r),
+                        StepOutcome::PopTopDone(r) => OpResult::Stolen(r),
+                        StepOutcome::Continue | StepOutcome::PopTopBatchDone(_) => unreachable!(),
+                    };
+                    history.push(Invocation {
+                        proc: proc_idx,
+                        start,
+                        end: step,
+                        kind,
+                        result,
+                    });
+                    p.current = None;
+                    Logged::History
+                }
+            }
+        }
+        BCurrent::Batch(op, start) => {
+            let start = *start;
+            match op.step(deque) {
+                StepOutcome::Continue => Logged::Nothing,
+                StepOutcome::PopTopBatchDone(b) => {
+                    // Every successful cas claimed exactly one slot and
+                    // took exactly one task, so claimed == tasks (the
+                    // exact-backend shape of INV-SB-1).
+                    batches.push(BatchInvocation {
+                        proc: proc_idx,
+                        start,
+                        end: step,
+                        claimed: b.tasks.len(),
+                        tasks: b.tasks,
+                        duplicates: 0,
+                    });
+                    p.current = None;
+                    Logged::Batch
+                }
+                other => unreachable!("batch op produced {other:?}"),
+            }
+        }
+    }
+}
+
 /// Advances one instruction of process `i`; returns true if an invocation
 /// completed (and was appended to `history`).
 fn step_proc(
@@ -178,7 +394,7 @@ fn step_proc(
                 StepOutcome::PushDone => OpResult::Pushed,
                 StepOutcome::PopBottomDone(r) => OpResult::Popped(r),
                 StepOutcome::PopTopDone(r) => OpResult::Stolen(r),
-                StepOutcome::Continue => unreachable!(),
+                StepOutcome::Continue | StepOutcome::PopTopBatchDone(_) => unreachable!(),
             };
             history.push(Invocation {
                 proc: proc_idx,
@@ -369,6 +585,70 @@ mod tests {
                 rep.example.as_ref().map(|v| &v.reason)
             );
         }
+    }
+
+    /// INV-SB-REVAL necessity, exhaustively: the stale-`bot` chain
+    /// (`revalidate = false`) double-takes against the owner's keep-path
+    /// pops somewhere in the interleaving space — the checker must find
+    /// it. Three pushes and two aggressive pops around a 2-task grab is
+    /// the minimal shape: the thief's bound (bot = 3) goes stale while
+    /// the owner keep-pops indices 2 and 1, and the chain's second cas
+    /// re-takes index 1.
+    #[test]
+    fn batch_stale_bot_chain_is_caught() {
+        use ProgOp::*;
+        let sc = BatchScenario {
+            owner: owner(&[Push(1), Push(2), Push(3), PopBottom, PopBottom]),
+            thieves: vec![vec![ThiefOp::Batch(2)]],
+        };
+        let rep = explore_batches(&sc, SimDeque::new(), false);
+        assert!(
+            !rep.ok(),
+            "stale-bot chain should violate the semantics somewhere in {} histories",
+            rep.histories
+        );
+        let ex = rep.example.unwrap();
+        assert!(
+            ex.reason.contains("consumed twice") || ex.reason.contains("no linearization"),
+            "unexpected reason: {}",
+            ex.reason
+        );
+    }
+
+    /// The shipped re-validated chain is clean over the same scenario —
+    /// and over a mixed one where a second thief single-steals — on both
+    /// the plain deque and the growable one (growth racing a mid-chain
+    /// grab).
+    #[test]
+    fn batch_revalidated_chain_is_clean() {
+        use ProgOp::*;
+        let scenarios = [
+            BatchScenario {
+                owner: owner(&[Push(1), Push(2), Push(3), PopBottom, PopBottom]),
+                thieves: vec![vec![ThiefOp::Batch(2)]],
+            },
+            BatchScenario {
+                owner: owner(&[Push(1), Push(2), PopBottom]),
+                thieves: vec![vec![ThiefOp::Batch(2)], vec![ThiefOp::PopTop]],
+            },
+        ];
+        for (i, sc) in scenarios.iter().enumerate() {
+            let rep = explore_batches(sc, SimDeque::new(), true);
+            assert!(rep.histories > 0);
+            assert!(
+                rep.ok(),
+                "scenario {i} violated: {:?}",
+                rep.example.as_ref().map(|v| &v.reason)
+            );
+        }
+        // Growth racing a mid-chain grab (cap = 1: the second push
+        // replaces the buffer while the batch may hold a stale bound).
+        let rep = explore_batches(&scenarios[0], SimDeque::with_growth(true, 1, true), true);
+        assert!(
+            rep.ok(),
+            "growable violated: {:?}",
+            rep.example.as_ref().map(|v| &v.reason)
+        );
     }
 
     /// The broken growth variant — publish a fresh buffer without copying

@@ -503,7 +503,12 @@ impl<'a> Explorer<'a> {
                         ThiefMode::BatchGuarded { max } => {
                             let avail = (n.shared.bot - h) as usize;
                             let end = h + crate::atomic::batch_want(avail, max) as u64;
-                            ThiefPc::BatchReadClaim { i: h, end }
+                            if end == h {
+                                // Zero-cap grab claims nothing.
+                                ThiefPc::Idle
+                            } else {
+                                ThiefPc::BatchReadClaim { i: h, end }
+                            }
                         }
                     }
                 }

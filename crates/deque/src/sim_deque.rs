@@ -244,8 +244,18 @@ impl Default for SimDeque {
     }
 }
 
+/// Result of a simulated batched `popTop` — the stepped analogue of
+/// [`crate::StolenBatch`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimBatch {
+    /// Claimed tasks in top order (oldest first).
+    pub tasks: Vec<u64>,
+    /// True when the grab claimed nothing because its first `cas` lost.
+    pub aborted: bool,
+}
+
 /// What a single instruction step produced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepOutcome {
     /// The operation needs more steps.
     Continue,
@@ -255,6 +265,8 @@ pub enum StepOutcome {
     PopBottomDone(Option<u64>),
     /// `popTop` finished with this result.
     PopTopDone(SimSteal),
+    /// `popTopBatch` finished with this result.
+    PopTopBatchDone(SimBatch),
 }
 
 impl StepOutcome {
@@ -296,6 +308,35 @@ pub enum DequeOp {
         node: u64,
         local_bot: u64,
     },
+    /// Batched `popTop` as in [`crate::atomic::Stealer::pop_top_batch`]:
+    /// a chain of single-slot `cas`es on `age`. `revalidate = true`
+    /// re-runs the steal preamble — a `bot` reload — after every
+    /// successful claim and stops when `bot <= top` (INV-SB-REVAL, the
+    /// shipped protocol); `revalidate = false` is the *broken* chain
+    /// that reuses the `bot` loaded once at grab start, which the
+    /// owner's keep-path `popBottom` can silently invalidate — a
+    /// double take the exhaustive checker in [`crate::model`] and a
+    /// directed test both catch, the same way `tagged = false`
+    /// demonstrates the necessity of the tag.
+    ///
+    /// The op always steps sequentially consistently (the runtime's
+    /// claims are `SeqCst` rmws and its revalidation is a fence plus an
+    /// Acquire load, so the SC stepping is the faithful model); the
+    /// [`MemModel`] variants only reorder the single-steal ops. A grab
+    /// of `k` tasks takes `2 + 2k` (unrevalidated) or up to `3k + 1`
+    /// (revalidated) instructions, so this op is *not* covered by
+    /// [`MAX_OP_STEPS`] — the scheduling simulator models batching at
+    /// the pool level and never issues it.
+    PopTopBatch {
+        max: usize,
+        revalidate: bool,
+        pc: u8,
+        old_age: SimAge,
+        local_bot: u64,
+        want: usize,
+        node: u64,
+        tasks: Vec<u64>,
+    },
 }
 
 impl DequeOp {
@@ -325,6 +366,22 @@ impl DequeOp {
             old_age: SimAge { tag: 0, top: 0 },
             node: 0,
             local_bot: 0,
+        }
+    }
+
+    /// Starts a batched `popTop(max)`; `revalidate` selects the shipped
+    /// per-claim preamble re-run or the broken stale-`bot` chain (see
+    /// [`DequeOp::PopTopBatch`]).
+    pub fn pop_top_batch(max: usize, revalidate: bool) -> Self {
+        DequeOp::PopTopBatch {
+            max,
+            revalidate,
+            pc: 0,
+            old_age: SimAge { tag: 0, top: 0 },
+            local_bot: 0,
+            want: 0,
+            node: 0,
+            tasks: Vec::new(),
         }
     }
 
@@ -595,6 +652,84 @@ impl DequeOp {
                     } else {
                         StepOutcome::PopTopDone(SimSteal::Abort)
                     }
+                }
+            },
+            DequeOp::PopTopBatch {
+                max,
+                revalidate,
+                pc,
+                old_age,
+                local_bot,
+                want,
+                node,
+                tasks,
+            } => match pc {
+                0 => {
+                    // load oldAge <- age
+                    *old_age = d.age;
+                    *pc = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    // load localBot <- bot; empty test and the claim
+                    // target are local.
+                    *local_bot = d.bot;
+                    if *local_bot <= old_age.top {
+                        return StepOutcome::PopTopBatchDone(SimBatch::default());
+                    }
+                    let avail = (*local_bot - old_age.top) as usize;
+                    *want = crate::atomic::batch_want(avail, *max);
+                    if *want == 0 {
+                        return StepOutcome::PopTopBatchDone(SimBatch::default());
+                    }
+                    *pc = 2;
+                    StepOutcome::Continue
+                }
+                2 => {
+                    // load node <- deq[oldAge.top]
+                    *node = d.load_slot(old_age.top);
+                    *pc = 3;
+                    StepOutcome::Continue
+                }
+                3 => {
+                    // cas(age, oldAge, oldAge with top + 1): one claim.
+                    let new_age = SimAge {
+                        tag: old_age.tag,
+                        top: old_age.top + 1,
+                    };
+                    if d.cas_age(*old_age, new_age) {
+                        tasks.push(*node);
+                        *old_age = new_age;
+                        if tasks.len() == *want {
+                            return StepOutcome::PopTopBatchDone(SimBatch {
+                                tasks: std::mem::take(tasks),
+                                aborted: false,
+                            });
+                        }
+                        // The shipped chain re-runs the preamble; the
+                        // broken one goes straight to the next slot read
+                        // trusting the stale bot bound.
+                        *pc = if *revalidate { 4 } else { 2 };
+                        StepOutcome::Continue
+                    } else {
+                        StepOutcome::PopTopBatchDone(SimBatch {
+                            aborted: tasks.is_empty(),
+                            tasks: std::mem::take(tasks),
+                        })
+                    }
+                }
+                _ => {
+                    // INV-SB-REVAL: reload bot; stop when the owner's
+                    // keep path has drained to (or past) our top.
+                    *local_bot = d.bot;
+                    if *local_bot <= old_age.top {
+                        return StepOutcome::PopTopBatchDone(SimBatch {
+                            tasks: std::mem::take(tasks),
+                            aborted: false,
+                        });
+                    }
+                    *pc = 2;
+                    StepOutcome::Continue
                 }
             },
         }
@@ -927,6 +1062,74 @@ mod tests {
         // bot = 0 <= top = 0: the empty test fires — the dangerous
         // stale-bot/fresh-age pairing is impossible in order.
         assert_eq!(thief.step(&mut d), StepOutcome::PopTopDone(SimSteal::Empty));
+    }
+
+    fn pop_top_batch(d: &mut SimDeque, max: usize, revalidate: bool) -> SimBatch {
+        match DequeOp::pop_top_batch(max, revalidate).run_to_completion(d) {
+            StepOutcome::PopTopBatchDone(b) => b,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_sequential_matches_single_steals() {
+        let mut d = SimDeque::new();
+        for v in [1, 2, 3, 4, 5, 6, 7, 8] {
+            push(&mut d, v);
+        }
+        // Half of 8, capped by max; uninterleaved, both variants agree.
+        assert_eq!(pop_top_batch(&mut d, 16, true).tasks, vec![1, 2, 3, 4]);
+        assert_eq!(pop_top_batch(&mut d, 2, false).tasks, vec![5, 6]);
+        assert_eq!(pop_top_batch(&mut d, 0, true), SimBatch::default());
+        assert_eq!(pop_top_batch(&mut d, 16, true).tasks, vec![7]);
+        assert_eq!(pop_top_batch(&mut d, 16, true).tasks, vec![8]);
+        let b = pop_top_batch(&mut d, 16, true);
+        assert!(b.tasks.is_empty() && !b.aborted);
+    }
+
+    /// Directed version of the stale-`bot` chain race the batched steal
+    /// must survive: top = 0, bot = 4; a thief plans a 2-task grab from
+    /// a `bot` loaded before the owner keep-path-pops indices 3, 2, 1
+    /// (never touching `age`). The broken chain's second cas
+    /// `{g,1} -> {g,2}` still succeeds — `age` never changed — and
+    /// index 1 is consumed twice. The shipped chain's preamble re-run
+    /// (INV-SB-REVAL) reloads `bot = 1 <= top = 1` and stops after the
+    /// first claim.
+    #[test]
+    fn batch_stale_bot_vs_owner_keep_path_double_take() {
+        for revalidate in [false, true] {
+            let mut d = SimDeque::new();
+            for v in [10, 11, 12, 13] {
+                push(&mut d, v);
+            }
+            let mut thief = DequeOp::pop_top_batch(2, revalidate);
+            assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load age {g,0}
+            assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load bot = 4; want = 2
+            assert_eq!(thief.step(&mut d), StepOutcome::Continue); // load slot[0]
+            // Owner keep-pops indices 3, 2, 1; age untouched, bot = 1.
+            assert_eq!(pop_bottom(&mut d), Some(13));
+            assert_eq!(pop_bottom(&mut d), Some(12));
+            assert_eq!(pop_bottom(&mut d), Some(11));
+            assert_eq!(d.age(), SimAge { tag: 0, top: 0 });
+            assert_eq!(d.bot(), 1);
+            // Thief resumes: first cas {g,0} -> {g,1} wins slot 0.
+            assert_eq!(thief.step(&mut d), StepOutcome::Continue);
+            let b = loop {
+                if let StepOutcome::PopTopBatchDone(b) = thief.step(&mut d) {
+                    break b;
+                }
+            };
+            if revalidate {
+                assert_eq!(b.tasks, vec![10], "reloaded bot = 1 <= top = 1 stops the grab");
+            } else {
+                assert_eq!(
+                    b.tasks,
+                    vec![10, 11],
+                    "stale bot lets the chain re-take the owner's entry"
+                );
+            }
+            assert!(d.is_empty());
+        }
     }
 
     #[test]

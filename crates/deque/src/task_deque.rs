@@ -60,10 +60,11 @@ pub trait DequeStealer<T: Word>: Clone + Send + Sync {
     /// Batched `popTop`: claim up to `max` tasks, biased toward half
     /// the victim's visible backlog, under as little synchronization as
     /// the backend allows. Every backend overrides this with a native
-    /// grab (one fence + `cas` chain for ABP/growable, one range of
-    /// once-guard claims for fence-free, one `try_lock` for locking);
-    /// the default is a single-steal loop so third-party backends get
-    /// correct — if unamortized — batch semantics for free.
+    /// grab (a re-validated `cas` chain for ABP/growable — one fence +
+    /// `bot` reload per claim, INV-SB-REVAL — one range of once-guard
+    /// claims for fence-free, one `try_lock` for locking); the default
+    /// is a single-steal loop so third-party backends get correct — if
+    /// unamortized — batch semantics for free.
     ///
     /// Outcome mapping mirrors [`Steal`]: an empty non-aborted batch is
     /// the `Empty` observation, `aborted` is the batch `Abort` (nothing

@@ -1004,6 +1004,11 @@ impl<'a> WorkStealer<'a> {
                 StepOutcome::PopTopDone(SimSteal::Duplicate) => {
                     unreachable!("stepped ABP deque is exact: no duplicates")
                 }
+                StepOutcome::PopTopBatchDone(_) => {
+                    // The simulator models batching at the pool level
+                    // (claim_batch_extras) and never issues the batch op.
+                    unreachable!("simulator ops are single push/pop/steal")
+                }
             },
             (AnyOp::Locked(op), Deques::Locked(dq)) => match op.step(&mut dq[target], me as u32) {
                 LockStepOutcome::Continue => OpDone::NotDone,
